@@ -1,0 +1,123 @@
+/// \file bench_util.h
+/// \brief Shared scaffolding for the figure-reproduction benchmarks.
+///
+/// Every binary in bench/ regenerates one figure of the paper's evaluation
+/// (Fig. 8(a)-(l)). The real datasets are replaced by the synthetic
+/// stand-ins of workload/datasets.h at roughly 10x reduced scale (see
+/// DESIGN.md §4 and EXPERIMENTS.md); the GPMV_BENCH_SCALE environment
+/// variable multiplies all graph sizes for larger runs.
+///
+/// Fixtures (graph + materialized views) are built once per binary and
+/// cached; the timed regions cover exactly what the paper times — direct
+/// matching vs. MatchJoin over cached extensions (the per-query containment
+/// check is sub-millisecond and benchmarked separately in Fig. 8(g)/(h)).
+
+#ifndef GPMV_BENCH_BENCH_UTIL_H_
+#define GPMV_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/bmatch_join.h"
+#include "core/containment.h"
+#include "core/match_join.h"
+#include "core/view.h"
+#include "simulation/bounded.h"
+#include "simulation/simulation.h"
+#include "workload/datasets.h"
+#include "workload/graph_gen.h"
+#include "workload/pattern_gen.h"
+
+namespace gpmv {
+namespace bench {
+
+/// Global size multiplier (GPMV_BENCH_SCALE, default 1.0).
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("GPMV_BENCH_SCALE");
+    return env != nullptr ? std::atof(env) : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Scaled(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * Scale());
+}
+
+/// A dataset fixture: graph plus materialized views.
+struct Fixture {
+  Graph g;
+  ViewSet views;
+  std::vector<ViewExtension> exts;
+
+  double ViewFraction() const {
+    return static_cast<double>(TotalExtensionPairs(exts)) /
+           static_cast<double>(g.num_edges());
+  }
+};
+
+inline Fixture MakeFixture(Graph graph, ViewSet views) {
+  Fixture f;
+  f.g = std::move(graph);
+  f.views = std::move(views);
+  f.exts = std::move(MaterializeAll(f.views, f.g)).value();
+  return f;
+}
+
+/// Lazily-built fixture cache keyed by an arbitrary string.
+inline Fixture& CachedFixture(const std::string& key,
+                              Fixture (*build)(const std::string&)) {
+  static std::map<std::string, std::unique_ptr<Fixture>> cache;
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Fixture>(build(key))).first;
+  }
+  return *it->second;
+}
+
+/// Runs one view-based matching configuration inside a benchmark loop and
+/// reports the paper's counters.
+inline void RunMatchJoinLoop(benchmark::State& state, const Pattern& q,
+                             const Fixture& f,
+                             const ContainmentMapping& mapping,
+                             bool use_rank_order = true) {
+  size_t result_pairs = 0;
+  for (auto _ : state) {
+    MatchJoinOptions opts;
+    opts.use_rank_order = use_rank_order;
+    Result<MatchResult> r = MatchJoin(q, f.views, f.exts, mapping, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    result_pairs = r->TotalMatches();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_pairs"] = static_cast<double>(result_pairs);
+  state.counters["views_used"] = static_cast<double>(mapping.selected.size());
+}
+
+/// Runs the direct (no views) baseline inside a benchmark loop. For bounded
+/// patterns, `naive` selects the paper's cubic BMatch baseline [16]
+/// (per-candidate BFS) instead of this library's improved implementation.
+inline void RunDirectLoop(benchmark::State& state, const Pattern& q,
+                          const Graph& g, bool naive = false) {
+  size_t result_pairs = 0;
+  for (auto _ : state) {
+    Result<MatchResult> r =
+        q.IsSimulationPattern()
+            ? MatchSimulation(q, g)
+            : (naive ? MatchBoundedSimulationNaive(q, g)
+                     : MatchBoundedSimulation(q, g));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    result_pairs = r->TotalMatches();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["result_pairs"] = static_cast<double>(result_pairs);
+}
+
+}  // namespace bench
+}  // namespace gpmv
+
+#endif  // GPMV_BENCH_BENCH_UTIL_H_

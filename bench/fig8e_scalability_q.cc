@@ -1,0 +1,69 @@
+/// Fig. 8(e): impact of pattern size on MatchJoin_min's scalability —
+/// four query families Q1..Q4 with (|Vp|,|Ep|) from (4,8) to (7,14),
+/// |Ep| = 2|Vp|, over the same |G| sweep as Fig. 8(d). Expected shape:
+/// larger queries cost more (more views needed to cover them), growth in
+/// |G| stays gentle.
+
+#include "bench_util.h"
+
+namespace gpmv {
+namespace bench {
+namespace {
+
+Pattern QueryFor(int64_t vp) {
+  RandomPatternOptions po;
+  po.num_nodes = static_cast<uint32_t>(vp);
+  po.num_edges = static_cast<uint32_t>(2 * vp);
+  po.label_pool = SyntheticLabels(10);
+  po.seed = 41 + static_cast<uint64_t>(vp);
+  return GenerateRandomPattern(po);
+}
+
+Fixture BuildSynthetic(const std::string& key) {
+  // key = "<num_nodes>/<vp>"
+  size_t slash = key.find('/');
+  size_t num_nodes = std::stoull(key.substr(0, slash));
+  int64_t vp = std::stoll(key.substr(slash + 1));
+  RandomGraphOptions go;
+  go.num_nodes = num_nodes;
+  go.num_edges = 2 * num_nodes;
+  go.num_labels = 10;
+  go.seed = 17;
+  Pattern q = QueryFor(vp);
+  CoveringViewOptions co;
+  co.edges_per_view = 2;
+  co.num_distractors = 6;
+  co.overlap_views = 4;
+  co.seed = 29;
+  return MakeFixture(GenerateRandomGraph(go), GenerateCoveringViews(q, co));
+}
+
+void BM_MatchJoinMin(benchmark::State& state) {
+  const int64_t num_nodes = state.range(0);
+  const int64_t vp = state.range(1);
+  Fixture& f = CachedFixture(
+      std::to_string(Scaled(num_nodes)) + "/" + std::to_string(vp),
+      &BuildSynthetic);
+  Pattern q = QueryFor(vp);
+  auto mapping = MinimumContainment(q, f.views);
+  if (!mapping.ok() || !mapping->contained) {
+    state.SkipWithError("query not contained");
+    return;
+  }
+  RunMatchJoinLoop(state, q, f, *mapping);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t vp : {4, 5, 6, 7}) {          // Q1..Q4: (4,8)..(7,14)
+    for (int64_t n = 30000; n <= 100000; n += 10000) b->Args({n, vp});
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_MatchJoinMin)->Apply(Sweep);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpmv
+
+BENCHMARK_MAIN();

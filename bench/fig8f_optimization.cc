@@ -1,0 +1,77 @@
+/// Fig. 8(f): effect of the rank-based ("bottom-up") optimization —
+/// MatchJoin_nopt vs. MatchJoin_min on densification-law graphs
+/// |E| = |V|^α, α swept 1.0..1.25 with |V| fixed (paper: 200K; here 50K by
+/// default). Expected shape: the optimized variant wins (paper: ~54% of
+/// nopt's time) and the gap widens with density, since denser graphs feed
+/// more redundant pairs into the fixpoint.
+
+#include "bench_util.h"
+
+namespace gpmv {
+namespace bench {
+namespace {
+
+constexpr uint64_t kQuerySeed = 53;
+
+Pattern Query() {
+  RandomPatternOptions po;
+  po.num_nodes = 4;
+  po.num_edges = 6;
+  po.label_pool = SyntheticLabels(10);
+  po.dag_only = true;  // the bottom-up strategy's sweet spot (Lemma 2)
+  po.seed = kQuerySeed;
+  return GenerateRandomPattern(po);
+}
+
+Fixture BuildDense(const std::string& key) {
+  double alpha = std::stod(key) / 100.0;
+  Pattern q = Query();
+  CoveringViewOptions co;
+  co.edges_per_view = 2;
+  co.num_distractors = 4;
+  co.overlap_views = 4;
+  co.seed = 61;
+  return MakeFixture(
+      GenerateDensificationGraph(Scaled(50000), alpha, 10, 19),
+      GenerateCoveringViews(q, co));
+}
+
+Fixture& DenseFixture(int64_t alpha_x100) {
+  return CachedFixture(std::to_string(alpha_x100), &BuildDense);
+}
+
+void BM_MatchJoinNopt(benchmark::State& state) {
+  Fixture& f = DenseFixture(state.range(0));
+  Pattern q = Query();
+  auto mapping = MinimumContainment(q, f.views);
+  if (!mapping.ok() || !mapping->contained) {
+    state.SkipWithError("query not contained");
+    return;
+  }
+  RunMatchJoinLoop(state, q, f, *mapping, /*use_rank_order=*/false);
+}
+
+void BM_MatchJoinMin(benchmark::State& state) {
+  Fixture& f = DenseFixture(state.range(0));
+  Pattern q = Query();
+  auto mapping = MinimumContainment(q, f.views);
+  if (!mapping.ok() || !mapping->contained) {
+    state.SkipWithError("query not contained");
+    return;
+  }
+  RunMatchJoinLoop(state, q, f, *mapping, /*use_rank_order=*/true);
+}
+
+void Alphas(benchmark::internal::Benchmark* b) {
+  for (int64_t a : {100, 105, 110, 115, 120, 125}) b->Args({a});
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_MatchJoinNopt)->Apply(Alphas);
+BENCHMARK(BM_MatchJoinMin)->Apply(Alphas);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpmv
+
+BENCHMARK_MAIN();

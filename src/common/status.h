@@ -1,0 +1,146 @@
+/// \file status.h
+/// \brief RocksDB/Arrow-style error handling: `Status` for operations that
+/// can fail without a value, `Result<T>` for operations that produce one.
+///
+/// Library code never throws on expected failures (bad input, parse errors,
+/// capacity limits); it returns a `Status`/`Result` that the caller must
+/// inspect. Logic errors (violated invariants) use GPMV_DCHECK and abort in
+/// debug builds.
+
+#ifndef GPMV_COMMON_STATUS_H_
+#define GPMV_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gpmv {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kCorruption,
+    kIOError,
+    kNotSupported,
+    kInternal,
+  };
+
+  /// Default-constructed status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Value-or-error holder. Accessing the value of an errored Result aborts,
+/// so callers must check `ok()` (or use `ValueOrDie` semantics knowingly).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define GPMV_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::gpmv::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Debug-build invariant check.
+#define GPMV_DCHECK(cond) assert(cond)
+
+}  // namespace gpmv
+
+#endif  // GPMV_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+/// \file stopwatch.h
+/// \brief Wall-clock timing helper used by the benchmark harness.
+
+#ifndef GPMV_COMMON_STOPWATCH_H_
+#define GPMV_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gpmv {
+
+/// Measures elapsed wall-clock time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_COMMON_STOPWATCH_H_

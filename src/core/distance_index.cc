@@ -1,0 +1,28 @@
+#include "core/distance_index.h"
+
+#include <algorithm>
+
+namespace gpmv {
+
+DistanceIndex DistanceIndex::Build(const std::vector<ViewExtension>& exts) {
+  DistanceIndex idx;
+  for (const ViewExtension& ext : exts) {
+    for (uint32_t e = 0; e < ext.num_view_edges(); ++e) {
+      const ViewEdgeExtension& vee = ext.edge(e);
+      for (size_t i = 0; i < vee.pairs.size(); ++i) {
+        uint64_t key = Key(vee.pairs[i].first, vee.pairs[i].second);
+        auto [it, inserted] = idx.index_.try_emplace(key, vee.distances[i]);
+        if (!inserted) it->second = std::min(it->second, vee.distances[i]);
+      }
+    }
+  }
+  return idx;
+}
+
+std::optional<uint32_t> DistanceIndex::Distance(NodeId v, NodeId v2) const {
+  auto it = index_.find(Key(v, v2));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,67 @@
+/// \file maintenance.h
+/// \brief Incremental maintenance of materialized view extensions.
+///
+/// Section I argues the view-based approach is practical because cached
+/// pattern views can be maintained incrementally under graph updates
+/// (citing [15], Fan et al., SIGMOD 2011). This module provides a working
+/// maintenance layer with the following contract:
+///
+///  * *Edge deletions* are handled decrementally: the maximum (bounded)
+///    simulation relation can only shrink under deletions, so the cached
+///    relation is re-refined seeded from its previous value — no label
+///    scan, no candidate re-enumeration — and the match sets re-extracted.
+///    For plain simulation views a constant-time prescreen skips deletions
+///    that touch no matched node.
+///  * *Edge insertions* re-materialize the view: insertions can grow the
+///    relation beyond the cached seed, which a removal-driven engine cannot
+///    discover. (The full delta algorithm of [15] is out of scope; the
+///    interface is insertion-ready so it can be swapped in.)
+///
+/// Callers mutate the Graph first, then notify the maintained view.
+
+#ifndef GPMV_CORE_MAINTENANCE_H_
+#define GPMV_CORE_MAINTENANCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/view.h"
+#include "graph/graph.h"
+
+namespace gpmv {
+
+/// A view definition together with its maintained extension on one graph.
+class MaintainedView {
+ public:
+  explicit MaintainedView(ViewDefinition def) : def_(std::move(def)) {}
+
+  /// Fully materializes against `g`; must be called before notifications.
+  Status Attach(const Graph& g);
+
+  /// Notifies that edge (u, v) was removed from `g` (after the removal).
+  Status OnEdgeRemoved(const Graph& g, NodeId u, NodeId v);
+
+  /// Notifies that edge (u, v) was inserted into `g` (after the insertion).
+  Status OnEdgeInserted(const Graph& g, NodeId u, NodeId v);
+
+  const ViewDefinition& definition() const { return def_; }
+  const ViewExtension& extension() const { return ext_; }
+
+  /// Maintenance counters (observability / tests).
+  size_t refresh_count() const { return refresh_count_; }
+  size_t skipped_updates() const { return skipped_updates_; }
+
+ private:
+  Status Refresh(const Graph& g, bool seeded);
+
+  ViewDefinition def_;
+  ViewExtension ext_;
+  std::vector<std::vector<NodeId>> relation_;  // cached node relation
+  bool attached_ = false;
+  size_t refresh_count_ = 0;
+  size_t skipped_updates_ = 0;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_MAINTENANCE_H_

@@ -1,0 +1,253 @@
+#include "core/match_join.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "graph/scc.h"
+
+namespace gpmv {
+
+namespace {
+
+/// Mutable per-edge state of the fixpoint.
+struct EdgeState {
+  std::vector<NodePair> pairs;  // alive pairs, compacted in place
+  // out_count[v] = number of alive pairs with source v.
+  std::unordered_map<NodeId, uint32_t> out_count;
+  // in_count[v] = number of alive pairs with target v (dual mode only).
+  std::unordered_map<NodeId, uint32_t> in_count;
+};
+
+class JoinEngine {
+ public:
+  JoinEngine(const Pattern& q, const MatchJoinOptions& opts,
+             MatchJoinStats* stats)
+      : q_(q), opts_(opts), stats_(stats) {}
+
+  Status Init(const ViewSet& views, const std::vector<ViewExtension>& exts,
+              const ContainmentMapping& mapping);
+
+  /// Runs the fixpoint; returns false if some match set drained.
+  bool Run();
+
+  MatchResult Extract();
+
+ private:
+  bool dual() const { return opts_.semantics == JoinSemantics::kDualSimulation; }
+
+  /// Node-match validity of (u, v): v supports every pattern edge out of u
+  /// (simulation), plus every pattern edge into u under dual semantics.
+  bool NodeValid(uint32_t u, NodeId v) const {
+    for (uint32_t e : q_.out_edges(u)) {
+      auto it = edges_[e].out_count.find(v);
+      if (it == edges_[e].out_count.end() || it->second == 0) return false;
+    }
+    if (dual()) {
+      for (uint32_t e : q_.in_edges(u)) {
+        auto it = edges_[e].in_count.find(v);
+        if (it == edges_[e].in_count.end() || it->second == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Scans Se once, deleting invalid pairs; returns true if Se changed.
+  bool ScanEdge(uint32_t e) {
+    if (stats_ != nullptr) ++stats_->match_set_visits;
+    EdgeState& st = edges_[e];
+    const uint32_t u = q_.edge(e).src;
+    const uint32_t u2 = q_.edge(e).dst;
+    size_t kept = 0;
+    for (size_t i = 0; i < st.pairs.size(); ++i) {
+      const NodePair& p = st.pairs[i];
+      if (NodeValid(u, p.first) && NodeValid(u2, p.second)) {
+        st.pairs[kept++] = p;
+      } else {
+        --st.out_count[p.first];
+        if (dual()) --st.in_count[p.second];
+        if (stats_ != nullptr) ++stats_->removed_pairs;
+      }
+    }
+    if (kept == st.pairs.size()) return false;
+    st.pairs.resize(kept);
+    return true;
+  }
+
+  bool RunRankOrdered();
+  bool RunFullPasses();
+
+  const Pattern& q_;
+  const MatchJoinOptions opts_;
+  MatchJoinStats* stats_;
+  std::vector<EdgeState> edges_;
+  std::vector<uint32_t> edge_rank_;
+};
+
+Status JoinEngine::Init(const ViewSet& views,
+                        const std::vector<ViewExtension>& exts,
+                        const ContainmentMapping& mapping) {
+  if (!mapping.contained) {
+    return Status::InvalidArgument("query is not contained in the views");
+  }
+  if (mapping.lambda.size() != q_.num_edges()) {
+    return Status::InvalidArgument("mapping does not fit this query");
+  }
+  if (exts.size() != views.card()) {
+    return Status::InvalidArgument("one extension per view required");
+  }
+
+  edges_.resize(q_.num_edges());
+  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+    const PatternEdge& qe = q_.edge(e);
+    const PatternNode& src_node = q_.node(qe.src);
+    const PatternNode& dst_node = q_.node(qe.dst);
+    auto& pairs = edges_[e].pairs;
+
+    for (const ViewEdgeRef& ref : mapping.lambda[e]) {
+      if (ref.view >= exts.size()) {
+        return Status::InvalidArgument("mapping references unknown view");
+      }
+      const ViewExtension& ext = exts[ref.view];
+      if (ref.edge >= ext.num_view_edges()) {
+        return Status::InvalidArgument("mapping references unknown view edge");
+      }
+      const ViewEdgeExtension& vee = ext.edge(ref.edge);
+      for (size_t i = 0; i < vee.pairs.size(); ++i) {
+        const NodePair& p = vee.pairs[i];
+        // Distance-index check: materialized shortest distance must satisfy
+        // the *query's* bound (views may be looser).
+        if (qe.bound != kUnbounded && vee.distances[i] > qe.bound) {
+          if (stats_ != nullptr) ++stats_->filtered_by_distance;
+          continue;
+        }
+        // Query node conditions, evaluated on cached snapshots — the query
+        // may be stricter than the view (predicate views).
+        const NodeSnapshot* s1 = ext.snapshot(p.first);
+        const NodeSnapshot* s2 = ext.snapshot(p.second);
+        GPMV_DCHECK(s1 != nullptr && s2 != nullptr);
+        bool ok =
+            (src_node.label.empty() || s1->HasLabel(src_node.label)) &&
+            (dst_node.label.empty() || s2->HasLabel(dst_node.label)) &&
+            (src_node.pred.IsTrivial() || src_node.pred.Eval(s1->attrs)) &&
+            (dst_node.pred.IsTrivial() || dst_node.pred.Eval(s2->attrs));
+        if (!ok) {
+          if (stats_ != nullptr) ++stats_->filtered_by_condition;
+          continue;
+        }
+        pairs.push_back(p);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    for (const NodePair& p : pairs) {
+      ++edges_[e].out_count[p.first];
+      if (dual()) ++edges_[e].in_count[p.second];
+    }
+    if (stats_ != nullptr) stats_->initial_pairs += pairs.size();
+  }
+
+  // r(e = (u', u)) = r(u): rank of the target node.
+  std::vector<uint32_t> node_rank = ComputeSccRanks(q_.Adjacency());
+  edge_rank_.resize(q_.num_edges());
+  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+    edge_rank_[e] = node_rank[q_.edge(e).dst];
+  }
+  return Status::OK();
+}
+
+bool JoinEngine::RunRankOrdered() {
+  // Priority worklist keyed by (rank, edge id); when Se changes, every edge
+  // whose pair validity consults out-counts of e's source is re-queued.
+  std::set<std::pair<uint32_t, uint32_t>> pending;
+  std::vector<char> queued(q_.num_edges(), 1);
+  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+    pending.emplace(edge_rank_[e], e);
+  }
+  while (!pending.empty()) {
+    uint32_t e = pending.begin()->second;
+    pending.erase(pending.begin());
+    queued[e] = 0;
+    if (!ScanEdge(e)) continue;
+    if (edges_[e].pairs.empty()) return false;
+    // Changed out-counts affect node validity at e's source; under dual
+    // semantics, changed in-counts affect validity at e's target.
+    std::vector<uint32_t> touched{q_.edge(e).src};
+    if (dual()) touched.push_back(q_.edge(e).dst);
+    for (uint32_t u : touched) {
+      for (const auto& deps : {q_.out_edges(u), q_.in_edges(u)}) {
+        for (uint32_t f : deps) {
+          if (!queued[f]) {
+            queued[f] = 1;
+            pending.emplace(edge_rank_[f], f);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool JoinEngine::RunFullPasses() {
+  // The unoptimized fixpoint of Fig. 2: sweep all match sets until no sweep
+  // changes anything.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+      if (ScanEdge(e)) {
+        changed = true;
+        if (edges_[e].pairs.empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool JoinEngine::Run() {
+  for (const EdgeState& st : edges_) {
+    if (st.pairs.empty()) return false;
+  }
+  return opts_.use_rank_order ? RunRankOrdered() : RunFullPasses();
+}
+
+MatchResult JoinEngine::Extract() {
+  MatchResult result = MatchResult::Empty(q_);
+  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+    *result.mutable_edge_matches(e) = std::move(edges_[e].pairs);
+  }
+  result.set_matched(true);
+  result.DeriveNodeMatches(q_);
+  return result;
+}
+
+}  // namespace
+
+Result<MatchResult> MatchJoin(const Pattern& q, const ViewSet& views,
+                              const std::vector<ViewExtension>& exts,
+                              const ContainmentMapping& mapping,
+                              const MatchJoinOptions& opts,
+                              MatchJoinStats* stats) {
+  if (q.num_edges() == 0) {
+    return Status::InvalidArgument("query has no edges");
+  }
+  JoinEngine engine(q, opts, stats);
+  GPMV_RETURN_NOT_OK(engine.Init(views, exts, mapping));
+  if (!engine.Run()) return MatchResult::Empty(q);
+  return engine.Extract();
+}
+
+Result<MatchResult> DualMatchJoin(const Pattern& q, const ViewSet& views,
+                                  const std::vector<ViewExtension>& exts,
+                                  const ContainmentMapping& mapping,
+                                  const MatchJoinOptions& opts,
+                                  MatchJoinStats* stats) {
+  if (!q.IsSimulationPattern()) {
+    return Status::InvalidArgument("dual simulation needs unit bounds");
+  }
+  MatchJoinOptions dual_opts = opts;
+  dual_opts.semantics = JoinSemantics::kDualSimulation;
+  return MatchJoin(q, views, exts, mapping, dual_opts, stats);
+}
+
+}  // namespace gpmv

@@ -1,0 +1,52 @@
+/// \file minimization.h
+/// \brief Pattern-query minimization via the similarity quotient.
+///
+/// Section IV notes that "like for relational queries, the query
+/// containment analysis is important in minimizing and optimizing pattern
+/// queries" (Corollary 4). For simulation semantics the classical device is
+/// the *similarity quotient*: pattern nodes that simulate each other inside
+/// the pattern (same search condition, mutually similar forward structure)
+/// have identical match sets sim(u) on every data graph, so they can be
+/// collapsed into one node — and parallel edges between collapsed classes
+/// coincide. The paper's own Fig. 1 pattern is the canonical witness:
+/// DBA1/DBA2 and PRG1/PRG2 are similar pairs, and indeed Example 2 reports
+/// identical match sets for the duplicated edges; the quotient shrinks the
+/// query from 5 nodes / 6 edges to 3 nodes / 4 edges.
+///
+/// MinimizePattern returns the quotient along with the node/edge mappings,
+/// so Q(G) for the original query is recovered edge-by-edge from the
+/// minimized query's result: Se(Q, G) = S_{edge_map[e]}(Q_min, G) for all G.
+/// Bounded patterns are quotiented only when similar nodes also agree on
+/// their bounds (a conservative, sound restriction).
+
+#ifndef GPMV_CORE_MINIMIZATION_H_
+#define GPMV_CORE_MINIMIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// Result of minimizing a pattern.
+struct MinimizedPattern {
+  Pattern pattern;                   ///< the quotient query
+  std::vector<uint32_t> node_map;    ///< original node -> quotient node
+  std::vector<uint32_t> edge_map;    ///< original edge -> quotient edge
+  bool changed = false;              ///< did anything collapse?
+};
+
+/// Collapses mutually similar pattern nodes (see file comment). Always
+/// succeeds; `changed == false` means the pattern was already minimal
+/// under this criterion.
+Result<MinimizedPattern> MinimizePattern(const Pattern& q);
+
+/// The mutual-similarity classes used by MinimizePattern: class id per
+/// pattern node (dense ids). Exposed for tests.
+std::vector<uint32_t> SimilarityClasses(const Pattern& q);
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_MINIMIZATION_H_

@@ -1,0 +1,114 @@
+#include "core/rewriting.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/view_match.h"
+
+namespace gpmv {
+
+namespace {
+
+/// Subgraph of `q` induced by the given edge ids (nodes restricted to their
+/// endpoints). `original_edge_of` receives the back-mapping.
+Pattern InducedSubquery(const Pattern& q, const std::vector<uint32_t>& edges,
+                        std::vector<uint32_t>* original_edge_of) {
+  Pattern sub;
+  std::unordered_map<uint32_t, uint32_t> node_of;
+  original_edge_of->clear();
+  for (uint32_t e : edges) {
+    const PatternEdge& pe = q.edge(e);
+    for (uint32_t u : {pe.src, pe.dst}) {
+      if (node_of.count(u) == 0) {
+        const PatternNode& n = q.node(u);
+        node_of[u] = sub.AddNode(n.label, n.pred, n.name);
+      }
+    }
+    (void)sub.AddEdge(node_of[pe.src], node_of[pe.dst], pe.bound);
+    original_edge_of->push_back(e);
+  }
+  return sub;
+}
+
+}  // namespace
+
+Result<PartialAnswer> MaximallyContainedRewriting(
+    const Pattern& q, const ViewSet& views,
+    const std::vector<ViewExtension>& exts, const MatchJoinOptions& opts) {
+  if (q.num_edges() == 0) {
+    return Status::InvalidArgument("query has no edges");
+  }
+  if (exts.size() != views.card()) {
+    return Status::InvalidArgument("one extension per view required");
+  }
+
+  PartialAnswer answer;
+
+  // Iterate: covered edges of the current subquery, re-induced until the
+  // covered set is closed under the structural weakening it causes.
+  std::vector<uint32_t> kept(q.num_edges());
+  for (uint32_t e = 0; e < q.num_edges(); ++e) kept[e] = e;
+  Pattern current = q;
+  std::vector<uint32_t> current_to_original = kept;
+
+  for (;;) {
+    Result<std::vector<ViewMatchResult>> matches =
+        ComputeAllViewMatches(current, views);
+    GPMV_RETURN_NOT_OK(matches.status());
+    std::vector<char> covered(current.num_edges(), 0);
+    size_t covered_count = 0;
+    for (const ViewMatchResult& vm : *matches) {
+      for (uint32_t e : vm.covered) {
+        if (!covered[e]) {
+          covered[e] = 1;
+          ++covered_count;
+        }
+      }
+    }
+    if (covered_count == current.num_edges()) break;  // fixpoint
+    std::vector<uint32_t> surviving;
+    std::vector<uint32_t> surviving_original;
+    for (uint32_t e = 0; e < current.num_edges(); ++e) {
+      if (covered[e]) {
+        surviving.push_back(e);
+        surviving_original.push_back(current_to_original[e]);
+      }
+    }
+    if (surviving.empty()) {
+      // Nothing answerable from the views.
+      answer.exact = false;
+      for (uint32_t e = 0; e < q.num_edges(); ++e) {
+        answer.uncovered_edges.push_back(e);
+      }
+      answer.result = MatchResult::Empty(answer.subquery);
+      return answer;
+    }
+    std::vector<uint32_t> dummy;
+    current = InducedSubquery(current, surviving, &dummy);
+    current_to_original = std::move(surviving_original);
+  }
+
+  answer.covered_edges = current_to_original;
+  std::sort(answer.covered_edges.begin(), answer.covered_edges.end());
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    if (!std::binary_search(answer.covered_edges.begin(),
+                            answer.covered_edges.end(), e)) {
+      answer.uncovered_edges.push_back(e);
+    }
+  }
+  answer.exact = answer.uncovered_edges.empty();
+  answer.subquery = std::move(current);
+  answer.original_edge_of = std::move(current_to_original);
+
+  Result<ContainmentMapping> mapping =
+      CheckContainment(answer.subquery, views);
+  GPMV_RETURN_NOT_OK(mapping.status());
+  GPMV_DCHECK(mapping->contained);
+  Result<MatchResult> result =
+      MatchJoin(answer.subquery, views, exts, *mapping, opts);
+  GPMV_RETURN_NOT_OK(result.status());
+  answer.result = std::move(result).value();
+  return answer;
+}
+
+}  // namespace gpmv

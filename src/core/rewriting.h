@@ -1,0 +1,65 @@
+/// \file rewriting.h
+/// \brief Maximally contained rewriting — Section VIII names "efficient
+/// algorithms for computing maximally contained rewriting using views, when
+/// a pattern query is not contained in available views" as the second open
+/// issue; this module provides the natural solution for simulation-based
+/// patterns.
+///
+/// When Q !⊑ V, no equivalent rewriting exists (Theorem 1), but the subset
+/// of query edges covered by view matches still admits view-only answering.
+/// We compute the *maximal view-answerable subquery* Q′ of Q:
+///
+///   1. covered := ∪_V M^Q_V; drop uncovered edges;
+///   2. re-derive the view matches on the induced subquery — dropping edges
+///      weakens the query's structure, so certificates that relied on
+///      removed edges may disappear — and iterate to a fixpoint.
+///
+/// The result Q′ is the largest edge-subgraph of Q answerable from V alone,
+/// and Q′(G) (computed by MatchJoin) is a *contained rewriting* in the
+/// query-answering sense: for every kept edge e, the true match set Se of Q
+/// satisfies Se ⊆ S′e — Q′ only removes constraints — so Q′(G) is a sound
+/// over-approximation that never misses a real match, and is exact when
+/// Q ⊑ V.
+
+#ifndef GPMV_CORE_REWRITING_H_
+#define GPMV_CORE_REWRITING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/containment.h"
+#include "core/match_join.h"
+#include "core/view.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// The outcome of maximally contained rewriting.
+struct PartialAnswer {
+  /// True iff Q ⊑ V (the rewriting is the whole query and the answer exact).
+  bool exact = false;
+  /// Original-query edge ids answerable from the views (sorted).
+  std::vector<uint32_t> covered_edges;
+  /// Original-query edge ids that no view covers (sorted).
+  std::vector<uint32_t> uncovered_edges;
+  /// The maximal view-answerable subquery (empty when nothing is covered).
+  Pattern subquery;
+  /// subquery edge index -> original query edge index.
+  std::vector<uint32_t> original_edge_of;
+  /// Q′(G): match sets per *subquery* edge; for each kept edge this is a
+  /// superset of the true Se of Q on G.
+  MatchResult result;
+};
+
+/// Computes the maximal view-answerable subquery of `q` and evaluates it
+/// from `exts`. Never fails on uncovered queries — it degrades to an empty
+/// rewriting (`covered_edges` empty, unmatched result).
+Result<PartialAnswer> MaximallyContainedRewriting(
+    const Pattern& q, const ViewSet& views,
+    const std::vector<ViewExtension>& exts,
+    const MatchJoinOptions& opts = {});
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_REWRITING_H_

@@ -1,0 +1,128 @@
+/// \file view.h
+/// \brief View definitions V and materialized view extensions V(G)
+/// (paper Section II-B).
+///
+/// A view definition is itself a (bounded) pattern query; its extension in a
+/// data graph G is the materialized query result V(G), stored per view edge
+/// as the sorted list of matching node pairs together with their exact
+/// shortest-path distances (always 1 for plain simulation views).
+///
+/// Extensions also snapshot the labels and attributes of every node that
+/// appears in some match. This is what lets MatchJoin answer a query whose
+/// node conditions are *stricter* than the view's (predicate views, Fig. 7)
+/// without ever touching G: the initial union of view matches is filtered
+/// against the query's own conditions using the snapshots. With plain label
+/// equality the filter never removes anything.
+
+#ifndef GPMV_CORE_VIEW_H_
+#define GPMV_CORE_VIEW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// A named view definition (a pattern query).
+struct ViewDefinition {
+  std::string name;
+  Pattern pattern;
+};
+
+/// A set V = {V1, ..., Vn} of view definitions.
+class ViewSet {
+ public:
+  ViewSet() = default;
+
+  ViewSet& Add(ViewDefinition def) {
+    defs_.push_back(std::move(def));
+    return *this;
+  }
+  ViewSet& Add(const std::string& name, Pattern pattern) {
+    return Add(ViewDefinition{name, std::move(pattern)});
+  }
+
+  /// card(V): number of view definitions.
+  size_t card() const { return defs_.size(); }
+
+  /// |V|: total size (nodes + edges) of all view definitions (Table I).
+  size_t Size() const;
+
+  const ViewDefinition& view(size_t i) const { return defs_[i]; }
+  const std::vector<ViewDefinition>& views() const { return defs_; }
+
+ private:
+  std::vector<ViewDefinition> defs_;
+};
+
+/// Labels + attributes of one node captured at materialization time.
+struct NodeSnapshot {
+  std::vector<std::string> labels;  // sorted label names
+  AttributeSet attrs;
+
+  bool HasLabel(const std::string& label) const;
+};
+
+/// Matches of one view edge in G.
+struct ViewEdgeExtension {
+  /// Matching node pairs, sorted ascending.
+  std::vector<NodePair> pairs;
+  /// Parallel to `pairs`: exact shortest-path distance realizing the match
+  /// (1 for plain simulation views).
+  std::vector<uint32_t> distances;
+};
+
+/// The materialized result V(G) of one view.
+class ViewExtension {
+ public:
+  /// Evaluates `def` on `g` (graph simulation when all bounds are 1, bounded
+  /// simulation otherwise) and materializes the result. A view that does not
+  /// match G yields an extension with matched() == false and empty edges —
+  /// still usable (it contributes nothing). `seed` optionally replaces the
+  /// candidate sets (incremental maintenance from a cached relation).
+  static Result<ViewExtension> Materialize(
+      const ViewDefinition& def, const Graph& g,
+      const std::vector<std::vector<NodeId>>* seed = nullptr);
+
+  bool matched() const { return matched_; }
+  size_t num_view_edges() const { return edges_.size(); }
+  const ViewEdgeExtension& edge(uint32_t e) const { return edges_[e]; }
+
+  /// Snapshot of node `v`; nullptr when v appears in no match of this view.
+  const NodeSnapshot* snapshot(NodeId v) const;
+
+  /// |V(G)| contribution: total number of materialized pairs.
+  size_t TotalPairs() const;
+
+  /// Rough memory footprint in bytes (pairs, distances and snapshots); used
+  /// to report view-to-graph size ratios as in Section VII.
+  size_t ApproxBytes() const;
+
+  /// Internal/maintenance accessors.
+  std::vector<ViewEdgeExtension>* mutable_edges() { return &edges_; }
+  void set_matched(bool m) { matched_ = m; }
+  std::unordered_map<NodeId, NodeSnapshot>* mutable_snapshots() {
+    return &snapshots_;
+  }
+
+ private:
+  bool matched_ = false;
+  std::vector<ViewEdgeExtension> edges_;
+  std::unordered_map<NodeId, NodeSnapshot> snapshots_;
+};
+
+/// Materializes every view of `views` on `g`.
+Result<std::vector<ViewExtension>> MaterializeAll(const ViewSet& views,
+                                                  const Graph& g);
+
+/// Total number of pairs across a collection of extensions (|V(G)|).
+size_t TotalExtensionPairs(const std::vector<ViewExtension>& exts);
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_VIEW_H_

@@ -1,0 +1,74 @@
+#include "core/view_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "pattern/pattern_io.h"
+
+namespace gpmv {
+
+std::string ViewSetToText(const ViewSet& views) {
+  std::ostringstream os;
+  for (const ViewDefinition& def : views.views()) {
+    os << "view " << def.name << '\n' << PatternToText(def.pattern);
+  }
+  return os.str();
+}
+
+Result<ViewSet> ViewSetFromText(const std::string& text) {
+  ViewSet views;
+  std::istringstream in(text);
+  std::string line;
+  std::string current_name;
+  std::string current_body;
+  bool has_view = false;
+
+  auto flush = [&]() -> Status {
+    if (!has_view) return Status::OK();
+    Result<Pattern> p = PatternFromText(current_body);
+    GPMV_RETURN_NOT_OK(p.status());
+    views.Add(current_name, std::move(p).value());
+    current_body.clear();
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "view") {
+      std::string name;
+      ls >> name;
+      if (name.empty()) return Status::Corruption("view header needs a name");
+      GPMV_RETURN_NOT_OK(flush());
+      current_name = name;
+      has_view = true;
+    } else {
+      if (!first.empty() && first[0] != '#' && !has_view) {
+        return Status::Corruption("pattern line before any 'view' header");
+      }
+      current_body += line;
+      current_body += '\n';
+    }
+  }
+  GPMV_RETURN_NOT_OK(flush());
+  return views;
+}
+
+Status WriteViewSetFile(const ViewSet& views, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open " + path);
+  f << ViewSetToText(views);
+  if (!f.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<ViewSet> ReadViewSetFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ViewSetFromText(buf.str());
+}
+
+}  // namespace gpmv

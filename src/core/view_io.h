@@ -1,0 +1,36 @@
+/// \file view_io.h
+/// \brief Plain-text serialization of view sets.
+///
+/// A view-set file is a sequence of `view <name>` headers, each followed by
+/// a pattern in the pattern_io.h format:
+///
+///     view pm_leads
+///     node PM label=PM
+///     node DBA label=DBA
+///     edge PM DBA
+///     view qa_covers
+///     ...
+
+#ifndef GPMV_CORE_VIEW_IO_H_
+#define GPMV_CORE_VIEW_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/view.h"
+
+namespace gpmv {
+
+/// Serializes a view set in the format above.
+std::string ViewSetToText(const ViewSet& views);
+
+/// Parses a view set from the format above.
+Result<ViewSet> ViewSetFromText(const std::string& text);
+
+/// File helpers.
+Status WriteViewSetFile(const ViewSet& views, const std::string& path);
+Result<ViewSet> ReadViewSetFile(const std::string& path);
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_VIEW_IO_H_

@@ -1,0 +1,152 @@
+#include "core/view_match.h"
+
+#include <algorithm>
+
+namespace gpmv {
+
+bool QueryNodeMatchesViewNode(const PatternNode& qu, const PatternNode& vw) {
+  if (!vw.label.empty() && vw.label != qu.label) return false;
+  return qu.pred.Implies(vw.pred);
+}
+
+namespace {
+
+/// Nonempty-path weighted distances over the query pattern: ndist[u][u'] is
+/// the least total bound of a path with >= 1 edge from u to u'
+/// (kInfDistance if none). Differs from WeightedDistances on the diagonal,
+/// where it is the cheapest cycle through u.
+std::vector<std::vector<uint64_t>> NonemptyDistances(const Pattern& q) {
+  std::vector<std::vector<uint64_t>> dist = q.WeightedDistances();
+  const size_t n = q.num_nodes();
+  std::vector<std::vector<uint64_t>> ndist(n,
+                                           std::vector<uint64_t>(n, kInfDistance));
+  for (const PatternEdge& e : q.edges()) {
+    uint64_t w = (e.bound == kUnbounded) ? kInfDistance : e.bound;
+    if (w == kInfDistance) continue;
+    for (size_t t = 0; t < n; ++t) {
+      if (dist[e.dst][t] == kInfDistance) continue;
+      uint64_t via = w + dist[e.dst][t];
+      if (via < ndist[e.src][t]) ndist[e.src][t] = via;
+    }
+  }
+  return ndist;
+}
+
+/// reach[u][u'] — is there a nonempty path from u to u' in the pattern,
+/// traversing edges of any bound (including `*`)? This is what a `*` view
+/// bound needs: reachability, not a finite-weight certificate.
+std::vector<std::vector<char>> NonemptyReachability(const Pattern& q) {
+  const size_t n = q.num_nodes();
+  std::vector<std::vector<char>> reach(n, std::vector<char>(n, 0));
+  const auto adj = q.Adjacency();
+  for (size_t s = 0; s < n; ++s) {
+    // BFS from s's successors marks all targets of nonempty paths.
+    std::vector<uint32_t> stack(adj[s].begin(), adj[s].end());
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      if (reach[s][v]) continue;
+      reach[s][v] = 1;
+      for (uint32_t w : adj[v]) {
+        if (!reach[s][w]) stack.push_back(w);
+      }
+    }
+  }
+  return reach;
+}
+
+/// Does a query-node distance certify a view-edge bound?
+bool DistanceWithin(uint64_t ndist, bool reachable, uint32_t view_bound) {
+  if (view_bound == kUnbounded) return reachable;
+  return ndist != kInfDistance && ndist <= static_cast<uint64_t>(view_bound);
+}
+
+/// Does query-edge bound fe(e) fit under view-edge bound kV? (`*` only
+/// under `*`.)
+bool BoundCovered(uint32_t query_bound, uint32_t view_bound) {
+  if (view_bound == kUnbounded) return true;
+  if (query_bound == kUnbounded) return false;
+  return query_bound <= view_bound;
+}
+
+}  // namespace
+
+Result<ViewMatchResult> ComputeViewMatch(const Pattern& view,
+                                         const Pattern& q) {
+  if (view.num_nodes() == 0 || q.num_nodes() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  const size_t nv = view.num_nodes();
+  const size_t nq = q.num_nodes();
+
+  // rel[w][u] — view node w can simulate query node u.
+  std::vector<std::vector<char>> rel(nv, std::vector<char>(nq, 0));
+  for (size_t w = 0; w < nv; ++w) {
+    for (size_t u = 0; u < nq; ++u) {
+      rel[w][u] = QueryNodeMatchesViewNode(q.node(u), view.node(w)) ? 1 : 0;
+    }
+  }
+
+  const std::vector<std::vector<uint64_t>> ndist = NonemptyDistances(q);
+  const std::vector<std::vector<char>> reach = NonemptyReachability(q);
+
+  // Fixpoint: (w, u) needs, for every view edge (w, w', kV), some u' with
+  // (w', u') related and a nonempty path u ~> u' within kV. Patterns are
+  // tiny, so plain iteration suffices.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t w = 0; w < nv; ++w) {
+      for (size_t u = 0; u < nq; ++u) {
+        if (!rel[w][u]) continue;
+        bool ok = true;
+        for (uint32_t ev : view.out_edges(static_cast<uint32_t>(w))) {
+          const PatternEdge& ve = view.edge(ev);
+          bool found = false;
+          for (size_t u2 = 0; u2 < nq && !found; ++u2) {
+            found = rel[ve.dst][u2] &&
+                    DistanceWithin(ndist[u][u2], reach[u][u2] != 0, ve.bound);
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) {
+          rel[w][u] = 0;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  ViewMatchResult result;
+  result.per_view_edge.assign(view.num_edges(), {});
+
+  // The view itself must match Q (every view node nonempty); otherwise the
+  // view match is empty by definition (V !E_sim Q).
+  for (size_t w = 0; w < nv; ++w) {
+    bool any = false;
+    for (size_t u = 0; u < nq; ++u) any = any || rel[w][u];
+    if (!any) return result;
+  }
+
+  for (uint32_t ev = 0; ev < view.num_edges(); ++ev) {
+    const PatternEdge& ve = view.edge(ev);
+    auto& covered_edges = result.per_view_edge[ev];
+    for (uint32_t e = 0; e < q.num_edges(); ++e) {
+      const PatternEdge& qe = q.edge(e);
+      if (rel[ve.src][qe.src] && rel[ve.dst][qe.dst] &&
+          BoundCovered(qe.bound, ve.bound)) {
+        covered_edges.push_back(e);
+      }
+    }
+    for (uint32_t e : covered_edges) result.covered.push_back(e);
+  }
+  std::sort(result.covered.begin(), result.covered.end());
+  result.covered.erase(std::unique(result.covered.begin(), result.covered.end()),
+                       result.covered.end());
+  return result;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,51 @@
+/// \file view_match.h
+/// \brief View matches M^Q_V — the core device behind containment checking
+/// (paper Sections IV, V-A and VI-B).
+///
+/// Treating the query Q itself as a (weighted) data graph, we simulate the
+/// view pattern V over it. A view node w matches a query node u when u's
+/// search condition is at least as strict: equal label (or view wildcard)
+/// and query predicate ⇒ view predicate. The match set SeV of view edge
+/// eV = (w, w') then consists of the *query edges* e = (u, u') whose
+/// endpoints are related to (w, w') — these are exactly the query edges
+/// whose data-level matches are guaranteed, on every graph G, to be found
+/// inside SeV of the materialized view (Prop. 7).
+///
+/// For bounded patterns the relation uses weighted distances in Q (edge
+/// weight = its bound, `*` = infinite), and eV with bound kV covers query
+/// edge e only when fe(e) ≤ kV. The latter is a sound strengthening of the
+/// paper's weighted-distance rule — see DESIGN.md §4; on all examples of the
+/// paper (Fig. 6, Example 9) the two coincide.
+
+#ifndef GPMV_CORE_VIEW_MATCH_H_
+#define GPMV_CORE_VIEW_MATCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// The view match from one view to a query.
+struct ViewMatchResult {
+  /// per_view_edge[eV] = indices of query edges in SeV (sorted).
+  std::vector<std::vector<uint32_t>> per_view_edge;
+  /// M^Q_V: union of all SeV — sorted indices of covered query edges.
+  std::vector<uint32_t> covered;
+};
+
+/// Computes M^Q_V for view pattern `view` over query `q`. Handles both
+/// plain (all bounds 1) and bounded patterns; a plain view applied to a
+/// bounded query (and vice versa) is handled by the same weighted rule.
+Result<ViewMatchResult> ComputeViewMatch(const Pattern& view,
+                                         const Pattern& q);
+
+/// True iff the data-node condition of query node `qu` is at least as
+/// strict as that of view node `vw` (label equality or view wildcard, and
+/// predicate implication). Exposed for tests.
+bool QueryNodeMatchesViewNode(const PatternNode& qu, const PatternNode& vw);
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_VIEW_MATCH_H_

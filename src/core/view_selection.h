@@ -1,0 +1,59 @@
+/// \file view_selection.h
+/// \brief Workload-driven view selection — Section VIII's first open issue:
+/// "decide what views to cache such that a set of frequently used pattern
+/// queries can be answered by using the views".
+///
+/// Given a workload of pattern queries and a library of candidate view
+/// definitions, SelectViews greedily picks at most `max_views` candidates,
+/// maximizing first the number of *fully answerable* workload queries
+/// (Q ⊑ selected) and then the total number of covered query edges. The
+/// per-(query, candidate) view matches are computed once; the greedy loop
+/// works on bitsets, so selection is fast even for large libraries.
+///
+/// CandidateViewsFromWorkload builds a sensible default library from the
+/// workload itself: every distinct single query edge and every distinct
+/// adjacent edge pair, deduplicated structurally — the sub-patterns whose
+/// results a cache layer would naturally retain.
+
+#ifndef GPMV_CORE_VIEW_SELECTION_H_
+#define GPMV_CORE_VIEW_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/view.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// Selection knobs.
+struct ViewSelectionOptions {
+  /// Cache budget: maximum number of views to select.
+  size_t max_views = 8;
+};
+
+/// Outcome of a selection run.
+struct ViewSelectionResult {
+  /// Indices into the candidate set, in greedy pick order.
+  std::vector<uint32_t> selected;
+  /// answerable[i] — is workload query i contained in the selected views?
+  std::vector<bool> answerable;
+  size_t answerable_count = 0;
+  /// Total query edges covered across the workload.
+  size_t covered_edges = 0;
+  size_t total_edges = 0;
+};
+
+/// Greedy workload-driven selection (see file comment).
+Result<ViewSelectionResult> SelectViews(const std::vector<Pattern>& workload,
+                                        const ViewSet& candidates,
+                                        const ViewSelectionOptions& opts = {});
+
+/// Builds a candidate library from the workload's own sub-patterns:
+/// distinct single edges and distinct adjacent edge pairs.
+ViewSet CandidateViewsFromWorkload(const std::vector<Pattern>& workload);
+
+}  // namespace gpmv
+
+#endif  // GPMV_CORE_VIEW_SELECTION_H_

@@ -1,0 +1,68 @@
+#include "graph/attribute.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpmv {
+
+std::optional<int> AttrValue::Compare(const AttrValue& other) const {
+  if (is_string() != other.is_string()) return std::nullopt;
+  if (is_string()) {
+    int c = as_string().compare(other.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_int() && other.is_int()) {
+    int64_t a = as_int(), b = other.as_int();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = ToDouble(), b = other.ToDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string AttrValue::ToString() const {
+  if (is_string()) return "\"" + as_string() + "\"";
+  if (is_int()) return std::to_string(as_int());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", as_double());
+  return buf;
+}
+
+void AttributeSet::Set(const std::string& name, AttrValue value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {name, std::move(value)});
+  }
+}
+
+const AttrValue* AttributeSet::Get(const std::string& name) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+bool AttributeSet::operator==(const AttributeSet& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first != other.entries_[i].first) return false;
+    if (!(entries_[i].second == other.entries_[i].second)) return false;
+  }
+  return true;
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i) out += ", ";
+    out += entries_[i].first + "=" + entries_[i].second.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gpmv

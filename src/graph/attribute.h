@@ -1,0 +1,86 @@
+/// \file attribute.h
+/// \brief Typed node attributes.
+///
+/// Data-graph nodes carry, besides their labels, a set of named attributes
+/// (e.g. a YouTube video's `rate`, `visits`, `category`). Pattern nodes
+/// constrain attributes with Boolean predicates (predicate.h). Attribute
+/// values are int64, double or string.
+
+#ifndef GPMV_GRAPH_ATTRIBUTE_H_
+#define GPMV_GRAPH_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gpmv {
+
+/// A single attribute value.
+class AttrValue {
+ public:
+  AttrValue() : value_(int64_t{0}) {}
+  AttrValue(int64_t v) : value_(v) {}            // NOLINT: implicit by design
+  AttrValue(int v) : value_(int64_t{v}) {}       // NOLINT
+  AttrValue(double v) : value_(v) {}             // NOLINT
+  AttrValue(std::string v) : value_(std::move(v)) {}  // NOLINT
+  AttrValue(const char* v) : value_(std::string(v)) {}  // NOLINT
+
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<int64_t>(value_); }
+  double as_double() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  /// Numeric value widened to double (ints convert exactly up to 2^53).
+  double ToDouble() const { return is_int() ? static_cast<double>(as_int()) : as_double(); }
+
+  /// Three-way comparison between comparable values. Numeric values compare
+  /// numerically regardless of int/double representation; strings compare
+  /// lexicographically. Returns nullopt for numeric-vs-string.
+  std::optional<int> Compare(const AttrValue& other) const;
+
+  bool operator==(const AttrValue& other) const {
+    auto c = Compare(other);
+    return c.has_value() && *c == 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> value_;
+};
+
+/// A set of named attributes on one node, stored sorted by name.
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+
+  /// Sets (or overwrites) attribute `name`.
+  void Set(const std::string& name, AttrValue value);
+
+  /// Looks up attribute `name`; nullptr if absent.
+  const AttrValue* Get(const std::string& name) const;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  const std::vector<std::pair<std::string, AttrValue>>& entries() const {
+    return entries_;
+  }
+
+  bool operator==(const AttributeSet& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, AttrValue>> entries_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_GRAPH_ATTRIBUTE_H_

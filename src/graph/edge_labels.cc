@@ -1,0 +1,75 @@
+#include "graph/edge_labels.h"
+
+namespace gpmv {
+
+NodeId EdgeLabeledGraphBuilder::AddNode(const std::vector<std::string>& labels,
+                                        AttributeSet attrs) {
+  nodes_.push_back(NodeRec{labels, std::move(attrs)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId EdgeLabeledGraphBuilder::AddNode(const std::string& label,
+                                        AttributeSet attrs) {
+  return AddNode(std::vector<std::string>{label}, std::move(attrs));
+}
+
+Status EdgeLabeledGraphBuilder::AddEdge(NodeId u, NodeId v,
+                                        const std::string& rel) {
+  if (u >= nodes_.size() || v >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (rel.empty()) {
+    return Status::InvalidArgument("edge label must be nonempty");
+  }
+  for (const EdgeRec& e : edges_) {
+    if (e.src == u && e.dst == v && e.rel == rel) {
+      return Status::AlreadyExists("duplicate labeled edge");
+    }
+  }
+  edges_.push_back(EdgeRec{u, v, rel});
+  return Status::OK();
+}
+
+Graph EdgeLabeledGraphBuilder::Lower() const {
+  Graph g;
+  for (const NodeRec& n : nodes_) {
+    g.AddNode(n.labels, n.attrs);
+  }
+  for (const EdgeRec& e : edges_) {
+    NodeId dummy = g.AddNode(kEdgeLabelPrefix + e.rel);
+    (void)g.AddEdge(e.src, dummy);
+    (void)g.AddEdge(dummy, e.dst);
+  }
+  return g;
+}
+
+Result<Pattern> LowerEdgeLabeledPattern(
+    const std::vector<PatternNode>& nodes,
+    const std::vector<LabeledPatternEdge>& edges) {
+  Pattern p;
+  for (const PatternNode& n : nodes) {
+    p.AddNode(n.label, n.pred, n.name);
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const LabeledPatternEdge& e = edges[i];
+    if (e.src >= nodes.size() || e.dst >= nodes.size()) {
+      return Status::InvalidArgument("pattern edge endpoint out of range");
+    }
+    if (e.rel.empty()) {
+      return Status::InvalidArgument("pattern edge label must be nonempty");
+    }
+    uint32_t dummy =
+        p.AddNode(kEdgeLabelPrefix + e.rel, Predicate(),
+                  nodes[e.src].name + "-" + e.rel + "->" + nodes[e.dst].name);
+    // A relation path of k labeled hops is 2k lowered hops alternating
+    // through dummies; the first hop into "some" dummy is exact (bound 1),
+    // the remainder has 2k-1 lowered hops.
+    uint32_t tail_bound =
+        e.bound == kUnbounded ? kUnbounded : 2 * e.bound - 1;
+    GPMV_RETURN_NOT_OK(p.AddEdge(e.src, dummy, 1));
+    GPMV_RETURN_NOT_OK(p.AddEdge(dummy, e.dst, tail_bound));
+  }
+  return p;
+}
+
+}  // namespace gpmv

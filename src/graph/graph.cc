@@ -1,0 +1,125 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace gpmv {
+
+NodeId Graph::AddNode(const std::vector<std::string>& labels,
+                      AttributeSet attrs) {
+  NodeId id = static_cast<NodeId>(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  node_attrs_.push_back(std::move(attrs));
+  std::vector<LabelId> lids;
+  lids.reserve(labels.size());
+  for (const std::string& name : labels) {
+    LabelId lid = InternLabel(name);
+    if (std::find(lids.begin(), lids.end(), lid) == lids.end()) {
+      lids.push_back(lid);
+      label_index_[lid].push_back(id);
+    }
+  }
+  std::sort(lids.begin(), lids.end());
+  node_labels_.push_back(std::move(lids));
+  return id;
+}
+
+NodeId Graph::AddNode(const std::string& label, AttributeSet attrs) {
+  return AddNode(std::vector<std::string>{label}, std::move(attrs));
+}
+
+namespace {
+bool SortedInsert(std::vector<NodeId>* vec, NodeId v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it != vec->end() && *it == v) return false;
+  vec->insert(it, v);
+  return true;
+}
+
+bool SortedErase(std::vector<NodeId>* vec, NodeId v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it == vec->end() || *it != v) return false;
+  vec->erase(it);
+  return true;
+}
+
+bool SortedContains(const std::vector<NodeId>& vec, NodeId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+}  // namespace
+
+Status Graph::AddEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!SortedInsert(&out_[u], v)) {
+    return Status::AlreadyExists("duplicate edge");
+  }
+  SortedInsert(&in_[v], u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+bool Graph::AddEdgeIfAbsent(NodeId u, NodeId v) {
+  GPMV_DCHECK(u < num_nodes() && v < num_nodes());
+  if (!SortedInsert(&out_[u], v)) return false;
+  SortedInsert(&in_[v], u);
+  ++num_edges_;
+  return true;
+}
+
+Status Graph::RemoveEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!SortedErase(&out_[u], v)) {
+    return Status::NotFound("edge not present");
+  }
+  SortedErase(&in_[v], u);
+  --num_edges_;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  return SortedContains(out_[u], v);
+}
+
+bool Graph::HasLabel(NodeId v, LabelId label) const {
+  const auto& ls = node_labels_[v];
+  return std::binary_search(ls.begin(), ls.end(), label);
+}
+
+LabelId Graph::InternLabel(const std::string& name) {
+  auto [it, inserted] = label_ids_.try_emplace(
+      name, static_cast<LabelId>(label_names_.size()));
+  if (inserted) {
+    label_names_.push_back(name);
+    label_index_.emplace_back();
+  }
+  return it->second;
+}
+
+LabelId Graph::FindLabel(const std::string& name) const {
+  auto it = label_ids_.find(name);
+  return it == label_ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::vector<NodeId>& Graph::NodesWithLabel(LabelId label) const {
+  if (label >= label_index_.size()) return empty_;
+  return label_index_[label];
+}
+
+std::string Graph::DescribeNode(NodeId v) const {
+  std::string out = std::to_string(v);
+  if (!node_labels_[v].empty()) {
+    out += "(" + label_names_[node_labels_[v][0]];
+    for (size_t i = 1; i < node_labels_[v].size(); ++i) {
+      out += "," + label_names_[node_labels_[v][i]];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,103 @@
+/// \file graph.h
+/// \brief The data-graph substrate: a directed graph with multi-labeled,
+/// attributed nodes (paper Section II-A).
+///
+/// A data graph is G = (V, E, L) where L(v) is a *set* of labels drawn from
+/// an alphabet Σ; nodes additionally carry typed attributes evaluated by
+/// pattern predicates. Labels are interned per graph into dense `LabelId`s;
+/// a label index (label -> nodes) supports candidate enumeration during
+/// matching. Edges are kept in sorted adjacency vectors (out and in) and can
+/// be removed, which the incremental view-maintenance module relies on.
+
+#ifndef GPMV_GRAPH_GRAPH_H_
+#define GPMV_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/attribute.h"
+
+namespace gpmv {
+
+using NodeId = uint32_t;
+using LabelId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LabelId kInvalidLabel = static_cast<LabelId>(-1);
+
+/// A directed data graph with labeled, attributed nodes.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node carrying the given labels (interned) and attributes.
+  /// Returns the new node's id (ids are dense, starting at 0).
+  NodeId AddNode(const std::vector<std::string>& labels,
+                 AttributeSet attrs = {});
+
+  /// Convenience: single-label node.
+  NodeId AddNode(const std::string& label, AttributeSet attrs = {});
+
+  /// Adds edge (u, v). Fails on invalid endpoints, self-parallel duplicates.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// Adds edge (u, v) unless it already exists; returns true if added.
+  /// Endpoints must be valid.
+  bool AddEdgeIfAbsent(NodeId u, NodeId v);
+
+  /// Removes edge (u, v); NotFound if absent.
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  size_t num_nodes() const { return out_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// |G| = number of nodes plus number of edges (Table I).
+  size_t Size() const { return num_nodes() + num_edges(); }
+
+  const std::vector<NodeId>& out_neighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& in_neighbors(NodeId v) const { return in_[v]; }
+  size_t out_degree(NodeId v) const { return out_[v].size(); }
+  size_t in_degree(NodeId v) const { return in_[v].size(); }
+
+  const std::vector<LabelId>& labels(NodeId v) const { return node_labels_[v]; }
+  bool HasLabel(NodeId v, LabelId label) const;
+  const AttributeSet& attrs(NodeId v) const { return node_attrs_[v]; }
+  AttributeSet* mutable_attrs(NodeId v) { return &node_attrs_[v]; }
+
+  /// Interns `name`, creating a fresh LabelId on first sight.
+  LabelId InternLabel(const std::string& name);
+
+  /// Looks up `name`; kInvalidLabel if never interned.
+  LabelId FindLabel(const std::string& name) const;
+
+  const std::string& LabelName(LabelId id) const { return label_names_[id]; }
+  size_t num_labels() const { return label_names_.size(); }
+
+  /// All nodes carrying `label` (empty for unknown labels).
+  const std::vector<NodeId>& NodesWithLabel(LabelId label) const;
+
+  /// First label of `v` rendered as a string ("" for unlabeled nodes);
+  /// used by IO and debugging.
+  std::string DescribeNode(NodeId v) const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<std::vector<LabelId>> node_labels_;
+  std::vector<AttributeSet> node_attrs_;
+  size_t num_edges_ = 0;
+
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, LabelId> label_ids_;
+  std::vector<std::vector<NodeId>> label_index_;  // LabelId -> nodes
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_GRAPH_GRAPH_H_

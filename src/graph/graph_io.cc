@@ -1,0 +1,160 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace gpmv {
+
+namespace {
+
+std::string EncodeValue(const AttrValue& v) {
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  if (v.is_int()) return std::to_string(v.as_int());
+  std::ostringstream os;
+  os << v.as_double();
+  // Ensure doubles round-trip as doubles, not ints.
+  std::string s = os.str();
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+AttrValue DecodeValue(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+    return AttrValue(token.substr(1, token.size() - 2));
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long iv = std::strtoll(token.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0' && !token.empty()) {
+    return AttrValue(static_cast<int64_t>(iv));
+  }
+  errno = 0;
+  double dv = std::strtod(token.c_str(), &end);
+  if (errno == 0 && end != nullptr && *end == '\0' && !token.empty()) {
+    return AttrValue(dv);
+  }
+  return AttrValue(token);
+}
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+Status WriteGraph(const Graph& g, std::ostream* out) {
+  (*out) << "# gpmv graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+         << " edges\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    (*out) << "v " << v << ' ';
+    const auto& ls = g.labels(v);
+    if (ls.empty()) {
+      (*out) << '-';
+    } else {
+      for (size_t i = 0; i < ls.size(); ++i) {
+        if (i) (*out) << ',';
+        (*out) << g.LabelName(ls[i]);
+      }
+    }
+    for (const auto& [name, value] : g.attrs(v).entries()) {
+      (*out) << ' ' << name << '=' << EncodeValue(value);
+    }
+    (*out) << '\n';
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.out_neighbors(v)) {
+      (*out) << "e " << v << ' ' << w << '\n';
+    }
+  }
+  if (!out->good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<Graph> ReadGraph(std::istream* in) {
+  Graph g;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    auto fail = [&](const std::string& msg) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " + msg);
+    };
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> tok = SplitWs(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "v") {
+      if (tok.size() < 3) return fail("v line needs id and labels");
+      char* end = nullptr;
+      unsigned long id = std::strtoul(tok[1].c_str(), &end, 10);
+      if (*end != '\0') return fail("bad node id '" + tok[1] + "'");
+      if (id != g.num_nodes()) return fail("node ids must be dense and in order");
+      std::vector<std::string> labels;
+      if (tok[2] != "-") {
+        std::istringstream ls(tok[2]);
+        std::string lab;
+        while (std::getline(ls, lab, ',')) {
+          if (!lab.empty()) labels.push_back(lab);
+        }
+      }
+      AttributeSet attrs;
+      for (size_t i = 3; i < tok.size(); ++i) {
+        size_t eq = tok[i].find('=');
+        if (eq == std::string::npos || eq == 0) {
+          return fail("bad attribute token '" + tok[i] + "'");
+        }
+        attrs.Set(tok[i].substr(0, eq), DecodeValue(tok[i].substr(eq + 1)));
+      }
+      g.AddNode(labels, std::move(attrs));
+    } else if (tok[0] == "e") {
+      if (tok.size() != 3) return fail("e line needs two endpoints");
+      char* end = nullptr;
+      unsigned long u = std::strtoul(tok[1].c_str(), &end, 10);
+      if (*end != '\0') return fail("bad src '" + tok[1] + "'");
+      unsigned long w = std::strtoul(tok[2].c_str(), &end, 10);
+      if (*end != '\0') return fail("bad dst '" + tok[2] + "'");
+      Status st = g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(w));
+      if (!st.ok()) return fail(st.ToString());
+    } else {
+      return fail("unknown record '" + tok[0] + "'");
+    }
+  }
+  return g;
+}
+
+std::string GraphToString(const Graph& g) {
+  std::ostringstream os;
+  WriteGraph(g, &os);
+  return os.str();
+}
+
+Result<Graph> GraphFromString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadGraph(&is);
+}
+
+Status WriteGraphFile(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open " + path);
+  return WriteGraph(g, &f);
+}
+
+Result<Graph> ReadGraphFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open " + path);
+  return ReadGraph(&f);
+}
+
+}  // namespace gpmv

@@ -1,0 +1,42 @@
+/// \file graph_io.h
+/// \brief Plain-text serialization of data graphs.
+///
+/// Format (one record per line, '#' starts a comment):
+///
+///     v <id> <label[,label...]|-> [attr=value ...]
+///     e <src> <dst>
+///
+/// `v` lines must appear in id order starting from 0; `-` means "no labels".
+/// Attribute values parse as int64 first, then double, else string; double
+/// quotes force a string and allow empty values. The writer always quotes
+/// strings. Values must not contain whitespace (IDs and enumeration-style
+/// attributes, which is all the workloads need).
+
+#ifndef GPMV_GRAPH_GRAPH_IO_H_
+#define GPMV_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gpmv {
+
+/// Writes `g` in the text format above.
+Status WriteGraph(const Graph& g, std::ostream* out);
+
+/// Parses a graph from the text format above.
+Result<Graph> ReadGraph(std::istream* in);
+
+/// Convenience: serialize to / parse from a string.
+std::string GraphToString(const Graph& g);
+Result<Graph> GraphFromString(const std::string& text);
+
+/// File helpers.
+Status WriteGraphFile(const Graph& g, const std::string& path);
+Result<Graph> ReadGraphFile(const std::string& path);
+
+}  // namespace gpmv
+
+#endif  // GPMV_GRAPH_GRAPH_IO_H_

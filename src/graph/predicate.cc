@@ -1,0 +1,191 @@
+#include "graph/predicate.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/status.h"
+
+namespace gpmv {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool PredicateAtom::Holds(const AttrValue& v) const {
+  std::optional<int> c = v.Compare(value);
+  if (!c.has_value()) return false;  // incomparable types never match
+  switch (op) {
+    case CmpOp::kEq: return *c == 0;
+    case CmpOp::kNe: return *c != 0;
+    case CmpOp::kLt: return *c < 0;
+    case CmpOp::kLe: return *c <= 0;
+    case CmpOp::kGt: return *c > 0;
+    case CmpOp::kGe: return *c >= 0;
+  }
+  return false;
+}
+
+std::string PredicateAtom::ToString() const {
+  return attr + CmpOpName(op) + value.ToString();
+}
+
+Predicate& Predicate::Add(const std::string& attr, CmpOp op, AttrValue v) {
+  atoms_.push_back(PredicateAtom{attr, op, std::move(v)});
+  return *this;
+}
+
+bool Predicate::Eval(const AttributeSet& attrs) const {
+  for (const PredicateAtom& atom : atoms_) {
+    const AttrValue* v = attrs.Get(atom.attr);
+    if (v == nullptr || !atom.Holds(*v)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Normalized constraint that a conjunction places on one attribute:
+/// an optional lower/upper bound (each possibly strict), an optional pinned
+/// equality, and a set of excluded values.
+struct AttrConstraint {
+  std::optional<AttrValue> lower;
+  bool lower_strict = false;
+  std::optional<AttrValue> upper;
+  bool upper_strict = false;
+  std::optional<AttrValue> eq;
+  std::vector<AttrValue> ne;
+  bool malformed = false;  // incomparable mix; treat conservatively
+
+  void Tighten(const PredicateAtom& atom) {
+    switch (atom.op) {
+      case CmpOp::kEq:
+        if (eq.has_value() && !(*eq == atom.value)) malformed = true;
+        eq = atom.value;
+        break;
+      case CmpOp::kNe:
+        ne.push_back(atom.value);
+        break;
+      case CmpOp::kGt:
+      case CmpOp::kGe: {
+        bool strict = atom.op == CmpOp::kGt;
+        if (!lower.has_value()) {
+          lower = atom.value;
+          lower_strict = strict;
+        } else {
+          auto c = atom.value.Compare(*lower);
+          if (!c.has_value()) { malformed = true; break; }
+          if (*c > 0 || (*c == 0 && strict)) {
+            lower = atom.value;
+            lower_strict = strict;
+          }
+        }
+        break;
+      }
+      case CmpOp::kLt:
+      case CmpOp::kLe: {
+        bool strict = atom.op == CmpOp::kLt;
+        if (!upper.has_value()) {
+          upper = atom.value;
+          upper_strict = strict;
+        } else {
+          auto c = atom.value.Compare(*upper);
+          if (!c.has_value()) { malformed = true; break; }
+          if (*c < 0 || (*c == 0 && strict)) {
+            upper = atom.value;
+            upper_strict = strict;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  /// Does every value satisfying this constraint satisfy `atom`?
+  /// Conservative: false when unsure.
+  bool Implies(const PredicateAtom& atom) const {
+    if (malformed) return false;
+    if (eq.has_value()) return atom.Holds(*eq);
+    auto cmp_lower = [&](const AttrValue& c) { return lower ? lower->Compare(c) : std::nullopt; };
+    auto cmp_upper = [&](const AttrValue& c) { return upper ? upper->Compare(c) : std::nullopt; };
+    switch (atom.op) {
+      case CmpOp::kGe: {
+        auto c = cmp_lower(atom.value);
+        return c.has_value() && *c >= 0;
+      }
+      case CmpOp::kGt: {
+        auto c = cmp_lower(atom.value);
+        return c.has_value() && (*c > 0 || (*c == 0 && lower_strict));
+      }
+      case CmpOp::kLe: {
+        auto c = cmp_upper(atom.value);
+        return c.has_value() && *c <= 0;
+      }
+      case CmpOp::kLt: {
+        auto c = cmp_upper(atom.value);
+        return c.has_value() && (*c < 0 || (*c == 0 && upper_strict));
+      }
+      case CmpOp::kEq: {
+        // Only provable when bounds pin a single point [c, c].
+        auto cl = cmp_lower(atom.value);
+        auto cu = cmp_upper(atom.value);
+        return cl.has_value() && cu.has_value() && *cl == 0 && *cu == 0 &&
+               !lower_strict && !upper_strict;
+      }
+      case CmpOp::kNe: {
+        auto cl = cmp_lower(atom.value);
+        if (cl.has_value() && (*cl > 0 || (*cl == 0 && lower_strict))) return true;
+        auto cu = cmp_upper(atom.value);
+        if (cu.has_value() && (*cu < 0 || (*cu == 0 && upper_strict))) return true;
+        for (const AttrValue& v : ne) {
+          if (v == atom.value) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool Predicate::Implies(const Predicate& q) const {
+  if (q.IsTrivial()) return true;
+  for (const PredicateAtom& target : q.atoms()) {
+    AttrConstraint c;
+    for (const PredicateAtom& atom : atoms_) {
+      if (atom.attr == target.attr) c.Tighten(atom);
+    }
+    if (!c.Implies(target)) return false;
+  }
+  return true;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  if (atoms_.size() != other.atoms_.size()) return false;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    const auto& a = atoms_[i];
+    const auto& b = other.atoms_[i];
+    if (a.attr != b.attr || a.op != b.op || !(a.value == b.value)) return false;
+  }
+  return true;
+}
+
+std::string Predicate::ToString() const {
+  if (atoms_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) out += " && ";
+    out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,83 @@
+/// \file predicate.h
+/// \brief Boolean search conditions on pattern nodes.
+///
+/// The paper's pattern nodes carry a label; Section II notes that `fv` "can
+/// be readily extended to specify search conditions in terms of Boolean
+/// predicates" and the YouTube views (Fig. 7) use conditions such as
+/// `R >= 4 && V >= 10K`. We implement conjunctions of atomic comparisons
+/// `attr op constant`.
+///
+/// Two operations matter:
+///  * `Eval(attrs)`   — does a data node satisfy the condition? (matching)
+///  * `Implies(q)`    — does satisfying *this* guarantee satisfying `q`?
+///    This is what "view node matches query node" means when computing view
+///    matches over a pattern treated as a data graph: every data node that
+///    can match the query node must also match the view node, i.e. the query
+///    condition must imply the view condition. `Implies` is conservative
+///    (may return false on implications it cannot prove) which keeps
+///    containment checking sound.
+
+#ifndef GPMV_GRAPH_PREDICATE_H_
+#define GPMV_GRAPH_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/attribute.h"
+
+namespace gpmv {
+
+/// Comparison operator of an atomic condition.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// One atomic condition `attr op value`.
+struct PredicateAtom {
+  std::string attr;
+  CmpOp op;
+  AttrValue value;
+
+  /// Evaluates the atom against a concrete value.
+  bool Holds(const AttrValue& v) const;
+
+  std::string ToString() const;
+};
+
+/// A conjunction of atomic conditions. The empty predicate is `true`.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// Fluent atom constructors, e.g. Predicate().Ge("rate", 4).Eq("cat", "Music").
+  Predicate& Eq(const std::string& attr, AttrValue v) { return Add(attr, CmpOp::kEq, std::move(v)); }
+  Predicate& Ne(const std::string& attr, AttrValue v) { return Add(attr, CmpOp::kNe, std::move(v)); }
+  Predicate& Lt(const std::string& attr, AttrValue v) { return Add(attr, CmpOp::kLt, std::move(v)); }
+  Predicate& Le(const std::string& attr, AttrValue v) { return Add(attr, CmpOp::kLe, std::move(v)); }
+  Predicate& Gt(const std::string& attr, AttrValue v) { return Add(attr, CmpOp::kGt, std::move(v)); }
+  Predicate& Ge(const std::string& attr, AttrValue v) { return Add(attr, CmpOp::kGe, std::move(v)); }
+  Predicate& Add(const std::string& attr, CmpOp op, AttrValue v);
+
+  /// True if the predicate has no atoms (matches everything).
+  bool IsTrivial() const { return atoms_.empty(); }
+
+  const std::vector<PredicateAtom>& atoms() const { return atoms_; }
+
+  /// Does `attrs` satisfy every atom? Missing attributes fail their atoms.
+  bool Eval(const AttributeSet& attrs) const;
+
+  /// Sound, conservative implication check: returns true only if every
+  /// attribute assignment satisfying *this* also satisfies `q`.
+  bool Implies(const Predicate& q) const;
+
+  bool operator==(const Predicate& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PredicateAtom> atoms_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_GRAPH_PREDICATE_H_

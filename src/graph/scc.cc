@@ -1,0 +1,108 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace gpmv {
+
+SccResult ComputeScc(const std::vector<std::vector<uint32_t>>& adj) {
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  SccResult result;
+  result.component.assign(n, static_cast<uint32_t>(-1));
+
+  std::vector<uint32_t> index(n, static_cast<uint32_t>(-1));
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;           // Tarjan stack
+  uint32_t next_index = 0;
+
+  // Explicit DFS stack: (node, next child position).
+  struct Frame {
+    uint32_t node;
+    size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != static_cast<uint32_t>(-1)) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      uint32_t v = f.node;
+      if (f.child < adj[v].size()) {
+        uint32_t w = adj[v][f.child++];
+        if (index[w] == static_cast<uint32_t>(-1)) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          uint32_t comp = result.num_components++;
+          result.component_size.push_back(0);
+          for (;;) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = comp;
+            ++result.component_size[comp];
+            if (w == v) break;
+          }
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          uint32_t parent = dfs.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<uint32_t> ComputeSccRanks(
+    const std::vector<std::vector<uint32_t>>& adj) {
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  SccResult scc = ComputeScc(adj);
+
+  // Condensation out-edges, deduplicated.
+  std::vector<std::vector<uint32_t>> comp_out(scc.num_components);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : adj[u]) {
+      uint32_t cu = scc.component[u];
+      uint32_t cv = scc.component[v];
+      if (cu != cv) comp_out[cu].push_back(cv);
+    }
+  }
+  for (auto& outs : comp_out) {
+    std::sort(outs.begin(), outs.end());
+    outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+  }
+
+  // Tarjan numbers components in reverse topological order: every edge
+  // cu -> cv (cu != cv) has cu > cv, so processing components in ascending
+  // id order sees all successors before each component.
+  std::vector<uint32_t> comp_rank(scc.num_components, 0);
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    uint32_t rank = 0;
+    for (uint32_t succ : comp_out[c]) {
+      GPMV_DCHECK(succ < c);
+      rank = std::max(rank, comp_rank[succ] + 1);
+    }
+    comp_rank[c] = rank;  // leaves (no successors) keep rank 0
+  }
+
+  std::vector<uint32_t> node_rank(n, 0);
+  for (uint32_t u = 0; u < n; ++u) node_rank[u] = comp_rank[scc.component[u]];
+  return node_rank;
+}
+
+}  // namespace gpmv

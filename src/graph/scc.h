@@ -1,0 +1,46 @@
+/// \file scc.h
+/// \brief Strongly connected components and the SCC-rank used by the
+/// MatchJoin "bottom-up" optimization (paper Section III).
+///
+/// Given a pattern Qs, the paper collapses it into its condensation GSCC and
+/// assigns each node u the rank
+///     r(u) = 0                                if s(u) is a leaf of GSCC,
+///     r(u) = max{ 1 + r(u') | (s(u),s(u')) }  otherwise,
+/// then processes pattern edges (u',u) in ascending order of r(u) so that
+/// match sets of "lower" edges stabilize before their parents are checked
+/// (Lemma 2: on DAG patterns every match set is visited at most once).
+///
+/// The functions here operate on a plain adjacency list so they serve both
+/// patterns and graphs.
+
+#ifndef GPMV_GRAPH_SCC_H_
+#define GPMV_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gpmv {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// Component id per node; ids are in *reverse topological order of
+  /// discovery* (Tarjan property: for an edge u->v across components,
+  /// comp[u] > comp[v]).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// Number of nodes in each component.
+  std::vector<uint32_t> component_size;
+};
+
+/// Iterative Tarjan SCC over an adjacency list.
+SccResult ComputeScc(const std::vector<std::vector<uint32_t>>& adj);
+
+/// Computes the paper's rank r(u) for every node of the given adjacency
+/// list (see file comment). A component is a leaf when it has no outgoing
+/// condensation edge.
+std::vector<uint32_t> ComputeSccRanks(
+    const std::vector<std::vector<uint32_t>>& adj);
+
+}  // namespace gpmv
+
+#endif  // GPMV_GRAPH_SCC_H_

@@ -1,0 +1,80 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpmv {
+
+GraphStatistics ComputeStatistics(const Graph& g) {
+  GraphStatistics s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  if (g.num_nodes() == 0) return s;
+
+  size_t bucket_count = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t out = g.out_degree(v);
+    size_t in = g.in_degree(v);
+    s.max_out_degree = std::max(s.max_out_degree, out);
+    s.max_in_degree = std::max(s.max_in_degree, in);
+    s.source_nodes += (in == 0);
+    s.sink_nodes += (out == 0);
+    s.self_loops += g.HasEdge(v, v) ? 1 : 0;
+    size_t bucket = 0;
+    for (size_t d = out; d >= 2; d /= 2) ++bucket;
+    bucket_count = std::max(bucket_count, bucket + 1);
+  }
+  s.avg_out_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_nodes);
+
+  s.out_degree_buckets.assign(bucket_count, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t bucket = 0;
+    for (size_t d = g.out_degree(v); d >= 2; d /= 2) ++bucket;
+    ++s.out_degree_buckets[bucket];
+  }
+
+  for (LabelId l = 0; l < g.num_labels(); ++l) {
+    s.label_histogram.emplace_back(g.LabelName(l), g.NodesWithLabel(l).size());
+  }
+  std::sort(s.label_histogram.begin(), s.label_histogram.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  return s;
+}
+
+std::string GraphStatistics::ToString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "nodes: %zu  edges: %zu  avg out-degree: %.2f\n", num_nodes,
+                num_edges, avg_out_degree);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "max out-degree: %zu  max in-degree: %zu  sources: %zu  "
+                "sinks: %zu  self-loops: %zu\n",
+                max_out_degree, max_in_degree, source_nodes, sink_nodes,
+                self_loops);
+  out += buf;
+  out += "labels:";
+  size_t shown = 0;
+  for (const auto& [name, count] : label_histogram) {
+    if (++shown > 12) {
+      out += " ...";
+      break;
+    }
+    std::snprintf(buf, sizeof(buf), " %s=%zu", name.c_str(), count);
+    out += buf;
+  }
+  out += "\nout-degree buckets (0-1, 2-3, 4-7, ...):";
+  for (size_t b : out_degree_buckets) {
+    std::snprintf(buf, sizeof(buf), " %zu", b);
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace gpmv

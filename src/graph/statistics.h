@@ -1,0 +1,44 @@
+/// \file statistics.h
+/// \brief Descriptive statistics of data graphs — used by the CLI, the
+/// dataset generators' validation tests, and EXPERIMENTS.md to document the
+/// synthetic stand-ins (degree profile, label skew).
+
+#ifndef GPMV_GRAPH_STATISTICS_H_
+#define GPMV_GRAPH_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpmv {
+
+/// Aggregate profile of one graph.
+struct GraphStatistics {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  size_t source_nodes = 0;  ///< in-degree 0
+  size_t sink_nodes = 0;    ///< out-degree 0
+  size_t self_loops = 0;
+
+  /// (label name, node count), sorted by count descending.
+  std::vector<std::pair<std::string, size_t>> label_histogram;
+
+  /// out-degree histogram in power-of-two buckets: bucket i counts nodes
+  /// with out-degree in [2^i, 2^(i+1)) (bucket 0 = degree 0..1).
+  std::vector<size_t> out_degree_buckets;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes the statistics of `g` in one pass.
+GraphStatistics ComputeStatistics(const Graph& g);
+
+}  // namespace gpmv
+
+#endif  // GPMV_GRAPH_STATISTICS_H_

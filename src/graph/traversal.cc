@@ -1,0 +1,43 @@
+#include "graph/traversal.h"
+
+namespace gpmv {
+
+void BfsScratch::Clear() {
+  for (NodeId v : reached_) dist_[v] = kNotSeen;
+  reached_.clear();
+  queue_.clear();
+}
+
+void BfsScratch::Run(const Graph& g, const std::vector<NodeId>& sources,
+                     uint32_t bound, bool forward) {
+  Clear();
+  if (dist_.size() < g.num_nodes()) dist_.resize(g.num_nodes(), kNotSeen);
+  for (NodeId s : sources) {
+    if (dist_[s] == kNotSeen) {
+      dist_[s] = 0;
+      queue_.push_back(s);
+      reached_.push_back(s);
+    }
+  }
+  size_t head = 0;
+  while (head < queue_.size()) {
+    NodeId v = queue_[head++];
+    uint32_t d = dist_[v];
+    if (bound != kUnbounded && d >= bound) continue;
+    const auto& nbrs = forward ? g.out_neighbors(v) : g.in_neighbors(v);
+    for (NodeId w : nbrs) {
+      if (dist_[w] == kNotSeen) {
+        dist_[w] = d + 1;
+        queue_.push_back(w);
+        reached_.push_back(w);
+      }
+    }
+  }
+}
+
+void BfsScratch::RunSingle(const Graph& g, NodeId source, uint32_t bound,
+                           bool forward) {
+  Run(g, std::vector<NodeId>{source}, bound, forward);
+}
+
+}  // namespace gpmv

@@ -1,0 +1,152 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+
+namespace gpmv {
+
+bool PatternNode::MatchesData(const Graph& g, NodeId v,
+                              LabelId label_id) const {
+  if (!label.empty()) {
+    if (label_id == kInvalidLabel) return false;  // label unknown to graph
+    if (!g.HasLabel(v, label_id)) return false;
+  }
+  if (!pred.IsTrivial() && !pred.Eval(g.attrs(v))) return false;
+  return true;
+}
+
+uint32_t Pattern::AddNode(const std::string& label, Predicate pred,
+                          const std::string& name) {
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(
+      PatternNode{label, std::move(pred), name.empty() ? label : name});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+Status Pattern::AddEdge(uint32_t u, uint32_t v, uint32_t bound) {
+  if (u >= nodes_.size() || v >= nodes_.size()) {
+    return Status::InvalidArgument("pattern edge endpoint out of range");
+  }
+  if (bound == 0) {
+    return Status::InvalidArgument("pattern edge bound must be >= 1 or *");
+  }
+  for (uint32_t e : out_[u]) {
+    if (edges_[e].dst == v) {
+      return Status::AlreadyExists("duplicate pattern edge");
+    }
+  }
+  uint32_t id = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(PatternEdge{u, v, bound});
+  out_[u].push_back(id);
+  in_[v].push_back(id);
+  return Status::OK();
+}
+
+bool Pattern::IsSimulationPattern() const {
+  return std::all_of(edges_.begin(), edges_.end(),
+                     [](const PatternEdge& e) { return e.bound == 1; });
+}
+
+bool Pattern::IsDag() const {
+  SccResult scc = ComputeScc(Adjacency());
+  for (uint32_t size : scc.component_size) {
+    if (size > 1) return false;
+  }
+  // Single-node SCCs may still carry self loops.
+  for (const PatternEdge& e : edges_) {
+    if (e.src == e.dst) return false;
+  }
+  return true;
+}
+
+bool Pattern::HasNoIsolatedNode() const {
+  for (uint32_t u = 0; u < nodes_.size(); ++u) {
+    if (out_[u].empty() && in_[u].empty()) return false;
+  }
+  return !nodes_.empty();
+}
+
+std::vector<std::vector<uint32_t>> Pattern::Adjacency() const {
+  std::vector<std::vector<uint32_t>> adj(nodes_.size());
+  for (const PatternEdge& e : edges_) adj[e.src].push_back(e.dst);
+  return adj;
+}
+
+std::vector<std::vector<uint64_t>> Pattern::WeightedDistances() const {
+  const size_t n = nodes_.size();
+  std::vector<std::vector<uint64_t>> dist(
+      n, std::vector<uint64_t>(n, kInfDistance));
+  for (size_t u = 0; u < n; ++u) dist[u][u] = 0;
+  for (const PatternEdge& e : edges_) {
+    uint64_t w = (e.bound == kUnbounded) ? kInfDistance : e.bound;
+    if (w < dist[e.src][e.dst]) dist[e.src][e.dst] = w;
+  }
+  // Floyd-Warshall; patterns are tiny (tens of nodes).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (dist[i][k] == kInfDistance) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (dist[k][j] == kInfDistance) continue;
+        uint64_t via = dist[i][k] + dist[k][j];
+        if (via < dist[i][j]) dist[i][j] = via;
+      }
+    }
+  }
+  return dist;
+}
+
+uint64_t Pattern::WeightedDiameter() const {
+  uint64_t diameter = 0;
+  for (const auto& row : WeightedDistances()) {
+    for (uint64_t d : row) {
+      if (d != kInfDistance) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+uint32_t Pattern::NodeByName(const std::string& name) const {
+  for (uint32_t u = 0; u < nodes_.size(); ++u) {
+    if (nodes_[u].name == name || (nodes_[u].name.empty() && nodes_[u].label == name)) {
+      return u;
+    }
+  }
+  return kInvalidNode;
+}
+
+uint32_t Pattern::EdgeByName(const std::string& src,
+                             const std::string& dst) const {
+  uint32_t u = NodeByName(src);
+  uint32_t v = NodeByName(dst);
+  if (u == kInvalidNode || v == kInvalidNode) return kInvalidNode;
+  for (uint32_t e : out_[u]) {
+    if (edges_[e].dst == v) return e;
+  }
+  return kInvalidNode;
+}
+
+std::string Pattern::ToString() const {
+  std::string out = "pattern(" + std::to_string(num_nodes()) + " nodes, " +
+                    std::to_string(num_edges()) + " edges)\n";
+  for (uint32_t u = 0; u < nodes_.size(); ++u) {
+    out += "  [" + std::to_string(u) + "] " + nodes_[u].name;
+    if (nodes_[u].label != nodes_[u].name) out += ":" + nodes_[u].label;
+    if (!nodes_[u].pred.IsTrivial()) out += " if " + nodes_[u].pred.ToString();
+    out += "\n";
+  }
+  for (const PatternEdge& e : edges_) {
+    out += "  " + nodes_[e.src].name + " -> " + nodes_[e.dst].name;
+    if (e.bound == kUnbounded) {
+      out += " (*)";
+    } else if (e.bound != 1) {
+      out += " (<=" + std::to_string(e.bound) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gpmv

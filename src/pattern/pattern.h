@@ -1,0 +1,121 @@
+/// \file pattern.h
+/// \brief Graph pattern queries (paper Sections II and VI).
+///
+/// One class covers both flavors of queries:
+///  * a *pattern query* Qs = (Vp, Ep, fv): every edge has bound 1 and is
+///    matched to a single data edge under graph simulation;
+///  * a *bounded pattern query* Qb = (Vp, Ep, fv, fe): each edge carries a
+///    bound fe(e) ∈ {1, 2, ..., *} and is matched to a nonempty path of
+///    length ≤ fe(e) under bounded simulation (`kUnbounded` encodes `*`).
+///
+/// Pattern nodes carry a label (empty string = wildcard) plus an optional
+/// Boolean predicate over node attributes, and an optional display name so
+/// the paper's figures ("DBA1", "PRG2") can be reproduced verbatim.
+
+#ifndef GPMV_PATTERN_PATTERN_H_
+#define GPMV_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/predicate.h"
+#include "graph/traversal.h"  // kUnbounded
+
+namespace gpmv {
+
+/// A pattern node: search condition = label + predicate.
+struct PatternNode {
+  std::string label;   ///< required node label; "" matches any label
+  Predicate pred;      ///< Boolean condition on node attributes
+  std::string name;    ///< display name (defaults to label)
+
+  /// Does data node `v` of `g` satisfy this node's search condition?
+  /// `label_id` must be g.FindLabel(label) (or kInvalidLabel for wildcard),
+  /// hoisted out so matchers resolve it once.
+  bool MatchesData(const Graph& g, NodeId v, LabelId label_id) const;
+};
+
+/// A pattern edge with bound fe(e); bound 1 = plain simulation edge,
+/// kUnbounded = the paper's `*`.
+struct PatternEdge {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint32_t bound = 1;
+};
+
+/// Distance value for weighted pattern distances (see WeightedDistances).
+inline constexpr uint64_t kInfDistance = static_cast<uint64_t>(-1);
+
+/// A (bounded) graph pattern query.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Adds a node; returns its index.
+  uint32_t AddNode(const std::string& label, Predicate pred = {},
+                   const std::string& name = "");
+
+  /// Adds edge u -> v with bound `bound` (>= 1 or kUnbounded).
+  Status AddEdge(uint32_t u, uint32_t v, uint32_t bound = 1);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// |Q| = number of nodes plus edges (Table I).
+  size_t Size() const { return num_nodes() + num_edges(); }
+
+  const PatternNode& node(uint32_t u) const { return nodes_[u]; }
+  const PatternEdge& edge(uint32_t e) const { return edges_[e]; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+
+  /// Indices of edges leaving / entering node u.
+  const std::vector<uint32_t>& out_edges(uint32_t u) const { return out_[u]; }
+  const std::vector<uint32_t>& in_edges(uint32_t u) const { return in_[u]; }
+
+  /// True iff every edge has bound exactly 1 (a plain simulation pattern).
+  bool IsSimulationPattern() const;
+
+  /// True iff the pattern has no directed cycle.
+  bool IsDag() const;
+
+  /// True iff no node is isolated (paper assumes connected patterns; only
+  /// isolation actually breaks the edge-coverage machinery).
+  bool HasNoIsolatedNode() const;
+
+  /// Node-level adjacency (parallel structure for SCC/rank computation).
+  std::vector<std::vector<uint32_t>> Adjacency() const;
+
+  /// All-pairs weighted shortest-path distances where each edge costs its
+  /// bound (a `*` edge costs infinity). Used by bounded view matching:
+  /// dist(u,u') is the tightest hop budget that traversing the pattern from
+  /// u to u' certifies (Section VI-B). dist[u][u] = 0.
+  std::vector<std::vector<uint64_t>> WeightedDistances() const;
+
+  /// Longest finite weighted distance between any two connected nodes, used
+  /// as the ball radius of strong simulation. Returns 0 for single nodes.
+  uint64_t WeightedDiameter() const;
+
+  /// Index of the first node whose name (or label, if unnamed) equals
+  /// `name`; kInvalidNode if absent.
+  uint32_t NodeByName(const std::string& name) const;
+
+  /// Index of the edge from the node named `src` to the node named `dst`;
+  /// kInvalidNode if absent.
+  uint32_t EdgeByName(const std::string& src, const std::string& dst) const;
+
+  /// Human-readable multi-line description.
+  std::string ToString() const;
+
+ private:
+  std::vector<PatternNode> nodes_;
+  std::vector<PatternEdge> edges_;
+  std::vector<std::vector<uint32_t>> out_;  // node -> edge indices
+  std::vector<std::vector<uint32_t>> in_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_PATTERN_PATTERN_H_

@@ -1,0 +1,47 @@
+#include "pattern/pattern_builder.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpmv {
+
+namespace {
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "PatternBuilder misuse: %s\n", msg.c_str());
+  std::abort();
+}
+}  // namespace
+
+PatternBuilder& PatternBuilder::Node(const std::string& name) {
+  return Node(name, name, Predicate());
+}
+
+PatternBuilder& PatternBuilder::Node(const std::string& name,
+                                     const std::string& label) {
+  return Node(name, label, Predicate());
+}
+
+PatternBuilder& PatternBuilder::Node(const std::string& name,
+                                     const std::string& label,
+                                     Predicate pred) {
+  if (ids_.count(name) != 0) Die("duplicate node name '" + name + "'");
+  ids_[name] = pattern_.AddNode(label, std::move(pred), name);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Edge(const std::string& src,
+                                     const std::string& dst, uint32_t bound) {
+  Status st = pattern_.AddEdge(Lookup(src), Lookup(dst), bound);
+  if (!st.ok()) Die(st.ToString());
+  return *this;
+}
+
+Pattern PatternBuilder::Build() { return std::move(pattern_); }
+
+uint32_t PatternBuilder::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) Die("unknown node name '" + name + "'");
+  return it->second;
+}
+
+}  // namespace gpmv

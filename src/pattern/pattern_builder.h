@@ -1,0 +1,58 @@
+/// \file pattern_builder.h
+/// \brief Fluent construction of patterns by node name.
+///
+/// The paper's figures name pattern nodes like "DBA1", "PRG2" where the
+/// label is the name minus the trailing index. The builder lets fixtures and
+/// examples mirror the figures exactly:
+///
+///     Pattern qs = PatternBuilder()
+///         .Node("PM")
+///         .Node("DBA1", "DBA").Node("PRG1", "PRG")
+///         .Edge("PM", "DBA1")
+///         .Edge("DBA1", "PRG1", 2)      // bound 2
+///         .Build();
+///
+/// Builder methods abort on misuse (duplicate names, unknown endpoints) —
+/// they are developer-facing construction errors, not runtime data errors.
+
+#ifndef GPMV_PATTERN_PATTERN_BUILDER_H_
+#define GPMV_PATTERN_PATTERN_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// Builds a Pattern incrementally, addressing nodes by unique name.
+class PatternBuilder {
+ public:
+  /// Adds a node whose label equals its name.
+  PatternBuilder& Node(const std::string& name);
+
+  /// Adds a node with an explicit label.
+  PatternBuilder& Node(const std::string& name, const std::string& label);
+
+  /// Adds a node with label and predicate.
+  PatternBuilder& Node(const std::string& name, const std::string& label,
+                       Predicate pred);
+
+  /// Adds an edge between named nodes with the given bound
+  /// (1 = simulation edge; kUnbounded = `*`).
+  PatternBuilder& Edge(const std::string& src, const std::string& dst,
+                       uint32_t bound = 1);
+
+  /// Returns the built pattern; the builder must not be reused afterwards.
+  Pattern Build();
+
+ private:
+  uint32_t Lookup(const std::string& name) const;
+
+  Pattern pattern_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_PATTERN_PATTERN_BUILDER_H_

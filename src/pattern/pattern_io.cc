@@ -1,0 +1,210 @@
+#include "pattern/pattern_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace gpmv {
+
+namespace {
+
+std::string EncodeValue(const AttrValue& v) {
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  if (v.is_int()) return std::to_string(v.as_int());
+  std::ostringstream os;
+  os << v.as_double();
+  std::string s = os.str();
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+AttrValue DecodeValue(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+    return AttrValue(token.substr(1, token.size() - 2));
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long iv = std::strtoll(token.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0' && !token.empty()) {
+    return AttrValue(static_cast<int64_t>(iv));
+  }
+  errno = 0;
+  double dv = std::strtod(token.c_str(), &end);
+  if (errno == 0 && end != nullptr && *end == '\0' && !token.empty()) {
+    return AttrValue(dv);
+  }
+  return AttrValue(token);
+}
+
+struct OpToken {
+  const char* text;
+  CmpOp op;
+};
+// Two-character operators must be tried first.
+constexpr OpToken kOps[] = {{"<=", CmpOp::kLe}, {">=", CmpOp::kGe},
+                            {"==", CmpOp::kEq}, {"!=", CmpOp::kNe},
+                            {"<", CmpOp::kLt},  {">", CmpOp::kGt}};
+
+Status ParseAtom(const std::string& atom, Predicate* pred) {
+  for (const OpToken& op : kOps) {
+    size_t pos = atom.find(op.text);
+    if (pos == std::string::npos || pos == 0) continue;
+    std::string attr = atom.substr(0, pos);
+    std::string value = atom.substr(pos + std::strlen(op.text));
+    if (value.empty()) break;
+    pred->Add(attr, op.op, DecodeValue(value));
+    return Status::OK();
+  }
+  return Status::Corruption("cannot parse condition '" + atom + "'");
+}
+
+Status ParseWhere(const std::string& clause, Predicate* pred) {
+  size_t start = 0;
+  while (start < clause.size()) {
+    size_t amp = clause.find("&&", start);
+    std::string atom = clause.substr(
+        start, amp == std::string::npos ? std::string::npos : amp - start);
+    // Trim whitespace.
+    size_t b = atom.find_first_not_of(" \t");
+    size_t e = atom.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      return Status::Corruption("empty condition in where clause");
+    }
+    GPMV_RETURN_NOT_OK(ParseAtom(atom.substr(b, e - b + 1), pred));
+    if (amp == std::string::npos) break;
+    start = amp + 2;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+std::string PatternToText(const Pattern& p) {
+  std::ostringstream os;
+  os << "# gpmv pattern: " << p.num_nodes() << " nodes, " << p.num_edges()
+     << " edges\n";
+  for (uint32_t u = 0; u < p.num_nodes(); ++u) {
+    const PatternNode& n = p.node(u);
+    os << "node " << n.name;
+    if (!n.label.empty()) os << " label=" << n.label;
+    if (!n.pred.IsTrivial()) {
+      os << " where ";
+      const auto& atoms = n.pred.atoms();
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (i) os << " && ";
+        os << atoms[i].attr << CmpOpName(atoms[i].op)
+           << EncodeValue(atoms[i].value);
+      }
+    }
+    os << '\n';
+  }
+  for (const PatternEdge& e : p.edges()) {
+    os << "edge " << p.node(e.src).name << ' ' << p.node(e.dst).name;
+    if (e.bound == kUnbounded) {
+      os << " bound=*";
+    } else if (e.bound != 1) {
+      os << " bound=" << e.bound;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<Pattern> PatternFromText(const std::string& text) {
+  Pattern p;
+  std::unordered_map<std::string, uint32_t> ids;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto fail = [&](const std::string& msg) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " + msg);
+    };
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> tok = SplitWs(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "node") {
+      if (tok.size() < 2) return fail("node needs a name");
+      const std::string& name = tok[1];
+      if (ids.count(name) != 0) return fail("duplicate node '" + name + "'");
+      std::string label;
+      size_t i = 2;
+      if (i < tok.size() && tok[i].rfind("label=", 0) == 0) {
+        label = tok[i].substr(6);
+        ++i;
+      }
+      Predicate pred;
+      if (i < tok.size()) {
+        if (tok[i] != "where") return fail("expected 'where', got '" + tok[i] + "'");
+        std::string clause;
+        for (++i; i < tok.size(); ++i) {
+          if (!clause.empty()) clause += ' ';
+          clause += tok[i];
+        }
+        GPMV_RETURN_NOT_OK(ParseWhere(clause, &pred));
+      }
+      ids[name] = p.AddNode(label, std::move(pred), name);
+    } else if (tok[0] == "edge") {
+      if (tok.size() < 3) return fail("edge needs two endpoints");
+      auto src = ids.find(tok[1]);
+      auto dst = ids.find(tok[2]);
+      if (src == ids.end()) return fail("unknown node '" + tok[1] + "'");
+      if (dst == ids.end()) return fail("unknown node '" + tok[2] + "'");
+      uint32_t bound = 1;
+      if (tok.size() > 3) {
+        if (tok[3].rfind("bound=", 0) != 0) {
+          return fail("expected bound=..., got '" + tok[3] + "'");
+        }
+        std::string b = tok[3].substr(6);
+        if (b == "*") {
+          bound = kUnbounded;
+        } else {
+          char* end = nullptr;
+          unsigned long k = std::strtoul(b.c_str(), &end, 10);
+          if (*end != '\0' || k == 0) return fail("bad bound '" + b + "'");
+          bound = static_cast<uint32_t>(k);
+        }
+      }
+      Status st = p.AddEdge(src->second, dst->second, bound);
+      if (!st.ok()) return fail(st.ToString());
+    } else {
+      return fail("unknown record '" + tok[0] + "'");
+    }
+  }
+  return p;
+}
+
+Status WritePatternFile(const Pattern& p, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open " + path);
+  f << PatternToText(p);
+  if (!f.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<Pattern> ReadPatternFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return PatternFromText(buf.str());
+}
+
+}  // namespace gpmv

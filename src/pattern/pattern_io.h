@@ -1,0 +1,43 @@
+/// \file pattern_io.h
+/// \brief Plain-text serialization of patterns and view sets.
+///
+/// Pattern format (one record per line, '#' starts a comment):
+///
+///     node <name> [label=<label>] [where <attr><op><value> [&& ...]]
+///     edge <src> <dst> [bound=<k>|*]
+///
+/// Unlabeled nodes (wildcards) omit `label=`. Example:
+///
+///     # team pattern
+///     node PM   label=PM
+///     node DBA1 label=DBA where rank<=20000
+///     edge PM DBA1
+///     edge DBA1 PM bound=2
+///
+/// View-set format: patterns separated by `view <name>` headers.
+/// Values parse as int64, then double, else string; quoted strings allowed.
+
+#ifndef GPMV_PATTERN_PATTERN_IO_H_
+#define GPMV_PATTERN_PATTERN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// Serializes a pattern in the text format above.
+std::string PatternToText(const Pattern& p);
+
+/// Parses a pattern from the text format above.
+Result<Pattern> PatternFromText(const std::string& text);
+
+/// File helpers.
+Status WritePatternFile(const Pattern& p, const std::string& path);
+Result<Pattern> ReadPatternFile(const std::string& path);
+
+}  // namespace gpmv
+
+#endif  // GPMV_PATTERN_PATTERN_IO_H_

@@ -1,0 +1,62 @@
+/// \file bounded.h
+/// \brief Bounded simulation — the `BMatch` baseline of the paper
+/// ([16]; Section VI).
+///
+/// A bounded pattern edge e = (u, u') with fe(e) = k matches a *nonempty
+/// path* of length ≤ k (any length for `*`). The maximum relation is
+/// computed by a fixpoint that prunes candidates using multi-source reverse
+/// bounded BFS; match sets (node pairs with their exact shortest distances)
+/// are extracted with forward bounded BFS per candidate source. The
+/// extraction distances also feed the distance index I(V) used by
+/// BMatchJoin (Section VI-A).
+
+#ifndef GPMV_SIMULATION_BOUNDED_H_
+#define GPMV_SIMULATION_BOUNDED_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// Label/predicate candidate sets cand(u) for each pattern node, with no
+/// structural pruning. Candidates are listed in ascending node id.
+Status ComputeCandidateSets(const Pattern& q, const Graph& g,
+                            std::vector<std::vector<NodeId>>* cand);
+
+/// Computes the maximum bounded-simulation node relation sim(u) per pattern
+/// node. All-empty sets signal "no match". A non-null `seed` replaces the
+/// label-index candidates (see ComputeSimulationRelation); each seed set
+/// must be sorted.
+Status ComputeBoundedSimulationRelation(
+    const Pattern& qb, const Graph& g, std::vector<std::vector<NodeId>>* sim,
+    const std::vector<std::vector<NodeId>>* seed = nullptr);
+
+/// Computes Qb(G) via bounded simulation. If `distances` is non-null it is
+/// filled parallel to the result's edge matches: (*distances)[e][i] is the
+/// shortest-path length realizing edge_matches(e)[i] (1 for plain edges).
+/// Accepts plain simulation patterns as the special case fe(e) = 1.
+/// `seed` optionally replaces the candidate sets (see
+/// ComputeBoundedSimulationRelation).
+Result<MatchResult> MatchBoundedSimulation(
+    const Pattern& qb, const Graph& g,
+    std::vector<std::vector<uint32_t>>* distances = nullptr,
+    const std::vector<std::vector<NodeId>>* seed = nullptr);
+
+/// The paper's cubic baseline ([16]): a recompute-from-scratch fixpoint
+/// that re-validates every candidate with its own forward bounded BFS per
+/// iteration — O(|Q||G|²)-style behavior. Produces exactly the same result
+/// as MatchBoundedSimulation (property-tested); it exists as the `BMatch`
+/// baseline the evaluation figures compare against, while
+/// MatchBoundedSimulation is this library's improved implementation
+/// (multi-source reverse-BFS pruning).
+Result<MatchResult> MatchBoundedSimulationNaive(
+    const Pattern& qb, const Graph& g,
+    std::vector<std::vector<uint32_t>>* distances = nullptr);
+
+}  // namespace gpmv
+
+#endif  // GPMV_SIMULATION_BOUNDED_H_

@@ -1,0 +1,72 @@
+#include "simulation/match_result.h"
+
+#include <algorithm>
+
+namespace gpmv {
+
+MatchResult MatchResult::Empty(const Pattern& pattern) {
+  MatchResult r;
+  r.Resize(pattern.num_nodes(), pattern.num_edges());
+  r.matched_ = false;
+  return r;
+}
+
+size_t MatchResult::TotalMatches() const {
+  size_t total = 0;
+  for (const auto& se : edge_matches_) total += se.size();
+  return total;
+}
+
+void MatchResult::DeriveNodeMatches(const Pattern& pattern) {
+  node_matches_.assign(pattern.num_nodes(), {});
+  for (uint32_t u = 0; u < pattern.num_nodes(); ++u) {
+    auto& su = node_matches_[u];
+    if (!pattern.out_edges(u).empty()) {
+      for (uint32_t e : pattern.out_edges(u)) {
+        for (const NodePair& p : edge_matches_[e]) su.push_back(p.first);
+      }
+    } else {
+      for (uint32_t e : pattern.in_edges(u)) {
+        for (const NodePair& p : edge_matches_[e]) su.push_back(p.second);
+      }
+    }
+    std::sort(su.begin(), su.end());
+    su.erase(std::unique(su.begin(), su.end()), su.end());
+  }
+}
+
+void MatchResult::Normalize() {
+  for (auto& se : edge_matches_) {
+    std::sort(se.begin(), se.end());
+    se.erase(std::unique(se.begin(), se.end()), se.end());
+  }
+  for (auto& su : node_matches_) {
+    std::sort(su.begin(), su.end());
+    su.erase(std::unique(su.begin(), su.end()), su.end());
+  }
+}
+
+bool MatchResult::operator==(const MatchResult& other) const {
+  return matched_ == other.matched_ && edge_matches_ == other.edge_matches_ &&
+         node_matches_ == other.node_matches_;
+}
+
+std::string MatchResult::ToString(const Pattern& pattern,
+                                  const Graph& g) const {
+  if (!matched_) return "(no match)\n";
+  std::string out;
+  for (uint32_t e = 0; e < edge_matches_.size(); ++e) {
+    const PatternEdge& pe = pattern.edge(e);
+    out += "(" + pattern.node(pe.src).name + ", " + pattern.node(pe.dst).name +
+           "): {";
+    for (size_t i = 0; i < edge_matches_[e].size(); ++i) {
+      if (i) out += ", ";
+      out += "(" + g.DescribeNode(edge_matches_[e][i].first) + "->" +
+             g.DescribeNode(edge_matches_[e][i].second) + ")";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,48 @@
+/// \file simulation.h
+/// \brief Graph pattern matching via graph simulation — the `Match` baseline
+/// of the paper ([16], [21]; Section II-A).
+///
+/// A graph G matches pattern Qs via simulation iff there is a relation
+/// S ⊆ Vp × V such that every pattern node has a match and for every
+/// (u, v) ∈ S and pattern edge (u, u') there is a data edge (v, v') with
+/// (u', v') ∈ S. There is a unique maximum such S; Qs(G) is derived from it.
+///
+/// The implementation is the counter-based refinement in the spirit of
+/// Henzinger-Henzinger-Kopke [21]: candidate sets seeded from the label
+/// index, a per-(pattern node, data node) successor counter, and a worklist
+/// of removals, giving O(|Vp||E| + |Vp||V|) time after candidate
+/// enumeration. This is the algorithm MatchJoin is compared against in
+/// Fig. 8(a)-(e).
+
+#ifndef GPMV_SIMULATION_SIMULATION_H_
+#define GPMV_SIMULATION_SIMULATION_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// Computes Qs(G) via graph simulation.
+///
+/// Fails with InvalidArgument when `qs` has a non-unit edge bound (use
+/// MatchBoundedSimulation) or is empty.
+Result<MatchResult> MatchSimulation(const Pattern& qs, const Graph& g);
+
+/// Computes only the maximum node relation sim(u) per pattern node (no edge
+/// match extraction); used internally and by the dual/strong extensions.
+/// `sim` is resized to qs.num_nodes(); empty overall result is signalled by
+/// all-empty sets.
+///
+/// If `seed` is non-null it is used instead of the label index as the
+/// initial candidate sets. Seeding with a superset of the maximum relation
+/// (e.g. the relation before an edge deletion) yields the exact maximum
+/// relation — the basis of decremental view maintenance.
+Status ComputeSimulationRelation(const Pattern& qs, const Graph& g,
+                                 std::vector<std::vector<NodeId>>* sim,
+                                 const std::vector<std::vector<NodeId>>* seed = nullptr);
+
+}  // namespace gpmv
+
+#endif  // GPMV_SIMULATION_SIMULATION_H_

@@ -1,0 +1,438 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "pattern/pattern_builder.h"
+
+namespace gpmv {
+
+namespace {
+
+/// Draws a connected random pattern over a label-pair schema: node labels
+/// are chosen so that every edge's (src label, dst label) is in `schema`,
+/// and every node carries `pred_of(label)`. Used by the Amazon and Citation
+/// query generators; containment in the datasets' pair views follows from
+/// label equality plus predicate implication.
+using LabelPair = std::pair<std::string, std::string>;
+
+Pattern SchemaPattern(const std::vector<LabelPair>& schema,
+                      Predicate (*pred_of)(Rng*), uint32_t num_nodes,
+                      uint32_t num_edges, uint32_t max_bound, uint64_t seed,
+                      bool acyclic = false) {
+  Rng rng(seed);
+  Pattern p;
+  std::vector<std::string> node_label;
+
+  // DFS reachability used to keep acyclic patterns acyclic: a cyclic
+  // pattern can never match an acyclic data graph (citations).
+  auto has_path = [&p](uint32_t from, uint32_t to) {
+    std::vector<uint32_t> stack{from};
+    std::vector<char> seen(p.num_nodes(), 0);
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      if (v == to) return true;
+      if (seen[v]) continue;
+      seen[v] = 1;
+      for (uint32_t e : p.out_edges(v)) stack.push_back(p.edge(e).dst);
+    }
+    return false;
+  };
+
+  auto add_node = [&](const std::string& label) {
+    uint32_t id = p.AddNode(label, pred_of(&rng),
+                            label + "#" + std::to_string(p.num_nodes()));
+    node_label.push_back(label);
+    return id;
+  };
+  auto draw_bound = [&]() -> uint32_t {
+    return max_bound <= 1 ? 1
+                          : 1 + static_cast<uint32_t>(rng.NextBounded(max_bound));
+  };
+
+  // Seed node from a random schema pair; grow a connected pattern.
+  const LabelPair& first = schema[rng.NextBounded(schema.size())];
+  add_node(first.first);
+  while (p.num_nodes() < num_nodes) {
+    // Attach a new node to a random existing node via a schema pair.
+    uint32_t anchor = static_cast<uint32_t>(rng.NextBounded(p.num_nodes()));
+    std::vector<std::pair<bool, std::string>> options;  // (outgoing?, label)
+    for (const LabelPair& lp : schema) {
+      if (lp.first == node_label[anchor]) options.emplace_back(true, lp.second);
+      if (lp.second == node_label[anchor]) options.emplace_back(false, lp.first);
+    }
+    if (options.empty()) {
+      // Anchor label has no schema pair (should not happen with the built-in
+      // schemas); fall back to a fresh component seed.
+      const LabelPair& lp = schema[rng.NextBounded(schema.size())];
+      uint32_t a = add_node(lp.first);
+      uint32_t b = add_node(lp.second);
+      (void)p.AddEdge(a, b, draw_bound());
+      continue;
+    }
+    auto [outgoing, label] = options[rng.NextBounded(options.size())];
+    uint32_t fresh = add_node(label);
+    if (outgoing) {
+      (void)p.AddEdge(anchor, fresh, draw_bound());
+    } else {
+      (void)p.AddEdge(fresh, anchor, draw_bound());
+    }
+  }
+  // Extra edges between existing nodes along schema pairs.
+  size_t attempts = 0;
+  while (p.num_edges() < num_edges && attempts < 64ull * num_edges + 256) {
+    ++attempts;
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(p.num_nodes()));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(p.num_nodes()));
+    if (u == v) continue;
+    bool allowed = false;
+    for (const LabelPair& lp : schema) {
+      if (lp.first == node_label[u] && lp.second == node_label[v]) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) continue;
+    if (acyclic && has_path(v, u)) continue;
+    (void)p.AddEdge(u, v, draw_bound());
+  }
+  return p;
+}
+
+/// 12 views = one single-edge view per schema pair (these guarantee
+/// coverage of schema queries) topped up with small multi-edge views that
+/// give minimal/minimum real choices.
+ViewSet PairViews(const std::vector<LabelPair>& schema,
+                  const Predicate& view_pred, uint32_t bound,
+                  const std::vector<std::vector<LabelPair>>& composites) {
+  ViewSet views;
+  size_t i = 0;
+  for (const LabelPair& lp : schema) {
+    Pattern p;
+    uint32_t a = p.AddNode(lp.first, view_pred, lp.first + "1");
+    uint32_t b = p.AddNode(lp.second, view_pred, lp.second + "2");
+    (void)p.AddEdge(a, b, bound);
+    views.Add("pair" + std::to_string(i++), std::move(p));
+  }
+  for (const auto& chain : composites) {
+    // Each composite is a label chain: pair j's source label equals pair
+    // j-1's destination label.
+    Pattern p;
+    uint32_t prev = p.AddNode(chain[0].first, view_pred,
+                              chain[0].first + "@0");
+    for (size_t j = 0; j < chain.size(); ++j) {
+      GPMV_DCHECK(j == 0 || chain[j].first == chain[j - 1].second);
+      uint32_t next = p.AddNode(chain[j].second, view_pred,
+                                chain[j].second + "@" + std::to_string(j + 1));
+      (void)p.AddEdge(prev, next, bound);
+      prev = next;
+    }
+    views.Add("chain" + std::to_string(i++), std::move(p));
+  }
+  return views;
+}
+
+// ---------------------------------------------------------------- Amazon --
+
+const std::array<const char*, 8> kAmazonGroups = {
+    "Book", "Music", "DVD", "Video", "Software", "Game", "Toy", "Electronics"};
+
+const std::vector<LabelPair>& AmazonSchema() {
+  static const std::vector<LabelPair> schema = {
+      {"Book", "Book"},     {"Book", "Music"},    {"Music", "Music"},
+      {"Music", "DVD"},     {"DVD", "DVD"},       {"DVD", "Video"},
+      {"Video", "Video"},   {"Game", "Game"},     {"Game", "Software"},
+      {"Software", "Software"}};
+  return schema;
+}
+
+constexpr int64_t kAmazonViewRank = 20000;  // views cache top-ranked products
+constexpr int64_t kAmazonMaxRank = 100000;
+
+Predicate AmazonQueryPred(Rng* rng) {
+  // Query condition at least as strict as the views' rank <= 20000, but
+  // loose enough (15-20% selectivity) that benchmark queries usually have
+  // non-empty results.
+  int64_t r = 15000 + static_cast<int64_t>(rng->NextBounded(5001));
+  return Predicate().Le("rank", r);
+}
+
+// -------------------------------------------------------------- Citation --
+
+const std::array<const char*, 6> kCitationAreas = {"DB", "AI",  "SYS",
+                                                   "ML", "TH", "NET"};
+
+const std::vector<LabelPair>& CitationSchema() {
+  static const std::vector<LabelPair> schema = {
+      {"DB", "DB"},  {"AI", "AI"},  {"SYS", "SYS"}, {"ML", "ML"},
+      {"DB", "SYS"}, {"AI", "ML"},  {"ML", "TH"},   {"DB", "AI"},
+      {"SYS", "NET"}, {"NET", "NET"}};
+  return schema;
+}
+
+constexpr int64_t kCitationViewYear = 2000;  // views cache recent papers
+
+Predicate CitationQueryPred(Rng* rng) {
+  int64_t y = kCitationViewYear + static_cast<int64_t>(rng->NextBounded(7));
+  return Predicate().Ge("year", y);
+}
+
+// --------------------------------------------------------------- YouTube --
+
+const std::array<const char*, 5> kYoutubeCategories = {"Music", "Sports",
+                                                       "Comedy", "Ent", "News"};
+
+}  // namespace
+
+Graph GenerateAmazonLike(size_t num_nodes, uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  std::vector<std::vector<NodeId>> by_group(kAmazonGroups.size());
+  for (size_t i = 0; i < num_nodes; ++i) {
+    size_t group = rng.NextBounded(kAmazonGroups.size());
+    AttributeSet attrs;
+    attrs.Set("rank", AttrValue(static_cast<int64_t>(
+                          1 + rng.NextBounded(kAmazonMaxRank))));
+    NodeId v = g.AddNode(kAmazonGroups[group], std::move(attrs));
+    by_group[group].push_back(v);
+  }
+  // Co-purchase edges: ~3.25 per node (matching Amazon's |E|/|V|), 60%
+  // within the same product group.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t group = 0;
+    for (size_t gi = 0; gi < kAmazonGroups.size(); ++gi) {
+      if (g.HasLabel(v, g.FindLabel(kAmazonGroups[gi]))) {
+        group = gi;
+        break;
+      }
+    }
+    size_t degree = 2 + rng.NextBounded(3);  // 2..4
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId w;
+      if (rng.NextBool(0.6) && by_group[group].size() > 1) {
+        w = by_group[group][rng.NextBounded(by_group[group].size())];
+      } else {
+        w = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      }
+      if (w != v) g.AddEdgeIfAbsent(v, w);
+    }
+  }
+  return g;
+}
+
+ViewSet AmazonViews(uint32_t bound) {
+  const Predicate pred = Predicate().Le("rank", kAmazonViewRank);
+  return PairViews(AmazonSchema(), pred, bound,
+                   {{{"Book", "Book"}, {"Book", "Music"}},
+                    {{"DVD", "Video"}, {"Video", "Video"}}});
+}
+
+Pattern GenerateAmazonQuery(uint32_t num_nodes, uint32_t num_edges,
+                            uint32_t max_bound, uint64_t seed) {
+  return SchemaPattern(AmazonSchema(), &AmazonQueryPred, num_nodes, num_edges,
+                       max_bound, seed);
+}
+
+Graph GenerateCitationLike(size_t num_nodes, uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  std::vector<size_t> area_of(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    size_t area = rng.NextBounded(kCitationAreas.size());
+    area_of[i] = area;
+    AttributeSet attrs;
+    // Node ids correlate with time: later ids are newer papers.
+    int64_t year = 1970 + static_cast<int64_t>(
+                              (42.0 * static_cast<double>(i)) /
+                              static_cast<double>(num_nodes));
+    attrs.Set("year", AttrValue(year));
+    g.AddNode(kCitationAreas[area], std::move(attrs));
+  }
+  // Citations point to older papers (smaller ids), 70% intra-area, and are
+  // recency-biased (papers mostly cite recent work), so chains of recent
+  // papers — what the year-predicate views cache — actually exist.
+  auto draw_older = [&rng](NodeId v) {
+    uint64_t back = 1 + rng.NextZipf(v, 1.05);
+    return static_cast<NodeId>(v - std::min<uint64_t>(back, v));
+  };
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    size_t degree = 1 + rng.NextBounded(3);  // 1..3 (Citation: |E|/|V| ~ 2.1)
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId w = draw_older(v);
+      if (rng.NextBool(0.7)) {
+        // Retry a few times for an intra-area older paper.
+        for (int t = 0; t < 4 && area_of[w] != area_of[v]; ++t) {
+          w = draw_older(v);
+        }
+      }
+      g.AddEdgeIfAbsent(v, w);
+    }
+  }
+  return g;
+}
+
+ViewSet CitationViews(uint32_t bound) {
+  const Predicate pred = Predicate().Ge("year", kCitationViewYear);
+  return PairViews(CitationSchema(), pred, bound,
+                   {{{"DB", "DB"}, {"DB", "AI"}},
+                    {{"AI", "ML"}, {"ML", "TH"}}});
+}
+
+Pattern GenerateCitationQuery(uint32_t num_nodes, uint32_t num_edges,
+                              uint32_t max_bound, uint64_t seed) {
+  return SchemaPattern(CitationSchema(), &CitationQueryPred, num_nodes,
+                       num_edges, max_bound, seed, /*acyclic=*/true);
+}
+
+Graph GenerateYoutubeLike(size_t num_nodes, uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  const std::vector<double> category_weights = {0.30, 0.15, 0.15, 0.25, 0.15};
+  std::vector<std::vector<NodeId>> by_cat(kYoutubeCategories.size());
+  for (size_t i = 0; i < num_nodes; ++i) {
+    size_t cat = rng.NextWeighted(category_weights);
+    AttributeSet attrs;
+    attrs.Set("A", AttrValue(static_cast<int64_t>(1 + rng.NextBounded(365))));
+    attrs.Set("R", AttrValue(static_cast<int64_t>(1 + rng.NextBounded(5))));
+    // Heavily skewed view counts, as on the real platform: only ~3% of
+    // videos are popular (V >= 10K), keeping the Fig. 7 views' extensions a
+    // small fraction of the graph (the paper reports ~4%).
+    int64_t visits = rng.NextBool(0.03)
+                         ? 10000 + static_cast<int64_t>(rng.NextBounded(990001))
+                         : 100 + static_cast<int64_t>(rng.NextBounded(9900));
+    attrs.Set("V", AttrValue(visits));
+    attrs.Set("L", AttrValue(static_cast<int64_t>(10 + rng.NextBounded(990))));
+    NodeId v = g.AddNode(kYoutubeCategories[cat], std::move(attrs));
+    by_cat[cat].push_back(v);
+  }
+  // Related-video edges: ~2.8 per node, 70% intra-category.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t cat = 0;
+    for (size_t ci = 0; ci < kYoutubeCategories.size(); ++ci) {
+      if (g.HasLabel(v, g.FindLabel(kYoutubeCategories[ci]))) {
+        cat = ci;
+        break;
+      }
+    }
+    size_t degree = 2 + rng.NextBounded(2);  // 2..3
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId w;
+      if (rng.NextBool(0.7) && by_cat[cat].size() > 1) {
+        w = by_cat[cat][rng.NextBounded(by_cat[cat].size())];
+      } else {
+        w = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      }
+      if (w != v) g.AddEdgeIfAbsent(v, w);
+    }
+  }
+  return g;
+}
+
+ViewSet YoutubeViews(uint32_t bound) {
+  // The 12 views of Fig. 7 (P1..P12). The figure's conditions use category
+  // (C, here the node label), age A, rate R, visits V and length L; node
+  // conditions without a category are wildcard-label predicate nodes.
+  auto make = [bound](std::initializer_list<std::pair<const char*, Predicate>>
+                          nodes,
+                      std::initializer_list<std::pair<int, int>> edges) {
+    Pattern p;
+    int i = 0;
+    for (const auto& [label, pred] : nodes) {
+      p.AddNode(label, pred, std::string(*label ? label : "any") +
+                                 std::to_string(i++));
+    }
+    for (const auto& [a, b] : edges) {
+      (void)p.AddEdge(static_cast<uint32_t>(a), static_cast<uint32_t>(b),
+                      bound);
+    }
+    return p;
+  };
+
+  ViewSet views;
+  views.Add("P1", make({{"Music", Predicate().Ge("R", 4)},
+                        {"", Predicate().Ge("V", 10000)}},
+                       {{0, 1}}));
+  views.Add("P2", make({{"Sports", Predicate()},
+                        {"", Predicate().Ge("R", 5)}},
+                       {{0, 1}}));
+  views.Add("P3", make({{"Comedy", Predicate().Ge("V", 10000)},
+                        {"", Predicate().Le("A", 100)}},
+                       {{0, 1}}));
+  views.Add("P4", make({{"News", Predicate().Ge("R", 4)},
+                        {"", Predicate().Ge("V", 10000)},
+                        {"Ent", Predicate()}},
+                       {{0, 1}, {1, 2}}));
+  views.Add("P5", make({{"Music", Predicate().Ge("R", 5)},
+                        {"Music", Predicate().Ge("V", 10000)}},
+                       {{0, 1}, {1, 0}}));
+  views.Add("P6", make({{"Ent", Predicate().Ge("V", 10000)},
+                        {"", Predicate().Ge("L", 200)}},
+                       {{0, 1}}));
+  views.Add("P7", make({{"Sports", Predicate().Ge("R", 4)},
+                        {"Sports", Predicate().Ge("V", 10000)}},
+                       {{0, 1}}));
+  views.Add("P8", make({{"Comedy", Predicate().Ge("A", 100)},
+                        {"", Predicate().Ge("R", 5)},
+                        {"Comedy", Predicate()}},
+                       {{0, 1}, {1, 2}, {2, 0}}));
+  views.Add("P9", make({{"Music", Predicate().Ge("R", 4)},
+                        {"Ent", Predicate().Ge("V", 10000)}},
+                       {{0, 1}}));
+  views.Add("P10", make({{"News", Predicate().Ge("A", 100)},
+                         {"News", Predicate().Ge("V", 10000)}},
+                        {{0, 1}}));
+  views.Add("P11", make({{"Sports", Predicate().Ge("R", 5)},
+                         {"Music", Predicate().Ge("R", 4)}},
+                        {{0, 1}}));
+  views.Add("P12", make({{"Ent", Predicate().Ge("R", 4)},
+                         {"", Predicate().Ge("L", 200)},
+                         {"Ent", Predicate().Ge("V", 10000)}},
+                        {{0, 1}, {1, 2}}));
+  return views;
+}
+
+Pattern GenerateYoutubeQuery(uint32_t target_edges, uint32_t bound,
+                             uint64_t seed) {
+  Rng rng(seed);
+  const ViewSet views = YoutubeViews(bound);
+  Pattern q;
+  // Signature of a node's condition, for gluing.
+  auto signature = [](const PatternNode& n) {
+    return n.label + "|" + n.pred.ToString();
+  };
+  std::unordered_map<std::string, std::vector<uint32_t>> by_sig;
+
+  while (q.num_edges() < target_edges) {
+    const Pattern& v =
+        views.view(rng.NextBounded(views.card())).pattern;
+    // Copy the whole view; glue each copied node onto an existing query
+    // node with an identical condition with probability 1/2. Copied nodes
+    // are randomly *strengthened* (queries are stricter than the cached
+    // views, as in the paper's setup) — implication keeps containment.
+    std::vector<uint32_t> node_of(v.num_nodes(), kInvalidNode);
+    for (uint32_t w = 0; w < v.num_nodes(); ++w) {
+      PatternNode node = v.node(w);
+      if (rng.NextBool(0.5)) node.pred.Ge("V", 20000);
+      if (rng.NextBool(0.3)) node.pred.Ge("R", 4);
+      const std::string sig = signature(node);
+      auto it = by_sig.find(sig);
+      if (it != by_sig.end() && !it->second.empty() && rng.NextBool(0.5)) {
+        node_of[w] = it->second[rng.NextBounded(it->second.size())];
+      } else {
+        node_of[w] = q.AddNode(node.label, node.pred,
+                               node.name + "/" +
+                                   std::to_string(q.num_nodes()));
+        by_sig[sig].push_back(node_of[w]);
+      }
+    }
+    for (const PatternEdge& e : v.edges()) {
+      (void)q.AddEdge(node_of[e.src], node_of[e.dst], e.bound);
+    }
+  }
+  return q;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,80 @@
+/// \file datasets.h
+/// \brief Synthetic stand-ins for the paper's real-life datasets
+/// (Section VII: Amazon, Citation, YouTube) plus the per-dataset view sets
+/// and query generators the benchmarks use.
+///
+/// We do not ship the SNAP/ArnetMiner/YouTube crawls; instead each generator
+/// reproduces the schema and the structural properties the algorithms are
+/// sensitive to — label alphabet and skew, degree, attribute distributions —
+/// at a configurable scale (see DESIGN.md §4):
+///
+///  * Amazon — products labeled by group (Book, Music, ...), `rank`
+///    attribute, co-purchase edges biased to the same group;
+///  * Citation — papers labeled by research area, `year` attribute,
+///    citation edges pointing to older papers, biased intra-area;
+///  * YouTube — videos labeled by category with `A`ge, `R`ate, `V`isits,
+///    `L`ength attributes, "related video" edges biased intra-category.
+///
+/// View sets mirror the paper's setup of 12 cached views per dataset whose
+/// extensions are a few percent of the graph: selective predicate views
+/// (top-ranked products, recent papers, highly-rated videos), with the
+/// YouTube set following Fig. 7. Each dataset has a query generator that
+/// only emits queries answerable from the dataset's views (the paper
+/// likewise evaluates queries its cached views can answer).
+
+#ifndef GPMV_WORKLOAD_DATASETS_H_
+#define GPMV_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+
+#include "core/view.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+// ---------------------------------------------------------------- Amazon --
+
+/// Co-purchasing network; ~3 out-edges per node.
+Graph GenerateAmazonLike(size_t num_nodes, uint64_t seed);
+
+/// 12 Amazon views with edge bounds `bound` (1 for Fig. 8(a), 2 for the
+/// bounded runs of Fig. 8(i)).
+ViewSet AmazonViews(uint32_t bound = 1);
+
+/// Random query over the Amazon schema with `max_bound` on every edge;
+/// guaranteed contained in AmazonViews(b) for any b >= max_bound.
+Pattern GenerateAmazonQuery(uint32_t num_nodes, uint32_t num_edges,
+                            uint32_t max_bound, uint64_t seed);
+
+// -------------------------------------------------------------- Citation --
+
+/// Citation network; edges cite older papers.
+Graph GenerateCitationLike(size_t num_nodes, uint64_t seed);
+
+/// 12 Citation views with edge bounds `bound` (3 for Fig. 8(j)).
+ViewSet CitationViews(uint32_t bound = 1);
+
+/// Random query over the Citation schema; contained in CitationViews(b)
+/// for b >= max_bound.
+Pattern GenerateCitationQuery(uint32_t num_nodes, uint32_t num_edges,
+                              uint32_t max_bound, uint64_t seed);
+
+// --------------------------------------------------------------- YouTube --
+
+/// Recommendation network of videos; ~3 out-edges per node.
+Graph GenerateYoutubeLike(size_t num_nodes, uint64_t seed);
+
+/// The 12 predicate views of Fig. 7 (conditions on category, age, rate,
+/// visits, length), with all edge bounds set to `bound`.
+ViewSet YoutubeViews(uint32_t bound = 1);
+
+/// Builds a query by gluing whole YouTube views together at nodes with
+/// identical conditions until ~`target_edges` edges; every edge carries
+/// bound `bound`. Contained in YoutubeViews(bound) by construction.
+Pattern GenerateYoutubeQuery(uint32_t target_edges, uint32_t bound,
+                             uint64_t seed);
+
+}  // namespace gpmv
+
+#endif  // GPMV_WORKLOAD_DATASETS_H_

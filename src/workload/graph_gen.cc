@@ -1,0 +1,63 @@
+#include "workload/graph_gen.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace gpmv {
+
+std::vector<std::string> SyntheticLabels(size_t num_labels) {
+  std::vector<std::string> labels;
+  labels.reserve(num_labels);
+  for (size_t i = 0; i < num_labels; ++i) {
+    labels.push_back("L" + std::to_string(i));
+  }
+  return labels;
+}
+
+namespace {
+
+Graph GenerateLabeledGraph(size_t num_nodes, size_t num_edges,
+                           size_t num_labels, double label_skew,
+                           uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  const std::vector<std::string> labels = SyntheticLabels(num_labels);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    size_t label = label_skew > 0.0
+                       ? static_cast<size_t>(rng.NextZipf(num_labels, label_skew))
+                       : static_cast<size_t>(rng.NextBounded(num_labels));
+    g.AddNode(labels[label]);
+  }
+  if (num_nodes < 2) return g;
+  // Cap at the number of possible distinct non-self edges.
+  const double max_edges =
+      static_cast<double>(num_nodes) * static_cast<double>(num_nodes - 1);
+  if (static_cast<double>(num_edges) > 0.5 * max_edges) {
+    num_edges = static_cast<size_t>(0.5 * max_edges);
+  }
+  size_t added = 0;
+  while (added < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    if (g.AddEdgeIfAbsent(u, v)) ++added;
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph GenerateRandomGraph(const RandomGraphOptions& opts) {
+  return GenerateLabeledGraph(opts.num_nodes, opts.num_edges, opts.num_labels,
+                              opts.label_skew, opts.seed);
+}
+
+Graph GenerateDensificationGraph(size_t num_nodes, double alpha,
+                                 size_t num_labels, uint64_t seed) {
+  const size_t num_edges = static_cast<size_t>(
+      std::pow(static_cast<double>(num_nodes), alpha));
+  return GenerateLabeledGraph(num_nodes, num_edges, num_labels, 0.0, seed);
+}
+
+}  // namespace gpmv

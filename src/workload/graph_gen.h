@@ -1,0 +1,47 @@
+/// \file graph_gen.h
+/// \brief Synthetic data-graph generators (paper Section VII, "Synthetic
+/// data").
+///
+/// The paper's generator produces random graphs controlled by |V|, |E| and
+/// a label alphabet Σ; the Fig. 8(f) ablation additionally uses graphs
+/// following the densification law |E| = |V|^α of Leskovec et al. [26].
+/// All generators are deterministic in their seed.
+
+#ifndef GPMV_WORKLOAD_GRAPH_GEN_H_
+#define GPMV_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpmv {
+
+/// Parameters of the uniform random-graph generator.
+struct RandomGraphOptions {
+  size_t num_nodes = 1000;
+  size_t num_edges = 2000;
+  /// Size of the label alphabet Σ; labels are named "L0", "L1", ...
+  size_t num_labels = 10;
+  /// Zipf exponent for label frequencies; 0 = uniform.
+  double label_skew = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a random directed graph: labels drawn per node from Σ (skewed
+/// when label_skew > 0), then `num_edges` distinct non-self edges sampled
+/// uniformly.
+Graph GenerateRandomGraph(const RandomGraphOptions& opts);
+
+/// Generates a graph obeying the densification law |E| = |V|^alpha [26];
+/// labels as in GenerateRandomGraph.
+Graph GenerateDensificationGraph(size_t num_nodes, double alpha,
+                                 size_t num_labels, uint64_t seed);
+
+/// The label names "L0".."L<n-1>" the generators use.
+std::vector<std::string> SyntheticLabels(size_t num_labels);
+
+}  // namespace gpmv
+
+#endif  // GPMV_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,229 @@
+#include "workload/paper_fixtures.h"
+
+#include "pattern/pattern_builder.h"
+
+namespace gpmv {
+
+namespace {
+
+NodeId FindByName(const Graph& g, const std::string& name) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const AttrValue* n = g.attrs(v).Get("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return v;
+  }
+  return kInvalidNode;
+}
+
+NodeId AddPerson(Graph* g, const std::string& name, const std::string& title) {
+  AttributeSet attrs;
+  attrs.Set("name", AttrValue(name));
+  return g->AddNode(title, std::move(attrs));
+}
+
+}  // namespace
+
+NodeId Fig1Fixture::node(const std::string& name) const {
+  return FindByName(g, name);
+}
+
+Fig1Fixture MakeFig1() {
+  Fig1Fixture f;
+  // People of Fig. 1(a) with their job titles.
+  NodeId walt = AddPerson(&f.g, "Walt", "PM");
+  NodeId bob = AddPerson(&f.g, "Bob", "PM");
+  NodeId mat = AddPerson(&f.g, "Mat", "DBA");
+  NodeId fred = AddPerson(&f.g, "Fred", "DBA");
+  NodeId mary = AddPerson(&f.g, "Mary", "DBA");
+  NodeId dan = AddPerson(&f.g, "Dan", "PRG");
+  NodeId pat = AddPerson(&f.g, "Pat", "PRG");
+  NodeId bill = AddPerson(&f.g, "Bill", "PRG");
+  NodeId emmy = AddPerson(&f.g, "Emmy", "ST");
+  NodeId jean = AddPerson(&f.g, "Jean", "BA");
+  // Collaboration edges (x, y): y worked well with x.
+  for (auto [u, v] : std::initializer_list<std::pair<NodeId, NodeId>>{
+           {bob, mat}, {walt, mat},                        // PM -> DBA
+           {bob, dan}, {walt, bill},                       // PM -> PRG
+           {fred, pat}, {mat, pat}, {mary, bill},          // DBA -> PRG
+           {dan, fred}, {pat, mary}, {pat, mat}, {bill, mat},  // PRG -> DBA
+           {walt, jean}, {dan, emmy}}) {                   // BA / ST fringe
+    (void)f.g.AddEdge(u, v);
+  }
+
+  // Qs of Fig. 1(c): the collaboration cycle between DBAs and PRGs under a
+  // project manager.
+  f.qs = PatternBuilder()
+             .Node("PM")
+             .Node("DBA1", "DBA")
+             .Node("PRG1", "PRG")
+             .Node("DBA2", "DBA")
+             .Node("PRG2", "PRG")
+             .Edge("PM", "DBA1")
+             .Edge("PM", "PRG2")
+             .Edge("DBA1", "PRG1")
+             .Edge("DBA2", "PRG2")
+             .Edge("PRG1", "DBA2")
+             .Edge("PRG2", "DBA1")
+             .Build();
+
+  // V1 (Fig. 1(b)): PM -> DBA (e1), PM -> PRG (e2).
+  f.views.Add("V1", PatternBuilder()
+                        .Node("PM")
+                        .Node("DBA")
+                        .Node("PRG")
+                        .Edge("PM", "DBA")
+                        .Edge("PM", "PRG")
+                        .Build());
+  // V2: DBA -> PRG (e3), PRG -> DBA (e4).
+  f.views.Add("V2", PatternBuilder()
+                        .Node("DBA")
+                        .Node("PRG")
+                        .Edge("DBA", "PRG")
+                        .Edge("PRG", "DBA")
+                        .Build());
+  return f;
+}
+
+NodeId Fig3Fixture::node(const std::string& name) const {
+  return FindByName(g, name);
+}
+
+Fig3Fixture MakeFig3() {
+  Fig3Fixture f;
+  NodeId pm1 = AddPerson(&f.g, "PM1", "PM");
+  NodeId ai1 = AddPerson(&f.g, "AI1", "AI");
+  NodeId ai2 = AddPerson(&f.g, "AI2", "AI");
+  NodeId bio1 = AddPerson(&f.g, "Bio1", "Bio");
+  NodeId db1 = AddPerson(&f.g, "DB1", "DB");
+  NodeId db2 = AddPerson(&f.g, "DB2", "DB");
+  NodeId se1 = AddPerson(&f.g, "SE1", "SE");
+  NodeId se2 = AddPerson(&f.g, "SE2", "SE");
+  for (auto [u, v] : std::initializer_list<std::pair<NodeId, NodeId>>{
+           {ai2, bio1}, {pm1, ai2},              // V1(G): Se1, Se2
+           {db1, ai2}, {db2, ai2},               // Se3
+           {ai1, se1}, {ai2, se2},               // Se4
+           {se1, db2}, {se2, db1}}) {            // Se5
+    (void)f.g.AddEdge(u, v);
+  }
+
+  // Qs of Fig. 3(c).
+  f.qs = PatternBuilder()
+             .Node("PM")
+             .Node("AI")
+             .Node("Bio")
+             .Node("DB")
+             .Node("SE")
+             .Edge("PM", "AI")
+             .Edge("AI", "Bio")
+             .Edge("DB", "AI")
+             .Edge("AI", "SE")
+             .Edge("SE", "DB")
+             .Build();
+
+  // V1: AI -> Bio (e1), PM -> AI (e2).
+  f.views.Add("V1", PatternBuilder()
+                        .Node("PM")
+                        .Node("AI")
+                        .Node("Bio")
+                        .Edge("AI", "Bio")
+                        .Edge("PM", "AI")
+                        .Build());
+  // V2: DB -> AI (e3), AI -> SE (e4), SE -> DB (e5).
+  f.views.Add("V2", PatternBuilder()
+                        .Node("DB")
+                        .Node("AI")
+                        .Node("SE")
+                        .Edge("DB", "AI")
+                        .Edge("AI", "SE")
+                        .Edge("SE", "DB")
+                        .Build());
+  return f;
+}
+
+Fig4Fixture MakeFig4() {
+  Fig4Fixture f;
+  f.qs = PatternBuilder()
+             .Node("A")
+             .Node("B")
+             .Node("C")
+             .Node("D")
+             .Node("E")
+             .Edge("A", "B")
+             .Edge("A", "C")
+             .Edge("B", "D")
+             .Edge("C", "D")
+             .Edge("B", "E")
+             .Build();
+
+  f.views.Add("V1", PatternBuilder().Node("C").Node("D").Edge("C", "D").Build());
+  f.views.Add("V2", PatternBuilder().Node("B").Node("E").Edge("B", "E").Build());
+  f.views.Add("V3", PatternBuilder()
+                        .Node("A").Node("B").Node("C")
+                        .Edge("A", "B").Edge("A", "C")
+                        .Build());
+  f.views.Add("V4", PatternBuilder()
+                        .Node("B").Node("C").Node("D")
+                        .Edge("B", "D").Edge("C", "D")
+                        .Build());
+  f.views.Add("V5", PatternBuilder()
+                        .Node("B").Node("D").Node("E")
+                        .Edge("B", "D").Edge("B", "E")
+                        .Build());
+  f.views.Add("V6", PatternBuilder()
+                        .Node("A").Node("B").Node("C").Node("D")
+                        .Edge("A", "B").Edge("A", "C").Edge("C", "D")
+                        .Build());
+  f.views.Add("V7", PatternBuilder()
+                        .Node("A").Node("B").Node("C").Node("D")
+                        .Edge("A", "B").Edge("A", "C").Edge("B", "D")
+                        .Build());
+  return f;
+}
+
+Fig6Fixture MakeFig6() {
+  Fig6Fixture f;
+  // Qb: the Fig. 4 pattern with bounds fe(A,B)=2, fe(A,C)=3, fe(B,D)=3,
+  // fe(C,D)=4, fe(B,E)=3.
+  f.qb = PatternBuilder()
+             .Node("A")
+             .Node("B")
+             .Node("C")
+             .Node("D")
+             .Node("E")
+             .Edge("A", "B", 2)
+             .Edge("A", "C", 3)
+             .Edge("B", "D", 3)
+             .Edge("C", "D", 4)
+             .Edge("B", "E", 3)
+             .Build();
+
+  f.views.Add("V1",
+              PatternBuilder().Node("C").Node("D").Edge("C", "D", 4).Build());
+  f.views.Add("V2",
+              PatternBuilder().Node("B").Node("E").Edge("B", "E", 3).Build());
+  // V3: A ->(3) B ->(3) E; covers (A,B) and (B,E) only (Example 9).
+  f.views.Add("V3", PatternBuilder()
+                        .Node("A").Node("B").Node("E")
+                        .Edge("A", "B", 3).Edge("B", "E", 3)
+                        .Build());
+  f.views.Add("V4", PatternBuilder()
+                        .Node("B").Node("C").Node("D")
+                        .Edge("B", "D", 3).Edge("C", "D", 4)
+                        .Build());
+  f.views.Add("V5", PatternBuilder()
+                        .Node("B").Node("D").Node("E")
+                        .Edge("B", "D", 3).Edge("B", "E", 3)
+                        .Build());
+  f.views.Add("V6", PatternBuilder()
+                        .Node("A").Node("B").Node("C").Node("D")
+                        .Edge("A", "B", 2).Edge("A", "C", 3).Edge("C", "D", 4)
+                        .Build());
+  // V7 carries C ->(2) D, but dist(C, D) in Qb is 4 > 2: M^Qb_V7 = ∅
+  // (Example 9).
+  f.views.Add("V7", PatternBuilder()
+                        .Node("A").Node("B").Node("C").Node("D")
+                        .Edge("A", "B", 2).Edge("A", "C", 3).Edge("C", "D", 2)
+                        .Build());
+  return f;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,60 @@
+/// \file paper_fixtures.h
+/// \brief The running examples of the paper, encoded exactly: the
+/// recommendation network of Fig. 1, the project graph of Fig. 3, the
+/// containment families of Fig. 4 (plain) and Fig. 6 (bounded).
+///
+/// Tests assert the published results on these fixtures (Examples 2-9);
+/// examples/ uses Fig. 1 for the team-building walkthrough. The 12 YouTube
+/// views of Fig. 7 live in workload/datasets.h (YoutubeViews).
+///
+/// Note on Fig. 6: the paper's figure is not fully legible in the source
+/// text, so bounds were chosen to reproduce Example 9's claims verbatim
+/// (M^Qb_V3 = {(A,B),(B,E)}; M^Qb_V7 = ∅ because dist(C,D) in Qb exceeds
+/// V7's bound).
+
+#ifndef GPMV_WORKLOAD_PAPER_FIXTURES_H_
+#define GPMV_WORKLOAD_PAPER_FIXTURES_H_
+
+#include "core/view.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// Fig. 1: recommendation network G, views {V1, V2} and pattern Qs.
+/// Node names (Bob, Walt, Mat, ...) are resolvable via NodeByName on the
+/// patterns and via the `name` attribute on graph nodes.
+struct Fig1Fixture {
+  Graph g;
+  Pattern qs;      ///< PM, DBA1, PRG1, DBA2, PRG2 with the collaboration cycle
+  ViewSet views;   ///< V1: PM->{DBA, PRG}; V2: DBA<->PRG cycle
+  NodeId node(const std::string& name) const;  ///< graph node by person name
+};
+Fig1Fixture MakeFig1();
+
+/// Fig. 3: graph G, views {V1, V2} and pattern Qs over PM/AI/Bio/DB/SE.
+struct Fig3Fixture {
+  Graph g;
+  Pattern qs;
+  ViewSet views;
+  NodeId node(const std::string& name) const;  ///< e.g. "AI2", "Bio1"
+};
+Fig3Fixture MakeFig3();
+
+/// Fig. 4: pattern Qs over labels A..E and views V1..V7 (Examples 5-7).
+struct Fig4Fixture {
+  Pattern qs;
+  ViewSet views;  ///< views()[i] is V_{i+1}
+};
+Fig4Fixture MakeFig4();
+
+/// Fig. 6: bounded pattern Qb and bounded views V1..V7 (Example 9).
+struct Fig6Fixture {
+  Pattern qb;
+  ViewSet views;
+};
+Fig6Fixture MakeFig6();
+
+}  // namespace gpmv
+
+#endif  // GPMV_WORKLOAD_PAPER_FIXTURES_H_

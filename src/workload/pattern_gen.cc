@@ -1,0 +1,164 @@
+#include "workload/pattern_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "workload/graph_gen.h"
+
+namespace gpmv {
+
+namespace {
+
+uint32_t DrawBound(Rng* rng, uint32_t max_bound, double star_prob) {
+  if (star_prob > 0.0 && rng->NextBool(star_prob)) return kUnbounded;
+  if (max_bound <= 1) return 1;
+  return 1 + static_cast<uint32_t>(rng->NextBounded(max_bound));
+}
+
+}  // namespace
+
+Pattern GenerateRandomPattern(const RandomPatternOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<std::string> pool =
+      opts.label_pool.empty() ? SyntheticLabels(10) : opts.label_pool;
+
+  const uint32_t n = std::max<uint32_t>(opts.num_nodes, 2);
+  Pattern p;
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::string& label = pool[rng.NextBounded(pool.size())];
+    p.AddNode(label, Predicate(), label + "#" + std::to_string(i));
+  }
+
+  // Random arborescence keeps the pattern connected and isolation-free.
+  for (uint32_t i = 1; i < n; ++i) {
+    uint32_t j = static_cast<uint32_t>(rng.NextBounded(i));
+    uint32_t bound = DrawBound(&rng, opts.max_bound, opts.star_prob);
+    if (opts.dag_only || rng.NextBool(0.5)) {
+      (void)p.AddEdge(j, i, bound);
+    } else {
+      (void)p.AddEdge(i, j, bound);
+    }
+  }
+
+  const uint64_t max_extra =
+      opts.dag_only ? static_cast<uint64_t>(n) * (n - 1) / 2
+                    : static_cast<uint64_t>(n) * (n - 1);
+  uint32_t target = std::max<uint32_t>(opts.num_edges, n - 1);
+  target = static_cast<uint32_t>(
+      std::min<uint64_t>(target, max_extra));
+  size_t attempts = 0;
+  while (p.num_edges() < target && attempts < 64ull * target + 256) {
+    ++attempts;
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (opts.dag_only && u > v) std::swap(u, v);
+    uint32_t bound = DrawBound(&rng, opts.max_bound, opts.star_prob);
+    (void)p.AddEdge(u, v, bound);  // AlreadyExists is fine — retry
+  }
+  return p;
+}
+
+namespace {
+
+/// Builds one view covering the given query edges: copies of their endpoint
+/// nodes (conditions preserved) and edges with slackened bounds.
+Pattern ViewFromQueryEdges(const Pattern& q,
+                           const std::vector<uint32_t>& edge_ids,
+                           uint32_t bound_slack) {
+  Pattern view;
+  std::unordered_map<uint32_t, uint32_t> node_of;
+  for (uint32_t e : edge_ids) {
+    const PatternEdge& qe = q.edge(e);
+    for (uint32_t u : {qe.src, qe.dst}) {
+      if (node_of.count(u) == 0) {
+        const PatternNode& pn = q.node(u);
+        node_of[u] = view.AddNode(pn.label, pn.pred, pn.name);
+      }
+    }
+    uint32_t bound = qe.bound == kUnbounded ? kUnbounded
+                                            : qe.bound + bound_slack;
+    (void)view.AddEdge(node_of[qe.src], node_of[qe.dst], bound);
+  }
+  return view;
+}
+
+}  // namespace
+
+ViewSet GenerateCoveringViews(const Pattern& q,
+                              const CoveringViewOptions& opts) {
+  Rng rng(opts.seed);
+  const uint32_t ne = static_cast<uint32_t>(q.num_edges());
+  const uint32_t per = std::max<uint32_t>(opts.edges_per_view, 1);
+
+  std::vector<ViewDefinition> defs;
+  // Partition the query edges into contiguous chunks: the covering core.
+  for (uint32_t start = 0; start < ne; start += per) {
+    std::vector<uint32_t> chunk;
+    for (uint32_t e = start; e < std::min(start + per, ne); ++e) {
+      chunk.push_back(e);
+    }
+    defs.push_back(ViewDefinition{
+        "cover" + std::to_string(defs.size()),
+        ViewFromQueryEdges(q, chunk, opts.bound_slack)});
+  }
+  // Overlapping redundant views: random edge subsets.
+  const uint32_t overlap_per =
+      opts.overlap_edges > 0 ? opts.overlap_edges : per;
+  for (uint32_t i = 0; i < opts.overlap_views; ++i) {
+    std::vector<uint32_t> subset;
+    for (uint32_t j = 0; j < overlap_per; ++j) {
+      uint32_t e = static_cast<uint32_t>(rng.NextBounded(ne));
+      if (std::find(subset.begin(), subset.end(), e) == subset.end()) {
+        subset.push_back(e);
+      }
+    }
+    std::sort(subset.begin(), subset.end());
+    defs.push_back(ViewDefinition{
+        "overlap" + std::to_string(i),
+        ViewFromQueryEdges(q, subset, opts.bound_slack + 1)});
+  }
+  // Distractors: unrelated random views.
+  std::vector<std::string> pool;
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) pool.push_back(q.node(u).label);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  for (uint32_t i = 0; i < opts.num_distractors; ++i) {
+    RandomPatternOptions ro;
+    ro.num_nodes = 2 + static_cast<uint32_t>(rng.NextBounded(2));
+    ro.num_edges = ro.num_nodes;
+    ro.label_pool = pool;
+    ro.max_bound = 2;
+    ro.seed = opts.seed * 7919 + i;
+    defs.push_back(
+        ViewDefinition{"distractor" + std::to_string(i),
+                       GenerateRandomPattern(ro)});
+  }
+  rng.Shuffle(&defs);
+
+  ViewSet views;
+  for (auto& def : defs) views.Add(std::move(def));
+  return views;
+}
+
+ViewSet GenerateRandomViews(size_t count, const RandomPatternOptions& base,
+                            uint64_t seed) {
+  Rng rng(seed);
+  ViewSet views;
+  for (size_t i = 0; i < count; ++i) {
+    RandomPatternOptions opts = base;
+    opts.num_nodes =
+        std::max<uint32_t>(2, base.num_nodes - 1 +
+                                  static_cast<uint32_t>(rng.NextBounded(3)));
+    opts.num_edges =
+        std::max<uint32_t>(opts.num_nodes - 1,
+                           base.num_edges - 1 +
+                               static_cast<uint32_t>(rng.NextBounded(3)));
+    opts.seed = seed * 104729 + i;
+    views.Add("view" + std::to_string(i), GenerateRandomPattern(opts));
+  }
+  return views;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,79 @@
+/// \file pattern_gen.h
+/// \brief Random pattern-query and view-set generators (paper Section VII,
+/// "Pattern and view generator").
+///
+/// The paper's generator is controlled by (|Vp|, |Ep|, labels, k): node
+/// labels drawn from Σ and edge bounds drawn from [1, k] (k = 1 yields a
+/// plain pattern query). Patterns are connected by construction (random
+/// arborescence plus extra edges); `dag_only` restricts extra edges to a
+/// topological direction, giving the QDAG/QCyclic families of Fig. 8(g).
+///
+/// Because randomly drawn queries are rarely contained in randomly drawn
+/// views, the bench harness uses GenerateCoveringViews to derive a view set
+/// that provably covers a query (groups of its edges, with optional bound
+/// slack and overlapping/distractor views) — mirroring the paper's setup
+/// where cached views were curated per dataset so queries are answerable.
+
+#ifndef GPMV_WORKLOAD_PATTERN_GEN_H_
+#define GPMV_WORKLOAD_PATTERN_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "pattern/pattern.h"
+
+namespace gpmv {
+
+/// Parameters of the random pattern generator.
+struct RandomPatternOptions {
+  uint32_t num_nodes = 4;
+  uint32_t num_edges = 6;
+  /// Label pool; when empty, "L0".."L9".
+  std::vector<std::string> label_pool;
+  /// Max edge bound k; bounds drawn uniformly from [1, k]. k = 1 -> plain.
+  uint32_t max_bound = 1;
+  /// Probability that an edge gets the `*` bound (bounded patterns only).
+  double star_prob = 0.0;
+  /// Restrict edges to lower->higher node index (acyclic pattern).
+  bool dag_only = false;
+  uint64_t seed = 42;
+};
+
+/// Generates a connected random pattern (no isolated nodes; >= num_nodes-1
+/// edges; self-loops excluded).
+Pattern GenerateRandomPattern(const RandomPatternOptions& opts);
+
+/// Parameters for deriving a covering view set from a query.
+struct CoveringViewOptions {
+  /// Query edges per generated view (the views partition the query edges).
+  uint32_t edges_per_view = 2;
+  /// Extra random views mixed in that may or may not cover anything.
+  uint32_t num_distractors = 4;
+  /// Added to each covered edge's bound in the view (looser views make the
+  /// distance-index filter of BMatchJoin do real work).
+  uint32_t bound_slack = 0;
+  /// Extra per-view copies covering overlapping edge groups, so minimal and
+  /// minimum containment have real choices to make.
+  uint32_t overlap_views = 0;
+  /// Edges per overlap view (0 = same as edges_per_view). Larger overlap
+  /// views than partition views recreate the paper's minimum-vs-minimal gap:
+  /// greedy minimum grabs the big views, first-fit minimal often settles for
+  /// many small ones.
+  uint32_t overlap_edges = 0;
+  uint64_t seed = 42;
+};
+
+/// Builds a view set guaranteed to contain `q` (Q ⊑ V by construction).
+ViewSet GenerateCoveringViews(const Pattern& q,
+                              const CoveringViewOptions& opts);
+
+/// Generates `count` independent random views (patterns) for containment
+/// benchmarks — no coverage guarantee.
+ViewSet GenerateRandomViews(size_t count, const RandomPatternOptions& base,
+                            uint64_t seed);
+
+}  // namespace gpmv
+
+#endif  // GPMV_WORKLOAD_PATTERN_GEN_H_

@@ -1,0 +1,101 @@
+#include "graph/attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace gpmv {
+namespace {
+
+TEST(AttrValueTest, TypePredicates) {
+  EXPECT_TRUE(AttrValue(int64_t{5}).is_int());
+  EXPECT_TRUE(AttrValue(5).is_int());
+  EXPECT_TRUE(AttrValue(2.5).is_double());
+  EXPECT_TRUE(AttrValue("x").is_string());
+  EXPECT_TRUE(AttrValue(5).is_numeric());
+  EXPECT_TRUE(AttrValue(2.5).is_numeric());
+  EXPECT_FALSE(AttrValue("x").is_numeric());
+}
+
+TEST(AttrValueTest, CompareIntInt) {
+  EXPECT_EQ(AttrValue(1).Compare(AttrValue(2)), -1);
+  EXPECT_EQ(AttrValue(2).Compare(AttrValue(2)), 0);
+  EXPECT_EQ(AttrValue(3).Compare(AttrValue(2)), 1);
+}
+
+TEST(AttrValueTest, CompareMixedNumeric) {
+  EXPECT_EQ(AttrValue(1).Compare(AttrValue(1.5)), -1);
+  EXPECT_EQ(AttrValue(2.0).Compare(AttrValue(2)), 0);
+  EXPECT_EQ(AttrValue(2.5).Compare(AttrValue(2)), 1);
+}
+
+TEST(AttrValueTest, CompareStrings) {
+  EXPECT_EQ(AttrValue("abc").Compare(AttrValue("abd")), -1);
+  EXPECT_EQ(AttrValue("abc").Compare(AttrValue("abc")), 0);
+  EXPECT_EQ(AttrValue("b").Compare(AttrValue("a")), 1);
+}
+
+TEST(AttrValueTest, CompareIncomparable) {
+  EXPECT_FALSE(AttrValue("5").Compare(AttrValue(5)).has_value());
+  EXPECT_FALSE(AttrValue(5).Compare(AttrValue("5")).has_value());
+}
+
+TEST(AttrValueTest, EqualityUsesNumericSemantics) {
+  EXPECT_EQ(AttrValue(2), AttrValue(2.0));
+  EXPECT_FALSE(AttrValue(2) == AttrValue("2"));
+}
+
+TEST(AttrValueTest, ToString) {
+  EXPECT_EQ(AttrValue(5).ToString(), "5");
+  EXPECT_EQ(AttrValue("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(AttrValue(1.5).ToString(), "1.5");
+}
+
+TEST(AttributeSetTest, SetAndGet) {
+  AttributeSet attrs;
+  attrs.Set("rank", AttrValue(10));
+  attrs.Set("name", AttrValue("x"));
+  ASSERT_NE(attrs.Get("rank"), nullptr);
+  EXPECT_EQ(attrs.Get("rank")->as_int(), 10);
+  ASSERT_NE(attrs.Get("name"), nullptr);
+  EXPECT_EQ(attrs.Get("name")->as_string(), "x");
+  EXPECT_EQ(attrs.Get("missing"), nullptr);
+}
+
+TEST(AttributeSetTest, OverwriteKeepsSize) {
+  AttributeSet attrs;
+  attrs.Set("a", AttrValue(1));
+  attrs.Set("a", AttrValue(2));
+  EXPECT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs.Get("a")->as_int(), 2);
+}
+
+TEST(AttributeSetTest, EntriesSortedByName) {
+  AttributeSet attrs;
+  attrs.Set("z", AttrValue(1));
+  attrs.Set("a", AttrValue(2));
+  attrs.Set("m", AttrValue(3));
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs.entries()[0].first, "a");
+  EXPECT_EQ(attrs.entries()[1].first, "m");
+  EXPECT_EQ(attrs.entries()[2].first, "z");
+}
+
+TEST(AttributeSetTest, Equality) {
+  AttributeSet a, b;
+  a.Set("x", AttrValue(1));
+  b.Set("x", AttrValue(1));
+  EXPECT_EQ(a, b);
+  b.Set("x", AttrValue(2));
+  EXPECT_FALSE(a == b);
+  b.Set("x", AttrValue(1));
+  b.Set("y", AttrValue(1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(AttributeSetTest, ToStringListsEntries) {
+  AttributeSet attrs;
+  attrs.Set("r", AttrValue(4));
+  EXPECT_EQ(attrs.ToString(), "{r=4}");
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,190 @@
+#include "core/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_builder.h"
+#include "workload/paper_fixtures.h"
+
+namespace gpmv {
+namespace {
+
+std::vector<uint32_t> Views(std::initializer_list<uint32_t> ids) {
+  return std::vector<uint32_t>(ids);
+}
+
+TEST(ContainmentTest, Fig1QsContainedInViews) {
+  Fig1Fixture f = MakeFig1();
+  Result<ContainmentMapping> m = CheckContainment(f.qs, f.views);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->contained);
+  EXPECT_EQ(m->selected, Views({0, 1}));
+  // λ maps every query edge to at least one view edge (Example 3).
+  for (uint32_t e = 0; e < f.qs.num_edges(); ++e) {
+    EXPECT_FALSE(m->lambda[e].empty());
+  }
+  // (PM, DBA1) maps to V1's e1 only.
+  uint32_t pm_dba = f.qs.EdgeByName("PM", "DBA1");
+  ASSERT_EQ(m->lambda[pm_dba].size(), 1u);
+  EXPECT_EQ(m->lambda[pm_dba][0], (ViewEdgeRef{0, 0}));
+}
+
+TEST(ContainmentTest, Fig4ContainTrue) {
+  Fig4Fixture f = MakeFig4();
+  Result<ContainmentMapping> m = CheckContainment(f.qs, f.views);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->contained);
+  EXPECT_EQ(m->selected.size(), 7u);
+}
+
+TEST(ContainmentTest, NotContainedWithoutCoveringViews) {
+  Fig4Fixture f = MakeFig4();
+  // Only V1 and V2 cannot cover (A,B) etc.
+  ViewSet partial;
+  partial.Add(f.views.view(0));
+  partial.Add(f.views.view(1));
+  Result<ContainmentMapping> m = CheckContainment(f.qs, partial);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->contained);
+  EXPECT_TRUE(m->selected.empty());
+}
+
+TEST(ContainmentTest, MinimalReproducesExample6) {
+  Fig4Fixture f = MakeFig4();
+  Result<ContainmentMapping> m = MinimalContainment(f.qs, f.views);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->contained);
+  // minimal selects V2, V3, V4 (indices 1, 2, 3) after dropping V1.
+  EXPECT_EQ(m->selected, Views({1, 2, 3}));
+  // λ only references selected views.
+  for (const auto& refs : m->lambda) {
+    for (const ViewEdgeRef& r : refs) {
+      EXPECT_TRUE(r.view == 1 || r.view == 2 || r.view == 3);
+    }
+  }
+}
+
+TEST(ContainmentTest, MinimalIsInclusionMinimal) {
+  Fig4Fixture f = MakeFig4();
+  Result<ContainmentMapping> m = MinimalContainment(f.qs, f.views);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->contained);
+  // Dropping any selected view must break containment.
+  for (uint32_t dropped : m->selected) {
+    ViewSet subset;
+    for (uint32_t vi : m->selected) {
+      if (vi != dropped) subset.Add(f.views.view(vi));
+    }
+    Result<ContainmentMapping> sub = CheckContainment(f.qs, subset);
+    ASSERT_TRUE(sub.ok());
+    EXPECT_FALSE(sub->contained) << "dropping view " << dropped;
+  }
+}
+
+TEST(ContainmentTest, MinimumReproducesExample7) {
+  Fig4Fixture f = MakeFig4();
+  Result<ContainmentMapping> m = MinimumContainment(f.qs, f.views);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->contained);
+  // Greedy picks V6 (covers 3 edges) then V5: {V5, V6} = indices {4, 5}.
+  EXPECT_EQ(m->selected, Views({4, 5}));
+}
+
+TEST(ContainmentTest, ExactMinimumMatchesGreedyOnFig4) {
+  Fig4Fixture f = MakeFig4();
+  Result<ContainmentMapping> exact = ExactMinimumContainment(f.qs, f.views);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact->contained);
+  EXPECT_EQ(exact->selected.size(), 2u);
+}
+
+TEST(ContainmentTest, MinimumSmallerThanMinimalOnFig4) {
+  Fig4Fixture f = MakeFig4();
+  auto minimal = MinimalContainment(f.qs, f.views);
+  auto minimum = MinimumContainment(f.qs, f.views);
+  ASSERT_TRUE(minimal.ok() && minimum.ok());
+  EXPECT_LT(minimum->selected.size(), minimal->selected.size());
+}
+
+TEST(ContainmentTest, SingleViewQueryContainment) {
+  // Corollary 4: classical containment Qs1 ⊑ Qs2 as card(V) = 1.
+  Pattern q1 = PatternBuilder()
+                   .Node("A").Node("B").Node("C")
+                   .Edge("A", "B").Edge("B", "C")
+                   .Build();
+  Pattern q2 = PatternBuilder().Node("A").Node("B").Edge("A", "B").Build();
+  // Every edge of q2... q2's (A,B) is covered by q1? No: we check q2 ⊑ {q1}:
+  // q1 must simulate over q2, but q1's B needs a C-successor in q2 — q2's B
+  // has none.
+  ViewSet v1;
+  v1.Add("q1", q1);
+  Result<ContainmentMapping> m = CheckContainment(q2, v1);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->contained);
+  // The other direction holds: q1's (A,B) and (B,C)... q2 covers only
+  // (A,B)-shaped edges, so q1 ⊑ {q2} fails on (B,C).
+  ViewSet v2;
+  v2.Add("q2", q2);
+  m = CheckContainment(q1, v2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->contained);
+  // And a pattern against itself is always contained.
+  m = CheckContainment(q1, v1);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->contained);
+}
+
+TEST(ContainmentTest, IsolatedNodeQueryNotContained) {
+  Pattern q;
+  q.AddNode("A");
+  uint32_t b = q.AddNode("B"), c = q.AddNode("C");
+  ASSERT_TRUE(q.AddEdge(b, c).ok());
+  ViewSet views;
+  views.Add("v", PatternBuilder().Node("B").Node("C").Edge("B", "C").Build());
+  Result<ContainmentMapping> m = CheckContainment(q, views);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->contained);
+}
+
+TEST(ContainmentTest, EdgelessQueryNotContained) {
+  Pattern q;
+  q.AddNode("A");
+  ViewSet views;
+  views.Add("v", PatternBuilder().Node("A").Node("B").Edge("A", "B").Build());
+  Result<ContainmentMapping> m = CheckContainment(q, views);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->contained);
+}
+
+TEST(ContainmentTest, MinimalAndMinimumAgreeOnNonContainment) {
+  Fig4Fixture f = MakeFig4();
+  ViewSet partial;
+  partial.Add(f.views.view(0));
+  EXPECT_FALSE(MinimalContainment(f.qs, partial)->contained);
+  EXPECT_FALSE(MinimumContainment(f.qs, partial)->contained);
+  EXPECT_FALSE(ExactMinimumContainment(f.qs, partial)->contained);
+}
+
+TEST(ContainmentTest, BoundedFig6Containment) {
+  Fig6Fixture f = MakeFig6();
+  Result<ContainmentMapping> m = CheckContainment(f.qb, f.views);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->contained);
+  // V7 covers nothing, so a minimal subset never includes index 6.
+  Result<ContainmentMapping> mnl = MinimalContainment(f.qb, f.views);
+  ASSERT_TRUE(mnl.ok());
+  ASSERT_TRUE(mnl->contained);
+  for (uint32_t vi : mnl->selected) EXPECT_NE(vi, 6u);
+}
+
+TEST(ContainmentTest, ExactMinimumGuardsRails) {
+  Pattern q = PatternBuilder().Node("A").Node("B").Edge("A", "B").Build();
+  ViewSet big;
+  for (int i = 0; i < 25; ++i) {
+    big.Add("v" + std::to_string(i),
+            PatternBuilder().Node("A").Node("B").Edge("A", "B").Build());
+  }
+  EXPECT_FALSE(ExactMinimumContainment(q, big).ok());
+}
+
+}  // namespace
+}  // namespace gpmv

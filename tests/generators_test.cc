@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "graph/graph_io.h"
+#include "workload/graph_gen.h"
+#include "workload/pattern_gen.h"
+
+namespace gpmv {
+namespace {
+
+TEST(GraphGenTest, RespectsNodeAndEdgeCounts) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 500;
+  opts.num_edges = 1200;
+  opts.num_labels = 5;
+  opts.seed = 1;
+  Graph g = GenerateRandomGraph(opts);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_EQ(g.num_edges(), 1200u);
+  EXPECT_LE(g.num_labels(), 5u);
+}
+
+TEST(GraphGenTest, DeterministicInSeed) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 100;
+  opts.num_edges = 300;
+  opts.seed = 7;
+  Graph a = GenerateRandomGraph(opts);
+  Graph b = GenerateRandomGraph(opts);
+  EXPECT_EQ(GraphToString(a), GraphToString(b));
+  opts.seed = 8;
+  Graph c = GenerateRandomGraph(opts);
+  EXPECT_NE(GraphToString(a), GraphToString(c));
+}
+
+TEST(GraphGenTest, EdgeCountCappedBySimpleGraphLimit) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 5;
+  opts.num_edges = 10000;  // impossible; generator must cap, not hang
+  opts.seed = 3;
+  Graph g = GenerateRandomGraph(opts);
+  EXPECT_LE(g.num_edges(), 20u);
+}
+
+TEST(GraphGenTest, LabelSkewConcentratesLabels) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 4000;
+  opts.num_edges = 4000;
+  opts.num_labels = 10;
+  opts.label_skew = 1.3;
+  opts.seed = 4;
+  Graph g = GenerateRandomGraph(opts);
+  size_t l0 = g.NodesWithLabel(g.FindLabel("L0")).size();
+  EXPECT_GT(l0, 4000u / 10u * 2u);  // far above the uniform share
+}
+
+TEST(GraphGenTest, DensificationLawEdgeCount) {
+  Graph g = GenerateDensificationGraph(1000, 1.1, 5, 9);
+  // 1000^1.1 ≈ 1995.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 1995.0, 25.0);
+}
+
+TEST(PatternGenTest, ConnectedAndSized) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RandomPatternOptions opts;
+    opts.num_nodes = 5;
+    opts.num_edges = 8;
+    opts.seed = seed;
+    Pattern p = GenerateRandomPattern(opts);
+    EXPECT_EQ(p.num_nodes(), 5u);
+    EXPECT_GE(p.num_edges(), 4u);
+    EXPECT_TRUE(p.HasNoIsolatedNode());
+  }
+}
+
+TEST(PatternGenTest, DagOnlyProducesDags) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RandomPatternOptions opts;
+    opts.num_nodes = 6;
+    opts.num_edges = 10;
+    opts.dag_only = true;
+    opts.seed = seed;
+    Pattern p = GenerateRandomPattern(opts);
+    EXPECT_TRUE(p.IsDag()) << "seed=" << seed;
+  }
+}
+
+TEST(PatternGenTest, BoundsWithinRange) {
+  RandomPatternOptions opts;
+  opts.num_nodes = 6;
+  opts.num_edges = 12;
+  opts.max_bound = 4;
+  opts.seed = 11;
+  Pattern p = GenerateRandomPattern(opts);
+  bool saw_gt1 = false;
+  for (const PatternEdge& e : p.edges()) {
+    ASSERT_GE(e.bound, 1u);
+    ASSERT_LE(e.bound, 4u);
+    saw_gt1 |= e.bound > 1;
+  }
+  EXPECT_TRUE(saw_gt1);
+}
+
+TEST(PatternGenTest, StarProbabilityProducesStars) {
+  RandomPatternOptions opts;
+  opts.num_nodes = 8;
+  opts.num_edges = 16;
+  opts.max_bound = 3;
+  opts.star_prob = 0.5;
+  opts.seed = 13;
+  Pattern p = GenerateRandomPattern(opts);
+  bool saw_star = false;
+  for (const PatternEdge& e : p.edges()) saw_star |= e.bound == kUnbounded;
+  EXPECT_TRUE(saw_star);
+}
+
+TEST(CoveringViewsTest, AlwaysContainTheQuery) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RandomPatternOptions po;
+    po.num_nodes = 4 + seed % 4;
+    po.num_edges = po.num_nodes + 3;
+    po.max_bound = (seed % 2) ? 3 : 1;
+    po.seed = seed;
+    Pattern q = GenerateRandomPattern(po);
+
+    CoveringViewOptions co;
+    co.edges_per_view = 1 + seed % 3;
+    co.num_distractors = 3;
+    co.overlap_views = 2;
+    co.bound_slack = (seed % 2) ? 1 : 0;
+    co.seed = seed + 77;
+    ViewSet views = GenerateCoveringViews(q, co);
+
+    Result<ContainmentMapping> m = CheckContainment(q, views);
+    ASSERT_TRUE(m.ok());
+    EXPECT_TRUE(m->contained) << "seed=" << seed << "\n" << q.ToString();
+  }
+}
+
+TEST(CoveringViewsTest, DistractorCountHonored) {
+  RandomPatternOptions po;
+  po.num_nodes = 4;
+  po.num_edges = 6;
+  po.seed = 1;
+  Pattern q = GenerateRandomPattern(po);
+  CoveringViewOptions co;
+  co.edges_per_view = 2;
+  co.num_distractors = 5;
+  co.overlap_views = 0;
+  ViewSet views = GenerateCoveringViews(q, co);
+  // ceil(6/2) = 3 covering views + 5 distractors.
+  EXPECT_EQ(views.card(), 8u);
+}
+
+TEST(RandomViewsTest, CountAndDeterminism) {
+  RandomPatternOptions base;
+  base.num_nodes = 4;
+  base.num_edges = 5;
+  ViewSet a = GenerateRandomViews(22, base, 3);
+  ViewSet b = GenerateRandomViews(22, base, 3);
+  EXPECT_EQ(a.card(), 22u);
+  ASSERT_EQ(b.card(), 22u);
+  for (size_t i = 0; i < a.card(); ++i) {
+    EXPECT_EQ(a.view(i).pattern.ToString(), b.view(i).pattern.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace gpmv

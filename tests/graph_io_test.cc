@@ -1,0 +1,117 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+namespace gpmv {
+namespace {
+
+TEST(GraphIoTest, RoundTripBasicGraph) {
+  Graph g;
+  NodeId a = g.AddNode("PM");
+  NodeId b = g.AddNode("DBA");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+
+  Result<Graph> back = GraphFromString(GraphToString(g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_nodes(), 2u);
+  EXPECT_EQ(back->num_edges(), 1u);
+  EXPECT_TRUE(back->HasEdge(0, 1));
+  EXPECT_TRUE(back->HasLabel(0, back->FindLabel("PM")));
+}
+
+TEST(GraphIoTest, RoundTripAttributesOfAllTypes) {
+  Graph g;
+  AttributeSet attrs;
+  attrs.Set("rank", AttrValue(int64_t{42}));
+  attrs.Set("score", AttrValue(2.5));
+  attrs.Set("name", AttrValue("Bob"));
+  g.AddNode("A", std::move(attrs));
+
+  Result<Graph> back = GraphFromString(GraphToString(g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const AttributeSet& a = back->attrs(0);
+  ASSERT_NE(a.Get("rank"), nullptr);
+  EXPECT_TRUE(a.Get("rank")->is_int());
+  EXPECT_EQ(a.Get("rank")->as_int(), 42);
+  ASSERT_NE(a.Get("score"), nullptr);
+  EXPECT_TRUE(a.Get("score")->is_double());
+  EXPECT_DOUBLE_EQ(a.Get("score")->as_double(), 2.5);
+  ASSERT_NE(a.Get("name"), nullptr);
+  EXPECT_TRUE(a.Get("name")->is_string());
+  EXPECT_EQ(a.Get("name")->as_string(), "Bob");
+}
+
+TEST(GraphIoTest, RoundTripMultiLabelAndUnlabeled) {
+  Graph g;
+  g.AddNode(std::vector<std::string>{"A", "B"});
+  g.AddNode(std::vector<std::string>{});
+
+  Result<Graph> back = GraphFromString(GraphToString(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->labels(0).size(), 2u);
+  EXPECT_TRUE(back->labels(1).empty());
+}
+
+TEST(GraphIoTest, WholeDoubleValuesStayDouble) {
+  Graph g;
+  AttributeSet attrs;
+  attrs.Set("x", AttrValue(3.0));
+  g.AddNode("A", std::move(attrs));
+  Result<Graph> back = GraphFromString(GraphToString(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->attrs(0).Get("x")->is_double());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  Result<Graph> g = GraphFromString(
+      "# header\n"
+      "\n"
+      "v 0 A   # trailing comment\n"
+      "v 1 B\n"
+      "e 0 1\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 2u);
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsOutOfOrderNodeIds) {
+  Result<Graph> g = GraphFromString("v 1 A\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsBadEdgeEndpoint) {
+  Result<Graph> g = GraphFromString("v 0 A\ne 0 7\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  Result<Graph> g = GraphFromString("x 0\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(GraphIoTest, RejectsMalformedAttribute) {
+  Result<Graph> g = GraphFromString("v 0 A =5\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  const std::string path = ::testing::TempDir() + "/gpmv_io_test.graph";
+  ASSERT_TRUE(WriteGraphFile(g, path).ok());
+  Result<Graph> back = ReadGraphFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  Result<Graph> g = ReadGraphFile("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,126 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gpmv {
+namespace {
+
+TEST(GraphTest, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode("A"), 0u);
+  EXPECT_EQ(g.AddNode("B"), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Size(), 2u);
+}
+
+TEST(GraphTest, MultiLabelNodes) {
+  Graph g;
+  NodeId v = g.AddNode(std::vector<std::string>{"A", "B"});
+  EXPECT_EQ(g.labels(v).size(), 2u);
+  EXPECT_TRUE(g.HasLabel(v, g.FindLabel("A")));
+  EXPECT_TRUE(g.HasLabel(v, g.FindLabel("B")));
+  EXPECT_FALSE(g.HasLabel(v, g.InternLabel("C")));
+}
+
+TEST(GraphTest, DuplicateLabelOnNodeDeduplicated) {
+  Graph g;
+  NodeId v = g.AddNode(std::vector<std::string>{"A", "A"});
+  EXPECT_EQ(g.labels(v).size(), 1u);
+  EXPECT_EQ(g.NodesWithLabel(g.FindLabel("A")).size(), 1u);
+}
+
+TEST(GraphTest, AddEdgeAndAdjacency) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(a, c).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(a), 2u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_FALSE(g.HasEdge(b, a));
+  EXPECT_EQ(g.out_neighbors(a), (std::vector<NodeId>{b, c}));
+  EXPECT_EQ(g.in_neighbors(c), (std::vector<NodeId>{a}));
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_EQ(g.AddEdge(a, b).code(), Status::Code::kAlreadyExists);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.AddEdgeIfAbsent(a, b));
+  EXPECT_TRUE(g.AddEdgeIfAbsent(b, a));
+}
+
+TEST(GraphTest, EdgeEndpointValidation) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  EXPECT_EQ(g.AddEdge(a, 5).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(9, a).code(), Status::Code::kInvalidArgument);
+  EXPECT_FALSE(g.HasEdge(a, 5));
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.RemoveEdge(a, b).ok());
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.out_neighbors(a).empty());
+  EXPECT_TRUE(g.in_neighbors(b).empty());
+  EXPECT_EQ(g.RemoveEdge(a, b).code(), Status::Code::kNotFound);
+}
+
+TEST(GraphTest, SelfLoopAllowed) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, a).ok());
+  EXPECT_TRUE(g.HasEdge(a, a));
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(a), 1u);
+}
+
+TEST(GraphTest, LabelInterningIsStable) {
+  Graph g;
+  LabelId a1 = g.InternLabel("A");
+  LabelId a2 = g.InternLabel("A");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(g.LabelName(a1), "A");
+  EXPECT_EQ(g.FindLabel("A"), a1);
+  EXPECT_EQ(g.FindLabel("unknown"), kInvalidLabel);
+  EXPECT_EQ(g.num_labels(), 1u);
+}
+
+TEST(GraphTest, LabelIndexTracksNodes) {
+  Graph g;
+  NodeId a = g.AddNode("X");
+  g.AddNode("Y");
+  NodeId c = g.AddNode("X");
+  EXPECT_EQ(g.NodesWithLabel(g.FindLabel("X")), (std::vector<NodeId>{a, c}));
+  EXPECT_TRUE(g.NodesWithLabel(kInvalidLabel).empty());
+}
+
+TEST(GraphTest, AttributesStoredPerNode) {
+  Graph g;
+  AttributeSet attrs;
+  attrs.Set("rank", AttrValue(7));
+  NodeId v = g.AddNode("A", std::move(attrs));
+  ASSERT_NE(g.attrs(v).Get("rank"), nullptr);
+  EXPECT_EQ(g.attrs(v).Get("rank")->as_int(), 7);
+  g.mutable_attrs(v)->Set("rank", AttrValue(9));
+  EXPECT_EQ(g.attrs(v).Get("rank")->as_int(), 9);
+}
+
+TEST(GraphTest, DescribeNodeIncludesLabels) {
+  Graph g;
+  NodeId v = g.AddNode("PM");
+  EXPECT_EQ(g.DescribeNode(v), "0(PM)");
+  NodeId w = g.AddNode(std::vector<std::string>{});
+  EXPECT_EQ(g.DescribeNode(w), "1");
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,113 @@
+/// Robustness tests for the text parsers: random mutations of valid inputs
+/// (truncation, byte flips, line shuffles) must never crash or corrupt —
+/// every outcome is either a clean parse or a clean error Status.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/view_io.h"
+#include "graph/graph_io.h"
+#include "pattern/pattern_io.h"
+#include "workload/datasets.h"
+#include "workload/paper_fixtures.h"
+
+namespace gpmv {
+namespace {
+
+std::string Mutate(const std::string& input, Rng* rng) {
+  std::string s = input;
+  switch (rng->NextBounded(4)) {
+    case 0: {  // truncate
+      if (!s.empty()) s.resize(rng->NextBounded(s.size()));
+      break;
+    }
+    case 1: {  // flip printable bytes
+      for (int i = 0; i < 8 && !s.empty(); ++i) {
+        s[rng->NextBounded(s.size())] =
+            static_cast<char>(32 + rng->NextBounded(95));
+      }
+      break;
+    }
+    case 2: {  // duplicate a random chunk
+      if (!s.empty()) {
+        size_t start = rng->NextBounded(s.size());
+        size_t len = 1 + rng->NextBounded(32);
+        s.insert(start, s.substr(start, len));
+      }
+      break;
+    }
+    case 3: {  // inject garbage line
+      s.insert(rng->NextBounded(s.size() + 1), "\nzzz 1 2 $#!\n");
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(IoRobustnessTest, GraphParserNeverCrashes) {
+  Graph g = GenerateYoutubeLike(50, 1);
+  const std::string valid = GraphToString(g);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Result<Graph> r = GraphFromString(Mutate(valid, &rng));
+    if (r.ok()) {
+      // A successful parse must produce a structurally sound graph.
+      const Graph& parsed = *r;
+      for (NodeId v = 0; v < parsed.num_nodes(); ++v) {
+        for (NodeId w : parsed.out_neighbors(v)) {
+          ASSERT_LT(w, parsed.num_nodes());
+        }
+      }
+    } else {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST(IoRobustnessTest, PatternParserNeverCrashes) {
+  const std::string valid = PatternToText(MakeFig6().qb);
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    Result<Pattern> r = PatternFromText(Mutate(valid, &rng));
+    if (r.ok()) {
+      const Pattern& p = *r;
+      for (const PatternEdge& e : p.edges()) {
+        ASSERT_LT(e.src, p.num_nodes());
+        ASSERT_LT(e.dst, p.num_nodes());
+        ASSERT_GE(e.bound, 1u);
+      }
+    }
+  }
+}
+
+TEST(IoRobustnessTest, ViewSetParserNeverCrashes) {
+  const std::string valid = ViewSetToText(YoutubeViews(2));
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    Result<ViewSet> r = ViewSetFromText(Mutate(valid, &rng));
+    if (r.ok()) {
+      for (const ViewDefinition& def : r->views()) {
+        EXPECT_FALSE(def.name.empty());
+      }
+    }
+  }
+}
+
+TEST(IoRobustnessTest, RoundTripSurvivesRepeatedCycles) {
+  // write -> read -> write must be a fixpoint after the first cycle.
+  Graph g = GenerateAmazonLike(80, 3);
+  std::string once = GraphToString(g);
+  Result<Graph> back = GraphFromString(once);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(GraphToString(*back), once);
+
+  std::string ptext = PatternToText(MakeFig4().qs);
+  Result<Pattern> pback = PatternFromText(ptext);
+  ASSERT_TRUE(pback.ok());
+  EXPECT_EQ(PatternToText(*pback), ptext);
+}
+
+}  // namespace
+}  // namespace gpmv

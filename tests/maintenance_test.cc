@@ -1,0 +1,173 @@
+#include "core/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pattern/pattern_builder.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+#include "workload/paper_fixtures.h"
+
+namespace gpmv {
+namespace {
+
+bool SameExtension(const ViewExtension& a, const ViewExtension& b) {
+  if (a.matched() != b.matched()) return false;
+  if (a.num_view_edges() != b.num_view_edges()) return false;
+  for (uint32_t e = 0; e < a.num_view_edges(); ++e) {
+    if (a.edge(e).pairs != b.edge(e).pairs) return false;
+    if (a.edge(e).distances != b.edge(e).distances) return false;
+  }
+  return true;
+}
+
+TEST(MaintenanceTest, AttachMatchesFreshMaterialization) {
+  Fig1Fixture f = MakeFig1();
+  MaintainedView mv(f.views.view(0));
+  ASSERT_TRUE(mv.Attach(f.g).ok());
+  auto fresh = ViewExtension::Materialize(f.views.view(0), f.g);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(SameExtension(mv.extension(), *fresh));
+}
+
+TEST(MaintenanceTest, NotificationBeforeAttachFails) {
+  Fig1Fixture f = MakeFig1();
+  MaintainedView mv(f.views.view(0));
+  EXPECT_FALSE(mv.OnEdgeRemoved(f.g, 0, 1).ok());
+  EXPECT_FALSE(mv.OnEdgeInserted(f.g, 0, 1).ok());
+}
+
+TEST(MaintenanceTest, DeletionKeepsExtensionExact) {
+  Fig1Fixture f = MakeFig1();
+  MaintainedView mv(f.views.view(1));  // V2: DBA <-> PRG cycle
+  ASSERT_TRUE(mv.Attach(f.g).ok());
+
+  // Deleting Mat -> Pat shrinks V2's result; incremental must agree with a
+  // fresh materialization.
+  NodeId mat = f.node("Mat"), pat = f.node("Pat");
+  ASSERT_TRUE(f.g.RemoveEdge(mat, pat).ok());
+  ASSERT_TRUE(mv.OnEdgeRemoved(f.g, mat, pat).ok());
+  auto fresh = ViewExtension::Materialize(f.views.view(1), f.g);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(SameExtension(mv.extension(), *fresh));
+}
+
+TEST(MaintenanceTest, IrrelevantDeletionSkipsRefresh) {
+  Fig1Fixture f = MakeFig1();
+  MaintainedView mv(f.views.view(1));  // does not involve BA/ST nodes
+  ASSERT_TRUE(mv.Attach(f.g).ok());
+  size_t refreshes = mv.refresh_count();
+
+  NodeId dan = f.node("Dan"), emmy = f.node("Emmy");
+  ASSERT_TRUE(f.g.RemoveEdge(dan, emmy).ok());
+  ASSERT_TRUE(mv.OnEdgeRemoved(f.g, dan, emmy).ok());
+  EXPECT_EQ(mv.refresh_count(), refreshes);  // prescreen skipped it
+  EXPECT_EQ(mv.skipped_updates(), 1u);
+
+  auto fresh = ViewExtension::Materialize(f.views.view(1), f.g);
+  EXPECT_TRUE(SameExtension(mv.extension(), *fresh));
+}
+
+TEST(MaintenanceTest, InsertionGrowsExtension) {
+  Fig1Fixture f = MakeFig1();
+  MaintainedView mv(f.views.view(0));  // V1: PM -> DBA, PM -> PRG
+  ASSERT_TRUE(mv.Attach(f.g).ok());
+  size_t before = mv.extension().TotalPairs();
+
+  NodeId bob = f.node("Bob"), fred = f.node("Fred");
+  ASSERT_TRUE(f.g.AddEdge(bob, fred).ok());
+  ASSERT_TRUE(mv.OnEdgeInserted(f.g, bob, fred).ok());
+  EXPECT_GT(mv.extension().TotalPairs(), before);
+
+  auto fresh = ViewExtension::Materialize(f.views.view(0), f.g);
+  EXPECT_TRUE(SameExtension(mv.extension(), *fresh));
+}
+
+TEST(MaintenanceTest, CascadingDeletionEmptiesView) {
+  // Chain view on a chain graph: deleting the last edge kills everything.
+  Graph g = testutil::ChainGraph({"A", "B", "C"});
+  ViewDefinition def{"v", testutil::ChainPattern({"A", "B", "C"})};
+  MaintainedView mv(def);
+  ASSERT_TRUE(mv.Attach(g).ok());
+  EXPECT_TRUE(mv.extension().matched());
+
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  ASSERT_TRUE(mv.OnEdgeRemoved(g, 1, 2).ok());
+  EXPECT_FALSE(mv.extension().matched());
+  EXPECT_EQ(mv.extension().TotalPairs(), 0u);
+}
+
+TEST(MaintenanceTest, BoundedViewDeletionOfInteriorPathEdge) {
+  // View A ->(2) B over A -> X -> B: deleting X -> B (an edge that is not
+  // itself a match pair) must still invalidate the pair (A, B).
+  Graph g = testutil::ChainGraph({"A", "X", "B"});
+  Pattern p;
+  uint32_t a = p.AddNode("A"), b = p.AddNode("B");
+  ASSERT_TRUE(p.AddEdge(a, b, 2).ok());
+  MaintainedView mv(ViewDefinition{"v", std::move(p)});
+  ASSERT_TRUE(mv.Attach(g).ok());
+  EXPECT_EQ(mv.extension().TotalPairs(), 1u);
+
+  ASSERT_TRUE(g.RemoveEdge(1, 2).ok());
+  ASSERT_TRUE(mv.OnEdgeRemoved(g, 1, 2).ok());
+  EXPECT_FALSE(mv.extension().matched());
+}
+
+TEST(MaintenanceTest, RandomizedDeletionsStayExact) {
+  RandomGraphOptions go;
+  go.num_nodes = 80;
+  go.num_edges = 240;
+  go.num_labels = 3;
+  go.seed = 5;
+  Graph g = GenerateRandomGraph(go);
+  ViewDefinition def{"v", testutil::ChainPattern({"L0", "L1", "L2"})};
+  MaintainedView mv(def);
+  ASSERT_TRUE(mv.Attach(g).ok());
+
+  Rng rng(99);
+  for (int step = 0; step < 30; ++step) {
+    // Delete a random existing edge.
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (g.out_neighbors(u).empty()) continue;
+    NodeId v = g.out_neighbors(u)[rng.NextBounded(g.out_degree(u))];
+    ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+    ASSERT_TRUE(mv.OnEdgeRemoved(g, u, v).ok());
+    auto fresh = ViewExtension::Materialize(def, g);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(SameExtension(mv.extension(), *fresh)) << "step " << step;
+  }
+}
+
+TEST(MaintenanceTest, MixedInsertionsAndDeletions) {
+  RandomGraphOptions go;
+  go.num_nodes = 60;
+  go.num_edges = 150;
+  go.num_labels = 3;
+  go.seed = 6;
+  Graph g = GenerateRandomGraph(go);
+  Pattern p;
+  uint32_t a = p.AddNode("L0"), b = p.AddNode("L1");
+  ASSERT_TRUE(p.AddEdge(a, b, 2).ok());
+  ViewDefinition def{"v", std::move(p)};
+  MaintainedView mv(def);
+  ASSERT_TRUE(mv.Attach(g).ok());
+
+  Rng rng(123);
+  for (int step = 0; step < 20; ++step) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (u == v) continue;
+    if (g.HasEdge(u, v)) {
+      ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+      ASSERT_TRUE(mv.OnEdgeRemoved(g, u, v).ok());
+    } else {
+      ASSERT_TRUE(g.AddEdge(u, v).ok());
+      ASSERT_TRUE(mv.OnEdgeInserted(g, u, v).ok());
+    }
+    auto fresh = ViewExtension::Materialize(def, g);
+    ASSERT_TRUE(SameExtension(mv.extension(), *fresh)) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,134 @@
+#include "pattern/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_io.h"
+#include "pattern/pattern_builder.h"
+#include "workload/datasets.h"
+#include "workload/paper_fixtures.h"
+
+namespace gpmv {
+namespace {
+
+bool SamePattern(const Pattern& a, const Pattern& b) {
+  return PatternToText(a) == PatternToText(b);
+}
+
+TEST(PatternIoTest, RoundTripSimplePattern) {
+  Pattern p = PatternBuilder()
+                  .Node("PM")
+                  .Node("DBA1", "DBA")
+                  .Edge("PM", "DBA1")
+                  .Build();
+  Result<Pattern> back = PatternFromText(PatternToText(p));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(SamePattern(p, *back));
+  EXPECT_EQ(back->node(1).label, "DBA");
+  EXPECT_EQ(back->node(1).name, "DBA1");
+}
+
+TEST(PatternIoTest, RoundTripBoundsAndStar) {
+  Pattern p = PatternBuilder()
+                  .Node("A").Node("B").Node("C")
+                  .Edge("A", "B", 3)
+                  .Edge("B", "C", kUnbounded)
+                  .Edge("A", "C")
+                  .Build();
+  Result<Pattern> back = PatternFromText(PatternToText(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->edge(0).bound, 3u);
+  EXPECT_EQ(back->edge(1).bound, kUnbounded);
+  EXPECT_EQ(back->edge(2).bound, 1u);
+}
+
+TEST(PatternIoTest, RoundTripPredicates) {
+  Pattern p = PatternBuilder()
+                  .Node("v", "Music",
+                        Predicate().Ge("R", 4).Le("A", 100).Eq("cat", "pop"))
+                  .Node("w", "")
+                  .Edge("v", "w")
+                  .Build();
+  std::string text = PatternToText(p);
+  Result<Pattern> back = PatternFromText(text);
+  ASSERT_TRUE(back.ok()) << text << "\n" << back.status().ToString();
+  EXPECT_EQ(back->node(0).pred, p.node(0).pred);
+  EXPECT_TRUE(back->node(1).label.empty());
+}
+
+TEST(PatternIoTest, ParsesHandwrittenFormat) {
+  Result<Pattern> p = PatternFromText(
+      "# a comment\n"
+      "node PM label=PM\n"
+      "node DBA1 label=DBA where rank<=20000 && year>=1995\n"
+      "edge PM DBA1\n"
+      "edge DBA1 PM bound=2\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_nodes(), 2u);
+  EXPECT_EQ(p->num_edges(), 2u);
+  EXPECT_EQ(p->node(1).pred.atoms().size(), 2u);
+  EXPECT_EQ(p->edge(1).bound, 2u);
+}
+
+TEST(PatternIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(PatternFromText("node\n").ok());                    // no name
+  EXPECT_FALSE(PatternFromText("node A\nnode A\n").ok());          // dup
+  EXPECT_FALSE(PatternFromText("edge A B\n").ok());                // unknown
+  EXPECT_FALSE(PatternFromText("node A\nnode B\nedge A B bound=0\n").ok());
+  EXPECT_FALSE(PatternFromText("node A where ???\n").ok());        // bad atom
+  EXPECT_FALSE(PatternFromText("frobnicate\n").ok());              // record
+  EXPECT_FALSE(PatternFromText("node A wat\n").ok());              // keyword
+}
+
+TEST(PatternIoTest, FileRoundTrip) {
+  Pattern p = MakeFig4().qs;
+  const std::string path = ::testing::TempDir() + "/gpmv_pattern.txt";
+  ASSERT_TRUE(WritePatternFile(p, path).ok());
+  Result<Pattern> back = ReadPatternFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SamePattern(p, *back));
+}
+
+TEST(ViewIoTest, RoundTripViewSet) {
+  ViewSet views = MakeFig4().views;
+  Result<ViewSet> back = ViewSetFromText(ViewSetToText(views));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->card(), views.card());
+  for (size_t i = 0; i < views.card(); ++i) {
+    EXPECT_EQ(back->view(i).name, views.view(i).name);
+    EXPECT_TRUE(SamePattern(back->view(i).pattern, views.view(i).pattern));
+  }
+}
+
+TEST(ViewIoTest, RoundTripPredicateViews) {
+  ViewSet views = YoutubeViews(2);
+  Result<ViewSet> back = ViewSetFromText(ViewSetToText(views));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->card(), 12u);
+  for (size_t i = 0; i < views.card(); ++i) {
+    EXPECT_TRUE(SamePattern(back->view(i).pattern, views.view(i).pattern))
+        << views.view(i).name;
+  }
+}
+
+TEST(ViewIoTest, RejectsBodyBeforeHeader) {
+  EXPECT_FALSE(ViewSetFromText("node A\nview v\n").ok());
+  EXPECT_FALSE(ViewSetFromText("view\n").ok());
+}
+
+TEST(ViewIoTest, EmptyTextIsEmptyViewSet) {
+  Result<ViewSet> v = ViewSetFromText("");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->card(), 0u);
+}
+
+TEST(ViewIoTest, FileRoundTrip) {
+  ViewSet views = AmazonViews(1);
+  const std::string path = ::testing::TempDir() + "/gpmv_views.txt";
+  ASSERT_TRUE(WriteViewSetFile(views, path).ok());
+  Result<ViewSet> back = ReadViewSetFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->card(), 12u);
+}
+
+}  // namespace
+}  // namespace gpmv

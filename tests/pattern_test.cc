@@ -1,0 +1,167 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_builder.h"
+
+namespace gpmv {
+namespace {
+
+TEST(PatternTest, AddNodesAndEdges) {
+  Pattern p;
+  uint32_t a = p.AddNode("A");
+  uint32_t b = p.AddNode("B");
+  ASSERT_TRUE(p.AddEdge(a, b).ok());
+  EXPECT_EQ(p.num_nodes(), 2u);
+  EXPECT_EQ(p.num_edges(), 1u);
+  EXPECT_EQ(p.Size(), 3u);
+  EXPECT_EQ(p.edge(0).src, a);
+  EXPECT_EQ(p.edge(0).dst, b);
+  EXPECT_EQ(p.edge(0).bound, 1u);
+  EXPECT_EQ(p.out_edges(a).size(), 1u);
+  EXPECT_EQ(p.in_edges(b).size(), 1u);
+}
+
+TEST(PatternTest, EdgeValidation) {
+  Pattern p;
+  uint32_t a = p.AddNode("A");
+  EXPECT_EQ(p.AddEdge(a, 9).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(p.AddEdge(a, a, 0).code(), Status::Code::kInvalidArgument);
+  ASSERT_TRUE(p.AddEdge(a, a).ok());  // self loop ok
+  EXPECT_EQ(p.AddEdge(a, a).code(), Status::Code::kAlreadyExists);
+}
+
+TEST(PatternTest, IsSimulationPattern) {
+  Pattern p;
+  uint32_t a = p.AddNode("A"), b = p.AddNode("B");
+  ASSERT_TRUE(p.AddEdge(a, b, 1).ok());
+  EXPECT_TRUE(p.IsSimulationPattern());
+  Pattern q;
+  a = q.AddNode("A");
+  b = q.AddNode("B");
+  ASSERT_TRUE(q.AddEdge(a, b, 3).ok());
+  EXPECT_FALSE(q.IsSimulationPattern());
+  Pattern r;
+  a = r.AddNode("A");
+  b = r.AddNode("B");
+  ASSERT_TRUE(r.AddEdge(a, b, kUnbounded).ok());
+  EXPECT_FALSE(r.IsSimulationPattern());
+}
+
+TEST(PatternTest, IsDagDetectsCycles) {
+  Pattern dag = PatternBuilder()
+                    .Node("A").Node("B").Node("C")
+                    .Edge("A", "B").Edge("B", "C").Edge("A", "C")
+                    .Build();
+  EXPECT_TRUE(dag.IsDag());
+
+  Pattern cyc = PatternBuilder()
+                    .Node("A").Node("B")
+                    .Edge("A", "B").Edge("B", "A")
+                    .Build();
+  EXPECT_FALSE(cyc.IsDag());
+
+  Pattern self = PatternBuilder().Node("A").Node("B")
+                     .Edge("A", "A").Edge("A", "B").Build();
+  EXPECT_FALSE(self.IsDag());
+}
+
+TEST(PatternTest, HasNoIsolatedNode) {
+  Pattern p;
+  p.AddNode("A");
+  EXPECT_FALSE(p.HasNoIsolatedNode());
+  uint32_t b = p.AddNode("B");
+  ASSERT_TRUE(p.AddEdge(0, b).ok());
+  EXPECT_TRUE(p.HasNoIsolatedNode());
+  p.AddNode("C");  // isolated
+  EXPECT_FALSE(p.HasNoIsolatedNode());
+  EXPECT_FALSE(Pattern().HasNoIsolatedNode());
+}
+
+TEST(PatternTest, WeightedDistancesUseBounds) {
+  // A -2-> B -3-> C, plus direct A -7-> C: shortest weighted dist A~>C is 5.
+  Pattern p = PatternBuilder()
+                  .Node("A").Node("B").Node("C")
+                  .Edge("A", "B", 2).Edge("B", "C", 3).Edge("A", "C", 7)
+                  .Build();
+  auto d = p.WeightedDistances();
+  EXPECT_EQ(d[0][0], 0u);
+  EXPECT_EQ(d[0][1], 2u);
+  EXPECT_EQ(d[0][2], 5u);
+  EXPECT_EQ(d[2][0], kInfDistance);
+  EXPECT_EQ(p.WeightedDiameter(), 5u);
+}
+
+TEST(PatternTest, StarEdgeIsInfiniteWeight) {
+  Pattern p = PatternBuilder()
+                  .Node("A").Node("B")
+                  .Edge("A", "B", kUnbounded)
+                  .Build();
+  auto d = p.WeightedDistances();
+  EXPECT_EQ(d[0][1], kInfDistance);
+}
+
+TEST(PatternTest, NodeAndEdgeByName) {
+  Pattern p = PatternBuilder()
+                  .Node("PM")
+                  .Node("DBA1", "DBA")
+                  .Edge("PM", "DBA1")
+                  .Build();
+  EXPECT_EQ(p.NodeByName("PM"), 0u);
+  EXPECT_EQ(p.NodeByName("DBA1"), 1u);
+  EXPECT_EQ(p.NodeByName("nope"), kInvalidNode);
+  EXPECT_EQ(p.EdgeByName("PM", "DBA1"), 0u);
+  EXPECT_EQ(p.EdgeByName("DBA1", "PM"), kInvalidNode);
+}
+
+TEST(PatternTest, BuilderSetsLabelsAndPredicates) {
+  Pattern p = PatternBuilder()
+                  .Node("v", "Video", Predicate().Ge("R", 4))
+                  .Node("w", "Video")
+                  .Edge("v", "w", 2)
+                  .Build();
+  EXPECT_EQ(p.node(0).label, "Video");
+  EXPECT_EQ(p.node(0).name, "v");
+  EXPECT_FALSE(p.node(0).pred.IsTrivial());
+  EXPECT_EQ(p.edge(0).bound, 2u);
+}
+
+TEST(PatternTest, MatchesDataChecksLabelAndPredicate) {
+  Graph g;
+  AttributeSet attrs;
+  attrs.Set("R", AttrValue(5));
+  NodeId v = g.AddNode("Video", std::move(attrs));
+
+  PatternNode ok{"Video", Predicate().Ge("R", 4), "n"};
+  EXPECT_TRUE(ok.MatchesData(g, v, g.FindLabel("Video")));
+
+  PatternNode wrong_label{"Music", Predicate(), "n"};
+  EXPECT_FALSE(wrong_label.MatchesData(g, v, g.FindLabel("Music")));
+
+  PatternNode failing_pred{"Video", Predicate().Ge("R", 9), "n"};
+  EXPECT_FALSE(failing_pred.MatchesData(g, v, g.FindLabel("Video")));
+
+  PatternNode wildcard{"", Predicate().Ge("R", 4), "n"};
+  EXPECT_TRUE(wildcard.MatchesData(g, v, kInvalidLabel));
+}
+
+TEST(PatternTest, AdjacencyMirrorsEdges) {
+  Pattern p = PatternBuilder()
+                  .Node("A").Node("B").Node("C")
+                  .Edge("A", "B").Edge("A", "C")
+                  .Build();
+  auto adj = p.Adjacency();
+  EXPECT_EQ(adj[0], (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(adj[1].empty());
+}
+
+TEST(PatternTest, ToStringMentionsBounds) {
+  Pattern p = PatternBuilder()
+                  .Node("A").Node("B")
+                  .Edge("A", "B", kUnbounded)
+                  .Build();
+  EXPECT_NE(p.ToString().find("(*)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpmv

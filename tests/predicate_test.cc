@@ -1,0 +1,155 @@
+#include "graph/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace gpmv {
+namespace {
+
+AttributeSet Attrs(int64_t rate, int64_t visits) {
+  AttributeSet a;
+  a.Set("R", AttrValue(rate));
+  a.Set("V", AttrValue(visits));
+  return a;
+}
+
+TEST(PredicateTest, TrivialMatchesEverything) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrivial());
+  EXPECT_TRUE(p.Eval(AttributeSet()));
+  EXPECT_TRUE(p.Eval(Attrs(1, 1)));
+}
+
+TEST(PredicateTest, EvalEachOperator) {
+  AttributeSet a = Attrs(4, 100);
+  EXPECT_TRUE(Predicate().Eq("R", 4).Eval(a));
+  EXPECT_FALSE(Predicate().Eq("R", 5).Eval(a));
+  EXPECT_TRUE(Predicate().Ne("R", 5).Eval(a));
+  EXPECT_FALSE(Predicate().Ne("R", 4).Eval(a));
+  EXPECT_TRUE(Predicate().Lt("R", 5).Eval(a));
+  EXPECT_FALSE(Predicate().Lt("R", 4).Eval(a));
+  EXPECT_TRUE(Predicate().Le("R", 4).Eval(a));
+  EXPECT_TRUE(Predicate().Gt("R", 3).Eval(a));
+  EXPECT_FALSE(Predicate().Gt("R", 4).Eval(a));
+  EXPECT_TRUE(Predicate().Ge("R", 4).Eval(a));
+}
+
+TEST(PredicateTest, ConjunctionRequiresAllAtoms) {
+  Predicate p = Predicate().Ge("R", 4).Ge("V", 1000);
+  EXPECT_TRUE(p.Eval(Attrs(5, 2000)));
+  EXPECT_FALSE(p.Eval(Attrs(5, 10)));
+  EXPECT_FALSE(p.Eval(Attrs(1, 2000)));
+}
+
+TEST(PredicateTest, MissingAttributeFails) {
+  EXPECT_FALSE(Predicate().Ge("missing", 1).Eval(Attrs(5, 5)));
+}
+
+TEST(PredicateTest, IncomparableTypesFail) {
+  AttributeSet a;
+  a.Set("R", AttrValue("high"));
+  EXPECT_FALSE(Predicate().Ge("R", 4).Eval(a));
+}
+
+TEST(PredicateTest, StringComparisons) {
+  AttributeSet a;
+  a.Set("cat", AttrValue("Music"));
+  EXPECT_TRUE(Predicate().Eq("cat", "Music").Eval(a));
+  EXPECT_FALSE(Predicate().Eq("cat", "Sports").Eval(a));
+  EXPECT_TRUE(Predicate().Ne("cat", "Sports").Eval(a));
+}
+
+// --- Implication (the view-match direction: strict ⇒ loose) ---
+
+TEST(PredicateImpliesTest, EverythingImpliesTrivial) {
+  EXPECT_TRUE(Predicate().Ge("R", 5).Implies(Predicate()));
+  EXPECT_TRUE(Predicate().Implies(Predicate()));
+}
+
+TEST(PredicateImpliesTest, TrivialImpliesNothingNontrivial) {
+  EXPECT_FALSE(Predicate().Implies(Predicate().Ge("R", 1)));
+}
+
+TEST(PredicateImpliesTest, TighterLowerBoundImpliesLooser) {
+  EXPECT_TRUE(Predicate().Ge("R", 5).Implies(Predicate().Ge("R", 4)));
+  EXPECT_TRUE(Predicate().Ge("R", 4).Implies(Predicate().Ge("R", 4)));
+  EXPECT_FALSE(Predicate().Ge("R", 3).Implies(Predicate().Ge("R", 4)));
+}
+
+TEST(PredicateImpliesTest, StrictVsNonStrictBounds) {
+  EXPECT_TRUE(Predicate().Gt("R", 4).Implies(Predicate().Ge("R", 4)));
+  EXPECT_TRUE(Predicate().Gt("R", 4).Implies(Predicate().Gt("R", 4)));
+  EXPECT_FALSE(Predicate().Ge("R", 4).Implies(Predicate().Gt("R", 4)));
+  EXPECT_TRUE(Predicate().Lt("R", 4).Implies(Predicate().Le("R", 4)));
+  EXPECT_FALSE(Predicate().Le("R", 4).Implies(Predicate().Lt("R", 4)));
+}
+
+TEST(PredicateImpliesTest, UpperBounds) {
+  EXPECT_TRUE(Predicate().Le("rank", 100).Implies(Predicate().Le("rank", 200)));
+  EXPECT_FALSE(Predicate().Le("rank", 300).Implies(Predicate().Le("rank", 200)));
+}
+
+TEST(PredicateImpliesTest, EqualityPinsValue) {
+  EXPECT_TRUE(Predicate().Eq("R", 5).Implies(Predicate().Ge("R", 4)));
+  EXPECT_TRUE(Predicate().Eq("R", 5).Implies(Predicate().Eq("R", 5)));
+  EXPECT_FALSE(Predicate().Eq("R", 3).Implies(Predicate().Ge("R", 4)));
+  EXPECT_TRUE(Predicate().Eq("R", 5).Implies(Predicate().Ne("R", 4)));
+}
+
+TEST(PredicateImpliesTest, IntervalPinsEquality) {
+  // R >= 4 && R <= 4 implies R == 4.
+  Predicate p = Predicate().Ge("R", 4).Le("R", 4);
+  EXPECT_TRUE(p.Implies(Predicate().Eq("R", 4)));
+  EXPECT_FALSE(Predicate().Ge("R", 4).Implies(Predicate().Eq("R", 4)));
+}
+
+TEST(PredicateImpliesTest, NeViaDisjointBounds) {
+  EXPECT_TRUE(Predicate().Ge("R", 5).Implies(Predicate().Ne("R", 4)));
+  EXPECT_TRUE(Predicate().Lt("R", 4).Implies(Predicate().Ne("R", 4)));
+  EXPECT_FALSE(Predicate().Ge("R", 4).Implies(Predicate().Ne("R", 4)));
+  EXPECT_TRUE(Predicate().Ne("R", 4).Implies(Predicate().Ne("R", 4)));
+}
+
+TEST(PredicateImpliesTest, CrossAttributeNotImplied) {
+  EXPECT_FALSE(Predicate().Ge("R", 9).Implies(Predicate().Ge("V", 1)));
+}
+
+TEST(PredicateImpliesTest, ConjunctionTargets) {
+  Predicate strict = Predicate().Ge("R", 5).Ge("V", 20000);
+  Predicate loose = Predicate().Ge("R", 4).Ge("V", 10000);
+  EXPECT_TRUE(strict.Implies(loose));
+  EXPECT_FALSE(loose.Implies(strict));
+}
+
+TEST(PredicateImpliesTest, MultipleAtomsSameAttributeCombine) {
+  // (R >= 3 && R >= 6) pins the effective lower bound at 6.
+  Predicate p = Predicate().Ge("R", 3).Ge("R", 6);
+  EXPECT_TRUE(p.Implies(Predicate().Ge("R", 5)));
+}
+
+TEST(PredicateImpliesTest, StringEquality) {
+  EXPECT_TRUE(Predicate().Eq("cat", "Music").Implies(Predicate().Eq("cat", "Music")));
+  EXPECT_FALSE(
+      Predicate().Eq("cat", "Music").Implies(Predicate().Eq("cat", "Sports")));
+  EXPECT_TRUE(
+      Predicate().Eq("cat", "Music").Implies(Predicate().Ne("cat", "Sports")));
+}
+
+TEST(PredicateImpliesTest, MixedTypesConservativelyFalse) {
+  EXPECT_FALSE(Predicate().Ge("R", 5).Implies(Predicate().Ge("R", "4")));
+}
+
+TEST(PredicateTest, ToStringFormats) {
+  EXPECT_EQ(Predicate().ToString(), "true");
+  EXPECT_EQ(Predicate().Ge("R", 4).ToString(), "R>=4");
+  EXPECT_EQ(Predicate().Ge("R", 4).Eq("cat", "Music").ToString(),
+            "R>=4 && cat==\"Music\"");
+}
+
+TEST(PredicateTest, Equality) {
+  EXPECT_EQ(Predicate().Ge("R", 4), Predicate().Ge("R", 4));
+  EXPECT_FALSE(Predicate().Ge("R", 4) == Predicate().Ge("R", 5));
+  EXPECT_FALSE(Predicate().Ge("R", 4) == Predicate().Le("R", 4));
+}
+
+}  // namespace
+}  // namespace gpmv

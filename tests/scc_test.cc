@@ -1,0 +1,101 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpmv {
+namespace {
+
+using Adj = std::vector<std::vector<uint32_t>>;
+
+TEST(SccTest, SingletonsInDag) {
+  // 0 -> 1 -> 2
+  Adj adj{{1}, {2}, {}};
+  SccResult r = ComputeScc(adj);
+  EXPECT_EQ(r.num_components, 3u);
+  std::set<uint32_t> comps(r.component.begin(), r.component.end());
+  EXPECT_EQ(comps.size(), 3u);
+  for (uint32_t s : r.component_size) EXPECT_EQ(s, 1u);
+  // Edge u->v across components implies comp[u] > comp[v] (Tarjan order).
+  EXPECT_GT(r.component[0], r.component[1]);
+  EXPECT_GT(r.component[1], r.component[2]);
+}
+
+TEST(SccTest, SimpleCycleCollapses) {
+  // 0 -> 1 -> 2 -> 0
+  Adj adj{{1}, {2}, {0}};
+  SccResult r = ComputeScc(adj);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.component_size[0], 3u);
+}
+
+TEST(SccTest, TwoCyclesConnected) {
+  // {0,1} cycle -> {2,3} cycle
+  Adj adj{{1}, {0, 2}, {3}, {2}};
+  SccResult r = ComputeScc(adj);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+  EXPECT_GT(r.component[0], r.component[2]);
+}
+
+TEST(SccTest, DisconnectedGraph) {
+  Adj adj{{}, {}, {}};
+  SccResult r = ComputeScc(adj);
+  EXPECT_EQ(r.num_components, 3u);
+}
+
+TEST(SccTest, EmptyGraph) {
+  SccResult r = ComputeScc({});
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_TRUE(r.component.empty());
+}
+
+TEST(SccRankTest, ChainRanksIncreaseTowardSources) {
+  // 0 -> 1 -> 2: leaf (2) has rank 0, then 1, then 2 (paper Section III).
+  Adj adj{{1}, {2}, {}};
+  auto rank = ComputeSccRanks(adj);
+  EXPECT_EQ(rank[2], 0u);
+  EXPECT_EQ(rank[1], 1u);
+  EXPECT_EQ(rank[0], 2u);
+}
+
+TEST(SccRankTest, RankIsMaxOverChildren) {
+  // 0 -> 1 -> 2, 0 -> 2: r(0) = max(1 + r(1), 1 + r(2)) = 2.
+  Adj adj{{1, 2}, {2}, {}};
+  auto rank = ComputeSccRanks(adj);
+  EXPECT_EQ(rank[0], 2u);
+  EXPECT_EQ(rank[1], 1u);
+  EXPECT_EQ(rank[2], 0u);
+}
+
+TEST(SccRankTest, CycleMembersShareRank) {
+  // 0 -> {1,2 cycle} -> 3
+  Adj adj{{1}, {2}, {1, 3}, {}};
+  auto rank = ComputeSccRanks(adj);
+  EXPECT_EQ(rank[1], rank[2]);
+  EXPECT_EQ(rank[3], 0u);
+  EXPECT_EQ(rank[1], 1u);
+  EXPECT_EQ(rank[0], 2u);
+}
+
+TEST(SccRankTest, IsolatedLeafHasRankZero) {
+  Adj adj{{}};
+  auto rank = ComputeSccRanks(adj);
+  EXPECT_EQ(rank[0], 0u);
+}
+
+TEST(SccRankTest, SelfLoopIsItsOwnComponent) {
+  // 0 -> 0, 0 -> 1. The self-loop SCC {0} is not a leaf (edge to {1}).
+  Adj adj{{0, 1}, {}};
+  SccResult scc = ComputeScc(adj);
+  EXPECT_EQ(scc.num_components, 2u);
+  auto rank = ComputeSccRanks(adj);
+  EXPECT_EQ(rank[1], 0u);
+  EXPECT_EQ(rank[0], 1u);
+}
+
+}  // namespace
+}  // namespace gpmv

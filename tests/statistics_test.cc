@@ -1,0 +1,77 @@
+#include "graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace gpmv {
+namespace {
+
+TEST(StatisticsTest, EmptyGraph) {
+  GraphStatistics s = ComputeStatistics(Graph());
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 0.0);
+}
+
+TEST(StatisticsTest, ChainGraphProfile) {
+  Graph g = testutil::ChainGraph({"A", "B", "B", "C"});
+  GraphStatistics s = ComputeStatistics(g);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 0.75);
+  EXPECT_EQ(s.max_out_degree, 1u);
+  EXPECT_EQ(s.source_nodes, 1u);  // head
+  EXPECT_EQ(s.sink_nodes, 1u);    // tail
+  EXPECT_EQ(s.self_loops, 0u);
+  // Label histogram sorted by count: B=2 first.
+  ASSERT_GE(s.label_histogram.size(), 3u);
+  EXPECT_EQ(s.label_histogram[0].first, "B");
+  EXPECT_EQ(s.label_histogram[0].second, 2u);
+}
+
+TEST(StatisticsTest, SelfLoopsCounted) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, a).ok());
+  GraphStatistics s = ComputeStatistics(g);
+  EXPECT_EQ(s.self_loops, 1u);
+  EXPECT_EQ(s.source_nodes, 0u);  // self-loop counts as in-edge
+}
+
+TEST(StatisticsTest, DegreeBuckets) {
+  // A hub with 5 out-edges lands in bucket 2 (4-7).
+  Graph g;
+  NodeId hub = g.AddNode("H");
+  for (int i = 0; i < 5; ++i) {
+    NodeId v = g.AddNode("X");
+    ASSERT_TRUE(g.AddEdge(hub, v).ok());
+  }
+  GraphStatistics s = ComputeStatistics(g);
+  ASSERT_GE(s.out_degree_buckets.size(), 3u);
+  EXPECT_EQ(s.out_degree_buckets[2], 1u);   // the hub
+  EXPECT_EQ(s.out_degree_buckets[0], 5u);   // the leaves
+}
+
+TEST(StatisticsTest, DatasetProfilesLookRight) {
+  Graph g = GenerateYoutubeLike(3000, 11);
+  GraphStatistics s = ComputeStatistics(g);
+  EXPECT_EQ(s.num_nodes, 3000u);
+  EXPECT_GT(s.avg_out_degree, 1.5);
+  EXPECT_LT(s.avg_out_degree, 4.0);
+  // Music is the most common category by construction.
+  ASSERT_FALSE(s.label_histogram.empty());
+  EXPECT_EQ(s.label_histogram[0].first, "Music");
+}
+
+TEST(StatisticsTest, ToStringContainsKeyFigures) {
+  Graph g = testutil::ChainGraph({"A", "B"});
+  std::string text = ComputeStatistics(g).ToString();
+  EXPECT_NE(text.find("nodes: 2"), std::string::npos);
+  EXPECT_NE(text.find("edges: 1"), std::string::npos);
+  EXPECT_NE(text.find("A=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpmv

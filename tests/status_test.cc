@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gpmv {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), Status::Code::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), Status::Code::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), Status::Code::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("d"), Status::Code::kOutOfRange, "OutOfRange"},
+      {Status::Corruption("e"), Status::Code::kCorruption, "Corruption"},
+      {Status::IOError("f"), Status::Code::kIOError, "IOError"},
+      {Status::NotSupported("g"), Status::Code::kNotSupported, "NotSupported"},
+      {Status::Internal("h"), Status::Code::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+    EXPECT_NE(c.status.ToString().find(c.status.message()), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status Fails() { return Status::Corruption("inner"); }
+Status Propagates() {
+  GPMV_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(Propagates().code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,129 @@
+/// \file test_util.h
+/// \brief Shared helpers for the gpmv test suite: a brute-force simulation
+/// oracle, match-set expectation helpers, and small graph builders.
+
+#ifndef GPMV_TESTS_TEST_UTIL_H_
+#define GPMV_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/traversal.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+namespace testutil {
+
+/// O(n^2)-ish reference implementation of the maximum graph-simulation
+/// relation: recompute-from-scratch fixpoint, no counters, no worklists.
+/// Only for small graphs.
+inline std::vector<std::vector<NodeId>> OracleSimulation(const Pattern& q,
+                                                         const Graph& g) {
+  const size_t np = q.num_nodes();
+  std::vector<std::vector<char>> in_sim(np,
+                                        std::vector<char>(g.num_nodes(), 0));
+  for (uint32_t u = 0; u < np; ++u) {
+    const PatternNode& pn = q.node(u);
+    LabelId lid = pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (pn.MatchesData(g, v, lid)) in_sim[u][v] = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t u = 0; u < np; ++u) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!in_sim[u][v]) continue;
+        for (uint32_t e : q.out_edges(u)) {
+          uint32_t u2 = q.edge(e).dst;
+          bool has = false;
+          for (NodeId w : g.out_neighbors(v)) {
+            if (in_sim[u2][w]) {
+              has = true;
+              break;
+            }
+          }
+          if (!has) {
+            in_sim[u][v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::vector<NodeId>> sim(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (in_sim[u][v]) sim[u].push_back(v);
+    }
+  }
+  return sim;
+}
+
+/// Reference Q(G) built from OracleSimulation (empty when some pattern node
+/// has no match).
+inline MatchResult OracleMatch(const Pattern& q, const Graph& g) {
+  auto sim = OracleSimulation(q, g);
+  MatchResult r = MatchResult::Empty(q);
+  for (const auto& su : sim) {
+    if (su.empty()) return r;
+  }
+  std::vector<std::vector<char>> in_sim(q.num_nodes(),
+                                        std::vector<char>(g.num_nodes(), 0));
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    for (NodeId v : sim[u]) in_sim[u][v] = 1;
+  }
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    const PatternEdge& pe = q.edge(e);
+    auto* se = r.mutable_edge_matches(e);
+    for (NodeId v : sim[pe.src]) {
+      for (NodeId w : g.out_neighbors(v)) {
+        if (in_sim[pe.dst][w]) se->emplace_back(v, w);
+      }
+    }
+    if (se->empty()) return MatchResult::Empty(q);
+  }
+  r.set_matched(true);
+  r.Normalize();
+  r.DeriveNodeMatches(q);
+  return r;
+}
+
+/// Sorted copy of a pair list (canonical form for EXPECT_EQ).
+inline std::vector<NodePair> Sorted(std::vector<NodePair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+/// Builds a chain graph lab[0] -> lab[1] -> ... and returns it.
+inline Graph ChainGraph(const std::vector<std::string>& labels) {
+  Graph g;
+  for (const std::string& l : labels) g.AddNode(l);
+  for (NodeId v = 0; v + 1 < g.num_nodes(); ++v) {
+    (void)g.AddEdge(v, v + 1);
+  }
+  return g;
+}
+
+/// Builds a chain pattern lab[0] -> lab[1] -> ... with unit bounds.
+inline Pattern ChainPattern(const std::vector<std::string>& labels) {
+  Pattern p;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    p.AddNode(labels[i], Predicate(), labels[i] + std::to_string(i));
+  }
+  for (uint32_t u = 0; u + 1 < p.num_nodes(); ++u) {
+    (void)p.AddEdge(u, u + 1);
+  }
+  return p;
+}
+
+}  // namespace testutil
+}  // namespace gpmv
+
+#endif  // GPMV_TESTS_TEST_UTIL_H_

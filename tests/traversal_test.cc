@@ -1,0 +1,96 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gpmv {
+namespace {
+
+TEST(TraversalTest, SingleSourceForwardDistances) {
+  Graph g = testutil::ChainGraph({"A", "B", "C", "D"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.RunSingle(g, 0, kUnbounded, /*forward=*/true);
+  EXPECT_EQ(bfs.dist(0), 0u);
+  EXPECT_EQ(bfs.dist(1), 1u);
+  EXPECT_EQ(bfs.dist(2), 2u);
+  EXPECT_EQ(bfs.dist(3), 3u);
+  EXPECT_EQ(bfs.reached().size(), 4u);
+}
+
+TEST(TraversalTest, BoundCutsTraversal) {
+  Graph g = testutil::ChainGraph({"A", "B", "C", "D"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.RunSingle(g, 0, 2, /*forward=*/true);
+  EXPECT_TRUE(bfs.Reached(2));
+  EXPECT_FALSE(bfs.Reached(3));
+  EXPECT_EQ(bfs.reached().size(), 3u);
+}
+
+TEST(TraversalTest, BoundZeroReachesOnlySources) {
+  Graph g = testutil::ChainGraph({"A", "B"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.RunSingle(g, 0, 0, /*forward=*/true);
+  EXPECT_TRUE(bfs.Reached(0));
+  EXPECT_FALSE(bfs.Reached(1));
+}
+
+TEST(TraversalTest, ReverseDirection) {
+  Graph g = testutil::ChainGraph({"A", "B", "C"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.RunSingle(g, 2, kUnbounded, /*forward=*/false);
+  EXPECT_EQ(bfs.dist(2), 0u);
+  EXPECT_EQ(bfs.dist(1), 1u);
+  EXPECT_EQ(bfs.dist(0), 2u);
+}
+
+TEST(TraversalTest, MultiSourceTakesMinimum) {
+  Graph g = testutil::ChainGraph({"A", "B", "C", "D", "E"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.Run(g, {0, 3}, kUnbounded, /*forward=*/true);
+  EXPECT_EQ(bfs.dist(1), 1u);
+  EXPECT_EQ(bfs.dist(3), 0u);
+  EXPECT_EQ(bfs.dist(4), 1u);
+}
+
+TEST(TraversalTest, DuplicateSourcesHandled) {
+  Graph g = testutil::ChainGraph({"A", "B"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.Run(g, {0, 0, 0}, kUnbounded, /*forward=*/true);
+  EXPECT_EQ(bfs.reached().size(), 2u);
+}
+
+TEST(TraversalTest, ScratchReuseResetsState) {
+  Graph g = testutil::ChainGraph({"A", "B", "C"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.RunSingle(g, 0, kUnbounded, true);
+  EXPECT_TRUE(bfs.Reached(2));
+  bfs.RunSingle(g, 2, 0, true);
+  EXPECT_FALSE(bfs.Reached(0));
+  EXPECT_FALSE(bfs.Reached(1));
+  EXPECT_TRUE(bfs.Reached(2));
+}
+
+TEST(TraversalTest, CycleDistances) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ASSERT_TRUE(g.AddEdge(c, a).ok());
+  BfsScratch bfs(g.num_nodes());
+  bfs.RunSingle(g, a, kUnbounded, true);
+  EXPECT_EQ(bfs.dist(a), 0u);  // BFS distance to self is 0 (not cycle length)
+  EXPECT_EQ(bfs.dist(b), 1u);
+  EXPECT_EQ(bfs.dist(c), 2u);
+}
+
+TEST(TraversalTest, EmptySources) {
+  Graph g = testutil::ChainGraph({"A", "B"});
+  BfsScratch bfs(g.num_nodes());
+  bfs.Run(g, {}, kUnbounded, true);
+  EXPECT_TRUE(bfs.reached().empty());
+  EXPECT_FALSE(bfs.Reached(0));
+}
+
+}  // namespace
+}  // namespace gpmv

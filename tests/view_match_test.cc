@@ -1,0 +1,182 @@
+#include "core/view_match.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pattern/pattern_builder.h"
+#include "workload/paper_fixtures.h"
+
+namespace gpmv {
+namespace {
+
+/// Resolves named query edges into sorted edge-index vectors.
+std::vector<uint32_t> EdgeIds(
+    const Pattern& q,
+    std::initializer_list<std::pair<const char*, const char*>> edges) {
+  std::vector<uint32_t> out;
+  for (const auto& [a, b] : edges) {
+    uint32_t e = q.EdgeByName(a, b);
+    EXPECT_NE(e, kInvalidNode) << a << "->" << b;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ViewMatchTest, Fig4TableOfExample5) {
+  Fig4Fixture f = MakeFig4();
+  const Pattern& q = f.qs;
+
+  struct Expected {
+    size_t view;
+    std::vector<uint32_t> covered;
+  };
+  const std::vector<Expected> table = {
+      {0, EdgeIds(q, {{"C", "D"}})},
+      {1, EdgeIds(q, {{"B", "E"}})},
+      {2, EdgeIds(q, {{"A", "B"}, {"A", "C"}})},
+      {3, EdgeIds(q, {{"B", "D"}, {"C", "D"}})},
+      {4, EdgeIds(q, {{"B", "D"}, {"B", "E"}})},
+      {5, EdgeIds(q, {{"A", "B"}, {"A", "C"}, {"C", "D"}})},
+      {6, EdgeIds(q, {{"A", "B"}, {"A", "C"}, {"B", "D"}})},
+  };
+  for (const Expected& ex : table) {
+    Result<ViewMatchResult> vm =
+        ComputeViewMatch(f.views.view(ex.view).pattern, q);
+    ASSERT_TRUE(vm.ok());
+    EXPECT_EQ(vm->covered, ex.covered) << "V" << (ex.view + 1);
+  }
+}
+
+TEST(ViewMatchTest, Fig1ViewsCoverQs) {
+  Fig1Fixture f = MakeFig1();
+  // V1 covers the two PM edges (Example 3).
+  Result<ViewMatchResult> v1 = ComputeViewMatch(f.views.view(0).pattern, f.qs);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->covered, EdgeIds(f.qs, {{"PM", "DBA1"}, {"PM", "PRG2"}}));
+  // V2 covers both DBA->PRG edges and both PRG->DBA edges.
+  Result<ViewMatchResult> v2 = ComputeViewMatch(f.views.view(1).pattern, f.qs);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->covered,
+            EdgeIds(f.qs, {{"DBA1", "PRG1"}, {"DBA2", "PRG2"},
+                           {"PRG1", "DBA2"}, {"PRG2", "DBA1"}}));
+  // Per-view-edge assignment: e3 (DBA->PRG) covers exactly the two DBA->PRG
+  // query edges.
+  EXPECT_EQ(v2->per_view_edge[0],
+            EdgeIds(f.qs, {{"DBA1", "PRG1"}, {"DBA2", "PRG2"}}));
+}
+
+TEST(ViewMatchTest, BoundedExample9) {
+  Fig6Fixture f = MakeFig6();
+  // M^Qb_V3 = {(A,B), (B,E)}.
+  Result<ViewMatchResult> v3 = ComputeViewMatch(f.views.view(2).pattern, f.qb);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->covered, EdgeIds(f.qb, {{"A", "B"}, {"B", "E"}}));
+  // M^Qb_V7 = ∅: V7's (C,D) bound is 2 < dist(C,D) in Qb.
+  Result<ViewMatchResult> v7 = ComputeViewMatch(f.views.view(6).pattern, f.qb);
+  ASSERT_TRUE(v7.ok());
+  EXPECT_TRUE(v7->covered.empty());
+}
+
+TEST(ViewMatchTest, ViewWithUnmatchedNodeCoversNothing) {
+  // View A -> Z cannot simulate into query A -> B.
+  Pattern view = PatternBuilder().Node("A").Node("Z").Edge("A", "Z").Build();
+  Pattern q = PatternBuilder().Node("A").Node("B").Edge("A", "B").Build();
+  Result<ViewMatchResult> vm = ComputeViewMatch(view, q);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_TRUE(vm->covered.empty());
+}
+
+TEST(ViewMatchTest, LooserViewBoundCoversTighterQueryEdge) {
+  Pattern view = PatternBuilder().Node("A").Node("B").Edge("A", "B", 4).Build();
+  Pattern q2 = PatternBuilder().Node("A").Node("B").Edge("A", "B", 2).Build();
+  Result<ViewMatchResult> vm = ComputeViewMatch(view, q2);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_EQ(vm->covered, (std::vector<uint32_t>{0}));
+
+  // Tighter view bound cannot cover a looser query edge.
+  Pattern q8 = PatternBuilder().Node("A").Node("B").Edge("A", "B", 8).Build();
+  vm = ComputeViewMatch(view, q8);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_TRUE(vm->covered.empty());
+}
+
+TEST(ViewMatchTest, StarCoverage) {
+  Pattern star_view =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", kUnbounded).Build();
+  Pattern q_star =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", kUnbounded).Build();
+  Pattern q_k =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", 5).Build();
+  // `*` view covers both `*` and finite query edges.
+  EXPECT_EQ(ComputeViewMatch(star_view, q_star)->covered,
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(ComputeViewMatch(star_view, q_k)->covered,
+            (std::vector<uint32_t>{0}));
+  // Finite view bound never covers a `*` query edge.
+  Pattern k_view =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", 100).Build();
+  EXPECT_TRUE(ComputeViewMatch(k_view, q_star)->covered.empty());
+}
+
+TEST(ViewMatchTest, PredicateImplicationGovernsNodeMatch) {
+  PatternNode strict{"V", Predicate().Ge("R", 5), "strict"};
+  PatternNode loose{"V", Predicate().Ge("R", 4), "loose"};
+  PatternNode wildcard{"", Predicate(), "any"};
+  EXPECT_TRUE(QueryNodeMatchesViewNode(strict, loose));
+  EXPECT_FALSE(QueryNodeMatchesViewNode(loose, strict));
+  EXPECT_TRUE(QueryNodeMatchesViewNode(strict, wildcard));
+  EXPECT_FALSE(QueryNodeMatchesViewNode(wildcard, strict));
+}
+
+TEST(ViewMatchTest, PredicateViewsCoverStricterQueries) {
+  // View: (Music, R>=4) -> (any, V>=10K); query uses stricter conditions.
+  Pattern view = PatternBuilder()
+                     .Node("m", "Music", Predicate().Ge("R", 4))
+                     .Node("x", "", Predicate().Ge("V", 10000))
+                     .Edge("m", "x")
+                     .Build();
+  Pattern q = PatternBuilder()
+                  .Node("m", "Music", Predicate().Ge("R", 5))
+                  .Node("x", "Sports", Predicate().Ge("V", 50000))
+                  .Edge("m", "x")
+                  .Build();
+  Result<ViewMatchResult> vm = ComputeViewMatch(view, q);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_EQ(vm->covered, (std::vector<uint32_t>{0}));
+
+  // A looser query condition is not covered.
+  Pattern q_loose = PatternBuilder()
+                        .Node("m", "Music", Predicate().Ge("R", 3))
+                        .Node("x", "", Predicate().Ge("V", 10000))
+                        .Edge("m", "x")
+                        .Build();
+  vm = ComputeViewMatch(view, q_loose);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_TRUE(vm->covered.empty());
+}
+
+TEST(ViewMatchTest, ParallelShortcutDoesNotOverCover) {
+  // Query: A ->(5) B plus a parallel 2-step path A ->(1) X ->(2) B. The
+  // weighted distance A~>B is 3, but the edge's own bound is 5, so a view
+  // edge with bound 4 must NOT cover it (DESIGN.md §4 soundness rule).
+  Pattern q = PatternBuilder()
+                  .Node("A").Node("B").Node("X")
+                  .Edge("A", "B", 5).Edge("A", "X", 1).Edge("X", "B", 2)
+                  .Build();
+  Pattern view =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", 4).Build();
+  Result<ViewMatchResult> vm = ComputeViewMatch(view, q);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_TRUE(vm->covered.empty());
+}
+
+TEST(ViewMatchTest, EmptyPatternsRejected) {
+  Pattern q = PatternBuilder().Node("A").Node("B").Edge("A", "B").Build();
+  EXPECT_FALSE(ComputeViewMatch(Pattern(), q).ok());
+  EXPECT_FALSE(ComputeViewMatch(q, Pattern()).ok());
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,153 @@
+#include "core/view_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "pattern/pattern_builder.h"
+#include "workload/paper_fixtures.h"
+#include "workload/pattern_gen.h"
+
+namespace gpmv {
+namespace {
+
+TEST(ViewSelectionTest, SelectsCoveringSubsetOnFig4) {
+  Fig4Fixture f = MakeFig4();
+  std::vector<Pattern> workload{f.qs};
+  ViewSelectionOptions opts;
+  opts.max_views = 2;
+  Result<ViewSelectionResult> r = SelectViews(workload, f.views, opts);
+  ASSERT_TRUE(r.ok());
+  // Two views suffice (Example 7: {V5, V6}); greedy must find a full cover.
+  EXPECT_EQ(r->answerable_count, 1u);
+  EXPECT_TRUE(r->answerable[0]);
+  EXPECT_EQ(r->selected.size(), 2u);
+
+  // The selected subset really contains the query.
+  ViewSet chosen;
+  for (uint32_t vi : r->selected) chosen.Add(f.views.view(vi));
+  EXPECT_TRUE(CheckContainment(f.qs, chosen)->contained);
+}
+
+TEST(ViewSelectionTest, BudgetTooSmallLeavesQueryUnanswerable) {
+  Fig4Fixture f = MakeFig4();
+  std::vector<Pattern> workload{f.qs};
+  ViewSelectionOptions opts;
+  opts.max_views = 1;  // no single view covers all 5 edges
+  Result<ViewSelectionResult> r = SelectViews(workload, f.views, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answerable_count, 0u);
+  EXPECT_EQ(r->selected.size(), 1u);
+  EXPECT_GT(r->covered_edges, 0u);
+  EXPECT_LT(r->covered_edges, r->total_edges);
+}
+
+TEST(ViewSelectionTest, MultiQueryWorkloadSharesViews) {
+  // Two queries sharing an edge shape; one shared view helps both.
+  Pattern q1 = PatternBuilder()
+                   .Node("A").Node("B").Node("C")
+                   .Edge("A", "B").Edge("B", "C")
+                   .Build();
+  Pattern q2 = PatternBuilder()
+                   .Node("B").Node("C").Node("D")
+                   .Edge("B", "C").Edge("C", "D")
+                   .Build();
+  std::vector<Pattern> workload{q1, q2};
+  ViewSet candidates = CandidateViewsFromWorkload(workload);
+  ViewSelectionOptions opts;
+  opts.max_views = 3;
+  Result<ViewSelectionResult> r = SelectViews(workload, candidates, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answerable_count, 2u);
+  EXPECT_LE(r->selected.size(), 3u);
+  EXPECT_EQ(r->covered_edges, r->total_edges);
+}
+
+TEST(ViewSelectionTest, CandidateLibraryDeduplicates) {
+  Pattern q1 = PatternBuilder().Node("A").Node("B").Edge("A", "B").Build();
+  Pattern q2 = PatternBuilder().Node("A").Node("B").Edge("A", "B").Build();
+  ViewSet candidates = CandidateViewsFromWorkload({q1, q2});
+  // Identical single-edge shapes collapse to one candidate.
+  EXPECT_EQ(candidates.card(), 1u);
+}
+
+TEST(ViewSelectionTest, CandidatesIncludeAdjacentPairs) {
+  Pattern q = PatternBuilder()
+                  .Node("A").Node("B").Node("C")
+                  .Edge("A", "B").Edge("B", "C")
+                  .Build();
+  ViewSet candidates = CandidateViewsFromWorkload({q});
+  // 2 singles + 1 adjacent pair.
+  EXPECT_EQ(candidates.card(), 3u);
+  bool has_pair = false;
+  for (const ViewDefinition& def : candidates.views()) {
+    has_pair |= def.pattern.num_edges() == 2;
+  }
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(ViewSelectionTest, CandidatesPreserveBoundsAndPredicates) {
+  Pattern q = PatternBuilder()
+                  .Node("v", "V", Predicate().Ge("R", 4))
+                  .Node("w", "W")
+                  .Edge("v", "w", 3)
+                  .Build();
+  ViewSet candidates = CandidateViewsFromWorkload({q});
+  ASSERT_EQ(candidates.card(), 1u);
+  const Pattern& c = candidates.view(0).pattern;
+  EXPECT_EQ(c.edge(0).bound, 3u);
+  EXPECT_EQ(c.node(0).pred, q.node(0).pred);
+  // The single-edge candidate covers the query edge.
+  EXPECT_TRUE(CheckContainment(q, candidates)->contained);
+}
+
+TEST(ViewSelectionTest, WorkloadCandidatesAnswerWholeWorkload) {
+  // Candidates from the workload itself always suffice given enough budget.
+  std::vector<Pattern> workload;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RandomPatternOptions po;
+    po.num_nodes = 4;
+    po.num_edges = 6;
+    po.seed = seed;
+    workload.push_back(GenerateRandomPattern(po));
+  }
+  ViewSet candidates = CandidateViewsFromWorkload(workload);
+  ViewSelectionOptions opts;
+  opts.max_views = candidates.card();
+  Result<ViewSelectionResult> r = SelectViews(workload, candidates, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answerable_count, workload.size());
+}
+
+TEST(ViewSelectionTest, SelfLoopEdgeCandidate) {
+  Pattern q;
+  uint32_t a = q.AddNode("A");
+  ASSERT_TRUE(q.AddEdge(a, a).ok());
+  ViewSet candidates = CandidateViewsFromWorkload({q});
+  ASSERT_EQ(candidates.card(), 1u);
+  EXPECT_EQ(candidates.view(0).pattern.num_nodes(), 1u);
+  EXPECT_TRUE(CheckContainment(q, candidates)->contained);
+}
+
+TEST(ViewSelectionTest, EmptyWorkload) {
+  Result<ViewSelectionResult> r =
+      SelectViews({}, CandidateViewsFromWorkload({}), ViewSelectionOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answerable_count, 0u);
+  EXPECT_TRUE(r->selected.empty());
+}
+
+TEST(ViewSelectionTest, IneligibleQueriesDoNotCountAsAnswerable) {
+  Pattern isolated;
+  isolated.AddNode("A");  // no edges
+  std::vector<Pattern> workload{isolated};
+  ViewSet candidates;
+  candidates.Add("v",
+                 PatternBuilder().Node("A").Node("B").Edge("A", "B").Build());
+  Result<ViewSelectionResult> r =
+      SelectViews(workload, candidates, ViewSelectionOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answerable_count, 0u);
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,276 @@
+/// \file gpmv_cli.cpp
+/// \brief Command-line front end for the library.
+///
+/// Usage:
+///   gpmv_cli gen <amazon|citation|youtube|random> <num_nodes> <seed> <out.graph>
+///   gpmv_cli stats <graph>
+///   gpmv_cli match <graph> <pattern> [--dual]
+///   gpmv_cli contain <pattern> <views>
+///   gpmv_cli materialize <graph> <views>
+///   gpmv_cli answer <graph> <pattern> <views> [--minimal|--minimum] [--check]
+///   gpmv_cli rewrite <graph> <pattern> <views>
+///
+/// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
+/// view_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/containment.h"
+#include "core/match_join.h"
+#include "core/rewriting.h"
+#include "core/view.h"
+#include "core/view_io.h"
+#include "graph/graph_io.h"
+#include "graph/statistics.h"
+#include "pattern/pattern_io.h"
+#include "simulation/bounded.h"
+#include "simulation/dual.h"
+#include "workload/datasets.h"
+#include "workload/graph_gen.h"
+
+namespace gpmv {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gpmv_cli gen <amazon|citation|youtube|random> <n> <seed> <out>\n"
+      "  gpmv_cli stats <graph>\n"
+      "  gpmv_cli match <graph> <pattern> [--dual]\n"
+      "  gpmv_cli contain <pattern> <views>\n"
+      "  gpmv_cli materialize <graph> <views>\n"
+      "  gpmv_cli answer <graph> <pattern> <views> [--minimal|--minimum] "
+      "[--check]\n"
+      "  gpmv_cli rewrite <graph> <pattern> <views>\n");
+  return 2;
+}
+
+bool HasFlag(const std::vector<std::string>& args, const char* flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool Load(Result<T> r, const char* what, T* out) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", what,
+                 r.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(r).value();
+  return true;
+}
+
+int CmdGen(const std::vector<std::string>& args) {
+  if (args.size() < 4) return Usage();
+  const std::string& kind = args[0];
+  size_t n = std::stoull(args[1]);
+  uint64_t seed = std::stoull(args[2]);
+  Graph g;
+  if (kind == "amazon") {
+    g = GenerateAmazonLike(n, seed);
+  } else if (kind == "citation") {
+    g = GenerateCitationLike(n, seed);
+  } else if (kind == "youtube") {
+    g = GenerateYoutubeLike(n, seed);
+  } else if (kind == "random") {
+    RandomGraphOptions opts;
+    opts.num_nodes = n;
+    opts.num_edges = 2 * n;
+    opts.seed = seed;
+    g = GenerateRandomGraph(opts);
+  } else {
+    return Usage();
+  }
+  Status st = WriteGraphFile(g, args[3]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu nodes, %zu edges to %s\n", g.num_nodes(),
+              g.num_edges(), args[3].c_str());
+  return 0;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Graph g;
+  if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
+  std::printf("%s", ComputeStatistics(g).ToString().c_str());
+  return 0;
+}
+
+int CmdMatch(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  Graph g;
+  Pattern q;
+  if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
+  if (!Load(ReadPatternFile(args[1]), "pattern", &q)) return 1;
+  Stopwatch sw;
+  Result<MatchResult> r = HasFlag(args, "--dual") ? MatchDualSimulation(q, g)
+                                                  : MatchBoundedSimulation(q, g);
+  if (!r.ok()) {
+    std::fprintf(stderr, "match failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("matched: %s  total pairs: %zu  time: %.1f ms\n",
+              r->matched() ? "yes" : "no", r->TotalMatches(),
+              sw.ElapsedMillis());
+  if (r->matched() && r->TotalMatches() <= 50) {
+    std::printf("%s", r->ToString(q, g).c_str());
+  }
+  return 0;
+}
+
+int CmdContain(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  Pattern q;
+  ViewSet views;
+  if (!Load(ReadPatternFile(args[0]), "pattern", &q)) return 1;
+  if (!Load(ReadViewSetFile(args[1]), "views", &views)) return 1;
+
+  auto report = [&](const char* name, const ContainmentMapping& m) {
+    std::printf("%-8s: %s", name, m.contained ? "contained via {" : "not contained");
+    if (m.contained) {
+      for (size_t i = 0; i < m.selected.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "",
+                    views.view(m.selected[i]).name.c_str());
+      }
+      std::printf("}");
+    }
+    std::printf("\n");
+  };
+  report("contain", std::move(CheckContainment(q, views)).value());
+  report("minimal", std::move(MinimalContainment(q, views)).value());
+  report("minimum", std::move(MinimumContainment(q, views)).value());
+  return 0;
+}
+
+int CmdMaterialize(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  Graph g;
+  ViewSet views;
+  if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
+  if (!Load(ReadViewSetFile(args[1]), "views", &views)) return 1;
+  Stopwatch sw;
+  auto exts = MaterializeAll(views, g);
+  if (!exts.ok()) {
+    std::fprintf(stderr, "%s\n", exts.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("materialized %zu views in %.1f ms\n", views.card(),
+              sw.ElapsedMillis());
+  size_t bytes = 0;
+  for (size_t i = 0; i < views.card(); ++i) {
+    std::printf("  %-16s matched=%d pairs=%zu\n", views.view(i).name.c_str(),
+                (*exts)[i].matched() ? 1 : 0, (*exts)[i].TotalPairs());
+    bytes += (*exts)[i].ApproxBytes();
+  }
+  std::printf("total pairs: %zu (~%zu KiB), %.1f%% of |E|\n",
+              TotalExtensionPairs(*exts), bytes / 1024,
+              g.num_edges() == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(TotalExtensionPairs(*exts)) /
+                        static_cast<double>(g.num_edges()));
+  return 0;
+}
+
+int CmdAnswer(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  Graph g;
+  Pattern q;
+  ViewSet views;
+  if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
+  if (!Load(ReadPatternFile(args[1]), "pattern", &q)) return 1;
+  if (!Load(ReadViewSetFile(args[2]), "views", &views)) return 1;
+
+  Result<ContainmentMapping> mapping =
+      HasFlag(args, "--minimal")   ? MinimalContainment(q, views)
+      : HasFlag(args, "--minimum") ? MinimumContainment(q, views)
+                                   : CheckContainment(q, views);
+  if (!mapping.ok() || !mapping->contained) {
+    std::printf("query is not contained in the views; try 'rewrite'\n");
+    return 1;
+  }
+  Stopwatch sw;
+  auto exts = MaterializeAll(views, g);
+  if (!exts.ok()) {
+    std::fprintf(stderr, "%s\n", exts.status().ToString().c_str());
+    return 1;
+  }
+  double t_mat = sw.ElapsedMillis();
+  sw.Restart();
+  Result<MatchResult> r = MatchJoin(q, views, *exts, *mapping);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("materialize: %.1f ms   MatchJoin: %.1f ms   views used: %zu\n",
+              t_mat, sw.ElapsedMillis(), mapping->selected.size());
+  std::printf("matched: %s  total pairs: %zu\n", r->matched() ? "yes" : "no",
+              r->TotalMatches());
+  if (HasFlag(args, "--check")) {
+    Result<MatchResult> direct = MatchBoundedSimulation(q, g);
+    bool same = direct.ok() && *direct == *r;
+    std::printf("direct evaluation check: %s\n", same ? "IDENTICAL" : "MISMATCH");
+    return same ? 0 : 1;
+  }
+  return 0;
+}
+
+int CmdRewrite(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  Graph g;
+  Pattern q;
+  ViewSet views;
+  if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
+  if (!Load(ReadPatternFile(args[1]), "pattern", &q)) return 1;
+  if (!Load(ReadViewSetFile(args[2]), "views", &views)) return 1;
+
+  auto exts = MaterializeAll(views, g);
+  if (!exts.ok()) {
+    std::fprintf(stderr, "%s\n", exts.status().ToString().c_str());
+    return 1;
+  }
+  Result<PartialAnswer> pa = MaximallyContainedRewriting(q, views, *exts);
+  if (!pa.ok()) {
+    std::fprintf(stderr, "%s\n", pa.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("exact: %s   covered edges: %zu/%zu\n",
+              pa->exact ? "yes" : "no", pa->covered_edges.size(),
+              q.num_edges());
+  for (uint32_t e : pa->uncovered_edges) {
+    const PatternEdge& pe = q.edge(e);
+    std::printf("  uncovered: %s -> %s\n", q.node(pe.src).name.c_str(),
+                q.node(pe.dst).name.c_str());
+  }
+  std::printf("partial answer pairs: %zu\n", pa->result.TotalMatches());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "match") return CmdMatch(args);
+  if (cmd == "contain") return CmdContain(args);
+  if (cmd == "materialize") return CmdMaterialize(args);
+  if (cmd == "answer") return CmdAnswer(args);
+  if (cmd == "rewrite") return CmdRewrite(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gpmv
+
+int main(int argc, char** argv) { return gpmv::Main(argc, argv); }

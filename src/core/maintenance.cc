@@ -6,6 +6,35 @@
 
 namespace gpmv {
 
+Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
+                            bool seeded, ViewExtension* ext,
+                            std::vector<std::vector<NodeId>>* relation) {
+  std::vector<std::vector<NodeId>> new_relation;
+  GPMV_RETURN_NOT_OK(ComputeBoundedSimulationRelation(
+      def.pattern, g, &new_relation, seeded ? relation : nullptr));
+  *relation = std::move(new_relation);
+  Result<ViewExtension> fresh = ViewExtension::Materialize(def, g, relation);
+  GPMV_RETURN_NOT_OK(fresh.status());
+  *ext = std::move(fresh).value();
+  return Status::OK();
+}
+
+bool DeletionMayAffectView(const ViewDefinition& def,
+                           const std::vector<std::vector<NodeId>>& relation,
+                           NodeId u, NodeId v) {
+  if (!def.pattern.IsSimulationPattern()) return true;
+  for (uint32_t e = 0; e < def.pattern.num_edges(); ++e) {
+    const PatternEdge& pe = def.pattern.edge(e);
+    const auto& su = relation[pe.src];
+    const auto& sv = relation[pe.dst];
+    if (std::binary_search(su.begin(), su.end(), u) &&
+        std::binary_search(sv.begin(), sv.end(), v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status MaintainedView::Attach(const Graph& g) {
   attached_ = true;
   return Refresh(g, /*seeded=*/false);
@@ -13,36 +42,14 @@ Status MaintainedView::Attach(const Graph& g) {
 
 Status MaintainedView::Refresh(const Graph& g, bool seeded) {
   ++refresh_count_;
-  std::vector<std::vector<NodeId>> new_relation;
-  GPMV_RETURN_NOT_OK(ComputeBoundedSimulationRelation(
-      def_.pattern, g, &new_relation, seeded ? &relation_ : nullptr));
-  relation_ = std::move(new_relation);
-  Result<ViewExtension> ext =
-      ViewExtension::Materialize(def_, g, &relation_);
-  GPMV_RETURN_NOT_OK(ext.status());
-  ext_ = std::move(ext).value();
-  return Status::OK();
+  return RefreshViewExtension(def_, g, seeded, &ext_, &relation_);
 }
 
 Status MaintainedView::OnEdgeRemoved(const Graph& g, NodeId u, NodeId v) {
   if (!attached_) return Status::InvalidArgument("view not attached");
-  // For plain simulation views, a deleted edge can only matter when it was
-  // itself a match pair of some view edge: only match pairs support the
-  // relation. (Bounded views skip the prescreen — the deleted edge may be
-  // interior to a matched path.)
-  if (def_.pattern.IsSimulationPattern()) {
-    bool relevant = false;
-    for (uint32_t e = 0; e < def_.pattern.num_edges() && !relevant; ++e) {
-      const PatternEdge& pe = def_.pattern.edge(e);
-      const auto& su = relation_[pe.src];
-      const auto& sv = relation_[pe.dst];
-      relevant = std::binary_search(su.begin(), su.end(), u) &&
-                 std::binary_search(sv.begin(), sv.end(), v);
-    }
-    if (!relevant) {
-      ++skipped_updates_;
-      return Status::OK();
-    }
+  if (!DeletionMayAffectView(def_, relation_, u, v)) {
+    ++skipped_updates_;
+    return Status::OK();
   }
   // Deletions only shrink the maximum relation: re-refine from the cached
   // relation instead of re-enumerating label candidates.

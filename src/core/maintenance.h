@@ -30,6 +30,25 @@
 
 namespace gpmv {
 
+/// Recomputes `relation` and `ext` for `def` on `g`. When `seeded`, the
+/// current contents of `relation` are used as the candidate seed — sound
+/// only when the relation can have shrunk (i.e. after deletions), because
+/// seeding restricts the search to the seed sets. `relation` must hold the
+/// previous relation when `seeded` is true; it is overwritten either way.
+Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
+                            bool seeded, ViewExtension* ext,
+                            std::vector<std::vector<NodeId>>* relation);
+
+/// Constant-time prescreen for *plain simulation* views: removing edge
+/// (u, v) can only shrink the extension when (u, v) was itself a match pair
+/// of some view edge, because only match pairs support the relation.
+/// `relation` must be the view's cached node relation (sorted sets). Always
+/// true for bounded views — the deleted edge may be interior to a matched
+/// path, which this screen cannot see.
+bool DeletionMayAffectView(const ViewDefinition& def,
+                           const std::vector<std::vector<NodeId>>& relation,
+                           NodeId u, NodeId v);
+
 /// A view definition together with its maintained extension on one graph.
 class MaintainedView {
  public:

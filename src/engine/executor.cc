@@ -1,0 +1,77 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gpmv {
+
+ThreadPool::ThreadPool(ThreadPoolOptions opts)
+    : queue_capacity_(std::max<size_t>(1, opts.queue_capacity)) {
+  size_t n = opts.num_threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk,
+                   [this] { return shutdown_ || queue_.size() < queue_capacity_; });
+    if (shutdown_) {
+      ++stats_.rejected;
+      return Status::InvalidArgument("submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+    ++stats_.submitted;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      not_empty_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.executed;
+    }
+  }
+}
+
+}  // namespace gpmv

@@ -1,0 +1,77 @@
+/// \file executor.h
+/// \brief Fixed-size thread pool with a bounded task queue — the execution
+/// substrate of the query engine (see query_engine.h).
+///
+/// Workers pull tasks from a single FIFO queue. `Submit` blocks the caller
+/// while the queue is at capacity (backpressure instead of unbounded memory
+/// growth under heavy traffic), and fails once the pool is shut down.
+/// `Shutdown` drains every task that was accepted before returning, so a
+/// caller that joined the pool has seen all its side effects.
+
+#ifndef GPMV_ENGINE_EXECUTOR_H_
+#define GPMV_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gpmv {
+
+/// Pool sizing knobs.
+struct ThreadPoolOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency() (min 1).
+  size_t num_threads = 0;
+  /// Maximum queued (not yet running) tasks before Submit blocks.
+  size_t queue_capacity = 1024;
+};
+
+/// Observability counters; a consistent snapshot as of the call.
+struct ThreadPoolStats {
+  size_t submitted = 0;        ///< tasks accepted by Submit
+  size_t executed = 0;         ///< tasks that finished running
+  size_t rejected = 0;         ///< Submit calls refused (after shutdown)
+  size_t max_queue_depth = 0;  ///< high-water mark of the queue
+};
+
+/// Fixed worker pool + bounded FIFO queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolOptions opts = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; blocks while the queue is full. Fails with
+  /// InvalidArgument after Shutdown. Tasks must not throw.
+  Status Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, joins all workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  ThreadPoolStats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t queue_capacity_;
+  bool shutdown_ = false;
+  ThreadPoolStats stats_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_ENGINE_EXECUTOR_H_

@@ -1,0 +1,235 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/traversal.h"  // kUnbounded
+
+namespace gpmv {
+
+namespace {
+
+/// Cost charged per merged view pair (merge + fixpoint rescans).
+constexpr double kJoinPairFactor = 2.0;
+
+/// BFS-depth factor a bounded edge contributes to traversal work.
+double BoundFactor(uint32_t bound, uint32_t cap) {
+  if (bound == kUnbounded) return static_cast<double>(cap);
+  return static_cast<double>(std::min(bound, cap));
+}
+
+using LabelCounts = std::unordered_map<std::string, size_t>;
+
+LabelCounts BuildLabelCounts(const GraphStatistics& gs) {
+  LabelCounts counts;
+  counts.reserve(gs.label_histogram.size());
+  for (const auto& [label, count] : gs.label_histogram) {
+    counts.emplace(label, count);
+  }
+  return counts;
+}
+
+/// Per-pattern-node candidate-set size estimates from the label histogram.
+std::vector<double> EstimateCandidates(const Pattern& q,
+                                       const GraphStatistics& gs,
+                                       const LabelCounts& label_count) {
+  std::vector<double> cand(q.num_nodes());
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    const PatternNode& pn = q.node(u);
+    if (pn.label.empty()) {
+      cand[u] = static_cast<double>(gs.num_nodes);
+    } else {
+      auto it = label_count.find(pn.label);
+      cand[u] = it == label_count.end() ? 0.0 : static_cast<double>(it->second);
+    }
+  }
+  return cand;
+}
+
+double EstimateDirectCostWithCounts(const Pattern& q,
+                                    const GraphStatistics& gs,
+                                    const LabelCounts& label_count,
+                                    uint32_t bounded_cost_cap) {
+  std::vector<double> cand = EstimateCandidates(q, gs, label_count);
+  double cost = 0.0;
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) cost += cand[u];
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    const PatternEdge& pe = q.edge(e);
+    cost += cand[pe.src] * std::max(1.0, gs.avg_out_degree) *
+            BoundFactor(pe.bound, bounded_cost_cap);
+  }
+  return cost;
+}
+
+/// Estimated pairs a cold view edge materializes: candidate sources times
+/// average out-degree, never more than |E| for unit bounds.
+double EstimateViewEdgePairs(const Pattern& view, uint32_t e,
+                             const std::vector<double>& cand,
+                             const GraphStatistics& gs, uint32_t cap) {
+  const PatternEdge& pe = view.edge(e);
+  double pairs = cand[pe.src] * std::max(1.0, gs.avg_out_degree) *
+                 BoundFactor(pe.bound, cap);
+  if (pe.bound == 1) {
+    pairs = std::min(pairs, static_cast<double>(gs.num_edges));
+  }
+  return pairs;
+}
+
+MinimizedPattern IdentityMinimization(const Pattern& q) {
+  MinimizedPattern m;
+  m.pattern = q;
+  m.node_map.resize(q.num_nodes());
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) m.node_map[u] = u;
+  m.edge_map.resize(q.num_edges());
+  for (uint32_t e = 0; e < q.num_edges(); ++e) m.edge_map[e] = e;
+  m.changed = false;
+  return m;
+}
+
+}  // namespace
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kMatchJoin:
+      return "match_join";
+    case PlanKind::kPartialViews:
+      return "partial_views";
+    case PlanKind::kDirect:
+      return "direct";
+  }
+  return "unknown";
+}
+
+double EstimateDirectCost(const Pattern& q, const GraphStatistics& gs,
+                          uint32_t bounded_cost_cap) {
+  return EstimateDirectCostWithCounts(q, gs, BuildLabelCounts(gs),
+                                      bounded_cost_cap);
+}
+
+Result<QueryPlan> PlanQuery(const Pattern& q, const ViewSet& views,
+                            const std::vector<ViewExtension>& exts,
+                            const GraphStatistics& gs,
+                            const PlannerOptions& opts,
+                            const std::vector<uint8_t>* materialized) {
+  if (exts.size() != views.card()) {
+    return Status::InvalidArgument("one extension slot per view required");
+  }
+  if (materialized != nullptr && materialized->size() != views.card()) {
+    return Status::InvalidArgument("one materialized flag per view required");
+  }
+  QueryPlan plan;
+  if (opts.enable_minimization && q.num_edges() > 0) {
+    Result<MinimizedPattern> min = MinimizePattern(q);
+    GPMV_RETURN_NOT_OK(min.status());
+    plan.minimized = std::move(min).value();
+  } else {
+    plan.minimized = IdentityMinimization(q);
+  }
+  const Pattern& mq = plan.minimized.pattern;
+  const LabelCounts label_count = BuildLabelCounts(gs);
+  plan.est_direct_cost = EstimateDirectCostWithCounts(mq, gs, label_count,
+                                                      opts.bounded_cost_cap);
+
+  // Degenerate queries (no edges, isolated nodes) and a disabled cost
+  // advantage always evaluate directly; so does an empty registry.
+  if (mq.num_edges() == 0 || !mq.HasNoIsolatedNode() ||
+      opts.view_cost_advantage <= 0.0 || views.card() == 0) {
+    plan.kind = PlanKind::kDirect;
+    return plan;
+  }
+
+  // Is view `v`'s extension live in the cache? With explicit flags this
+  // also recognizes a cached view that matched nothing; the structural
+  // fallback cannot, and treats it as cold.
+  auto is_live = [&](uint32_t v) {
+    return materialized != nullptr ? (*materialized)[v] != 0
+                                   : exts[v].num_view_edges() > 0;
+  };
+  auto cold_view_cost = [&](uint32_t v) {
+    return EstimateDirectCostWithCounts(views.view(v).pattern, gs,
+                                        label_count, opts.bounded_cost_cap);
+  };
+  auto view_edge_pairs = [&](const ViewEdgeRef& ref) {
+    if (is_live(ref.view)) {
+      return static_cast<double>(exts[ref.view].edge(ref.edge).pairs.size());
+    }
+    const Pattern& vp = views.view(ref.view).pattern;
+    std::vector<double> cand = EstimateCandidates(vp, gs, label_count);
+    return EstimateViewEdgePairs(vp, ref.edge, cand, gs,
+                                 opts.bounded_cost_cap);
+  };
+
+  Result<ContainmentMapping> mapping = MinimumContainment(mq, views);
+  GPMV_RETURN_NOT_OK(mapping.status());
+
+  if (mapping->contained) {
+    double est = 0.0;
+    for (uint32_t v : mapping->selected) {
+      if (!is_live(v)) est += cold_view_cost(v);
+    }
+    for (const auto& refs : mapping->lambda) {
+      for (const ViewEdgeRef& ref : refs) {
+        est += kJoinPairFactor * view_edge_pairs(ref);
+      }
+    }
+    plan.est_view_cost = est;
+    if (est <= opts.view_cost_advantage * plan.est_direct_cost) {
+      plan.kind = PlanKind::kMatchJoin;
+      plan.mapping = std::move(mapping).value();
+      plan.views_needed = plan.mapping.selected;
+      return plan;
+    }
+    plan.kind = PlanKind::kDirect;
+    return plan;
+  }
+
+  // Not contained: can a subset of edges still be served from views?
+  Result<std::vector<ViewMatchResult>> vms = ComputeAllViewMatches(mq, views);
+  GPMV_RETURN_NOT_OK(vms.status());
+  plan.partial_lambda.assign(mq.num_edges(), {});
+  for (uint32_t v = 0; v < views.card(); ++v) {
+    const ViewMatchResult& vm = (*vms)[v];
+    for (uint32_t ev = 0; ev < vm.per_view_edge.size(); ++ev) {
+      for (uint32_t qe : vm.per_view_edge[ev]) {
+        plan.partial_lambda[qe].push_back(ViewEdgeRef{v, ev});
+      }
+    }
+  }
+  size_t covered = 0;
+  double est = 0.0;
+  std::vector<uint32_t> needed;
+  for (uint32_t e = 0; e < mq.num_edges(); ++e) {
+    if (plan.partial_lambda[e].empty()) continue;
+    ++covered;
+    for (const ViewEdgeRef& ref : plan.partial_lambda[e]) {
+      est += view_edge_pairs(ref);
+      needed.push_back(ref.view);
+    }
+  }
+  if (covered == 0) {
+    plan.kind = PlanKind::kDirect;
+    plan.partial_lambda.clear();
+    return plan;
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  for (uint32_t v : needed) {
+    if (!is_live(v)) est += cold_view_cost(v);
+  }
+  // The fallback still walks G, but only from view-restricted candidates;
+  // charge it the direct cost scaled by the uncovered fraction.
+  est += plan.est_direct_cost *
+         static_cast<double>(mq.num_edges() - covered + 1) /
+         static_cast<double>(mq.num_edges() + 1);
+  plan.est_view_cost = est;
+  if (est <= opts.view_cost_advantage * plan.est_direct_cost) {
+    plan.kind = PlanKind::kPartialViews;
+    plan.views_needed = std::move(needed);
+  } else {
+    plan.kind = PlanKind::kDirect;
+    plan.partial_lambda.clear();
+  }
+  return plan;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,388 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/maintenance.h"
+#include "core/match_join.h"
+#include "core/view_selection.h"
+#include "pattern/pattern_io.h"
+#include "simulation/bounded.h"
+
+namespace gpmv {
+
+namespace {
+
+/// Retries of the compute-then-install dance before giving up; only
+/// concurrent update batches landing mid-materialization consume attempts.
+constexpr int kMaxInstallRetries = 8;
+
+/// Sorted intersection helper for candidate seeding.
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(Graph g, EngineOptions opts)
+    : opts_(opts),
+      graph_(std::move(g)),
+      gstats_(ComputeStatistics(graph_)),
+      cache_(opts.cache),
+      pool_(opts.pool) {}
+
+QueryEngine::~QueryEngine() { pool_.Shutdown(); }
+
+Result<uint32_t> QueryEngine::RegisterView(const std::string& name,
+                                           Pattern pattern) {
+  if (pattern.num_edges() == 0) {
+    return Status::InvalidArgument("view pattern has no edges");
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return cache_.Register(ViewDefinition{name, std::move(pattern)});
+}
+
+Status QueryEngine::WarmViews() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  for (uint32_t v = 0; v < cache_.views().card(); ++v) {
+    if (cache_.IsMaterialized(v)) continue;
+    ViewExtension ext;
+    std::vector<std::vector<NodeId>> relation;
+    GPMV_RETURN_NOT_OK(RefreshViewExtension(cache_.views().view(v), graph_,
+                                            /*seeded=*/false, &ext,
+                                            &relation));
+    cache_.Install(v, std::move(ext), std::move(relation), /*pin=*/false);
+  }
+  return Status::OK();
+}
+
+QueryResponse QueryEngine::Query(const Pattern& q) { return Execute(q); }
+
+Result<std::future<QueryResponse>> QueryEngine::Submit(Pattern q) {
+  auto task = std::make_shared<std::packaged_task<QueryResponse()>>(
+      [this, query = std::move(q)] { return Execute(query); });
+  std::future<QueryResponse> fut = task->get_future();
+  GPMV_RETURN_NOT_OK(pool_.Submit([task] { (*task)(); }));
+  return fut;
+}
+
+QueryResponse QueryEngine::Execute(const Pattern& q) {
+  RecordWorkload(q);
+  QueryResponse resp;
+
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    Stopwatch sw;
+    const std::vector<uint8_t> live = cache_.MaterializedSnapshot();
+    Result<QueryPlan> planned = PlanQuery(q, cache_.views(),
+                                          cache_.extensions(), gstats_,
+                                          opts_.planner, &live);
+    if (!planned.ok()) {
+      resp.status = planned.status();
+    } else {
+      QueryPlan plan = std::move(planned).value();
+      resp.plan = plan.kind;
+      resp.views_used = plan.views_needed;
+      resp.plan_ms = sw.ElapsedMillis();
+      sw.Restart();
+
+      std::vector<uint32_t> pinned;
+      bool warm = true;
+      Status st = PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
+      if (st.ok()) {
+        resp.warm = warm && plan.kind != PlanKind::kDirect;
+        Result<MatchResult> r = [&]() -> Result<MatchResult> {
+          switch (plan.kind) {
+            case PlanKind::kMatchJoin: {
+              Result<MatchResult> mr =
+                  MatchJoin(plan.minimized.pattern, cache_.views(),
+                            cache_.extensions(), plan.mapping);
+              GPMV_RETURN_NOT_OK(mr.status());
+              return ExpandMinimized(plan.minimized, q, std::move(mr).value());
+            }
+            case PlanKind::kPartialViews: {
+              Result<MatchResult> mr = ExecutePartial(plan);
+              GPMV_RETURN_NOT_OK(mr.status());
+              return ExpandMinimized(plan.minimized, q, std::move(mr).value());
+            }
+            case PlanKind::kDirect:
+              break;
+          }
+          Result<MatchResult> mr =
+              MatchBoundedSimulation(plan.minimized.pattern, graph_);
+          GPMV_RETURN_NOT_OK(mr.status());
+          return ExpandMinimized(plan.minimized, q, std::move(mr).value());
+        }();
+        if (r.ok()) {
+          resp.result = std::move(r).value();
+        } else {
+          resp.status = r.status();
+        }
+      } else {
+        resp.status = st;
+      }
+      for (uint32_t v : pinned) cache_.Unpin(v);
+      resp.exec_ms = sw.ElapsedMillis();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    ++counters_.queries;
+    if (!resp.status.ok()) ++counters_.failed_queries;
+    if (resp.warm) ++counters_.warm_queries;
+    switch (resp.plan) {
+      case PlanKind::kMatchJoin:
+        ++counters_.plans_match_join;
+        break;
+      case PlanKind::kPartialViews:
+        ++counters_.plans_partial;
+        break;
+      case PlanKind::kDirect:
+        ++counters_.plans_direct;
+        break;
+    }
+  }
+  return resp;
+}
+
+Status QueryEngine::PinOrMaterialize(const std::vector<uint32_t>& needed,
+                                     std::shared_lock<std::shared_mutex>& lk,
+                                     std::vector<uint32_t>* pinned,
+                                     bool* warm) {
+  for (uint32_t v : needed) {
+    if (cache_.TryPinMaterialized(v)) {
+      pinned->push_back(v);
+      continue;
+    }
+    *warm = false;
+    bool installed = false;
+    for (int attempt = 0; attempt < kMaxInstallRetries && !installed;
+         ++attempt) {
+      // Materialize under the shared lock: a pure read of G (writers are
+      // excluded), so other queries keep running meanwhile.
+      const uint64_t version = graph_version_;
+      ViewExtension ext;
+      std::vector<std::vector<NodeId>> relation;
+      GPMV_RETURN_NOT_OK(RefreshViewExtension(cache_.views().view(v), graph_,
+                                              /*seeded=*/false, &ext,
+                                              &relation));
+      lk.unlock();
+      {
+        std::unique_lock<std::shared_mutex> ul(mu_);
+        if (graph_version_ == version) {
+          // Install (or lose the race to a concurrent query — either way
+          // the view is live) and pin before anyone can evict it.
+          cache_.Install(v, std::move(ext), std::move(relation),
+                         /*pin=*/true);
+          pinned->push_back(v);
+          installed = true;
+        }
+        // else: an update batch landed while we computed; recompute from
+        // the fresh graph.
+      }
+      lk.lock();
+    }
+    if (!installed) {
+      return Status::Internal(
+          "view materialization kept racing update batches");
+    }
+  }
+  return Status::OK();
+}
+
+Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan) {
+  const Pattern& mq = plan.minimized.pattern;
+  std::vector<std::vector<NodeId>> seed;
+  GPMV_RETURN_NOT_OK(ComputeCandidateSets(mq, graph_, &seed));
+  const std::vector<ViewExtension>& exts = cache_.extensions();
+
+  // Tighten each node's candidates with the merged sources of every covered
+  // out-edge: a node in the maximum relation must witness all its out-edges,
+  // and view pairs over-approximate each witness set (distance-filtered to
+  // the query's own bound). In-edges stay unconstrained — forward simulation
+  // does not force relation members to appear as targets.
+  for (uint32_t u = 0; u < mq.num_nodes(); ++u) {
+    for (uint32_t e : mq.out_edges(u)) {
+      if (plan.partial_lambda[e].empty()) continue;
+      const PatternEdge& pe = mq.edge(e);
+      std::vector<NodeId> sources;
+      for (const ViewEdgeRef& ref : plan.partial_lambda[e]) {
+        const ViewEdgeExtension& vee = exts[ref.view].edge(ref.edge);
+        for (size_t i = 0; i < vee.pairs.size(); ++i) {
+          if (pe.bound != kUnbounded && vee.distances[i] > pe.bound) continue;
+          sources.push_back(vee.pairs[i].first);
+        }
+      }
+      std::sort(sources.begin(), sources.end());
+      sources.erase(std::unique(sources.begin(), sources.end()),
+                    sources.end());
+      seed[u] = Intersect(seed[u], sources);
+    }
+  }
+  return MatchBoundedSimulation(mq, graph_, /*distances=*/nullptr, &seed);
+}
+
+MatchResult QueryEngine::ExpandMinimized(const MinimizedPattern& min,
+                                         const Pattern& original,
+                                         MatchResult result) {
+  if (!min.changed) {
+    result.Normalize();
+    return result;
+  }
+  MatchResult out = MatchResult::Empty(original);
+  if (!result.matched()) return out;
+  for (uint32_t e = 0; e < original.num_edges(); ++e) {
+    *out.mutable_edge_matches(e) = result.edge_matches(min.edge_map[e]);
+  }
+  out.set_matched(true);
+  out.Normalize();
+  out.DeriveNodeMatches(original);
+  return out;
+}
+
+Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
+  size_t inserted = 0;
+  size_t deleted_count = 0;
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    for (const EdgeUpdate& up : batch) {
+      if (up.u >= graph_.num_nodes() || up.v >= graph_.num_nodes()) {
+        return Status::InvalidArgument("update references unknown node");
+      }
+    }
+    bool any_insert = false;
+    std::vector<NodePair> deleted;
+    for (const EdgeUpdate& up : batch) {
+      if (up.kind == EdgeUpdate::Kind::kInsert) {
+        if (graph_.AddEdgeIfAbsent(up.u, up.v)) {
+          any_insert = true;
+          ++inserted;
+        }
+      } else {
+        Status st = graph_.RemoveEdge(up.u, up.v);
+        if (st.ok()) {
+          deleted.emplace_back(up.u, up.v);
+          ++deleted_count;
+        } else if (st.code() != Status::Code::kNotFound) {
+          return st;
+        }
+      }
+    }
+    ++graph_version_;
+    GPMV_RETURN_NOT_OK(cache_.RefreshMaterialized(
+        graph_, /*deletions_only=*/!any_insert, deleted));
+    // Edge updates change neither node count nor label histogram, so the
+    // fields the planner reads stay exact in O(1); the degree-profile
+    // details are recomputed lazily by graph_statistics().
+    gstats_.num_edges = graph_.num_edges();
+    gstats_.avg_out_degree =
+        graph_.num_nodes() == 0
+            ? 0.0
+            : static_cast<double>(graph_.num_edges()) /
+                  static_cast<double>(graph_.num_nodes());
+    stats_dirty_ = true;
+  }
+  std::lock_guard<std::mutex> lk(agg_mu_);
+  ++counters_.update_batches;
+  counters_.edges_inserted += inserted;
+  counters_.edges_deleted += deleted_count;
+  return Status::OK();
+}
+
+Result<size_t> QueryEngine::AdmitFromWorkload(size_t max_views) {
+  std::vector<Pattern> history;
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    history.assign(workload_.begin(), workload_.end());
+  }
+  if (history.empty() || max_views == 0) return size_t{0};
+
+  ViewSet candidates = CandidateViewsFromWorkload(history);
+  if (candidates.card() == 0) return size_t{0};
+  ViewSelectionOptions sel_opts;
+  sel_opts.max_views = max_views;
+  Result<ViewSelectionResult> sel =
+      SelectViews(history, candidates, sel_opts);
+  GPMV_RETURN_NOT_OK(sel.status());
+
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  std::unordered_set<std::string> existing;
+  for (const ViewDefinition& def : cache_.views().views()) {
+    existing.insert(PatternToText(def.pattern));
+  }
+  size_t added = 0;
+  for (uint32_t ci : sel->selected) {
+    const ViewDefinition& cand = candidates.view(ci);
+    std::string text = PatternToText(cand.pattern);
+    if (!existing.insert(std::move(text)).second) continue;
+    cache_.Register(ViewDefinition{
+        "auto_" + std::to_string(cache_.views().card()), cand.pattern});
+    ++added;
+  }
+  return added;
+}
+
+void QueryEngine::RecordWorkload(const Pattern& q) {
+  if (opts_.workload_history_limit == 0) return;
+  std::lock_guard<std::mutex> lk(agg_mu_);
+  workload_.push_back(q);
+  while (workload_.size() > opts_.workload_history_limit) {
+    workload_.pop_front();
+  }
+}
+
+bool QueryEngine::CheckCacheConsistency(bool expect_unpinned) const {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return cache_.CheckConsistency(expect_unpinned);
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats out;
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    out = counters_;
+  }
+  out.cache = cache_.stats();
+  out.pool = pool_.stats();
+  return out;
+}
+
+GraphStatistics QueryEngine::graph_statistics() const {
+  if (stats_dirty_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    if (stats_dirty_.load(std::memory_order_relaxed)) {
+      gstats_ = ComputeStatistics(graph_);
+      stats_dirty_.store(false, std::memory_order_release);
+    }
+    return gstats_;
+  }
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return gstats_;
+}
+
+size_t QueryEngine::num_views() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return cache_.views().card();
+}
+
+size_t QueryEngine::num_graph_nodes() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return graph_.num_nodes();
+}
+
+size_t QueryEngine::num_graph_edges() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return graph_.num_edges();
+}
+
+}  // namespace gpmv

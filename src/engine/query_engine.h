@@ -1,0 +1,198 @@
+/// \file query_engine.h
+/// \brief The concurrent view-cache query engine: owns a graph snapshot, a
+/// registry of view definitions with lazily materialized extensions, and
+/// answers pattern queries end-to-end the way the paper envisions views
+/// being used — as a cache layer serving a query stream without touching G
+/// whenever containment allows it.
+///
+/// Components:
+///  * planner.h      — per-query choice of MatchJoin / partial-views /
+///                     direct, with cost estimates from graph/statistics;
+///  * view_cache.h   — byte-accounted LRU cache of materialized extensions
+///                     with pinning and hit/miss/eviction counters;
+///  * executor.h     — fixed worker pool + bounded queue behind Submit();
+///  * core/maintenance — ApplyUpdates() routes edge insert/delete batches
+///                     through incremental maintenance so cached extensions
+///                     stay fresh instead of being invalidated.
+///
+/// Concurrency model: one shared_mutex (the *registry lock*) protects the
+/// graph and every extension payload. Query execution — planning, MatchJoin,
+/// direct simulation, and even cold-view materialization (a pure read of G)
+/// — runs under the lock in *shared* mode, so independent queries proceed
+/// concurrently; installing a computed extension, evicting, registering
+/// views, and update batches take it *exclusively*. Queries pin every view
+/// their plan reads, which keeps LRU eviction from pulling extensions out
+/// from under a running MatchJoin. A graph version counter detects the
+/// race where an update batch lands between computing a cold extension and
+/// installing it; the install is discarded and recomputed.
+
+#ifndef GPMV_ENGINE_QUERY_ENGINE_H_
+#define GPMV_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "engine/view_cache.h"
+#include "graph/graph.h"
+#include "graph/statistics.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// One edge mutation of an update batch.
+struct EdgeUpdate {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  NodeId u = 0;
+  NodeId v = 0;
+
+  static EdgeUpdate Insert(NodeId u, NodeId v) {
+    return EdgeUpdate{Kind::kInsert, u, v};
+  }
+  static EdgeUpdate Delete(NodeId u, NodeId v) {
+    return EdgeUpdate{Kind::kDelete, u, v};
+  }
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  ThreadPoolOptions pool;
+  ViewCacheOptions cache;
+  PlannerOptions planner;
+  /// Ring buffer of observed queries feeding AdmitFromWorkload (0 disables).
+  size_t workload_history_limit = 256;
+};
+
+/// Outcome of one query.
+struct QueryResponse {
+  Status status;        ///< evaluation outcome; result is valid only when ok
+  MatchResult result;   ///< Q(G), normalized to the original (unminimized) Q
+  PlanKind plan = PlanKind::kDirect;
+  std::vector<uint32_t> views_used;  ///< view ids the plan read
+  bool warm = false;    ///< view plan with every needed extension cached
+  double plan_ms = 0.0;
+  double exec_ms = 0.0;
+};
+
+/// Aggregate engine counters.
+struct EngineStats {
+  ViewCacheStats cache;
+  ThreadPoolStats pool;
+  size_t queries = 0;
+  size_t plans_match_join = 0;
+  size_t plans_partial = 0;
+  size_t plans_direct = 0;
+  size_t warm_queries = 0;
+  size_t failed_queries = 0;
+  size_t update_batches = 0;
+  size_t edges_inserted = 0;
+  size_t edges_deleted = 0;
+};
+
+/// See file comment.
+class QueryEngine {
+ public:
+  explicit QueryEngine(Graph g, EngineOptions opts = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Registers a view definition; extensions materialize lazily on first
+  /// use (or eagerly via WarmViews). Returns the dense view id.
+  Result<uint32_t> RegisterView(const std::string& name, Pattern pattern);
+
+  /// Materializes every registered view that is currently cold, subject to
+  /// the cache budget (LRU applies if they do not all fit).
+  Status WarmViews();
+
+  /// Answers `q` synchronously in the calling thread. Safe to call from any
+  /// number of threads concurrently.
+  QueryResponse Query(const Pattern& q);
+
+  /// Answers `q` on the worker pool; blocks only when the task queue is
+  /// full. Fails if the pool is shut down.
+  Result<std::future<QueryResponse>> Submit(Pattern q);
+
+  /// Applies an edge insert/delete batch to the graph, then routes every
+  /// materialized extension through incremental maintenance (decremental
+  /// seeded refresh for deletion-only batches, with a constant-time
+  /// prescreen; re-materialization when the batch grew the graph). Unknown
+  /// node ids fail the batch up front; deleting an absent edge is a no-op.
+  Status ApplyUpdates(const std::vector<EdgeUpdate>& batch);
+
+  /// Workload-driven admission (view_selection.h): derives candidate views
+  /// from the observed query history, greedily selects at most `max_views`,
+  /// and registers the ones not structurally present yet. Returns how many
+  /// were registered; they materialize lazily (or via WarmViews).
+  Result<size_t> AdmitFromWorkload(size_t max_views);
+
+  /// Full cache-accounting audit under the exclusive registry lock; with
+  /// `expect_unpinned`, also verifies every query released its pins.
+  bool CheckCacheConsistency(bool expect_unpinned = true) const;
+
+  EngineStats stats() const;
+  GraphStatistics graph_statistics() const;
+  size_t num_worker_threads() const { return pool_.num_threads(); }
+  size_t num_views() const;
+  size_t num_graph_nodes() const;
+  size_t num_graph_edges() const;
+
+ private:
+  QueryResponse Execute(const Pattern& q);
+
+  /// Pins every view in `needed`, materializing cold ones (may drop and
+  /// reacquire `lk` around installs). Pinned ids accumulate in `pinned`
+  /// even on failure so the caller can unwind; `warm` clears if any view
+  /// had to be materialized.
+  Status PinOrMaterialize(const std::vector<uint32_t>& needed,
+                          std::shared_lock<std::shared_mutex>& lk,
+                          std::vector<uint32_t>* pinned, bool* warm);
+
+  /// kPartialViews execution: merge covering view pairs into per-node
+  /// candidate seeds, then direct evaluation restricted to them.
+  Result<MatchResult> ExecutePartial(const QueryPlan& plan);
+
+  /// Maps a minimized-query result back to the original query's shape.
+  static MatchResult ExpandMinimized(const MinimizedPattern& min,
+                                     const Pattern& original,
+                                     MatchResult result);
+
+  void RecordWorkload(const Pattern& q);
+
+  EngineOptions opts_;
+
+  /// Registry lock; see file comment.
+  mutable std::shared_mutex mu_;
+  Graph graph_;
+  /// Statistics snapshot for the planner. After an update batch only the
+  /// planner-read fields (num_nodes/num_edges/avg_out_degree/
+  /// label_histogram) are kept exact in O(1); degree-profile details go
+  /// stale until graph_statistics() recomputes them (stats_dirty_).
+  mutable GraphStatistics gstats_;
+  mutable std::atomic<bool> stats_dirty_{false};
+  uint64_t graph_version_ = 0;
+  ViewCache cache_;
+
+  /// Aggregate counters + workload history (never held together with mu_).
+  mutable std::mutex agg_mu_;
+  std::deque<Pattern> workload_;
+  EngineStats counters_;
+
+  /// Last member: destroyed (and joined) first, while the rest is alive.
+  ThreadPool pool_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_ENGINE_QUERY_ENGINE_H_

@@ -50,6 +50,49 @@ TEST(BMatchJoinTest, TwoHopQueryViaLooserView) {
   EXPECT_TRUE(*r == *direct);
 }
 
+TEST(BMatchJoinTest, ExplicitDistanceIndexCrossChecksStricterBound) {
+  // Same topology as TwoHopQueryViaLooserView: the view's bound (3) is
+  // looser than the query's (2), so the merge must drop the distance-3 pair
+  // — and the explicit I(V) table must agree with the columnar distances.
+  Graph g;
+  NodeId a = g.AddNode("A"), x = g.AddNode("X"), b1 = g.AddNode("B");
+  NodeId y = g.AddNode("Y"), z = g.AddNode("Z"), b2 = g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(a, x).ok());
+  ASSERT_TRUE(g.AddEdge(x, b1).ok());
+  ASSERT_TRUE(g.AddEdge(a, y).ok());
+  ASSERT_TRUE(g.AddEdge(y, z).ok());
+  ASSERT_TRUE(g.AddEdge(z, b2).ok());
+
+  ViewSet views;
+  views.Add("v",
+            PatternBuilder().Node("A").Node("B").Edge("A", "B", 3).Build());
+  auto exts = MaterializeAll(views, g);
+  ASSERT_TRUE(exts.ok());
+  DistanceIndex idx = DistanceIndex::Build(*exts);
+  ASSERT_TRUE(idx.Distance(a, b2).has_value());
+  EXPECT_EQ(*idx.Distance(a, b2), 3u);
+
+  Pattern qb =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", 2).Build();
+  auto mapping = CheckContainment(qb, views);
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_TRUE(mapping->contained);
+
+  MatchJoinStats stats;
+  Result<MatchResult> r = BMatchJoin(qb, views, *exts, *mapping, idx,
+                                     MatchJoinOptions{}, &stats);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->matched());
+  EXPECT_EQ(r->edge_matches(0), (std::vector<NodePair>{{a, b1}}));
+  EXPECT_EQ(stats.filtered_by_distance, 1u);
+
+  // An index built over different extensions cannot certify the result.
+  DistanceIndex unrelated;
+  Result<MatchResult> bad = BMatchJoin(qb, views, *exts, *mapping, unrelated);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInternal);
+}
+
 TEST(BMatchJoinTest, Fig6QueryOnConcreteGraph) {
   Fig6Fixture f = MakeFig6();
   // Concrete graph realizing Qb: A -> B (1 hop), A -> x -> C (2 <= 3),

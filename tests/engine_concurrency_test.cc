@@ -1,0 +1,213 @@
+/// \file engine_concurrency_test.cc
+/// \brief Concurrent-submit stress tests: N threads against one engine with
+/// a shared (and deliberately tight) view cache. Asserts no lost results —
+/// every submitted query returns and returns the *right* answer — and that
+/// the cache's eviction/byte accounting stays consistent throughout.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "pattern/pattern_builder.h"
+#include "simulation/bounded.h"
+#include "workload/graph_gen.h"
+#include "workload/pattern_gen.h"
+
+namespace gpmv {
+namespace {
+
+struct StressFixture {
+  Graph graph;
+  std::vector<Pattern> patterns;
+  std::vector<MatchResult> expected;  ///< direct evaluation baseline
+};
+
+StressFixture MakeStressFixture() {
+  StressFixture f;
+  RandomGraphOptions go;
+  go.num_nodes = 1500;
+  go.num_edges = 5000;
+  go.num_labels = 6;
+  go.seed = 2026;
+  f.graph = GenerateRandomGraph(go);
+  // Two extra nodes whose label no pattern uses: update batches toggle an
+  // edge between them without disturbing any query's answer.
+  f.graph.AddNode("UPD");
+  f.graph.AddNode("UPD");
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomPatternOptions po;
+    po.num_nodes = 3 + seed % 2;
+    po.num_edges = po.num_nodes;
+    po.label_pool = SyntheticLabels(6);
+    po.seed = seed;
+    f.patterns.push_back(GenerateRandomPattern(po));
+  }
+  for (const Pattern& q : f.patterns) {
+    Result<MatchResult> direct = MatchBoundedSimulation(q, f.graph);
+    MatchResult r = direct.ok() ? std::move(direct).value() : MatchResult();
+    r.Normalize();
+    f.expected.push_back(std::move(r));
+  }
+  return f;
+}
+
+void CheckAccounting(const ViewCacheStats& cache) {
+  EXPECT_EQ(cache.installs - cache.evictions, cache.materialized);
+  if (cache.materialized == 0) {
+    EXPECT_EQ(cache.bytes_cached, 0u);
+  }
+}
+
+TEST(EngineConcurrencyTest, ParallelSubmitNoLostResults) {
+  StressFixture f = MakeStressFixture();
+
+  EngineOptions opts;
+  opts.pool.num_threads = 8;
+  opts.pool.queue_capacity = 64;
+  QueryEngine engine(f.graph, opts);
+  // Covering views for half the patterns: those queries take view plans,
+  // the rest fall back to partial/direct, all racing on one cache.
+  for (size_t i = 0; i < f.patterns.size(); i += 2) {
+    CoveringViewOptions co;
+    co.edges_per_view = 2;
+    co.num_distractors = 0;
+    co.seed = 100 + i;
+    ViewSet cover = GenerateCoveringViews(f.patterns[i], co);
+    for (const ViewDefinition& def : cover.views()) {
+      ASSERT_TRUE(
+          engine.RegisterView(def.name + "_q" + std::to_string(i),
+                              def.pattern)
+              .ok());
+    }
+  }
+
+  constexpr int kQueries = 160;
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    auto fut = engine.Submit(f.patterns[i % f.patterns.size()]);
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(*fut));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryResponse resp = futures[i].get();  // every future resolves: no loss
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    EXPECT_TRUE(resp.result == f.expected[i % f.patterns.size()])
+        << "query " << i << " diverged from direct evaluation";
+  }
+
+  // A future resolves inside the task body, a hair before the worker bumps
+  // the executed counter — give the counter a bounded moment to settle.
+  for (int spin = 0; spin < 1000; ++spin) {
+    if (engine.stats().pool.executed == static_cast<size_t>(kQueries)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, static_cast<size_t>(kQueries));
+  EXPECT_EQ(stats.pool.submitted, static_cast<size_t>(kQueries));
+  EXPECT_EQ(stats.pool.executed, static_cast<size_t>(kQueries));
+  EXPECT_GT(stats.plans_match_join, 0u);
+  CheckAccounting(stats.cache);
+  EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
+}
+
+TEST(EngineConcurrencyTest, TinyBudgetEvictionChurnStaysConsistent) {
+  StressFixture f = MakeStressFixture();
+
+  EngineOptions opts;
+  opts.pool.num_threads = 6;
+  opts.cache.budget_bytes = 4096;  // far below one extension: constant churn
+  QueryEngine engine(f.graph, opts);
+  for (size_t i = 0; i < f.patterns.size(); i += 2) {
+    CoveringViewOptions co;
+    co.edges_per_view = 2;
+    co.num_distractors = 0;
+    co.seed = 100 + i;
+    ViewSet cover = GenerateCoveringViews(f.patterns[i], co);
+    for (const ViewDefinition& def : cover.views()) {
+      ASSERT_TRUE(
+          engine.RegisterView(def.name + "_q" + std::to_string(i),
+                              def.pattern)
+              .ok());
+    }
+  }
+
+  constexpr int kQueries = 96;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kQueries; ++i) {
+    auto fut = engine.Submit(f.patterns[i % f.patterns.size()]);
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(*fut));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryResponse resp = futures[i].get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    EXPECT_TRUE(resp.result == f.expected[i % f.patterns.size()]);
+  }
+
+  ViewCacheStats cache = engine.stats().cache;
+  EXPECT_GT(cache.evictions, 0u);
+  CheckAccounting(cache);
+  EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
+}
+
+TEST(EngineConcurrencyTest, QueriesRaceUpdateBatchesSafely) {
+  StressFixture f = MakeStressFixture();
+  const NodeId upd_a = static_cast<NodeId>(f.graph.num_nodes() - 2);
+  const NodeId upd_b = static_cast<NodeId>(f.graph.num_nodes() - 1);
+
+  EngineOptions opts;
+  opts.pool.num_threads = 6;
+  QueryEngine engine(f.graph, opts);
+  for (size_t i = 0; i < f.patterns.size(); i += 2) {
+    CoveringViewOptions co;
+    co.edges_per_view = 2;
+    co.num_distractors = 0;
+    co.seed = 100 + i;
+    ViewSet cover = GenerateCoveringViews(f.patterns[i], co);
+    for (const ViewDefinition& def : cover.views()) {
+      ASSERT_TRUE(
+          engine.RegisterView(def.name + "_q" + std::to_string(i),
+                              def.pattern)
+              .ok());
+    }
+  }
+
+  constexpr int kQueries = 80;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kQueries; ++i) {
+    auto fut = engine.Submit(f.patterns[i % f.patterns.size()]);
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(std::move(*fut));
+    if (i % 10 == 5) {
+      // Toggle an edge between the UPD nodes: exercises the full update +
+      // maintenance path concurrently with in-flight queries, without
+      // changing any query's answer (no pattern uses the UPD label).
+      ASSERT_TRUE(
+          engine.ApplyUpdates({EdgeUpdate::Insert(upd_a, upd_b)}).ok());
+      ASSERT_TRUE(
+          engine.ApplyUpdates({EdgeUpdate::Delete(upd_a, upd_b)}).ok());
+    }
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryResponse resp = futures[i].get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    EXPECT_TRUE(resp.result == f.expected[i % f.patterns.size()])
+        << "query " << i << " diverged after racing update batches";
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.update_batches, 16u);
+  CheckAccounting(stats.cache);
+  EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -1,0 +1,65 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace gpmv {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 4;
+  ThreadPool pool(opts);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 200);
+  ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 200u);
+  EXPECT_EQ(stats.executed, 200u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressureNotLoss) {
+  ThreadPoolOptions opts;
+  opts.num_threads = 2;
+  opts.queue_capacity = 2;  // submits must block, never drop
+  ThreadPool pool(opts);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] {
+                      std::this_thread::sleep_for(std::chrono::microseconds(200));
+                      ++counter;
+                    })
+                    .ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_LE(pool.stats().max_queue_depth, 2u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(ThreadPoolOptions{1, 4});
+  pool.Shutdown();
+  Status st = pool.Submit([] {});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(pool.stats().rejected, 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
+  ThreadPool pool(ThreadPoolOptions{0, 16});
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace gpmv

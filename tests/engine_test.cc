@@ -1,0 +1,291 @@
+#include "engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_builder.h"
+#include "simulation/bounded.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+
+namespace gpmv {
+namespace {
+
+Graph SmallChainGraph() {
+  Graph g;
+  for (int i = 0; i < 5; ++i) {
+    NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+    (void)g.AddEdge(a, b);
+    (void)g.AddEdge(b, c);
+  }
+  return g;
+}
+
+Pattern ChainABC() {
+  return PatternBuilder()
+      .Node("A").Node("B").Node("C")
+      .Edge("A", "B").Edge("B", "C")
+      .Build();
+}
+
+TEST(QueryEngineTest, DirectPlanMatchesOracleWithoutViews) {
+  QueryEngine engine(SmallChainGraph());
+  Pattern q = ChainABC();
+  QueryResponse resp = engine.Query(q);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.plan, PlanKind::kDirect);
+  EXPECT_FALSE(resp.warm);
+
+  MatchResult oracle = testutil::OracleMatch(q, SmallChainGraph());
+  EXPECT_TRUE(resp.result == oracle);
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.plans_direct, 1u);
+}
+
+TEST(QueryEngineTest, MatchJoinPlanMatchesOracleAndTurnsWarm) {
+  QueryEngine engine(SmallChainGraph());
+  ASSERT_TRUE(engine
+                  .RegisterView("v_ab", PatternBuilder()
+                                            .Node("A").Node("B")
+                                            .Edge("A", "B").Build())
+                  .ok());
+  ASSERT_TRUE(engine
+                  .RegisterView("v_bc", PatternBuilder()
+                                            .Node("B").Node("C")
+                                            .Edge("B", "C").Build())
+                  .ok());
+
+  Pattern q = ChainABC();
+  // Cold: the first query materializes both views.
+  QueryResponse cold = engine.Query(q);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_EQ(cold.plan, PlanKind::kMatchJoin);
+  EXPECT_FALSE(cold.warm);
+
+  // Warm: the second query answers straight from the cache.
+  QueryResponse warmr = engine.Query(q);
+  ASSERT_TRUE(warmr.status.ok());
+  EXPECT_EQ(warmr.plan, PlanKind::kMatchJoin);
+  EXPECT_TRUE(warmr.warm);
+
+  MatchResult oracle = testutil::OracleMatch(q, SmallChainGraph());
+  EXPECT_TRUE(cold.result == oracle);
+  EXPECT_TRUE(warmr.result == oracle);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plans_match_join, 2u);
+  EXPECT_EQ(stats.warm_queries, 1u);
+  EXPECT_GE(stats.cache.hits, 2u);
+  EXPECT_GE(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.materialized, 2u);
+}
+
+TEST(QueryEngineTest, PartialViewsPlanStaysExact) {
+  QueryEngine engine(SmallChainGraph());
+  ASSERT_TRUE(engine
+                  .RegisterView("v_ab", PatternBuilder()
+                                            .Node("A").Node("B")
+                                            .Edge("A", "B").Build())
+                  .ok());
+  Pattern q = ChainABC();
+  QueryResponse resp = engine.Query(q);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.plan, PlanKind::kPartialViews);
+  EXPECT_EQ(resp.views_used, (std::vector<uint32_t>{0}));
+  // The fallback evaluates directly from view-restricted candidates, so the
+  // answer is exact, not an over-approximation.
+  MatchResult oracle = testutil::OracleMatch(q, SmallChainGraph());
+  EXPECT_TRUE(resp.result == oracle);
+}
+
+TEST(QueryEngineTest, BoundedQueryThroughViewsMatchesDirect) {
+  Graph g = testutil::ChainGraph({"A", "X", "B", "Y", "C"});
+  Pattern qb = PatternBuilder()
+                   .Node("A").Node("B").Node("C")
+                   .Edge("A", "B", 2).Edge("B", "C", 2)
+                   .Build();
+  Result<MatchResult> direct = MatchBoundedSimulation(qb, g);
+  ASSERT_TRUE(direct.ok());
+
+  QueryEngine engine(g);
+  ASSERT_TRUE(engine
+                  .RegisterView("v1", PatternBuilder()
+                                          .Node("A").Node("B")
+                                          .Edge("A", "B", 3).Build())
+                  .ok());
+  ASSERT_TRUE(engine
+                  .RegisterView("v2", PatternBuilder()
+                                          .Node("B").Node("C")
+                                          .Edge("B", "C", 3).Build())
+                  .ok());
+  ASSERT_TRUE(engine.WarmViews().ok());
+  QueryResponse resp = engine.Query(qb);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.plan, PlanKind::kMatchJoin);
+  EXPECT_TRUE(resp.warm);
+  EXPECT_TRUE(resp.result == *direct);
+}
+
+TEST(QueryEngineTest, MinimizedDuplicateBranchesExpandToOriginalShape) {
+  Pattern q;
+  uint32_t a = q.AddNode("A");
+  uint32_t b1 = q.AddNode("B");
+  uint32_t b2 = q.AddNode("B");
+  ASSERT_TRUE(q.AddEdge(a, b1).ok());
+  ASSERT_TRUE(q.AddEdge(a, b2).ok());
+
+  Graph g = SmallChainGraph();
+  QueryEngine engine(g);
+  QueryResponse resp = engine.Query(q);
+  ASSERT_TRUE(resp.status.ok());
+  ASSERT_TRUE(resp.result.matched());
+  ASSERT_EQ(resp.result.num_pattern_edges(), 2u);
+  // Both duplicated edges carry identical match sets (Example 2).
+  EXPECT_EQ(resp.result.edge_matches(0), resp.result.edge_matches(1));
+  MatchResult oracle = testutil::OracleMatch(q, g);
+  EXPECT_TRUE(resp.result == oracle);
+}
+
+TEST(QueryEngineTest, UpdateBatchesKeepCachedViewsFresh) {
+  Graph g = SmallChainGraph();
+  QueryEngine engine(g);
+  ASSERT_TRUE(engine
+                  .RegisterView("v_ab", PatternBuilder()
+                                            .Node("A").Node("B")
+                                            .Edge("A", "B").Build())
+                  .ok());
+  ASSERT_TRUE(engine
+                  .RegisterView("v_bc", PatternBuilder()
+                                            .Node("B").Node("C")
+                                            .Edge("B", "C").Build())
+                  .ok());
+  ASSERT_TRUE(engine.WarmViews().ok());
+  Pattern q = ChainABC();
+
+  // Delete one chain's A -> B edge (nodes 0 -> 1): decremental refresh.
+  ASSERT_TRUE(engine.ApplyUpdates({EdgeUpdate::Delete(0, 1)}).ok());
+  Graph after_delete = SmallChainGraph();
+  ASSERT_TRUE(after_delete.RemoveEdge(0, 1).ok());
+  QueryResponse resp = engine.Query(q);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.plan, PlanKind::kMatchJoin);
+  EXPECT_TRUE(resp.warm);  // the cache was refreshed, not invalidated
+  EXPECT_TRUE(resp.result == testutil::OracleMatch(q, after_delete));
+
+  // Re-insert it: insertion path re-materializes.
+  ASSERT_TRUE(engine.ApplyUpdates({EdgeUpdate::Insert(0, 1)}).ok());
+  QueryResponse resp2 = engine.Query(q);
+  ASSERT_TRUE(resp2.status.ok());
+  EXPECT_TRUE(resp2.warm);
+  EXPECT_TRUE(resp2.result == testutil::OracleMatch(q, SmallChainGraph()));
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.update_batches, 2u);
+  EXPECT_EQ(stats.edges_deleted, 1u);
+  EXPECT_EQ(stats.edges_inserted, 1u);
+  EXPECT_GE(stats.cache.refreshes, 1u);
+
+  // Deleting an edge no plain view cares about is prescreened away.
+  ASSERT_TRUE(engine.ApplyUpdates({EdgeUpdate::Delete(1, 2)}).ok());
+  EXPECT_GE(engine.stats().cache.refreshes_skipped, 1u);
+}
+
+TEST(QueryEngineTest, UpdateValidationRejectsUnknownNodes) {
+  QueryEngine engine(SmallChainGraph());
+  Status st = engine.ApplyUpdates({EdgeUpdate::Insert(0, 999)});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  // Deleting an absent edge is a tolerated no-op.
+  EXPECT_TRUE(engine.ApplyUpdates({EdgeUpdate::Delete(0, 2)}).ok());
+}
+
+TEST(QueryEngineTest, LruEvictionKeepsByteAccountingConsistent) {
+  // A graph big enough that each extension has a real footprint.
+  RandomGraphOptions go;
+  go.num_nodes = 400;
+  go.num_edges = 1600;
+  go.num_labels = 4;
+  go.seed = 7;
+  Graph g = GenerateRandomGraph(go);
+
+  EngineOptions opts;
+  opts.cache.budget_bytes = 1;  // every install must evict all others
+  QueryEngine engine(g, opts);
+  std::vector<std::string> labels = SyntheticLabels(4);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (i == j) continue;
+      ASSERT_TRUE(engine
+                      .RegisterView("v" + std::to_string(i * 4 + j),
+                                    PatternBuilder()
+                                        .Node("s", labels[i])
+                                        .Node("t", labels[j])
+                                        .Edge("s", "t")
+                                        .Build())
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(engine.WarmViews().ok());
+  ViewCacheStats cache = engine.stats().cache;
+  // With a 1-byte budget at most one (over-budget, pinned-at-install)
+  // extension can be live, and installs - evictions must equal live count.
+  EXPECT_EQ(cache.installs - cache.evictions, cache.materialized);
+  EXPECT_LE(cache.materialized, 1u);
+  EXPECT_GE(cache.evictions, cache.registered - 1);
+
+  // Queries still answer correctly while thrashing the cache.
+  Pattern q = PatternBuilder()
+                  .Node("s", labels[0])
+                  .Node("t", labels[1])
+                  .Edge("s", "t")
+                  .Build();
+  QueryResponse resp = engine.Query(q);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_TRUE(resp.result == testutil::OracleMatch(q, g));
+
+  cache = engine.stats().cache;
+  EXPECT_EQ(cache.installs - cache.evictions, cache.materialized);
+  EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
+}
+
+TEST(QueryEngineTest, AdmitFromWorkloadRegistersUsefulViews) {
+  Graph g = SmallChainGraph();
+  QueryEngine engine(g);
+  Pattern q = ChainABC();
+  for (int i = 0; i < 4; ++i) {
+    QueryResponse resp = engine.Query(q);
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_EQ(resp.plan, PlanKind::kDirect);
+  }
+  Result<size_t> added = engine.AdmitFromWorkload(4);
+  ASSERT_TRUE(added.ok());
+  EXPECT_GT(*added, 0u);
+  EXPECT_EQ(engine.num_views(), *added);
+  ASSERT_TRUE(engine.WarmViews().ok());
+
+  QueryResponse resp = engine.Query(q);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_NE(resp.plan, PlanKind::kDirect);
+  EXPECT_TRUE(resp.result == testutil::OracleMatch(q, g));
+
+  // Re-admitting the same workload adds nothing new.
+  Result<size_t> again = engine.AdmitFromWorkload(4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(QueryEngineTest, SubmitRunsOnWorkerPool) {
+  EngineOptions opts;
+  opts.pool.num_threads = 2;
+  QueryEngine engine(SmallChainGraph(), opts);
+  Pattern q = ChainABC();
+  auto fut = engine.Submit(q);
+  ASSERT_TRUE(fut.ok());
+  QueryResponse resp = std::move(*fut).get();
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_TRUE(resp.result == testutil::OracleMatch(q, SmallChainGraph()));
+  EXPECT_EQ(engine.stats().pool.executed, 1u);
+}
+
+}  // namespace
+}  // namespace gpmv

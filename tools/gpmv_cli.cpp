@@ -9,16 +9,27 @@
 ///   gpmv_cli materialize <graph> <views>
 ///   gpmv_cli answer <graph> <pattern> <views> [--minimal|--minimum] [--check]
 ///   gpmv_cli rewrite <graph> <pattern> <views>
+///   gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]
+///                  [--cache-mb M] [--warm] [--advise K] [--updates <file>]
 ///
 /// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
-/// view_io.h.
+/// view_io.h. `serve` runs a query file (view-set format: `view <name>`
+/// headers separating patterns) through the concurrent view-cache engine
+/// (engine/query_engine.h); an optional updates file holds lines
+/// `+ <u> <v>` / `- <u> <v>` applied as one maintenance batch halfway
+/// through the stream.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "engine/query_engine.h"
 #include "core/containment.h"
 #include "core/match_join.h"
 #include "core/rewriting.h"
@@ -46,7 +57,10 @@ int Usage() {
       "  gpmv_cli materialize <graph> <views>\n"
       "  gpmv_cli answer <graph> <pattern> <views> [--minimal|--minimum] "
       "[--check]\n"
-      "  gpmv_cli rewrite <graph> <pattern> <views>\n");
+      "  gpmv_cli rewrite <graph> <pattern> <views>\n"
+      "  gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]\n"
+      "                 [--cache-mb M] [--warm] [--advise K] "
+      "[--updates <file>]\n");
   return 2;
 }
 
@@ -55,6 +69,62 @@ bool HasFlag(const std::vector<std::string>& args, const char* flag) {
     if (a == flag) return true;
   }
   return false;
+}
+
+/// Value of `--flag <value>`; `def` when absent.
+std::string FlagValue(const std::vector<std::string>& args, const char* flag,
+                      const std::string& def = "") {
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return def;
+}
+
+/// Numeric `--flag <value>`; false (with a message) on a malformed value.
+/// Digits only — strtoull would silently wrap a leading minus.
+bool NumericFlag(const std::vector<std::string>& args, const char* flag,
+                 size_t def, size_t* out) {
+  std::string v = FlagValue(args, flag);
+  if (v.empty()) {
+    *out = def;
+    return true;
+  }
+  if (v.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "error: %s expects a non-negative number, got '%s'\n",
+                 flag, v.c_str());
+    return false;
+  }
+  *out = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  return true;
+}
+
+/// Validates serve's flag tail: only known flags, and every value-taking
+/// flag actually has a value (a trailing `--updates` would otherwise be
+/// silently treated as absent).
+bool ValidateServeFlags(const std::vector<std::string>& args) {
+  static const char* kValueFlags[] = {"--views", "--threads", "--cache-mb",
+                                      "--advise", "--updates"};
+  for (size_t i = 2; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--warm") continue;
+    bool known = false;
+    for (const char* f : kValueFlags) {
+      if (a == f) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", a.c_str());
+      return false;
+    }
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "error: %s requires a value\n", a.c_str());
+      return false;
+    }
+    ++i;  // skip the flag's value
+  }
+  return true;
 }
 
 template <typename T>
@@ -256,6 +326,161 @@ int CmdRewrite(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Parses an updates file: one `+ <u> <v>` or `- <u> <v>` per line,
+/// '#' comments and blank lines skipped.
+Result<std::vector<EdgeUpdate>> ReadUpdatesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<EdgeUpdate> updates;
+  std::string op;
+  while (in >> op) {
+    if (op[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    unsigned long long u = 0, v = 0;
+    if (!(in >> u >> v) || (op != "+" && op != "-")) {
+      return Status::Corruption("bad update line in " + path);
+    }
+    if (u > std::numeric_limits<NodeId>::max() ||
+        v > std::numeric_limits<NodeId>::max()) {
+      return Status::Corruption("node id out of range in " + path);
+    }
+    updates.push_back(op == "+"
+                          ? EdgeUpdate::Insert(static_cast<NodeId>(u),
+                                               static_cast<NodeId>(v))
+                          : EdgeUpdate::Delete(static_cast<NodeId>(u),
+                                               static_cast<NodeId>(v)));
+  }
+  return updates;
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  if (args.size() < 2 || !ValidateServeFlags(args)) return Usage();
+  Graph g;
+  ViewSet queries;
+  if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
+  if (!Load(ReadViewSetFile(args[1]), "queries", &queries)) return 1;
+
+  EngineOptions opts;
+  size_t threads = 0, cache_mb = 0, advise = 0;
+  if (!NumericFlag(args, "--threads", 0, &threads) ||
+      !NumericFlag(args, "--cache-mb", 64, &cache_mb) ||
+      !NumericFlag(args, "--advise", 0, &advise)) {
+    return Usage();
+  }
+  opts.pool.num_threads = threads;
+  opts.cache.budget_bytes = cache_mb << 20;
+  QueryEngine engine(std::move(g), opts);
+
+  const std::string views_path = FlagValue(args, "--views");
+  if (!views_path.empty()) {
+    ViewSet views;
+    if (!Load(ReadViewSetFile(views_path), "views", &views)) return 1;
+    for (const ViewDefinition& def : views.views()) {
+      Result<uint32_t> id = engine.RegisterView(def.name, def.pattern);
+      if (!id.ok()) {
+        std::fprintf(stderr, "register %s: %s\n", def.name.c_str(),
+                     id.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (HasFlag(args, "--warm")) {
+    Status st = engine.WarmViews();
+    if (!st.ok()) {
+      std::fprintf(stderr, "warmup: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<EdgeUpdate> updates;
+  const std::string updates_path = FlagValue(args, "--updates");
+  if (!updates_path.empty()) {
+    Result<std::vector<EdgeUpdate>> up = ReadUpdatesFile(updates_path);
+    if (!Load(std::move(up), "updates", &updates)) return 1;
+  }
+
+  std::printf("serving %zu queries on %zu nodes / %zu edges, %zu views, "
+              "%zu workers\n",
+              queries.card(), engine.num_graph_nodes(),
+              engine.num_graph_edges(), engine.num_views(),
+              engine.num_worker_threads());
+  Stopwatch wall;
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(queries.card());
+  if (queries.card() == 0 && !updates.empty()) {
+    Status st = engine.ApplyUpdates(updates);
+    std::printf("-- applied %zu updates: %s\n", updates.size(),
+                st.ok() ? "ok" : st.ToString().c_str());
+    if (!st.ok()) return 1;
+  }
+  const size_t update_at = queries.card() / 2;
+  for (size_t i = 0; i < queries.card(); ++i) {
+    if (i == update_at && !updates.empty()) {
+      // Drain in-flight queries so per-query output stays attributable to
+      // a graph version, then apply the batch through maintenance.
+      for (auto& fut : futures) fut.wait();
+      Status st = engine.ApplyUpdates(updates);
+      std::printf("-- applied %zu updates: %s\n", updates.size(),
+                  st.ok() ? "ok" : st.ToString().c_str());
+      if (!st.ok()) return 1;
+    }
+    Result<std::future<QueryResponse>> fut =
+        engine.Submit(queries.view(i).pattern);
+    if (!fut.ok()) {
+      std::fprintf(stderr, "submit: %s\n", fut.status().ToString().c_str());
+      return 1;
+    }
+    futures.push_back(std::move(*fut));
+  }
+  size_t failed = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse resp = futures[i].get();
+    if (!resp.status.ok()) ++failed;
+    std::printf("%-20s plan=%-13s %s pairs=%-8zu %s plan=%.2fms "
+                "exec=%.2fms views=%zu\n",
+                queries.view(i).name.c_str(), PlanKindName(resp.plan),
+                resp.status.ok() ? (resp.result.matched() ? "hit " : "empty")
+                                 : "FAIL",
+                resp.status.ok() ? resp.result.TotalMatches() : 0,
+                resp.warm ? "warm" : "cold", resp.plan_ms, resp.exec_ms,
+                resp.views_used.size());
+  }
+  double secs = wall.ElapsedSeconds();
+
+  if (advise > 0) {
+    Result<size_t> added = engine.AdmitFromWorkload(advise);
+    if (added.ok()) {
+      std::printf("-- workload advisor registered %zu view(s); rerun with "
+                  "--warm to materialize\n", *added);
+    } else {
+      std::fprintf(stderr, "-- workload advisor failed: %s\n",
+                   added.status().ToString().c_str());
+    }
+  }
+
+  EngineStats s = engine.stats();
+  const size_t lookups = s.cache.hits + s.cache.misses;
+  std::printf(
+      "\n%zu queries in %.2fs (%.0f q/s), %zu failed\n"
+      "plans: match_join=%zu partial=%zu direct=%zu (warm=%zu)\n"
+      "cache: hit_rate=%.1f%% (%zu/%zu) evictions=%zu installs=%zu "
+      "bytes=%zu/%zu\n"
+      "updates: batches=%zu +%zu -%zu refreshes=%zu skipped=%zu\n",
+      s.queries, secs, secs > 0 ? static_cast<double>(s.queries) / secs : 0.0,
+      failed, s.plans_match_join, s.plans_partial, s.plans_direct,
+      s.warm_queries,
+      lookups == 0 ? 0.0 : 100.0 * static_cast<double>(s.cache.hits) /
+                               static_cast<double>(lookups),
+      s.cache.hits, lookups, s.cache.evictions, s.cache.installs,
+      s.cache.bytes_cached, opts.cache.budget_bytes,
+      s.update_batches, s.edges_inserted, s.edges_deleted, s.cache.refreshes,
+      s.cache.refreshes_skipped);
+  return failed == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -267,6 +492,7 @@ int Main(int argc, char** argv) {
   if (cmd == "materialize") return CmdMaterialize(args);
   if (cmd == "answer") return CmdAnswer(args);
   if (cmd == "rewrite") return CmdRewrite(args);
+  if (cmd == "serve") return CmdServe(args);
   return Usage();
 }
 

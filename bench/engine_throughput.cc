@@ -206,6 +206,16 @@ int main(int argc, char** argv) {
               warm.stats.cache.hits, lookups, warm.stats.cache.evictions,
               warm.stats.cache.installs, warm.stats.cache.bytes_cached,
               warm.stats.warm_queries);
+  // MatchJoin fixpoint telemetry (warm pass): iteration and saturation
+  // counters make "the fixpoint got slower" diagnosable from CI logs even
+  // when wall-clock numbers are noisy.
+  const MatchJoinStats& js = warm.stats.join;
+  std::printf("fixpoint: initial_pairs=%zu removed=%zu set_visits=%zu "
+              "iterations=%zu counters_zeroed=%zu candidate_ranks=%zu "
+              "dist_filtered=%zu cond_filtered=%zu\n",
+              js.initial_pairs, js.removed_pairs, js.match_set_visits,
+              js.fixpoint_iterations, js.counters_zeroed, js.candidate_ranks,
+              js.filtered_by_distance, js.filtered_by_condition);
 
   if (min_speedup > 0.0 && speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",

@@ -1,0 +1,47 @@
+/// \file bitset.h
+/// \brief A runtime-sized dense bitset over 64-bit words.
+///
+/// The matching fixpoints keep one membership bit per candidate *rank*
+/// (simulation/candidate_space.h), so the universe size is only known at
+/// query time — std::bitset does not fit, and vector<char> wastes 8x the
+/// cache. Only the handful of operations the fixpoints need are provided.
+
+#ifndef GPMV_COMMON_BITSET_H_
+#define GPMV_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpmv {
+
+/// See file comment.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t n, bool value = false) { Reset(n, value); }
+
+  /// Resizes to `n` bits, all set to `value`.
+  void Reset(size_t n, bool value = false) {
+    size_ = n;
+    words_.assign((n + 63) / 64, value ? ~uint64_t{0} : uint64_t{0});
+    if (value && n % 64 != 0) {
+      words_.back() = (uint64_t{1} << (n % 64)) - 1;  // clear padding bits
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+  void set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_COMMON_BITSET_H_

@@ -6,7 +6,7 @@
 
 namespace gpmv {
 
-Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
+Status RefreshViewExtension(const ViewDefinition& def, const GraphSnapshot& g,
                             bool seeded, ViewExtension* ext,
                             std::vector<std::vector<NodeId>>* relation) {
   std::vector<std::vector<NodeId>> new_relation;
@@ -17,6 +17,13 @@ Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
   GPMV_RETURN_NOT_OK(fresh.status());
   *ext = std::move(fresh).value();
   return Status::OK();
+}
+
+Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
+                            bool seeded, ViewExtension* ext,
+                            std::vector<std::vector<NodeId>>* relation) {
+  return RefreshViewExtension(def, *GraphSnapshot::Build(g, g.version()),
+                              seeded, ext, relation);
 }
 
 bool DeletionMayAffectView(const ViewDefinition& def,
@@ -35,17 +42,19 @@ bool DeletionMayAffectView(const ViewDefinition& def,
   return false;
 }
 
-Status MaintainedView::Attach(const Graph& g) {
+Status MaintainedView::Attach(Graph& g) {
   attached_ = true;
   return Refresh(g, /*seeded=*/false);
 }
 
-Status MaintainedView::Refresh(const Graph& g, bool seeded) {
+Status MaintainedView::Refresh(Graph& g, bool seeded) {
   ++refresh_count_;
-  return RefreshViewExtension(def_, g, seeded, &ext_, &relation_);
+  // Freeze() is cached and re-freezes incrementally after edge updates, so
+  // a notification-driven refresh does not copy the whole graph.
+  return RefreshViewExtension(def_, *g.Freeze(), seeded, &ext_, &relation_);
 }
 
-Status MaintainedView::OnEdgeRemoved(const Graph& g, NodeId u, NodeId v) {
+Status MaintainedView::OnEdgeRemoved(Graph& g, NodeId u, NodeId v) {
   if (!attached_) return Status::InvalidArgument("view not attached");
   if (!DeletionMayAffectView(def_, relation_, u, v)) {
     ++skipped_updates_;
@@ -56,7 +65,7 @@ Status MaintainedView::OnEdgeRemoved(const Graph& g, NodeId u, NodeId v) {
   return Refresh(g, /*seeded=*/true);
 }
 
-Status MaintainedView::OnEdgeInserted(const Graph& g, NodeId u, NodeId v) {
+Status MaintainedView::OnEdgeInserted(Graph& g, NodeId u, NodeId v) {
   if (!attached_) return Status::InvalidArgument("view not attached");
   (void)u;
   (void)v;

@@ -35,6 +35,11 @@ namespace gpmv {
 /// only when the relation can have shrunk (i.e. after deletions), because
 /// seeding restricts the search to the seed sets. `relation` must hold the
 /// previous relation when `seeded` is true; it is overwritten either way.
+/// The snapshot overload is the engine's path (one frozen snapshot serves
+/// the whole refresh); the Graph overload freezes internally.
+Status RefreshViewExtension(const ViewDefinition& def, const GraphSnapshot& g,
+                            bool seeded, ViewExtension* ext,
+                            std::vector<std::vector<NodeId>>* relation);
 Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
                             bool seeded, ViewExtension* ext,
                             std::vector<std::vector<NodeId>>* relation);
@@ -50,18 +55,23 @@ bool DeletionMayAffectView(const ViewDefinition& def,
                            NodeId u, NodeId v);
 
 /// A view definition together with its maintained extension on one graph.
+///
+/// Takes the graph by mutable reference so refreshes run off
+/// `Graph::Freeze()` — the cached snapshot re-freezes *incrementally*
+/// after each notified edge change (only the touched adjacency rows are
+/// rebuilt) instead of copying the whole graph per update.
 class MaintainedView {
  public:
   explicit MaintainedView(ViewDefinition def) : def_(std::move(def)) {}
 
   /// Fully materializes against `g`; must be called before notifications.
-  Status Attach(const Graph& g);
+  Status Attach(Graph& g);
 
   /// Notifies that edge (u, v) was removed from `g` (after the removal).
-  Status OnEdgeRemoved(const Graph& g, NodeId u, NodeId v);
+  Status OnEdgeRemoved(Graph& g, NodeId u, NodeId v);
 
   /// Notifies that edge (u, v) was inserted into `g` (after the insertion).
-  Status OnEdgeInserted(const Graph& g, NodeId u, NodeId v);
+  Status OnEdgeInserted(Graph& g, NodeId u, NodeId v);
 
   const ViewDefinition& definition() const { return def_; }
   const ViewExtension& extension() const { return ext_; }
@@ -71,7 +81,7 @@ class MaintainedView {
   size_t skipped_updates() const { return skipped_updates_; }
 
  private:
-  Status Refresh(const Graph& g, bool seeded);
+  Status Refresh(Graph& g, bool seeded);
 
   ViewDefinition def_;
   ViewExtension ext_;

@@ -3,41 +3,420 @@
 #include <algorithm>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "graph/scc.h"
+#include "simulation/candidate_space.h"
 
 namespace gpmv {
 
 namespace {
 
-/// Mutable per-edge state of the fixpoint.
-struct EdgeState {
-  std::vector<NodePair> pairs;  // alive pairs, compacted in place
-  // out_count[v] = number of alive pairs with source v.
-  std::unordered_map<NodeId, uint32_t> out_count;
-  // in_count[v] = number of alive pairs with target v (dual mode only).
-  std::unordered_map<NodeId, uint32_t> in_count;
+/// Merge step shared by both engines (Fig. 2 line 1, plus the
+/// distance-index and predicate filters): Se := ∪_{e' ∈ λ(e)} Se',
+/// restricted to pairs satisfying the query's own conditions. Each output
+/// set is sorted and deduplicated.
+Status MergeViewPairs(const Pattern& q, const ViewSet& views,
+                      const std::vector<ViewExtension>& exts,
+                      const ContainmentMapping& mapping,
+                      MatchJoinStats* stats,
+                      std::vector<std::vector<NodePair>>* merged) {
+  if (!mapping.contained) {
+    return Status::InvalidArgument("query is not contained in the views");
+  }
+  if (mapping.lambda.size() != q.num_edges()) {
+    return Status::InvalidArgument("mapping does not fit this query");
+  }
+  if (exts.size() != views.card()) {
+    return Status::InvalidArgument("one extension per view required");
+  }
+
+  merged->assign(q.num_edges(), {});
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    const PatternEdge& qe = q.edge(e);
+    const PatternNode& src_node = q.node(qe.src);
+    const PatternNode& dst_node = q.node(qe.dst);
+    auto& pairs = (*merged)[e];
+
+    for (const ViewEdgeRef& ref : mapping.lambda[e]) {
+      if (ref.view >= exts.size()) {
+        return Status::InvalidArgument("mapping references unknown view");
+      }
+      const ViewExtension& ext = exts[ref.view];
+      if (ref.edge >= ext.num_view_edges()) {
+        return Status::InvalidArgument("mapping references unknown view edge");
+      }
+      const ViewEdgeExtension& vee = ext.edge(ref.edge);
+
+      // Hoist the pair filters: the distance check only bites when the view
+      // edge's bound is looser than the query's, and the node-condition
+      // check only when the query is *stricter* than the view (predicate
+      // views, or a label the view does not already require). In the common
+      // warm-path case neither applies and the merge is a bulk append with
+      // no per-pair snapshot lookups.
+      const PatternEdge& ve = views.view(ref.view).pattern.edge(ref.edge);
+      const PatternNode& vsrc = views.view(ref.view).pattern.node(ve.src);
+      const PatternNode& vdst = views.view(ref.view).pattern.node(ve.dst);
+      const bool check_distance = qe.bound != kUnbounded && ve.bound > qe.bound;
+      const bool check_src = !src_node.pred.IsTrivial() ||
+                             (!src_node.label.empty() &&
+                              src_node.label != vsrc.label);
+      const bool check_dst = !dst_node.pred.IsTrivial() ||
+                             (!dst_node.label.empty() &&
+                              dst_node.label != vdst.label);
+      if (!check_distance && !check_src && !check_dst) {
+        pairs.insert(pairs.end(), vee.pairs.begin(), vee.pairs.end());
+        continue;
+      }
+
+      for (size_t i = 0; i < vee.pairs.size(); ++i) {
+        const NodePair& p = vee.pairs[i];
+        // Distance-index check: materialized shortest distance must satisfy
+        // the *query's* bound (views may be looser).
+        if (check_distance && vee.distances[i] > qe.bound) {
+          if (stats != nullptr) ++stats->filtered_by_distance;
+          continue;
+        }
+        // Query node conditions, evaluated on cached snapshots — the query
+        // may be stricter than the view (predicate views).
+        const NodeSnapshot* s1 = ext.snapshot(p.first);
+        const NodeSnapshot* s2 = ext.snapshot(p.second);
+        GPMV_DCHECK(s1 != nullptr && s2 != nullptr);
+        bool ok =
+            (!check_src ||
+             ((src_node.label.empty() || s1->HasLabel(src_node.label)) &&
+              (src_node.pred.IsTrivial() || src_node.pred.Eval(s1->attrs)))) &&
+            (!check_dst ||
+             ((dst_node.label.empty() || s2->HasLabel(dst_node.label)) &&
+              (dst_node.pred.IsTrivial() || dst_node.pred.Eval(s2->attrs))));
+        if (!ok) {
+          if (stats != nullptr) ++stats->filtered_by_condition;
+          continue;
+        }
+        pairs.push_back(p);
+      }
+    }
+    // A single contributing view edge arrives sorted and deduplicated
+    // (extensions store canonical order, and filtering preserves it).
+    if (mapping.lambda[e].size() > 1) {
+      std::sort(pairs.begin(), pairs.end());
+      pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    }
+    if (stats != nullptr) stats->initial_pairs += pairs.size();
+  }
+  return Status::OK();
+}
+
+/// r(e = (u', u)) = r(u): rank of the target node (bottom-up scheduling).
+std::vector<uint32_t> EdgeSccRanks(const Pattern& q) {
+  std::vector<uint32_t> node_rank = ComputeSccRanks(q.Adjacency());
+  std::vector<uint32_t> edge_rank(q.num_edges());
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    edge_rank[e] = node_rank[q.edge(e).dst];
+  }
+  return edge_rank;
+}
+
+/// The Fig. 2 fixpoint schedules, shared by both engines. `Engine` provides
+/// ScanEdge(e) -> changed and EdgeEmpty(e).
+template <typename Engine>
+bool RunFixpoint(Engine& eng, const Pattern& q, const MatchJoinOptions& opts,
+                 MatchJoinStats* stats) {
+  const bool dual = opts.semantics == JoinSemantics::kDualSimulation;
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    if (eng.EdgeEmpty(e)) return false;
+  }
+  if (!opts.use_rank_order) {
+    // The unoptimized fixpoint of Fig. 2: sweep all match sets until no
+    // sweep changes anything.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      if (stats != nullptr) ++stats->fixpoint_iterations;
+      for (uint32_t e = 0; e < q.num_edges(); ++e) {
+        if (eng.ScanEdge(e)) {
+          changed = true;
+          if (eng.EdgeEmpty(e)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Priority worklist keyed by (rank, edge id); when Se changes, every edge
+  // whose pair validity consults out-counts of e's source is re-queued.
+  const std::vector<uint32_t> edge_rank = EdgeSccRanks(q);
+  std::set<std::pair<uint32_t, uint32_t>> pending;
+  std::vector<char> queued(q.num_edges(), 1);
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    pending.emplace(edge_rank[e], e);
+  }
+  while (!pending.empty()) {
+    uint32_t e = pending.begin()->second;
+    pending.erase(pending.begin());
+    queued[e] = 0;
+    if (stats != nullptr) ++stats->fixpoint_iterations;
+    if (!eng.ScanEdge(e)) continue;
+    if (eng.EdgeEmpty(e)) return false;
+    // Changed out-counts affect node validity at e's source; under dual
+    // semantics, changed in-counts affect validity at e's target.
+    std::vector<uint32_t> touched{q.edge(e).src};
+    if (dual) touched.push_back(q.edge(e).dst);
+    for (uint32_t u : touched) {
+      for (const auto& deps : {q.out_edges(u), q.in_edges(u)}) {
+        for (uint32_t f : deps) {
+          if (!queued[f]) {
+            queued[f] = 1;
+            pending.emplace(edge_rank[f], f);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Thread-local node->rank scratch shared across MatchJoin calls: epoch
+/// stamping makes "new candidate space" an O(1) counter bump instead of a
+/// clear, so assigning ranks is one flat array probe per pair endpoint —
+/// no sorting, no hashing, no per-query |V|-sized zero-fill. Grows to the
+/// largest node universe seen on the thread (8 bytes per node).
+struct RankScratch {
+  std::vector<uint32_t> rank;
+  std::vector<uint64_t> epoch;
+  uint64_t current = 0;
+
+  void Grow(size_t universe) {
+    if (rank.size() < universe) {
+      rank.resize(universe, 0);
+      epoch.resize(universe, 0);
+    }
+  }
 };
 
-class JoinEngine {
+/// The dense-rank fixpoint: match sets are rank pairs, support counters
+/// flat arrays indexed by candidate rank (see match_join.h file comment).
+class DenseJoinEngine {
  public:
-  JoinEngine(const Pattern& q, const MatchJoinOptions& opts,
-             MatchJoinStats* stats)
+  DenseJoinEngine(const Pattern& q, const MatchJoinOptions& opts,
+                  MatchJoinStats* stats)
       : q_(q), opts_(opts), stats_(stats) {}
 
-  Status Init(const ViewSet& views, const std::vector<ViewExtension>& exts,
-              const ContainmentMapping& mapping);
+  void Init(std::vector<std::vector<NodePair>> merged) {
+    const size_t np = q_.num_nodes();
+    const size_t ne = q_.num_edges();
 
-  /// Runs the fixpoint; returns false if some match set drained.
-  bool Run();
+    // Universe: the largest node id appearing in any merged pair.
+    size_t universe = 0;
+    for (const auto& pairs : merged) {
+      for (const NodePair& p : pairs) {
+        universe = std::max(universe,
+                            static_cast<size_t>(std::max(p.first, p.second)) + 1);
+      }
+    }
 
-  MatchResult Extract();
+    edges_.resize(ne);
+    for (uint32_t e = 0; e < ne; ++e) {
+      edges_[e].pairs = std::move(merged[e]);
+      edges_[e].rpairs.resize(edges_[e].pairs.size());
+    }
+
+    // Candidates of pattern node u: every node appearing at u's position in
+    // some merged pair of an edge incident to u, ranked in first-appearance
+    // order — one scratch probe per endpoint, O(total pairs) overall.
+    static thread_local RankScratch scratch;
+    scratch.Grow(universe);
+    space_.Reset(np, universe, /*dense_inverse=*/false);
+    std::vector<NodeId> nodes;
+    for (uint32_t u = 0; u < np; ++u) {
+      ++scratch.current;
+      auto rank_of = [&](NodeId v) {
+        if (scratch.epoch[v] != scratch.current) {
+          scratch.epoch[v] = scratch.current;
+          scratch.rank[v] = static_cast<uint32_t>(nodes.size());
+          nodes.push_back(v);
+        }
+        return scratch.rank[v];
+      };
+      for (uint32_t e : q_.out_edges(u)) {
+        EdgeState& st = edges_[e];
+        for (size_t i = 0; i < st.pairs.size(); ++i) {
+          st.rpairs[i].first = rank_of(st.pairs[i].first);
+        }
+      }
+      for (uint32_t e : q_.in_edges(u)) {
+        EdgeState& st = edges_[e];
+        for (size_t i = 0; i < st.pairs.size(); ++i) {
+          st.rpairs[i].second = rank_of(st.pairs[i].second);
+        }
+      }
+      space_.AssignPreranked(u, std::move(nodes));
+      nodes = {};
+    }
+    if (stats_ != nullptr) stats_->candidate_ranks += space_.total_ranks();
+
+    // Dense support counters over the rank spaces.
+    for (uint32_t e = 0; e < ne; ++e) {
+      EdgeState& st = edges_[e];
+      st.out_count.assign(space_.size(q_.edge(e).src), 0);
+      if (dual()) st.in_count.assign(space_.size(q_.edge(e).dst), 0);
+      for (const RankPair& rp : st.rpairs) {
+        ++st.out_count[rp.first];
+        if (dual()) ++st.in_count[rp.second];
+      }
+    }
+  }
+
+  bool EdgeEmpty(uint32_t e) const { return edges_[e].rpairs.empty(); }
+
+  /// Scans Se once, deleting invalid pairs; returns true if Se changed.
+  /// Validity checks read only the rank pairs; the node pairs are compacted
+  /// in lockstep so extraction needs no back-translation.
+  bool ScanEdge(uint32_t e) {
+    if (stats_ != nullptr) ++stats_->match_set_visits;
+    EdgeState& st = edges_[e];
+    const uint32_t u = q_.edge(e).src;
+    const uint32_t u2 = q_.edge(e).dst;
+    size_t kept = 0;
+    for (size_t i = 0; i < st.rpairs.size(); ++i) {
+      const RankPair& rp = st.rpairs[i];
+      if (NodeValid(u, rp.first) && NodeValid(u2, rp.second)) {
+        st.rpairs[kept] = rp;
+        st.pairs[kept] = st.pairs[i];
+        ++kept;
+      } else {
+        if (--st.out_count[rp.first] == 0 && stats_ != nullptr) {
+          ++stats_->counters_zeroed;
+        }
+        if (dual() && --st.in_count[rp.second] == 0 && stats_ != nullptr) {
+          ++stats_->counters_zeroed;
+        }
+        if (stats_ != nullptr) ++stats_->removed_pairs;
+      }
+    }
+    if (kept == st.rpairs.size()) return false;
+    st.rpairs.resize(kept);
+    st.pairs.resize(kept);
+    return true;
+  }
+
+  MatchResult Extract() {
+    MatchResult result = MatchResult::Empty(q_);
+    for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+      *result.mutable_edge_matches(e) = std::move(edges_[e].pairs);
+    }
+    result.set_matched(true);
+    result.DeriveNodeMatches(q_);
+    return result;
+  }
 
  private:
-  bool dual() const { return opts_.semantics == JoinSemantics::kDualSimulation; }
+  using RankPair = std::pair<uint32_t, uint32_t>;
 
-  /// Node-match validity of (u, v): v supports every pattern edge out of u
-  /// (simulation), plus every pattern edge into u under dual semantics.
+  struct EdgeState {
+    std::vector<NodePair> pairs;       // alive pairs (merge order: sorted)
+    std::vector<RankPair> rpairs;      // the same pairs as candidate ranks
+    std::vector<uint32_t> out_count;   // by src rank: alive pairs from it
+    std::vector<uint32_t> in_count;    // by dst rank (dual mode only)
+  };
+
+  bool dual() const {
+    return opts_.semantics == JoinSemantics::kDualSimulation;
+  }
+
+  /// Node-match validity of (u, rank): the candidate supports every pattern
+  /// edge out of u (simulation), plus every edge into u under dual
+  /// semantics. Every check is one flat array load.
+  bool NodeValid(uint32_t u, uint32_t rank) const {
+    for (uint32_t e : q_.out_edges(u)) {
+      if (edges_[e].out_count[rank] == 0) return false;
+    }
+    if (dual()) {
+      for (uint32_t e : q_.in_edges(u)) {
+        if (edges_[e].in_count[rank] == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  const Pattern& q_;
+  const MatchJoinOptions opts_;
+  MatchJoinStats* stats_;
+  CandidateSpace space_;
+  std::vector<EdgeState> edges_;
+};
+
+/// The pre-refactor engine: per-edge match state keyed by NodeId through
+/// unordered_maps. Kept verbatim as the reference the equivalence property
+/// tests and fixpoint_microbench compare the dense engine against.
+class HashJoinEngine {
+ public:
+  HashJoinEngine(const Pattern& q, const MatchJoinOptions& opts,
+                 MatchJoinStats* stats)
+      : q_(q), opts_(opts), stats_(stats) {}
+
+  void Init(std::vector<std::vector<NodePair>> merged) {
+    edges_.resize(q_.num_edges());
+    for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+      edges_[e].pairs = std::move(merged[e]);
+      for (const NodePair& p : edges_[e].pairs) {
+        ++edges_[e].out_count[p.first];
+        if (dual()) ++edges_[e].in_count[p.second];
+      }
+    }
+  }
+
+  bool EdgeEmpty(uint32_t e) const { return edges_[e].pairs.empty(); }
+
+  bool ScanEdge(uint32_t e) {
+    if (stats_ != nullptr) ++stats_->match_set_visits;
+    EdgeState& st = edges_[e];
+    const uint32_t u = q_.edge(e).src;
+    const uint32_t u2 = q_.edge(e).dst;
+    size_t kept = 0;
+    for (size_t i = 0; i < st.pairs.size(); ++i) {
+      const NodePair& p = st.pairs[i];
+      if (NodeValid(u, p.first) && NodeValid(u2, p.second)) {
+        st.pairs[kept++] = p;
+      } else {
+        if (--st.out_count[p.first] == 0 && stats_ != nullptr) {
+          ++stats_->counters_zeroed;
+        }
+        if (dual() && --st.in_count[p.second] == 0 && stats_ != nullptr) {
+          ++stats_->counters_zeroed;
+        }
+        if (stats_ != nullptr) ++stats_->removed_pairs;
+      }
+    }
+    if (kept == st.pairs.size()) return false;
+    st.pairs.resize(kept);
+    return true;
+  }
+
+  MatchResult Extract() {
+    MatchResult result = MatchResult::Empty(q_);
+    for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+      *result.mutable_edge_matches(e) = std::move(edges_[e].pairs);
+    }
+    result.set_matched(true);
+    result.DeriveNodeMatches(q_);
+    return result;
+  }
+
+ private:
+  /// Mutable per-edge state of the fixpoint.
+  struct EdgeState {
+    std::vector<NodePair> pairs;  // alive pairs, compacted in place
+    // out_count[v] = number of alive pairs with source v.
+    std::unordered_map<NodeId, uint32_t> out_count;
+    // in_count[v] = number of alive pairs with target v (dual mode only).
+    std::unordered_map<NodeId, uint32_t> in_count;
+  };
+
+  bool dual() const {
+    return opts_.semantics == JoinSemantics::kDualSimulation;
+  }
+
   bool NodeValid(uint32_t u, NodeId v) const {
     for (uint32_t e : q_.out_edges(u)) {
       auto it = edges_[e].out_count.find(v);
@@ -52,173 +431,24 @@ class JoinEngine {
     return true;
   }
 
-  /// Scans Se once, deleting invalid pairs; returns true if Se changed.
-  bool ScanEdge(uint32_t e) {
-    if (stats_ != nullptr) ++stats_->match_set_visits;
-    EdgeState& st = edges_[e];
-    const uint32_t u = q_.edge(e).src;
-    const uint32_t u2 = q_.edge(e).dst;
-    size_t kept = 0;
-    for (size_t i = 0; i < st.pairs.size(); ++i) {
-      const NodePair& p = st.pairs[i];
-      if (NodeValid(u, p.first) && NodeValid(u2, p.second)) {
-        st.pairs[kept++] = p;
-      } else {
-        --st.out_count[p.first];
-        if (dual()) --st.in_count[p.second];
-        if (stats_ != nullptr) ++stats_->removed_pairs;
-      }
-    }
-    if (kept == st.pairs.size()) return false;
-    st.pairs.resize(kept);
-    return true;
-  }
-
-  bool RunRankOrdered();
-  bool RunFullPasses();
-
   const Pattern& q_;
   const MatchJoinOptions opts_;
   MatchJoinStats* stats_;
   std::vector<EdgeState> edges_;
-  std::vector<uint32_t> edge_rank_;
 };
 
-Status JoinEngine::Init(const ViewSet& views,
-                        const std::vector<ViewExtension>& exts,
-                        const ContainmentMapping& mapping) {
-  if (!mapping.contained) {
-    return Status::InvalidArgument("query is not contained in the views");
-  }
-  if (mapping.lambda.size() != q_.num_edges()) {
-    return Status::InvalidArgument("mapping does not fit this query");
-  }
-  if (exts.size() != views.card()) {
-    return Status::InvalidArgument("one extension per view required");
-  }
-
-  edges_.resize(q_.num_edges());
-  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
-    const PatternEdge& qe = q_.edge(e);
-    const PatternNode& src_node = q_.node(qe.src);
-    const PatternNode& dst_node = q_.node(qe.dst);
-    auto& pairs = edges_[e].pairs;
-
-    for (const ViewEdgeRef& ref : mapping.lambda[e]) {
-      if (ref.view >= exts.size()) {
-        return Status::InvalidArgument("mapping references unknown view");
-      }
-      const ViewExtension& ext = exts[ref.view];
-      if (ref.edge >= ext.num_view_edges()) {
-        return Status::InvalidArgument("mapping references unknown view edge");
-      }
-      const ViewEdgeExtension& vee = ext.edge(ref.edge);
-      for (size_t i = 0; i < vee.pairs.size(); ++i) {
-        const NodePair& p = vee.pairs[i];
-        // Distance-index check: materialized shortest distance must satisfy
-        // the *query's* bound (views may be looser).
-        if (qe.bound != kUnbounded && vee.distances[i] > qe.bound) {
-          if (stats_ != nullptr) ++stats_->filtered_by_distance;
-          continue;
-        }
-        // Query node conditions, evaluated on cached snapshots — the query
-        // may be stricter than the view (predicate views).
-        const NodeSnapshot* s1 = ext.snapshot(p.first);
-        const NodeSnapshot* s2 = ext.snapshot(p.second);
-        GPMV_DCHECK(s1 != nullptr && s2 != nullptr);
-        bool ok =
-            (src_node.label.empty() || s1->HasLabel(src_node.label)) &&
-            (dst_node.label.empty() || s2->HasLabel(dst_node.label)) &&
-            (src_node.pred.IsTrivial() || src_node.pred.Eval(s1->attrs)) &&
-            (dst_node.pred.IsTrivial() || dst_node.pred.Eval(s2->attrs));
-        if (!ok) {
-          if (stats_ != nullptr) ++stats_->filtered_by_condition;
-          continue;
-        }
-        pairs.push_back(p);
-      }
-    }
-    std::sort(pairs.begin(), pairs.end());
-    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-    for (const NodePair& p : pairs) {
-      ++edges_[e].out_count[p.first];
-      if (dual()) ++edges_[e].in_count[p.second];
-    }
-    if (stats_ != nullptr) stats_->initial_pairs += pairs.size();
-  }
-
-  // r(e = (u', u)) = r(u): rank of the target node.
-  std::vector<uint32_t> node_rank = ComputeSccRanks(q_.Adjacency());
-  edge_rank_.resize(q_.num_edges());
-  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
-    edge_rank_[e] = node_rank[q_.edge(e).dst];
-  }
-  return Status::OK();
-}
-
-bool JoinEngine::RunRankOrdered() {
-  // Priority worklist keyed by (rank, edge id); when Se changes, every edge
-  // whose pair validity consults out-counts of e's source is re-queued.
-  std::set<std::pair<uint32_t, uint32_t>> pending;
-  std::vector<char> queued(q_.num_edges(), 1);
-  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
-    pending.emplace(edge_rank_[e], e);
-  }
-  while (!pending.empty()) {
-    uint32_t e = pending.begin()->second;
-    pending.erase(pending.begin());
-    queued[e] = 0;
-    if (!ScanEdge(e)) continue;
-    if (edges_[e].pairs.empty()) return false;
-    // Changed out-counts affect node validity at e's source; under dual
-    // semantics, changed in-counts affect validity at e's target.
-    std::vector<uint32_t> touched{q_.edge(e).src};
-    if (dual()) touched.push_back(q_.edge(e).dst);
-    for (uint32_t u : touched) {
-      for (const auto& deps : {q_.out_edges(u), q_.in_edges(u)}) {
-        for (uint32_t f : deps) {
-          if (!queued[f]) {
-            queued[f] = 1;
-            pending.emplace(edge_rank_[f], f);
-          }
-        }
-      }
-    }
-  }
-  return true;
-}
-
-bool JoinEngine::RunFullPasses() {
-  // The unoptimized fixpoint of Fig. 2: sweep all match sets until no sweep
-  // changes anything.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (uint32_t e = 0; e < q_.num_edges(); ++e) {
-      if (ScanEdge(e)) {
-        changed = true;
-        if (edges_[e].pairs.empty()) return false;
-      }
-    }
-  }
-  return true;
-}
-
-bool JoinEngine::Run() {
-  for (const EdgeState& st : edges_) {
-    if (st.pairs.empty()) return false;
-  }
-  return opts_.use_rank_order ? RunRankOrdered() : RunFullPasses();
-}
-
-MatchResult JoinEngine::Extract() {
-  MatchResult result = MatchResult::Empty(q_);
-  for (uint32_t e = 0; e < q_.num_edges(); ++e) {
-    *result.mutable_edge_matches(e) = std::move(edges_[e].pairs);
-  }
-  result.set_matched(true);
-  result.DeriveNodeMatches(q_);
-  return result;
+template <typename Engine>
+Result<MatchResult> RunEngine(const Pattern& q, const ViewSet& views,
+                              const std::vector<ViewExtension>& exts,
+                              const ContainmentMapping& mapping,
+                              const MatchJoinOptions& opts,
+                              MatchJoinStats* stats) {
+  std::vector<std::vector<NodePair>> merged;
+  GPMV_RETURN_NOT_OK(MergeViewPairs(q, views, exts, mapping, stats, &merged));
+  Engine engine(q, opts, stats);
+  engine.Init(std::move(merged));
+  if (!RunFixpoint(engine, q, opts, stats)) return MatchResult::Empty(q);
+  return engine.Extract();
 }
 
 }  // namespace
@@ -231,10 +461,9 @@ Result<MatchResult> MatchJoin(const Pattern& q, const ViewSet& views,
   if (q.num_edges() == 0) {
     return Status::InvalidArgument("query has no edges");
   }
-  JoinEngine engine(q, opts, stats);
-  GPMV_RETURN_NOT_OK(engine.Init(views, exts, mapping));
-  if (!engine.Run()) return MatchResult::Empty(q);
-  return engine.Extract();
+  return opts.use_dense_ranks
+             ? RunEngine<DenseJoinEngine>(q, views, exts, mapping, opts, stats)
+             : RunEngine<HashJoinEngine>(q, views, exts, mapping, opts, stats);
 }
 
 Result<MatchResult> DualMatchJoin(const Pattern& q, const ViewSet& views,

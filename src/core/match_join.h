@@ -22,6 +22,15 @@
 /// repeated-full-pass fixpoint (`MatchJoin_nopt` in Fig. 8(f)). Per-edge
 /// visit counts are reported in MatchJoinStats.
 ///
+/// The fixpoint state is keyed by *dense candidate ranks*
+/// (simulation/candidate_space.h): after the merge, every pattern node's
+/// candidates get ranks 0..c-1, match sets become rank pairs, and the
+/// out/in support counters become flat arrays — profiling showed the
+/// previous per-edge `unordered_map<NodeId, uint32_t>` counters dominating
+/// the engine's warm path. `use_dense_ranks = false` selects that original
+/// hash-map engine, kept as the equivalence-test reference and microbench
+/// baseline.
+///
 /// The same engine serves plain and bounded patterns: a plain edge is just
 /// fe(e) = 1 and simulation views materialize d = 1. `BMatchJoin` (in
 /// bmatch_join.h) is the bounded entry point.
@@ -53,15 +62,47 @@ struct MatchJoinOptions {
   bool use_rank_order = true;
   /// Matching semantics (see DualMatchJoin).
   JoinSemantics semantics = JoinSemantics::kSimulation;
+  /// Run the fixpoint on dense candidate ranks (candidate_space.h): match
+  /// sets become rank pairs and the per-edge out/in support counters flat
+  /// uint32 arrays indexed by rank — O(1) unhashed access on the warm path.
+  /// When false, fall back to the pre-refactor engine keyed by NodeId
+  /// through unordered_maps; it computes identical results and exists as
+  /// the reference baseline for the equivalence property tests and the
+  /// dense-vs-hash microbench (bench/fixpoint_microbench.cc).
+  bool use_dense_ranks = true;
 };
 
-/// Observability counters for tests and the Fig. 8(f) ablation.
+/// Observability counters for tests, the Fig. 8(f) ablation, and the
+/// engine's perf telemetry (engine_throughput prints the aggregate).
 struct MatchJoinStats {
   size_t initial_pairs = 0;       ///< pairs after merge + filters
   size_t removed_pairs = 0;       ///< deletions during the fixpoint
   size_t match_set_visits = 0;    ///< match-set scans (Lemma 2 metric)
   size_t filtered_by_condition = 0;  ///< pairs dropped by query conditions
   size_t filtered_by_distance = 0;   ///< pairs dropped by d > fe(e)
+  /// Fixpoint scheduling steps: worklist pops under rank order, full sweeps
+  /// under the unoptimized schedule. A regression here means the fixpoint
+  /// converges more slowly (more re-scans per query).
+  size_t fixpoint_iterations = 0;
+  /// Support counters that drained to zero during the fixpoint — each one
+  /// is a (pattern node, candidate) invalidation cascading into pair
+  /// removals; tracks how much of the merged input the fixpoint discards.
+  size_t counters_zeroed = 0;
+  /// Dense ranks allocated across pattern nodes (0 on the hash-map path);
+  /// the footprint of the rank-indexed fixpoint state.
+  size_t candidate_ranks = 0;
+
+  /// Field-wise sum, for aggregating per-query stats into engine totals.
+  void Merge(const MatchJoinStats& other) {
+    initial_pairs += other.initial_pairs;
+    removed_pairs += other.removed_pairs;
+    match_set_visits += other.match_set_visits;
+    filtered_by_condition += other.filtered_by_condition;
+    filtered_by_distance += other.filtered_by_distance;
+    fixpoint_iterations += other.fixpoint_iterations;
+    counters_zeroed += other.counters_zeroed;
+    candidate_ranks += other.candidate_ranks;
+  }
 };
 
 /// Computes Q(G) from view extensions only.

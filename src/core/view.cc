@@ -17,7 +17,7 @@ bool NodeSnapshot::HasLabel(const std::string& label) const {
 }
 
 Result<ViewExtension> ViewExtension::Materialize(
-    const ViewDefinition& def, const Graph& g,
+    const ViewDefinition& def, const GraphSnapshot& g,
     const std::vector<std::vector<NodeId>>* seed) {
   ViewExtension ext;
   ext.edges_.resize(def.pattern.num_edges());
@@ -46,6 +46,12 @@ Result<ViewExtension> ViewExtension::Materialize(
     }
   }
   return ext;
+}
+
+Result<ViewExtension> ViewExtension::Materialize(
+    const ViewDefinition& def, const Graph& g,
+    const std::vector<std::vector<NodeId>>* seed) {
+  return Materialize(def, *GraphSnapshot::Build(g, g.version()), seed);
 }
 
 const NodeSnapshot* ViewExtension::snapshot(NodeId v) const {
@@ -78,10 +84,13 @@ size_t ViewExtension::ApproxBytes() const {
 
 Result<std::vector<ViewExtension>> MaterializeAll(const ViewSet& views,
                                                   const Graph& g) {
+  // One frozen snapshot serves every view's materialization.
+  std::shared_ptr<const GraphSnapshot> snap =
+      GraphSnapshot::Build(g, g.version());
   std::vector<ViewExtension> exts;
   exts.reserve(views.card());
   for (const ViewDefinition& def : views.views()) {
-    Result<ViewExtension> ext = ViewExtension::Materialize(def, g);
+    Result<ViewExtension> ext = ViewExtension::Materialize(def, *snap);
     GPMV_RETURN_NOT_OK(ext.status());
     exts.push_back(std::move(ext).value());
   }

@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "pattern/pattern.h"
 #include "simulation/match_result.h"
 
@@ -84,7 +85,12 @@ class ViewExtension {
   /// simulation otherwise) and materializes the result. A view that does not
   /// match G yields an extension with matched() == false and empty edges —
   /// still usable (it contributes nothing). `seed` optionally replaces the
-  /// candidate sets (incremental maintenance from a cached relation).
+  /// candidate sets (incremental maintenance from a cached relation). The
+  /// snapshot overload is the engine's path — one frozen snapshot serves
+  /// the simulation run and the label/attribute node snapshots alike.
+  static Result<ViewExtension> Materialize(
+      const ViewDefinition& def, const GraphSnapshot& g,
+      const std::vector<std::vector<NodeId>>* seed = nullptr);
   static Result<ViewExtension> Materialize(
       const ViewDefinition& def, const Graph& g,
       const std::vector<std::vector<NodeId>>* seed = nullptr);

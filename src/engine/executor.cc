@@ -64,13 +64,12 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      // Count before running: anyone synchronizing on the task's result
+      // (a future, a latch) must observe the counter it contributed.
+      ++stats_.executed;
     }
     not_full_.notify_one();
     task();
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.executed;
-    }
   }
 }
 

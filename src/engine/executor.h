@@ -34,7 +34,9 @@ struct ThreadPoolOptions {
 /// Observability counters; a consistent snapshot as of the call.
 struct ThreadPoolStats {
   size_t submitted = 0;        ///< tasks accepted by Submit
-  size_t executed = 0;         ///< tasks that finished running
+  size_t executed = 0;  ///< tasks dequeued and run; counted before the task
+                        ///< body starts, so any result derived from a task
+                        ///< (e.g. a future it completes) observes the count
   size_t rejected = 0;         ///< Submit calls refused (after shutdown)
   size_t max_queue_depth = 0;  ///< high-water mark of the queue
 };

@@ -37,6 +37,7 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
     : opts_(opts),
       graph_(std::move(g)),
       gstats_(ComputeStatistics(graph_)),
+      snapshot_(graph_.Freeze()),
       cache_(opts.cache),
       pool_(opts.pool) {}
 
@@ -57,7 +58,8 @@ Status QueryEngine::WarmViews() {
     if (cache_.IsMaterialized(v)) continue;
     ViewExtension ext;
     std::vector<std::vector<NodeId>> relation;
-    GPMV_RETURN_NOT_OK(RefreshViewExtension(cache_.views().view(v), graph_,
+    GPMV_RETURN_NOT_OK(RefreshViewExtension(cache_.views().view(v),
+                                            *snapshot_,
                                             /*seeded=*/false, &ext,
                                             &relation));
     cache_.Install(v, std::move(ext), std::move(relation), /*pin=*/false);
@@ -78,6 +80,7 @@ Result<std::future<QueryResponse>> QueryEngine::Submit(Pattern q) {
 QueryResponse QueryEngine::Execute(const Pattern& q) {
   RecordWorkload(q);
   QueryResponse resp;
+  MatchJoinStats join_stats;
 
   {
     std::shared_lock<std::shared_mutex> lk(mu_);
@@ -100,17 +103,21 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
       Status st = PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
       if (st.ok()) {
         resp.warm = warm && plan.kind != PlanKind::kDirect;
+        // Every plan kind reads the same frozen snapshot: queries never walk
+        // the mutable adjacency vectors, even while other workers run.
+        const GraphSnapshot& snap = *snapshot_;
         Result<MatchResult> r = [&]() -> Result<MatchResult> {
           switch (plan.kind) {
             case PlanKind::kMatchJoin: {
               Result<MatchResult> mr =
                   MatchJoin(plan.minimized.pattern, cache_.views(),
-                            cache_.extensions(), plan.mapping);
+                            cache_.extensions(), plan.mapping, {},
+                            &join_stats);
               GPMV_RETURN_NOT_OK(mr.status());
               return ExpandMinimized(plan.minimized, q, std::move(mr).value());
             }
             case PlanKind::kPartialViews: {
-              Result<MatchResult> mr = ExecutePartial(plan);
+              Result<MatchResult> mr = ExecutePartial(plan, snap);
               GPMV_RETURN_NOT_OK(mr.status());
               return ExpandMinimized(plan.minimized, q, std::move(mr).value());
             }
@@ -118,7 +125,7 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
               break;
           }
           Result<MatchResult> mr =
-              MatchBoundedSimulation(plan.minimized.pattern, graph_);
+              MatchBoundedSimulation(plan.minimized.pattern, snap);
           GPMV_RETURN_NOT_OK(mr.status());
           return ExpandMinimized(plan.minimized, q, std::move(mr).value());
         }();
@@ -137,6 +144,7 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
 
   {
     std::lock_guard<std::mutex> lk(agg_mu_);
+    counters_.join.Merge(join_stats);
     ++counters_.queries;
     if (!resp.status.ok()) ++counters_.failed_queries;
     if (resp.warm) ++counters_.warm_queries;
@@ -168,12 +176,13 @@ Status QueryEngine::PinOrMaterialize(const std::vector<uint32_t>& needed,
     bool installed = false;
     for (int attempt = 0; attempt < kMaxInstallRetries && !installed;
          ++attempt) {
-      // Materialize under the shared lock: a pure read of G (writers are
-      // excluded), so other queries keep running meanwhile.
+      // Materialize under the shared lock from the frozen snapshot, so
+      // other queries keep running meanwhile.
       const uint64_t version = graph_version_;
       ViewExtension ext;
       std::vector<std::vector<NodeId>> relation;
-      GPMV_RETURN_NOT_OK(RefreshViewExtension(cache_.views().view(v), graph_,
+      GPMV_RETURN_NOT_OK(RefreshViewExtension(cache_.views().view(v),
+                                              *snapshot_,
                                               /*seeded=*/false, &ext,
                                               &relation));
       lk.unlock();
@@ -200,10 +209,11 @@ Status QueryEngine::PinOrMaterialize(const std::vector<uint32_t>& needed,
   return Status::OK();
 }
 
-Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan) {
+Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan,
+                                                const GraphSnapshot& snap) {
   const Pattern& mq = plan.minimized.pattern;
   std::vector<std::vector<NodeId>> seed;
-  GPMV_RETURN_NOT_OK(ComputeCandidateSets(mq, graph_, &seed));
+  GPMV_RETURN_NOT_OK(ComputeCandidateSets(mq, snap, &seed));
   const std::vector<ViewExtension>& exts = cache_.extensions();
 
   // Tighten each node's candidates with the merged sources of every covered
@@ -229,7 +239,7 @@ Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan) {
       seed[u] = Intersect(seed[u], sources);
     }
   }
-  return MatchBoundedSimulation(mq, graph_, /*distances=*/nullptr, &seed);
+  return MatchBoundedSimulation(mq, snap, /*distances=*/nullptr, &seed);
 }
 
 MatchResult QueryEngine::ExpandMinimized(const MinimizedPattern& min,
@@ -279,8 +289,12 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
       }
     }
     ++graph_version_;
+    // Re-freeze (incrementally — the graph tracked which adjacency rows the
+    // batch touched) and publish the new snapshot version to queries before
+    // refreshing cached extensions from it.
+    snapshot_ = graph_.Freeze();
     GPMV_RETURN_NOT_OK(cache_.RefreshMaterialized(
-        graph_, /*deletions_only=*/!any_insert, deleted));
+        *snapshot_, /*deletions_only=*/!any_insert, deleted));
     // Edge updates change neither node count nor label histogram, so the
     // fields the planner reads stay exact in O(1); the degree-profile
     // details are recomputed lazily by graph_statistics().

@@ -39,10 +39,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/match_join.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
 #include "engine/view_cache.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "graph/statistics.h"
 #include "pattern/pattern.h"
 #include "simulation/match_result.h"
@@ -88,6 +90,10 @@ struct QueryResponse {
 struct EngineStats {
   ViewCacheStats cache;
   ThreadPoolStats pool;
+  /// MatchJoin fixpoint counters summed over every view-served query —
+  /// iteration counts and counter saturation make warm-path perf
+  /// regressions diagnosable from CI logs (engine_throughput prints them).
+  MatchJoinStats join;
   size_t queries = 0;
   size_t plans_match_join = 0;
   size_t plans_partial = 0;
@@ -161,7 +167,8 @@ class QueryEngine {
 
   /// kPartialViews execution: merge covering view pairs into per-node
   /// candidate seeds, then direct evaluation restricted to them.
-  Result<MatchResult> ExecutePartial(const QueryPlan& plan);
+  Result<MatchResult> ExecutePartial(const QueryPlan& plan,
+                                     const GraphSnapshot& snap);
 
   /// Maps a minimized-query result back to the original query's shape.
   static MatchResult ExpandMinimized(const MinimizedPattern& min,
@@ -182,6 +189,12 @@ class QueryEngine {
   mutable GraphStatistics gstats_;
   mutable std::atomic<bool> stats_dirty_{false};
   uint64_t graph_version_ = 0;
+  /// The frozen CSR snapshot of `graph_` at `graph_version_`, shared by
+  /// every in-flight query (reads happen under the shared lock; the update
+  /// path re-freezes — incrementally, thanks to the graph's dirty-row
+  /// tracking — under the exclusive lock). Concurrent queries therefore
+  /// never re-walk mutable adjacency vectors.
+  std::shared_ptr<const GraphSnapshot> snapshot_;
   ViewCache cache_;
 
   /// Aggregate counters + workload history (never held together with mu_).

@@ -111,7 +111,7 @@ void ViewCache::EvictLocked(uint32_t v) {
   ++stats_.evictions;
 }
 
-Status ViewCache::RefreshMaterialized(const Graph& g, bool deletions_only,
+Status ViewCache::RefreshMaterialized(const GraphSnapshot& g, bool deletions_only,
                                       const std::vector<NodePair>& deleted) {
   std::lock_guard<std::mutex> lk(meta_mu_);
   for (uint32_t v = 0; v < entries_.size(); ++v) {

@@ -102,7 +102,7 @@ class ViewCache {
   /// refresh is seeded from the cached relation (decremental), and plain
   /// simulation views untouched by every edge of `deleted` are skipped via
   /// the constant-time prescreen. Byte accounting is rebuilt per entry.
-  Status RefreshMaterialized(const Graph& g, bool deletions_only,
+  Status RefreshMaterialized(const GraphSnapshot& g, bool deletions_only,
                              const std::vector<NodePair>& deleted);
 
   /// [shared] Is `v` currently materialized? (Racy snapshot — use

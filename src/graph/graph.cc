@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "graph/snapshot.h"
+
 namespace gpmv {
 
 NodeId Graph::AddNode(const std::vector<std::string>& labels,
                       AttributeSet attrs) {
+  ++version_;
+  ++node_section_version_;
   NodeId id = static_cast<NodeId>(out_.size());
   out_.emplace_back();
   in_.emplace_back();
@@ -57,6 +61,7 @@ Status Graph::AddEdge(NodeId u, NodeId v) {
   }
   SortedInsert(&in_[v], u);
   ++num_edges_;
+  MarkEdgeDirty(u, v);
   return Status::OK();
 }
 
@@ -65,6 +70,7 @@ bool Graph::AddEdgeIfAbsent(NodeId u, NodeId v) {
   if (!SortedInsert(&out_[u], v)) return false;
   SortedInsert(&in_[v], u);
   ++num_edges_;
+  MarkEdgeDirty(u, v);
   return true;
 }
 
@@ -77,7 +83,45 @@ Status Graph::RemoveEdge(NodeId u, NodeId v) {
   }
   SortedErase(&in_[v], u);
   --num_edges_;
+  MarkEdgeDirty(u, v);
   return Status::OK();
+}
+
+void Graph::MarkEdgeDirty(NodeId out_node, NodeId in_node) {
+  ++version_;
+  if (dirty_overflow_) return;
+  if (dirty_out_.size() >= kMaxDirtyRows || dirty_in_.size() >= kMaxDirtyRows) {
+    dirty_overflow_ = true;
+    dirty_out_.clear();
+    dirty_in_.clear();
+    return;
+  }
+  dirty_out_.push_back(out_node);
+  dirty_in_.push_back(in_node);
+}
+
+std::shared_ptr<const GraphSnapshot> Graph::Freeze() {
+  if (frozen_ != nullptr && frozen_->version() == version_) return frozen_;
+  const bool node_section_reusable =
+      frozen_ != nullptr && !dirty_overflow_ &&
+      frozen_->node_section_version() == node_section_version_ &&
+      frozen_->num_nodes() == num_nodes();
+  if (node_section_reusable) {
+    auto canonicalize = [](std::vector<NodeId>* dirty) {
+      std::sort(dirty->begin(), dirty->end());
+      dirty->erase(std::unique(dirty->begin(), dirty->end()), dirty->end());
+    };
+    canonicalize(&dirty_out_);
+    canonicalize(&dirty_in_);
+    frozen_ = GraphSnapshot::Rebuild(*this, version_, *frozen_, dirty_out_,
+                                     dirty_in_);
+  } else {
+    frozen_ = GraphSnapshot::Build(*this, version_);
+  }
+  dirty_out_.clear();
+  dirty_in_.clear();
+  dirty_overflow_ = false;
+  return frozen_;
 }
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {

@@ -13,6 +13,7 @@
 #define GPMV_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "graph/attribute.h"
 
 namespace gpmv {
+
+class GraphSnapshot;
 
 using NodeId = uint32_t;
 using LabelId = uint32_t;
@@ -67,7 +70,13 @@ class Graph {
   const std::vector<LabelId>& labels(NodeId v) const { return node_labels_[v]; }
   bool HasLabel(NodeId v, LabelId label) const;
   const AttributeSet& attrs(NodeId v) const { return node_attrs_[v]; }
-  AttributeSet* mutable_attrs(NodeId v) { return &node_attrs_[v]; }
+  AttributeSet* mutable_attrs(NodeId v) {
+    // Conservatively assume the caller writes: the node section of any
+    // cached snapshot goes stale.
+    ++version_;
+    ++node_section_version_;
+    return &node_attrs_[v];
+  }
 
   /// Interns `name`, creating a fresh LabelId on first sight.
   LabelId InternLabel(const std::string& name);
@@ -85,7 +94,33 @@ class Graph {
   /// used by IO and debugging.
   std::string DescribeNode(NodeId v) const;
 
+  /// Freezes the current graph state into an immutable CSR snapshot
+  /// (graph/snapshot.h) and caches it: repeated calls without intervening
+  /// mutations return the same snapshot. After edge-only mutations the
+  /// re-freeze is incremental — only the adjacency rows touched since the
+  /// last freeze are rebuilt, and the node section (labels, label index,
+  /// attributes) is shared with the previous snapshot. Not safe to call
+  /// concurrently with itself or with mutations (callers serialize, e.g.
+  /// the engine freezes under its exclusive registry lock).
+  std::shared_ptr<const GraphSnapshot> Freeze();
+
+  /// Monotone counter bumped by every mutation; a cached snapshot is
+  /// current iff its version() equals this.
+  uint64_t version() const { return version_; }
+
+  /// Counter bumped only by node-section mutations (AddNode,
+  /// mutable_attrs); edge updates leave it unchanged, which is what makes
+  /// incremental re-freezing sound.
+  uint64_t node_section_version() const { return node_section_version_; }
+
  private:
+  /// Records that v's out- resp. in-adjacency changed since the last
+  /// freeze. Falls back to "rebuild everything" when the dirty set grows
+  /// past kMaxDirtyRows.
+  void MarkEdgeDirty(NodeId out_node, NodeId in_node);
+
+  static constexpr size_t kMaxDirtyRows = 1u << 16;
+
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::vector<std::vector<LabelId>> node_labels_;
@@ -96,6 +131,14 @@ class Graph {
   std::unordered_map<std::string, LabelId> label_ids_;
   std::vector<std::vector<NodeId>> label_index_;  // LabelId -> nodes
   std::vector<NodeId> empty_;
+
+  /// Freeze bookkeeping (see Freeze()).
+  uint64_t version_ = 0;
+  uint64_t node_section_version_ = 0;
+  std::vector<NodeId> dirty_out_;  // unsorted, may repeat
+  std::vector<NodeId> dirty_in_;
+  bool dirty_overflow_ = false;
+  std::shared_ptr<const GraphSnapshot> frozen_;
 };
 
 }  // namespace gpmv

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "graph/snapshot.h"
+
 namespace gpmv {
 
-GraphStatistics ComputeStatistics(const Graph& g) {
+namespace {
+
+/// One statistics pass shared by the Graph and GraphSnapshot entry points;
+/// `GraphT` provides degrees, HasEdge and the label index.
+template <typename GraphT>
+GraphStatistics ComputeStatisticsImpl(const GraphT& g) {
   GraphStatistics s;
   s.num_nodes = g.num_nodes();
   s.num_edges = g.num_edges();
@@ -43,6 +50,16 @@ GraphStatistics ComputeStatistics(const Graph& g) {
                                           : a.first < b.first;
             });
   return s;
+}
+
+}  // namespace
+
+GraphStatistics ComputeStatistics(const Graph& g) {
+  return ComputeStatisticsImpl(g);
+}
+
+GraphStatistics ComputeStatistics(const GraphSnapshot& g) {
+  return ComputeStatisticsImpl(g);
 }
 
 std::string GraphStatistics::ToString() const {

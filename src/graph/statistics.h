@@ -36,8 +36,12 @@ struct GraphStatistics {
   std::string ToString() const;
 };
 
-/// Computes the statistics of `g` in one pass.
+class GraphSnapshot;
+
+/// Computes the statistics of `g` in one pass; the snapshot overload walks
+/// the frozen CSR arrays instead of the mutable adjacency.
 GraphStatistics ComputeStatistics(const Graph& g);
+GraphStatistics ComputeStatistics(const GraphSnapshot& g);
 
 }  // namespace gpmv
 

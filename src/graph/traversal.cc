@@ -8,35 +8,66 @@ void BfsScratch::Clear() {
   queue_.clear();
 }
 
-void BfsScratch::Run(const Graph& g, const std::vector<NodeId>& sources,
-                     uint32_t bound, bool forward) {
-  Clear();
-  if (dist_.size() < g.num_nodes()) dist_.resize(g.num_nodes(), kNotSeen);
+namespace {
+
+/// One BFS loop shared by the Graph and GraphSnapshot paths; `GraphT` only
+/// needs num_nodes() and out_/in_neighbors() returning an iterable range.
+template <typename GraphT, typename Sources>
+void RunImpl(const GraphT& g, const Sources& sources, uint32_t bound,
+             bool forward, std::vector<uint32_t>* dist,
+             std::vector<NodeId>* reached, std::vector<NodeId>* queue) {
+  if (dist->size() < g.num_nodes()) dist->resize(g.num_nodes(), BfsScratch::kNotSeen);
   for (NodeId s : sources) {
-    if (dist_[s] == kNotSeen) {
-      dist_[s] = 0;
-      queue_.push_back(s);
-      reached_.push_back(s);
+    if ((*dist)[s] == BfsScratch::kNotSeen) {
+      (*dist)[s] = 0;
+      queue->push_back(s);
+      reached->push_back(s);
     }
   }
   size_t head = 0;
-  while (head < queue_.size()) {
-    NodeId v = queue_[head++];
-    uint32_t d = dist_[v];
+  while (head < queue->size()) {
+    NodeId v = (*queue)[head++];
+    uint32_t d = (*dist)[v];
     if (bound != kUnbounded && d >= bound) continue;
     const auto& nbrs = forward ? g.out_neighbors(v) : g.in_neighbors(v);
     for (NodeId w : nbrs) {
-      if (dist_[w] == kNotSeen) {
-        dist_[w] = d + 1;
-        queue_.push_back(w);
-        reached_.push_back(w);
+      if ((*dist)[w] == BfsScratch::kNotSeen) {
+        (*dist)[w] = d + 1;
+        queue->push_back(w);
+        reached->push_back(w);
       }
     }
   }
 }
 
+}  // namespace
+
+void BfsScratch::Run(const Graph& g, const std::vector<NodeId>& sources,
+                     uint32_t bound, bool forward) {
+  Clear();
+  RunImpl(g, sources, bound, forward, &dist_, &reached_, &queue_);
+}
+
+void BfsScratch::Run(const GraphSnapshot& g,
+                     const std::vector<NodeId>& sources, uint32_t bound,
+                     bool forward) {
+  Clear();
+  RunImpl(g, sources, bound, forward, &dist_, &reached_, &queue_);
+}
+
+void BfsScratch::Run(const GraphSnapshot& g, NodeSpan sources, uint32_t bound,
+                     bool forward) {
+  Clear();
+  RunImpl(g, sources, bound, forward, &dist_, &reached_, &queue_);
+}
+
 void BfsScratch::RunSingle(const Graph& g, NodeId source, uint32_t bound,
                            bool forward) {
+  Run(g, std::vector<NodeId>{source}, bound, forward);
+}
+
+void BfsScratch::RunSingle(const GraphSnapshot& g, NodeId source,
+                           uint32_t bound, bool forward) {
   Run(g, std::vector<NodeId>{source}, bound, forward);
 }
 

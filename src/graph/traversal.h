@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 
 namespace gpmv {
 
@@ -46,8 +47,17 @@ class BfsScratch {
   void Run(const Graph& g, const std::vector<NodeId>& sources, uint32_t bound,
            bool forward);
 
+  /// CSR-snapshot variants (the hot path of bounded simulation): identical
+  /// semantics, adjacency read from the frozen arrays.
+  void Run(const GraphSnapshot& g, const std::vector<NodeId>& sources,
+           uint32_t bound, bool forward);
+  void Run(const GraphSnapshot& g, NodeSpan sources, uint32_t bound,
+           bool forward);
+
   /// Single-source variant.
   void RunSingle(const Graph& g, NodeId source, uint32_t bound, bool forward);
+  void RunSingle(const GraphSnapshot& g, NodeId source, uint32_t bound,
+                 bool forward);
 
   static constexpr uint32_t kNotSeen = std::numeric_limits<uint32_t>::max();
 

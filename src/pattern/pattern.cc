@@ -3,10 +3,21 @@
 #include <algorithm>
 
 #include "graph/scc.h"
+#include "graph/snapshot.h"
 
 namespace gpmv {
 
 bool PatternNode::MatchesData(const Graph& g, NodeId v,
+                              LabelId label_id) const {
+  if (!label.empty()) {
+    if (label_id == kInvalidLabel) return false;  // label unknown to graph
+    if (!g.HasLabel(v, label_id)) return false;
+  }
+  if (!pred.IsTrivial() && !pred.Eval(g.attrs(v))) return false;
+  return true;
+}
+
+bool PatternNode::MatchesData(const GraphSnapshot& g, NodeId v,
                               LabelId label_id) const {
   if (!label.empty()) {
     if (label_id == kInvalidLabel) return false;  // label unknown to graph

@@ -26,6 +26,8 @@
 
 namespace gpmv {
 
+class GraphSnapshot;
+
 /// A pattern node: search condition = label + predicate.
 struct PatternNode {
   std::string label;   ///< required node label; "" matches any label
@@ -36,6 +38,9 @@ struct PatternNode {
   /// `label_id` must be g.FindLabel(label) (or kInvalidLabel for wildcard),
   /// hoisted out so matchers resolve it once.
   bool MatchesData(const Graph& g, NodeId v, LabelId label_id) const;
+
+  /// Same condition evaluated against a frozen snapshot.
+  bool MatchesData(const GraphSnapshot& g, NodeId v, LabelId label_id) const;
 };
 
 /// A pattern edge with bound fe(e); bound 1 = plain simulation edge,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bitset.h"
 #include "graph/traversal.h"
 
 namespace gpmv {
@@ -29,6 +30,29 @@ Status ComputeCandidateSets(const Pattern& q, const Graph& g,
   return Status::OK();
 }
 
+Status ComputeCandidateSets(const Pattern& q, const GraphSnapshot& g,
+                            std::vector<std::vector<NodeId>>* cand) {
+  if (q.num_nodes() == 0) return Status::InvalidArgument("empty pattern");
+  cand->assign(q.num_nodes(), {});
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    const PatternNode& pn = q.node(u);
+    LabelId lid = pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
+    auto& cu = (*cand)[u];
+    if (!pn.label.empty()) {
+      if (lid == kInvalidLabel) continue;
+      // Label ranges are stored ascending, so cu comes out sorted.
+      for (NodeId v : g.NodesWithLabel(lid)) {
+        if (pn.MatchesData(g, v, lid)) cu.push_back(v);
+      }
+    } else {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (pn.MatchesData(g, v, lid)) cu.push_back(v);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// BFS hop budget that certifies "some out-neighbor of v reaches the target
@@ -41,7 +65,8 @@ uint32_t InnerBound(uint32_t bound) {
 }  // namespace
 
 Status ComputeBoundedSimulationRelation(
-    const Pattern& qb, const Graph& g, std::vector<std::vector<NodeId>>* sim,
+    const Pattern& qb, const GraphSnapshot& g,
+    std::vector<std::vector<NodeId>>* sim,
     const std::vector<std::vector<NodeId>>* seed) {
   if (seed != nullptr) {
     if (seed->size() != qb.num_nodes()) {
@@ -94,28 +119,168 @@ Status ComputeBoundedSimulationRelation(
   return Status::OK();
 }
 
+Status ComputeBoundedSimulationRelation(
+    const Pattern& qb, const Graph& g, std::vector<std::vector<NodeId>>* sim,
+    const std::vector<std::vector<NodeId>>* seed) {
+  return ComputeBoundedSimulationRelation(
+      qb, *GraphSnapshot::Build(g, g.version()), sim, seed);
+}
+
 namespace {
 
 /// Extraction shared by both bounded matchers: match sets + exact shortest
 /// distances from a final relation.
 Result<MatchResult> ExtractBoundedMatches(
+    const Pattern& qb, const GraphSnapshot& g,
+    const std::vector<std::vector<NodeId>>& sim,
+    std::vector<std::vector<uint32_t>>* distances) {
+  MatchResult result = MatchResult::Empty(qb);
+  if (distances != nullptr) distances->assign(qb.num_edges(), {});
+  bool all_nonempty = !sim.empty();
+  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
+  if (!all_nonempty) return result;
+
+  std::vector<DenseBitset> in_sim(qb.num_nodes());
+  for (uint32_t u = 0; u < qb.num_nodes(); ++u) {
+    in_sim[u].Reset(g.num_nodes());
+    for (NodeId v : sim[u]) in_sim[u].set(v);
+  }
+
+  BfsScratch scratch(g.num_nodes());
+  for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+    const PatternEdge& pe = qb.edge(e);
+    auto* se = result.mutable_edge_matches(e);
+    std::vector<uint32_t>* de =
+        distances != nullptr ? &(*distances)[e] : nullptr;
+    for (NodeId v : sim[pe.src]) {
+      // Shortest nonempty path v ~> x has length 1 + (shortest path from an
+      // out-neighbor of v to x), so BFS from out(v) with budget bound-1.
+      scratch.Run(g, g.out_neighbors(v), InnerBound(pe.bound),
+                  /*forward=*/true);
+      for (NodeId x : scratch.reached()) {
+        if (!in_sim[pe.dst].test(x)) continue;
+        se->emplace_back(v, x);
+        if (de != nullptr) de->push_back(scratch.dist(x) + 1);
+      }
+    }
+    if (se->empty()) {
+      if (distances != nullptr) distances->assign(qb.num_edges(), {});
+      return MatchResult::Empty(qb);
+    }
+    // Sort pairs (and distances in lockstep) into canonical order.
+    std::vector<size_t> order(se->size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*se)[a] < (*se)[b];
+    });
+    std::vector<NodePair> sorted_pairs(se->size());
+    for (size_t i = 0; i < order.size(); ++i) sorted_pairs[i] = (*se)[order[i]];
+    *se = std::move(sorted_pairs);
+    if (de != nullptr) {
+      std::vector<uint32_t> sorted_dist(de->size());
+      for (size_t i = 0; i < order.size(); ++i) sorted_dist[i] = (*de)[order[i]];
+      *de = std::move(sorted_dist);
+    }
+  }
+  result.set_matched(true);
+  result.DeriveNodeMatches(qb);
+  return result;
+}
+
+}  // namespace
+
+Result<MatchResult> MatchBoundedSimulation(
+    const Pattern& qb, const GraphSnapshot& g,
+    std::vector<std::vector<uint32_t>>* distances,
+    const std::vector<std::vector<NodeId>>* seed) {
+  std::vector<std::vector<NodeId>> sim;
+  GPMV_RETURN_NOT_OK(ComputeBoundedSimulationRelation(qb, g, &sim, seed));
+  return ExtractBoundedMatches(qb, g, sim, distances);
+}
+
+Result<MatchResult> MatchBoundedSimulation(
+    const Pattern& qb, const Graph& g,
+    std::vector<std::vector<uint32_t>>* distances,
+    const std::vector<std::vector<NodeId>>* seed) {
+  return MatchBoundedSimulation(qb, *GraphSnapshot::Build(g, g.version()),
+                                distances, seed);
+}
+
+namespace {
+
+/// Pre-refactor extraction kept verbatim on the mutable graph, used only by
+/// the naive baseline so the equivalence property tests compare the
+/// snapshot-based fast path against a fully independent pipeline (candidate
+/// enumeration, fixpoint, *and* extraction).
+Result<MatchResult> ExtractBoundedMatchesOnGraph(
     const Pattern& qb, const Graph& g,
     const std::vector<std::vector<NodeId>>& sim,
-    std::vector<std::vector<uint32_t>>* distances);
+    std::vector<std::vector<uint32_t>>* distances) {
+  MatchResult result = MatchResult::Empty(qb);
+  if (distances != nullptr) distances->assign(qb.num_edges(), {});
+  bool all_nonempty = !sim.empty();
+  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
+  if (!all_nonempty) return result;
+
+  std::vector<std::vector<char>> in_sim(qb.num_nodes(),
+                                        std::vector<char>(g.num_nodes(), 0));
+  for (uint32_t u = 0; u < qb.num_nodes(); ++u) {
+    for (NodeId v : sim[u]) in_sim[u][v] = 1;
+  }
+
+  BfsScratch scratch(g.num_nodes());
+  for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+    const PatternEdge& pe = qb.edge(e);
+    auto* se = result.mutable_edge_matches(e);
+    std::vector<uint32_t>* de =
+        distances != nullptr ? &(*distances)[e] : nullptr;
+    for (NodeId v : sim[pe.src]) {
+      scratch.Run(g, g.out_neighbors(v), InnerBound(pe.bound),
+                  /*forward=*/true);
+      for (NodeId x : scratch.reached()) {
+        if (!in_sim[pe.dst][x]) continue;
+        se->emplace_back(v, x);
+        if (de != nullptr) de->push_back(scratch.dist(x) + 1);
+      }
+    }
+    if (se->empty()) {
+      if (distances != nullptr) distances->assign(qb.num_edges(), {});
+      return MatchResult::Empty(qb);
+    }
+    std::vector<size_t> order(se->size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*se)[a] < (*se)[b];
+    });
+    std::vector<NodePair> sorted_pairs(se->size());
+    for (size_t i = 0; i < order.size(); ++i) sorted_pairs[i] = (*se)[order[i]];
+    *se = std::move(sorted_pairs);
+    if (de != nullptr) {
+      std::vector<uint32_t> sorted_dist(de->size());
+      for (size_t i = 0; i < order.size(); ++i) sorted_dist[i] = (*de)[order[i]];
+      *de = std::move(sorted_dist);
+    }
+  }
+  result.set_matched(true);
+  result.DeriveNodeMatches(qb);
+  return result;
+}
 
 }  // namespace
 
 Result<MatchResult> MatchBoundedSimulationNaive(
     const Pattern& qb, const Graph& g,
     std::vector<std::vector<uint32_t>>* distances) {
+  // The pre-refactor reference: runs entirely on the mutable graph so the
+  // equivalence property tests exercise an independent code path.
   std::vector<std::vector<NodeId>> sim;
   GPMV_RETURN_NOT_OK(ComputeCandidateSets(qb, g, &sim));
   const size_t np = qb.num_nodes();
-  for (const auto& su : sim) {
-    if (su.empty()) {
-      sim.assign(np, {});
-      return ExtractBoundedMatches(qb, g, sim, distances);
-    }
+  bool any_empty = false;
+  for (const auto& su : sim) any_empty = any_empty || su.empty();
+  if (any_empty) {
+    sim.assign(np, {});
+    return ExtractBoundedMatchesOnGraph(qb, g, sim, distances);
   }
 
   // Literal fixpoint of [16]: every iteration re-checks every candidate of
@@ -155,82 +320,12 @@ Result<MatchResult> MatchBoundedSimulationNaive(
         changed = true;
         if (su.empty()) {
           sim.assign(np, {});
-          return ExtractBoundedMatches(qb, g, sim, distances);
+          return ExtractBoundedMatchesOnGraph(qb, g, sim, distances);
         }
       }
     }
   }
-  return ExtractBoundedMatches(qb, g, sim, distances);
+  return ExtractBoundedMatchesOnGraph(qb, g, sim, distances);
 }
-
-Result<MatchResult> MatchBoundedSimulation(
-    const Pattern& qb, const Graph& g,
-    std::vector<std::vector<uint32_t>>* distances,
-    const std::vector<std::vector<NodeId>>* seed) {
-  std::vector<std::vector<NodeId>> sim;
-  GPMV_RETURN_NOT_OK(ComputeBoundedSimulationRelation(qb, g, &sim, seed));
-  return ExtractBoundedMatches(qb, g, sim, distances);
-}
-
-namespace {
-
-Result<MatchResult> ExtractBoundedMatches(
-    const Pattern& qb, const Graph& g,
-    const std::vector<std::vector<NodeId>>& sim,
-    std::vector<std::vector<uint32_t>>* distances) {
-  MatchResult result = MatchResult::Empty(qb);
-  if (distances != nullptr) distances->assign(qb.num_edges(), {});
-  bool all_nonempty = !sim.empty();
-  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
-  if (!all_nonempty) return result;
-
-  std::vector<std::vector<char>> in_sim(qb.num_nodes(),
-                                        std::vector<char>(g.num_nodes(), 0));
-  for (uint32_t u = 0; u < qb.num_nodes(); ++u) {
-    for (NodeId v : sim[u]) in_sim[u][v] = 1;
-  }
-
-  BfsScratch scratch(g.num_nodes());
-  for (uint32_t e = 0; e < qb.num_edges(); ++e) {
-    const PatternEdge& pe = qb.edge(e);
-    auto* se = result.mutable_edge_matches(e);
-    std::vector<uint32_t>* de =
-        distances != nullptr ? &(*distances)[e] : nullptr;
-    for (NodeId v : sim[pe.src]) {
-      // Shortest nonempty path v ~> x has length 1 + (shortest path from an
-      // out-neighbor of v to x), so BFS from out(v) with budget bound-1.
-      scratch.Run(g, g.out_neighbors(v), InnerBound(pe.bound),
-                  /*forward=*/true);
-      for (NodeId x : scratch.reached()) {
-        if (!in_sim[pe.dst][x]) continue;
-        se->emplace_back(v, x);
-        if (de != nullptr) de->push_back(scratch.dist(x) + 1);
-      }
-    }
-    if (se->empty()) {
-      if (distances != nullptr) distances->assign(qb.num_edges(), {});
-      return MatchResult::Empty(qb);
-    }
-    // Sort pairs (and distances in lockstep) into canonical order.
-    std::vector<size_t> order(se->size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return (*se)[a] < (*se)[b];
-    });
-    std::vector<NodePair> sorted_pairs(se->size());
-    for (size_t i = 0; i < order.size(); ++i) sorted_pairs[i] = (*se)[order[i]];
-    *se = std::move(sorted_pairs);
-    if (de != nullptr) {
-      std::vector<uint32_t> sorted_dist(de->size());
-      for (size_t i = 0; i < order.size(); ++i) sorted_dist[i] = (*de)[order[i]];
-      *de = std::move(sorted_dist);
-    }
-  }
-  result.set_matched(true);
-  result.DeriveNodeMatches(qb);
-  return result;
-}
-
-}  // namespace
 
 }  // namespace gpmv

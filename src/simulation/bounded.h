@@ -9,6 +9,12 @@
 /// are extracted with forward bounded BFS per candidate source. The
 /// extraction distances also feed the distance index I(V) used by
 /// BMatchJoin (Section VI-A).
+///
+/// All traversals run over a frozen CSR snapshot; `Graph` overloads build a
+/// one-shot snapshot internally (freeze once and reuse on hot paths).
+/// `MatchBoundedSimulationNaive` deliberately stays on the mutable graph —
+/// it is the pre-refactor cubic reference the equivalence property tests
+/// compare against.
 
 #ifndef GPMV_SIMULATION_BOUNDED_H_
 #define GPMV_SIMULATION_BOUNDED_H_
@@ -17,6 +23,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "pattern/pattern.h"
 #include "simulation/match_result.h"
 
@@ -26,11 +33,17 @@ namespace gpmv {
 /// structural pruning. Candidates are listed in ascending node id.
 Status ComputeCandidateSets(const Pattern& q, const Graph& g,
                             std::vector<std::vector<NodeId>>* cand);
+Status ComputeCandidateSets(const Pattern& q, const GraphSnapshot& g,
+                            std::vector<std::vector<NodeId>>* cand);
 
 /// Computes the maximum bounded-simulation node relation sim(u) per pattern
 /// node. All-empty sets signal "no match". A non-null `seed` replaces the
 /// label-index candidates (see ComputeSimulationRelation); each seed set
 /// must be sorted.
+Status ComputeBoundedSimulationRelation(
+    const Pattern& qb, const GraphSnapshot& g,
+    std::vector<std::vector<NodeId>>* sim,
+    const std::vector<std::vector<NodeId>>* seed = nullptr);
 Status ComputeBoundedSimulationRelation(
     const Pattern& qb, const Graph& g, std::vector<std::vector<NodeId>>* sim,
     const std::vector<std::vector<NodeId>>* seed = nullptr);
@@ -42,6 +55,10 @@ Status ComputeBoundedSimulationRelation(
 /// `seed` optionally replaces the candidate sets (see
 /// ComputeBoundedSimulationRelation).
 Result<MatchResult> MatchBoundedSimulation(
+    const Pattern& qb, const GraphSnapshot& g,
+    std::vector<std::vector<uint32_t>>* distances = nullptr,
+    const std::vector<std::vector<NodeId>>* seed = nullptr);
+Result<MatchResult> MatchBoundedSimulation(
     const Pattern& qb, const Graph& g,
     std::vector<std::vector<uint32_t>>* distances = nullptr,
     const std::vector<std::vector<NodeId>>* seed = nullptr);
@@ -50,9 +67,8 @@ Result<MatchResult> MatchBoundedSimulation(
 /// that re-validates every candidate with its own forward bounded BFS per
 /// iteration — O(|Q||G|²)-style behavior. Produces exactly the same result
 /// as MatchBoundedSimulation (property-tested); it exists as the `BMatch`
-/// baseline the evaluation figures compare against, while
-/// MatchBoundedSimulation is this library's improved implementation
-/// (multi-source reverse-BFS pruning).
+/// baseline the evaluation figures compare against and as the snapshot-free
+/// reference implementation for the dense-path equivalence tests.
 Result<MatchResult> MatchBoundedSimulationNaive(
     const Pattern& qb, const Graph& g,
     std::vector<std::vector<uint32_t>>* distances = nullptr);

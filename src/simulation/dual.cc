@@ -1,153 +1,37 @@
 #include "simulation/dual.h"
 
-#include <algorithm>
-#include <deque>
-
-#include "simulation/bounded.h"  // ComputeCandidateSets
+#include "simulation/refinement.h"
 
 namespace gpmv {
 
-namespace {
-
-struct DualState {
-  std::vector<std::vector<char>> in_sim;
-  std::vector<std::vector<uint32_t>> succ_count;  // |post(v) ∩ sim(u)|
-  std::vector<std::vector<uint32_t>> pred_count;  // |pre(v) ∩ sim(u)|
-  std::vector<size_t> sim_size;
-  std::vector<std::vector<uint32_t>> pattern_preds;  // u' -> {u : (u,u') ∈ Ep}
-  std::vector<std::vector<uint32_t>> pattern_succs;  // u' -> {u : (u',u) ∈ Ep}
-  std::deque<std::pair<uint32_t, NodeId>> removals;
-
-  void Remove(uint32_t u, NodeId v) {
-    if (!in_sim[u][v]) return;
-    in_sim[u][v] = 0;
-    --sim_size[u];
-    removals.emplace_back(u, v);
-  }
-};
-
-}  // namespace
+Status ComputeDualSimulationRelation(const Pattern& q, const GraphSnapshot& g,
+                                     std::vector<std::vector<NodeId>>* sim) {
+  CandidateSpace space;
+  GPMV_RETURN_NOT_OK(BuildCandidateSpace(q, g, /*seed=*/nullptr, &space));
+  return RefineSimulation(q, g, space, /*dual=*/true, sim);
+}
 
 Status ComputeDualSimulationRelation(const Pattern& q, const Graph& g,
                                      std::vector<std::vector<NodeId>>* sim) {
-  std::vector<std::vector<NodeId>> cand;
-  GPMV_RETURN_NOT_OK(ComputeCandidateSets(q, g, &cand));
-  const size_t np = q.num_nodes();
-  const size_t n = g.num_nodes();
-  sim->assign(np, {});
-  for (const auto& cu : cand) {
-    if (cu.empty()) return Status::OK();
-  }
+  return ComputeDualSimulationRelation(q, *GraphSnapshot::Build(g, g.version()),
+                                       sim);
+}
 
-  DualState st;
-  st.in_sim.assign(np, std::vector<char>(n, 0));
-  st.sim_size.assign(np, 0);
-  for (uint32_t u = 0; u < np; ++u) {
-    for (NodeId v : cand[u]) st.in_sim[u][v] = 1;
-    st.sim_size[u] = cand[u].size();
+Result<MatchResult> MatchDualSimulation(const Pattern& q,
+                                        const GraphSnapshot& g) {
+  if (!q.IsSimulationPattern()) {
+    return Status::InvalidArgument("dual simulation needs unit bounds");
   }
-
-  st.succ_count.assign(np, std::vector<uint32_t>(n, 0));
-  st.pred_count.assign(np, std::vector<uint32_t>(n, 0));
-  for (uint32_t u = 0; u < np; ++u) {
-    for (NodeId w : cand[u]) {
-      for (NodeId v : g.in_neighbors(w)) ++st.succ_count[u][v];
-      for (NodeId v : g.out_neighbors(w)) ++st.pred_count[u][v];
-    }
-  }
-
-  st.pattern_preds.assign(np, {});
-  st.pattern_succs.assign(np, {});
-  for (uint32_t e = 0; e < q.num_edges(); ++e) {
-    st.pattern_preds[q.edge(e).dst].push_back(q.edge(e).src);
-    st.pattern_succs[q.edge(e).src].push_back(q.edge(e).dst);
-  }
-  for (auto& v : st.pattern_preds) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  }
-  for (auto& v : st.pattern_succs) {
-    std::sort(v.begin(), v.end());
-    v.erase(std::unique(v.begin(), v.end()), v.end());
-  }
-
-  // Initial violations.
-  for (uint32_t u = 0; u < np; ++u) {
-    for (NodeId v : cand[u]) {
-      bool ok = true;
-      for (uint32_t u2 : st.pattern_succs[u]) {
-        if (st.succ_count[u2][v] == 0) { ok = false; break; }
-      }
-      if (ok) {
-        for (uint32_t u0 : st.pattern_preds[u]) {
-          if (st.pred_count[u0][v] == 0) { ok = false; break; }
-        }
-      }
-      if (!ok) st.Remove(u, v);
-    }
-  }
-
-  // Propagate.
-  while (!st.removals.empty()) {
-    auto [u2, w] = st.removals.front();
-    st.removals.pop_front();
-    if (st.sim_size[u2] == 0) return Status::OK();
-    for (NodeId v : g.in_neighbors(w)) {
-      if (--st.succ_count[u2][v] == 0) {
-        for (uint32_t u : st.pattern_preds[u2]) st.Remove(u, v);
-      }
-    }
-    for (NodeId x : g.out_neighbors(w)) {
-      if (--st.pred_count[u2][x] == 0) {
-        for (uint32_t u : st.pattern_succs[u2]) st.Remove(u, x);
-      }
-    }
-  }
-  for (uint32_t u = 0; u < np; ++u) {
-    if (st.sim_size[u] == 0) return Status::OK();
-  }
-
-  for (uint32_t u = 0; u < np; ++u) {
-    auto& su = (*sim)[u];
-    su.reserve(st.sim_size[u]);
-    for (NodeId v = 0; v < n; ++v) {
-      if (st.in_sim[u][v]) su.push_back(v);
-    }
-  }
-  return Status::OK();
+  std::vector<std::vector<NodeId>> sim;
+  GPMV_RETURN_NOT_OK(ComputeDualSimulationRelation(q, g, &sim));
+  return ExtractSimulationMatches(q, g, sim);
 }
 
 Result<MatchResult> MatchDualSimulation(const Pattern& q, const Graph& g) {
   if (!q.IsSimulationPattern()) {
     return Status::InvalidArgument("dual simulation needs unit bounds");
   }
-  std::vector<std::vector<NodeId>> sim;
-  GPMV_RETURN_NOT_OK(ComputeDualSimulationRelation(q, g, &sim));
-
-  MatchResult result = MatchResult::Empty(q);
-  bool all_nonempty = !sim.empty();
-  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
-  if (!all_nonempty) return result;
-
-  std::vector<std::vector<char>> in_sim(q.num_nodes(),
-                                        std::vector<char>(g.num_nodes(), 0));
-  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
-    for (NodeId v : sim[u]) in_sim[u][v] = 1;
-  }
-  for (uint32_t e = 0; e < q.num_edges(); ++e) {
-    const PatternEdge& pe = q.edge(e);
-    auto* se = result.mutable_edge_matches(e);
-    for (NodeId v : sim[pe.src]) {
-      for (NodeId w : g.out_neighbors(v)) {
-        if (in_sim[pe.dst][w]) se->emplace_back(v, w);
-      }
-    }
-    if (se->empty()) return MatchResult::Empty(q);
-  }
-  result.set_matched(true);
-  result.Normalize();
-  result.DeriveNodeMatches(q);
-  return result;
+  return MatchDualSimulation(q, *GraphSnapshot::Build(g, g.version()));
 }
 
 }  // namespace gpmv

@@ -8,6 +8,10 @@
 /// maximum dual relation is unique and contained in the maximum simulation
 /// relation. The paper notes all view techniques carry over; we provide the
 /// matcher so views can be materialized under dual semantics as well.
+///
+/// Implemented on the shared rank-indexed refinement engine
+/// (simulation/refinement.h) over a frozen CSR snapshot; the `Graph`
+/// overloads build a one-shot snapshot internally.
 
 #ifndef GPMV_SIMULATION_DUAL_H_
 #define GPMV_SIMULATION_DUAL_H_
@@ -16,6 +20,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "pattern/pattern.h"
 #include "simulation/match_result.h"
 
@@ -23,11 +28,15 @@ namespace gpmv {
 
 /// Computes the maximum dual-simulation node relation; all-empty signals
 /// "no match".
+Status ComputeDualSimulationRelation(const Pattern& q, const GraphSnapshot& g,
+                                     std::vector<std::vector<NodeId>>* sim);
 Status ComputeDualSimulationRelation(const Pattern& q, const Graph& g,
                                      std::vector<std::vector<NodeId>>* sim);
 
 /// Computes Q(G) under dual simulation (edge match sets are data edges whose
 /// endpoints are dual-related). Requires a plain simulation pattern.
+Result<MatchResult> MatchDualSimulation(const Pattern& q,
+                                        const GraphSnapshot& g);
 Result<MatchResult> MatchDualSimulation(const Pattern& q, const Graph& g);
 
 }  // namespace gpmv

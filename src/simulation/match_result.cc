@@ -23,14 +23,20 @@ void MatchResult::DeriveNodeMatches(const Pattern& pattern) {
     auto& su = node_matches_[u];
     if (!pattern.out_edges(u).empty()) {
       for (uint32_t e : pattern.out_edges(u)) {
+        su.reserve(su.size() + edge_matches_[e].size());
         for (const NodePair& p : edge_matches_[e]) su.push_back(p.first);
       }
     } else {
       for (uint32_t e : pattern.in_edges(u)) {
+        su.reserve(su.size() + edge_matches_[e].size());
         for (const NodePair& p : edge_matches_[e]) su.push_back(p.second);
       }
     }
-    std::sort(su.begin(), su.end());
+    // The common case — one contributing edge with canonically sorted
+    // matches — yields an already-sorted column; skip the sort then.
+    if (!std::is_sorted(su.begin(), su.end())) {
+      std::sort(su.begin(), su.end());
+    }
     su.erase(std::unique(su.begin(), su.end()), su.end());
   }
 }

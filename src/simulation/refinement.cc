@@ -1,0 +1,192 @@
+#include "simulation/refinement.h"
+
+#include <deque>
+#include <utility>
+
+#include "common/bitset.h"
+#include "simulation/bounded.h"  // ComputeCandidateSets
+
+namespace gpmv {
+
+Status BuildCandidateSpace(const Pattern& q, const GraphSnapshot& g,
+                           const std::vector<std::vector<NodeId>>* seed,
+                           CandidateSpace* space) {
+  const size_t np = q.num_nodes();
+  if (np == 0) return Status::InvalidArgument("empty pattern");
+  if (seed != nullptr && seed->size() != np) {
+    return Status::InvalidArgument("seed relation shape mismatch");
+  }
+  space->Reset(np, g.num_nodes());
+  if (seed != nullptr) {
+    // External seeds: sort defensively (Assign deduplicates too).
+    for (uint32_t u = 0; u < np; ++u) space->Assign(u, (*seed)[u]);
+    return Status::OK();
+  }
+  std::vector<std::vector<NodeId>> cand;
+  GPMV_RETURN_NOT_OK(ComputeCandidateSets(q, g, &cand));
+  for (uint32_t u = 0; u < np; ++u) {
+    // Candidate sets come out ascending and unique; rank = position.
+    space->AssignPreranked(u, std::move(cand[u]));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Fixpoint state; all per-candidate arrays are rank-indexed.
+struct RefineState {
+  std::vector<DenseBitset> alive;          // u -> rank bit
+  std::vector<uint32_t> alive_count;       // u -> |sim(u)|
+  std::vector<std::vector<uint32_t>> succ_count;  // e -> src-rank counter
+  std::vector<std::vector<uint32_t>> pred_count;  // e -> dst-rank (dual)
+  std::deque<std::pair<uint32_t, uint32_t>> removals;  // (u, rank)
+
+  void Remove(uint32_t u, uint32_t r) {
+    if (!alive[u].test(r)) return;
+    alive[u].reset(r);
+    --alive_count[u];
+    removals.emplace_back(u, r);
+  }
+};
+
+}  // namespace
+
+Status RefineSimulation(const Pattern& q, const GraphSnapshot& g,
+                        const CandidateSpace& space, bool dual,
+                        std::vector<std::vector<NodeId>>* sim) {
+  const size_t np = q.num_nodes();
+  const size_t ne = q.num_edges();
+  if (np == 0) return Status::InvalidArgument("empty pattern");
+  sim->assign(np, {});
+
+  for (uint32_t u = 0; u < np; ++u) {
+    if (space.size(u) == 0) return Status::OK();  // all-empty result
+  }
+
+  RefineState st;
+  st.alive.resize(np);
+  st.alive_count.resize(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    st.alive[u].Reset(space.size(u), /*value=*/true);
+    st.alive_count[u] = space.size(u);
+  }
+
+  // Initial support counters: every candidate of every pattern node is
+  // alive, so succ_count[e][r] = |post(cand(src)[r]) ∩ cand(dst)| — one CSR
+  // row walk per (edge, candidate).
+  st.succ_count.resize(ne);
+  if (dual) st.pred_count.resize(ne);
+  for (uint32_t e = 0; e < ne; ++e) {
+    const uint32_t u = q.edge(e).src;
+    const uint32_t u2 = q.edge(e).dst;
+    std::vector<uint32_t>& sc = st.succ_count[e];
+    sc.assign(space.size(u), 0);
+    for (uint32_t r = 0; r < space.size(u); ++r) {
+      for (NodeId w : g.out_neighbors(space.node(u, r))) {
+        if (space.rank(u2, w) != CandidateSpace::kNoRank) ++sc[r];
+      }
+    }
+    if (dual) {
+      std::vector<uint32_t>& pc = st.pred_count[e];
+      pc.assign(space.size(u2), 0);
+      for (uint32_t r2 = 0; r2 < space.size(u2); ++r2) {
+        for (NodeId v : g.in_neighbors(space.node(u2, r2))) {
+          if (space.rank(u, v) != CandidateSpace::kNoRank) ++pc[r2];
+        }
+      }
+    }
+  }
+
+  // Queue initially violating candidates.
+  for (uint32_t e = 0; e < ne; ++e) {
+    const uint32_t u = q.edge(e).src;
+    const uint32_t u2 = q.edge(e).dst;
+    for (uint32_t r = 0; r < space.size(u); ++r) {
+      if (st.succ_count[e][r] == 0) st.Remove(u, r);
+    }
+    if (dual) {
+      for (uint32_t r2 = 0; r2 < space.size(u2); ++r2) {
+        if (st.pred_count[e][r2] == 0) st.Remove(u2, r2);
+      }
+    }
+  }
+
+  // Propagate removals to the fixpoint.
+  while (!st.removals.empty()) {
+    auto [u2, r2] = st.removals.front();
+    st.removals.pop_front();
+    if (st.alive_count[u2] == 0) return Status::OK();
+    const NodeId w = space.node(u2, r2);
+    // Child condition: w left sim(u2), so for every pattern edge
+    // e = (u, u2), every candidate predecessor of w loses one supporter.
+    for (uint32_t e : q.in_edges(u2)) {
+      const uint32_t u = q.edge(e).src;
+      std::vector<uint32_t>& sc = st.succ_count[e];
+      for (NodeId v : g.in_neighbors(w)) {
+        const uint32_t r = space.rank(u, v);
+        if (r == CandidateSpace::kNoRank) continue;
+        if (--sc[r] == 0 && st.alive[u].test(r)) st.Remove(u, r);
+      }
+    }
+    if (dual) {
+      // Parent condition: for every pattern edge e = (u2, u3), every
+      // candidate successor of w loses one supporting predecessor.
+      for (uint32_t e : q.out_edges(u2)) {
+        const uint32_t u3 = q.edge(e).dst;
+        std::vector<uint32_t>& pc = st.pred_count[e];
+        for (NodeId x : g.out_neighbors(w)) {
+          const uint32_t r3 = space.rank(u3, x);
+          if (r3 == CandidateSpace::kNoRank) continue;
+          if (--pc[r3] == 0 && st.alive[u3].test(r3)) st.Remove(u3, r3);
+        }
+      }
+    }
+  }
+  for (uint32_t u = 0; u < np; ++u) {
+    if (st.alive_count[u] == 0) return Status::OK();
+  }
+
+  // Extract: candidates are rank-ordered ascending, so each sim set comes
+  // out sorted.
+  for (uint32_t u = 0; u < np; ++u) {
+    std::vector<NodeId>& su = (*sim)[u];
+    su.reserve(st.alive_count[u]);
+    for (uint32_t r = 0; r < space.size(u); ++r) {
+      if (st.alive[u].test(r)) su.push_back(space.node(u, r));
+    }
+  }
+  return Status::OK();
+}
+
+Result<MatchResult> ExtractSimulationMatches(
+    const Pattern& q, const GraphSnapshot& g,
+    const std::vector<std::vector<NodeId>>& sim) {
+  MatchResult result = MatchResult::Empty(q);
+  bool all_nonempty = !sim.empty();
+  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
+  if (!all_nonempty) return result;
+
+  // Membership is one bit per graph node per pattern node.
+  std::vector<DenseBitset> in_sim(q.num_nodes());
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    in_sim[u].Reset(g.num_nodes());
+    for (NodeId v : sim[u]) in_sim[u].set(v);
+  }
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    const PatternEdge& pe = q.edge(e);
+    auto* se = result.mutable_edge_matches(e);
+    for (NodeId v : sim[pe.src]) {
+      for (NodeId w : g.out_neighbors(v)) {
+        if (in_sim[pe.dst].test(w)) se->emplace_back(v, w);
+      }
+    }
+    // Maximality of the relation guarantees non-emptiness, but guard anyway.
+    if (se->empty()) return MatchResult::Empty(q);
+  }
+  result.set_matched(true);
+  result.Normalize();
+  result.DeriveNodeMatches(q);
+  return result;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,72 @@
+/// \file refinement.h
+/// \brief The shared rank-indexed refinement fixpoint behind plain and dual
+/// simulation.
+///
+/// Both simulation flavors compute the unique maximum relation by deleting
+/// violating (pattern node, candidate) pairs until stable:
+///
+///  * plain simulation — (u, v) needs, for every pattern edge (u, u'), a
+///    data successor of v alive in sim(u') (child condition);
+///  * dual simulation — additionally, for every pattern edge (u'', u), a
+///    data predecessor of v alive in sim(u'') (parent condition).
+///
+/// The pre-refactor engines kept membership bitmaps and support counters in
+/// O(|Q|·|V|) arrays zero-filled per call. This engine keys all state by
+/// *candidate rank* (candidate_space.h) over a frozen CSR snapshot:
+///
+///  * alive(u) — one bit per rank of cand(u);
+///  * per pattern edge e = (u, u'): succ_count[e][r] = |post(cand(u)[r]) ∩
+///    sim(u')|, and under dual semantics pred_count[e][r'] =
+///    |pre(cand(u')[r']) ∩ sim(u)|;
+///  * a worklist of (pattern node, rank) removals; a removal walks the
+///    CSR in-(out-)row of the removed node once, decrementing counters of
+///    affected candidate ranks — counters hitting zero queue further
+///    removals (Henzinger-Henzinger-Kopke style, restricted to candidates).
+///
+/// Counter and worklist work is proportional to Σ_e Σ_{v ∈ cand} deg(v)
+/// rather than |Q|·|E|, and every counter access is an O(1) array index.
+/// One O(|Q|·|V|) cost remains: filling the candidate space's dense
+/// node->rank inverse (one |V|-sized array per pattern node, same order as
+/// the pre-refactor membership bitmaps). An epoch-stamped reusable inverse
+/// (see RankScratch in core/match_join.cc) could remove it if this path
+/// ever serves huge graphs with sparse candidates.
+
+#ifndef GPMV_SIMULATION_REFINEMENT_H_
+#define GPMV_SIMULATION_REFINEMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/snapshot.h"
+#include "pattern/pattern.h"
+#include "simulation/candidate_space.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// Refines `space` (the per-pattern-node candidate sets) to the maximum
+/// (dual-)simulation relation of `q` over `g` and writes it to `sim`
+/// (sorted per pattern node; all sets empty signals "no match"). The
+/// pattern's edge bounds are ignored — callers restrict to unit-bound
+/// patterns (bounded simulation has its own BFS-based fixpoint).
+Status RefineSimulation(const Pattern& q, const GraphSnapshot& g,
+                        const CandidateSpace& space, bool dual,
+                        std::vector<std::vector<NodeId>>* sim);
+
+/// Builds the label/predicate candidate space for `q` over `g`
+/// (ComputeCandidateSets, rank-assigned). When `seed` is non-null its sets
+/// are used verbatim instead.
+Status BuildCandidateSpace(const Pattern& q, const GraphSnapshot& g,
+                           const std::vector<std::vector<NodeId>>* seed,
+                           CandidateSpace* space);
+
+/// Edge-match extraction shared by plain and dual simulation: pairs (v, w)
+/// with v ∈ sim(src), (v, w) ∈ E and w ∈ sim(dst), normalized, with node
+/// matches derived. All-empty `sim` yields an unmatched result.
+Result<MatchResult> ExtractSimulationMatches(
+    const Pattern& q, const GraphSnapshot& g,
+    const std::vector<std::vector<NodeId>>& sim);
+
+}  // namespace gpmv
+
+#endif  // GPMV_SIMULATION_REFINEMENT_H_

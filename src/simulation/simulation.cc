@@ -1,173 +1,33 @@
 #include "simulation/simulation.h"
 
-#include <algorithm>
-#include <deque>
+#include "simulation/refinement.h"
 
 namespace gpmv {
 
-namespace {
-
-/// Shared state of the refinement.
-struct SimState {
-  const Pattern& q;
-  const Graph& g;
-  // in_sim[u][v] — is (u, v) currently in the relation?
-  std::vector<std::vector<char>> in_sim;
-  // succ_count[u][v] — |post(v) ∩ sim(u)|.
-  std::vector<std::vector<uint32_t>> succ_count;
-  // sim_size[u] — current |sim(u)|.
-  std::vector<size_t> sim_size;
-  // Pattern predecessors per pattern node (dedup'd).
-  std::vector<std::vector<uint32_t>> pattern_preds;
-  std::deque<std::pair<uint32_t, NodeId>> removals;
-
-  SimState(const Pattern& q_in, const Graph& g_in) : q(q_in), g(g_in) {}
-};
-
-/// Seeds sim(u) with the label/predicate candidates, or from `seed` when
-/// provided.
-bool SeedCandidates(SimState* st,
-                    const std::vector<std::vector<NodeId>>* seed) {
-  const Pattern& q = st->q;
-  const Graph& g = st->g;
-  const size_t np = q.num_nodes();
-  const size_t n = g.num_nodes();
-  st->in_sim.assign(np, std::vector<char>(n, 0));
-  st->sim_size.assign(np, 0);
-  if (seed != nullptr) {
-    for (uint32_t u = 0; u < np; ++u) {
-      for (NodeId v : (*seed)[u]) {
-        if (!st->in_sim[u][v]) {
-          st->in_sim[u][v] = 1;
-          ++st->sim_size[u];
-        }
-      }
-      if (st->sim_size[u] == 0) return false;
-    }
-    return true;
-  }
-  for (uint32_t u = 0; u < np; ++u) {
-    const PatternNode& pn = q.node(u);
-    LabelId lid = pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
-    if (!pn.label.empty()) {
-      if (lid == kInvalidLabel) return false;  // label absent from G
-      for (NodeId v : g.NodesWithLabel(lid)) {
-        if (pn.MatchesData(g, v, lid)) {
-          st->in_sim[u][v] = 1;
-          ++st->sim_size[u];
-        }
-      }
-    } else {
-      for (NodeId v = 0; v < n; ++v) {
-        if (pn.MatchesData(g, v, lid)) {
-          st->in_sim[u][v] = 1;
-          ++st->sim_size[u];
-        }
-      }
-    }
-    if (st->sim_size[u] == 0) return false;
-  }
-  return true;
+Status ComputeSimulationRelation(const Pattern& qs, const GraphSnapshot& g,
+                                 std::vector<std::vector<NodeId>>* sim,
+                                 const std::vector<std::vector<NodeId>>* seed) {
+  CandidateSpace space;
+  GPMV_RETURN_NOT_OK(BuildCandidateSpace(qs, g, seed, &space));
+  return RefineSimulation(qs, g, space, /*dual=*/false, sim);
 }
-
-/// Builds succ_count and queues initially-invalid pairs.
-void InitCounters(SimState* st) {
-  const Pattern& q = st->q;
-  const Graph& g = st->g;
-  const size_t np = q.num_nodes();
-  const size_t n = g.num_nodes();
-
-  st->succ_count.assign(np, std::vector<uint32_t>(n, 0));
-  for (uint32_t u = 0; u < np; ++u) {
-    for (NodeId w = 0; w < n; ++w) {
-      if (!st->in_sim[u][w]) continue;
-      for (NodeId v : g.in_neighbors(w)) ++st->succ_count[u][v];
-    }
-  }
-
-  st->pattern_preds.assign(np, {});
-  for (uint32_t u = 0; u < np; ++u) {
-    for (uint32_t e : q.in_edges(u)) {
-      st->pattern_preds[u].push_back(q.edge(e).src);
-    }
-    auto& ps = st->pattern_preds[u];
-    std::sort(ps.begin(), ps.end());
-    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
-  }
-
-  // A pair (u, v) is invalid when some pattern edge (u, u') has no
-  // supporting data successor: succ_count[u'][v] == 0.
-  for (uint32_t u = 0; u < np; ++u) {
-    for (uint32_t e : q.out_edges(u)) {
-      uint32_t u2 = q.edge(e).dst;
-      for (NodeId v = 0; v < n; ++v) {
-        if (st->in_sim[u][v] && st->succ_count[u2][v] == 0) {
-          st->in_sim[u][v] = 0;
-          --st->sim_size[u];
-          st->removals.emplace_back(u, v);
-        }
-      }
-    }
-  }
-}
-
-/// Propagates queued removals to a fixpoint. Returns false if some sim set
-/// drained completely.
-bool Refine(SimState* st) {
-  const Pattern& q = st->q;
-  const Graph& g = st->g;
-  while (!st->removals.empty()) {
-    auto [u2, w] = st->removals.front();
-    st->removals.pop_front();
-    if (st->sim_size[u2] == 0) return false;
-    // (u2, w) left the relation: successors counters of w's predecessors
-    // w.r.t. pattern node u2 drop by one.
-    for (NodeId v : g.in_neighbors(w)) {
-      if (--st->succ_count[u2][v] != 0) continue;
-      // v no longer has any successor matching u2: every pattern node u
-      // with an edge u -> u2 loses v.
-      for (uint32_t u : st->pattern_preds[u2]) {
-        if (st->in_sim[u][v]) {
-          st->in_sim[u][v] = 0;
-          --st->sim_size[u];
-          if (st->sim_size[u] == 0) return false;
-          st->removals.emplace_back(u, v);
-        }
-      }
-    }
-  }
-  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
-    if (st->sim_size[u] == 0) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 Status ComputeSimulationRelation(const Pattern& qs, const Graph& g,
                                  std::vector<std::vector<NodeId>>* sim,
                                  const std::vector<std::vector<NodeId>>* seed) {
-  if (qs.num_nodes() == 0) {
-    return Status::InvalidArgument("empty pattern");
-  }
-  if (seed != nullptr && seed->size() != qs.num_nodes()) {
-    return Status::InvalidArgument("seed relation shape mismatch");
-  }
-  sim->assign(qs.num_nodes(), {});
+  return ComputeSimulationRelation(qs, *GraphSnapshot::Build(g, g.version()),
+                                   sim, seed);
+}
 
-  SimState st(qs, g);
-  if (!SeedCandidates(&st, seed)) return Status::OK();  // all-empty result
-  InitCounters(&st);
-  if (!Refine(&st)) return Status::OK();
-
-  for (uint32_t u = 0; u < qs.num_nodes(); ++u) {
-    auto& su = (*sim)[u];
-    su.reserve(st.sim_size[u]);
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (st.in_sim[u][v]) su.push_back(v);
-    }
+Result<MatchResult> MatchSimulation(const Pattern& qs,
+                                    const GraphSnapshot& g) {
+  if (!qs.IsSimulationPattern()) {
+    return Status::InvalidArgument(
+        "pattern has non-unit bounds; use MatchBoundedSimulation");
   }
-  return Status::OK();
+  std::vector<std::vector<NodeId>> sim;
+  GPMV_RETURN_NOT_OK(ComputeSimulationRelation(qs, g, &sim));
+  return ExtractSimulationMatches(qs, g, sim);
 }
 
 Result<MatchResult> MatchSimulation(const Pattern& qs, const Graph& g) {
@@ -175,35 +35,7 @@ Result<MatchResult> MatchSimulation(const Pattern& qs, const Graph& g) {
     return Status::InvalidArgument(
         "pattern has non-unit bounds; use MatchBoundedSimulation");
   }
-  std::vector<std::vector<NodeId>> sim;
-  GPMV_RETURN_NOT_OK(ComputeSimulationRelation(qs, g, &sim));
-
-  MatchResult result = MatchResult::Empty(qs);
-  bool all_nonempty = !sim.empty();
-  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
-  if (!all_nonempty) return result;
-
-  // Membership bitmap per pattern node for O(1) edge-extraction checks.
-  std::vector<std::vector<char>> in_sim(qs.num_nodes(),
-                                        std::vector<char>(g.num_nodes(), 0));
-  for (uint32_t u = 0; u < qs.num_nodes(); ++u) {
-    for (NodeId v : sim[u]) in_sim[u][v] = 1;
-  }
-  for (uint32_t e = 0; e < qs.num_edges(); ++e) {
-    const PatternEdge& pe = qs.edge(e);
-    auto* se = result.mutable_edge_matches(e);
-    for (NodeId v : sim[pe.src]) {
-      for (NodeId w : g.out_neighbors(v)) {
-        if (in_sim[pe.dst][w]) se->emplace_back(v, w);
-      }
-    }
-    // Maximality of the relation guarantees non-emptiness, but guard anyway.
-    if (se->empty()) return MatchResult::Empty(qs);
-  }
-  result.set_matched(true);
-  result.Normalize();
-  result.DeriveNodeMatches(qs);
-  return result;
+  return MatchSimulation(qs, *GraphSnapshot::Build(g, g.version()));
 }
 
 }  // namespace gpmv

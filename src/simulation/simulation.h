@@ -8,17 +8,18 @@
 /// (u', v') ∈ S. There is a unique maximum such S; Qs(G) is derived from it.
 ///
 /// The implementation is the counter-based refinement in the spirit of
-/// Henzinger-Henzinger-Kopke [21]: candidate sets seeded from the label
-/// index, a per-(pattern node, data node) successor counter, and a worklist
-/// of removals, giving O(|Vp||E| + |Vp||V|) time after candidate
-/// enumeration. This is the algorithm MatchJoin is compared against in
-/// Fig. 8(a)-(e).
+/// Henzinger-Henzinger-Kopke [21], run over a frozen CSR snapshot with all
+/// state keyed by dense candidate ranks (simulation/refinement.h). Every
+/// entry point takes either a `GraphSnapshot` (the fast path — freeze once,
+/// query many times, as the engine does) or a `Graph` (convenience: builds
+/// a one-shot snapshot internally).
 
 #ifndef GPMV_SIMULATION_SIMULATION_H_
 #define GPMV_SIMULATION_SIMULATION_H_
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "pattern/pattern.h"
 #include "simulation/match_result.h"
 
@@ -28,6 +29,7 @@ namespace gpmv {
 ///
 /// Fails with InvalidArgument when `qs` has a non-unit edge bound (use
 /// MatchBoundedSimulation) or is empty.
+Result<MatchResult> MatchSimulation(const Pattern& qs, const GraphSnapshot& g);
 Result<MatchResult> MatchSimulation(const Pattern& qs, const Graph& g);
 
 /// Computes only the maximum node relation sim(u) per pattern node (no edge
@@ -39,9 +41,13 @@ Result<MatchResult> MatchSimulation(const Pattern& qs, const Graph& g);
 /// initial candidate sets. Seeding with a superset of the maximum relation
 /// (e.g. the relation before an edge deletion) yields the exact maximum
 /// relation — the basis of decremental view maintenance.
-Status ComputeSimulationRelation(const Pattern& qs, const Graph& g,
-                                 std::vector<std::vector<NodeId>>* sim,
-                                 const std::vector<std::vector<NodeId>>* seed = nullptr);
+Status ComputeSimulationRelation(
+    const Pattern& qs, const GraphSnapshot& g,
+    std::vector<std::vector<NodeId>>* sim,
+    const std::vector<std::vector<NodeId>>* seed = nullptr);
+Status ComputeSimulationRelation(
+    const Pattern& qs, const Graph& g, std::vector<std::vector<NodeId>>* sim,
+    const std::vector<std::vector<NodeId>>* seed = nullptr);
 
 }  // namespace gpmv
 

@@ -1,7 +1,6 @@
 #include "simulation/strong.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "simulation/dual.h"
 
@@ -39,51 +38,63 @@ uint64_t StrongSimulationRadius(const Pattern& q) {
 
 namespace {
 
-/// Undirected bounded BFS collecting the ball around `center`.
-std::vector<NodeId> CollectBall(const Graph& g, NodeId center,
-                                uint64_t radius) {
+/// Reusable per-ball scratch: O(|V|) arrays cleared via the touched lists
+/// rather than refilled, so scanning many candidate centers stays linear in
+/// the balls actually visited.
+struct BallScratch {
+  std::vector<uint64_t> dist;      // kInfDistance = unseen
+  std::vector<NodeId> local_of;    // global -> local id; kInvalidNode = absent
+
+  explicit BallScratch(size_t n)
+      : dist(n, kInfDistance), local_of(n, kInvalidNode) {}
+};
+
+/// Undirected bounded BFS collecting the ball around `center` (sorted).
+std::vector<NodeId> CollectBall(const GraphSnapshot& g, NodeId center,
+                                uint64_t radius, BallScratch* scratch) {
   std::vector<NodeId> ball;
   if (radius == kInfDistance) {
     ball.resize(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) ball[v] = v;
     return ball;
   }
-  std::unordered_map<NodeId, uint64_t> dist;
   std::vector<NodeId> queue{center};
-  dist[center] = 0;
+  scratch->dist[center] = 0;
   size_t head = 0;
   while (head < queue.size()) {
     NodeId v = queue[head++];
-    uint64_t d = dist[v];
+    uint64_t d = scratch->dist[v];
     if (d >= radius) continue;
     auto visit = [&](NodeId w) {
-      if (dist.emplace(w, d + 1).second) queue.push_back(w);
+      if (scratch->dist[w] == kInfDistance) {
+        scratch->dist[w] = d + 1;
+        queue.push_back(w);
+      }
     };
     for (NodeId w : g.out_neighbors(v)) visit(w);
     for (NodeId w : g.in_neighbors(v)) visit(w);
   }
+  for (NodeId v : queue) scratch->dist[v] = kInfDistance;  // reset touched
   ball = std::move(queue);
   std::sort(ball.begin(), ball.end());
   return ball;
 }
 
-/// Builds the subgraph of `g` induced by sorted `nodes`; `local_of` maps
-/// global -> local ids.
-Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
-                      std::unordered_map<NodeId, NodeId>* local_of) {
+/// Builds the subgraph of `g` induced by sorted `nodes`, filling
+/// scratch->local_of for the mapping (caller resets the touched entries).
+Graph InducedSubgraph(const GraphSnapshot& g, const std::vector<NodeId>& nodes,
+                      BallScratch* scratch) {
   Graph sub;
-  local_of->clear();
   for (NodeId v : nodes) {
     std::vector<std::string> labels;
     labels.reserve(g.labels(v).size());
     for (LabelId l : g.labels(v)) labels.push_back(g.LabelName(l));
-    (*local_of)[v] = sub.AddNode(labels, g.attrs(v));
+    scratch->local_of[v] = sub.AddNode(labels, g.attrs(v));
   }
   for (NodeId v : nodes) {
     for (NodeId w : g.out_neighbors(v)) {
-      auto it = local_of->find(w);
-      if (it != local_of->end()) {
-        sub.AddEdgeIfAbsent(local_of->at(v), it->second);
+      if (scratch->local_of[w] != kInvalidNode) {
+        sub.AddEdgeIfAbsent(scratch->local_of[v], scratch->local_of[w]);
       }
     }
   }
@@ -93,7 +104,7 @@ Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
 }  // namespace
 
 Result<std::vector<StrongMatch>> MatchStrongSimulation(const Pattern& q,
-                                                       const Graph& g,
+                                                       const GraphSnapshot& g,
                                                        size_t max_matches) {
   if (q.num_nodes() == 0) return Status::InvalidArgument("empty pattern");
   std::vector<StrongMatch> matches;
@@ -116,20 +127,22 @@ Result<std::vector<StrongMatch>> MatchStrongSimulation(const Pattern& q,
     }
   }
 
-  std::unordered_map<NodeId, NodeId> local_of;
+  BallScratch scratch(g.num_nodes());
   for (NodeId w = 0; w < g.num_nodes() && matches.size() < max_matches; ++w) {
     if (!is_candidate[w]) continue;
-    std::vector<NodeId> ball = CollectBall(g, w, radius);
-    Graph sub = InducedSubgraph(g, ball, &local_of);
+    std::vector<NodeId> ball = CollectBall(g, w, radius, &scratch);
+    Graph sub = InducedSubgraph(g, ball, &scratch);
 
     std::vector<std::vector<NodeId>> sim;
-    GPMV_RETURN_NOT_OK(ComputeDualSimulationRelation(q, sub, &sim));
+    Status st = ComputeDualSimulationRelation(q, *sub.Freeze(), &sim);
+    NodeId local_center = scratch.local_of[w];
+    for (NodeId v : ball) scratch.local_of[v] = kInvalidNode;  // reset
+    GPMV_RETURN_NOT_OK(st);
     bool nonempty = !sim.empty();
     for (const auto& su : sim) nonempty = nonempty && !su.empty();
     if (!nonempty) continue;
 
     // The center must appear in the relation.
-    NodeId local_center = local_of.at(w);
     bool center_matched = false;
     for (const auto& su : sim) {
       if (std::binary_search(su.begin(), su.end(), local_center)) {
@@ -149,6 +162,13 @@ Result<std::vector<StrongMatch>> MatchStrongSimulation(const Pattern& q,
     matches.push_back(std::move(m));
   }
   return matches;
+}
+
+Result<std::vector<StrongMatch>> MatchStrongSimulation(const Pattern& q,
+                                                       const Graph& g,
+                                                       size_t max_matches) {
+  return MatchStrongSimulation(q, *GraphSnapshot::Build(g, g.version()),
+                               max_matches);
 }
 
 }  // namespace gpmv

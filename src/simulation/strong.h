@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "pattern/pattern.h"
 
 namespace gpmv {
@@ -34,7 +35,11 @@ struct StrongMatch {
 
 /// Computes all strong-simulation matches (up to `max_matches`).
 /// Intended for moderate graphs; each candidate center costs a ball
-/// extraction plus a dual-simulation run.
+/// extraction plus a dual-simulation run. Ball collection and subgraph
+/// induction walk the frozen CSR snapshot; the `Graph` overload builds a
+/// one-shot snapshot internally.
+Result<std::vector<StrongMatch>> MatchStrongSimulation(
+    const Pattern& q, const GraphSnapshot& g, size_t max_matches = SIZE_MAX);
 Result<std::vector<StrongMatch>> MatchStrongSimulation(
     const Pattern& q, const Graph& g, size_t max_matches = SIZE_MAX);
 

@@ -1,0 +1,63 @@
+/// Unit tests of the dense candidate-rank mapping the matching fixpoints
+/// key their state by.
+
+#include "simulation/candidate_space.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpmv {
+namespace {
+
+TEST(CandidateSpaceTest, RanksAreDenseAndSorted) {
+  CandidateSpace space;
+  space.Reset(2, 100);
+  space.Assign(0, {30, 5, 77, 5, 30});  // unsorted with duplicates
+  space.Assign(1, {2});
+
+  ASSERT_EQ(space.size(0), 3u);
+  ASSERT_EQ(space.size(1), 1u);
+  EXPECT_EQ(space.total_ranks(), 4u);
+  EXPECT_EQ(space.nodes(0), (std::vector<NodeId>{5, 30, 77}));
+
+  for (uint32_t r = 0; r < space.size(0); ++r) {
+    EXPECT_EQ(space.rank(0, space.node(0, r)), r);  // round-trip
+  }
+  EXPECT_EQ(space.rank(0, 6), CandidateSpace::kNoRank);
+  EXPECT_EQ(space.rank(1, 5), CandidateSpace::kNoRank);  // per-node spaces
+  EXPECT_EQ(space.rank(1, 2), 0u);
+}
+
+TEST(CandidateSpaceTest, ReassignDropsOldRanks) {
+  CandidateSpace space;
+  space.Reset(1, 50);
+  space.Assign(0, {10, 20, 30});
+  space.Assign(0, {20, 40});
+  EXPECT_EQ(space.rank(0, 10), CandidateSpace::kNoRank);
+  EXPECT_EQ(space.rank(0, 30), CandidateSpace::kNoRank);
+  EXPECT_EQ(space.rank(0, 20), 0u);
+  EXPECT_EQ(space.rank(0, 40), 1u);
+  EXPECT_EQ(space.total_ranks(), 2u);
+}
+
+TEST(CandidateSpaceTest, ResetClearsEverything) {
+  CandidateSpace space;
+  space.Reset(1, 10);
+  space.Assign(0, {1, 2});
+  space.Reset(2, 10);
+  EXPECT_EQ(space.total_ranks(), 0u);
+  EXPECT_EQ(space.size(0), 0u);
+  EXPECT_EQ(space.rank(0, 1), CandidateSpace::kNoRank);
+}
+
+TEST(CandidateSpaceTest, EmptyAssignmentIsFine) {
+  CandidateSpace space;
+  space.Reset(1, 10);
+  space.Assign(0, {});
+  EXPECT_EQ(space.size(0), 0u);
+  EXPECT_EQ(space.total_ranks(), 0u);
+}
+
+}  // namespace
+}  // namespace gpmv

@@ -102,12 +102,8 @@ TEST(EngineConcurrencyTest, ParallelSubmitNoLostResults) {
         << "query " << i << " diverged from direct evaluation";
   }
 
-  // A future resolves inside the task body, a hair before the worker bumps
-  // the executed counter — give the counter a bounded moment to settle.
-  for (int spin = 0; spin < 1000; ++spin) {
-    if (engine.stats().pool.executed == static_cast<size_t>(kQueries)) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  // The pool counts a task as executed before its body runs, so once every
+  // future has resolved the counter is deterministically settled.
   EngineStats stats = engine.stats();
   EXPECT_EQ(stats.queries, static_cast<size_t>(kQueries));
   EXPECT_EQ(stats.pool.submitted, static_cast<size_t>(kQueries));

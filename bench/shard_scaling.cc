@@ -1,0 +1,198 @@
+/// \file shard_scaling.cc
+/// \brief Sharded query fan-out scaling: the 1k-query direct workload at
+/// K = 1/2/4/8 shards.
+///
+/// Every configuration answers the same plain-pattern query stream on the
+/// same graph with *no registered views*, so each query is a direct
+/// (simulation) evaluation — the plan the sharded engine fans out across
+/// per-shard CSR slices. Queries are issued one at a time from the driver
+/// thread: the measured speedup is intra-query shard parallelism, not
+/// inter-query pool parallelism (engine_throughput covers that axis).
+/// K = 1 disables sharding entirely and is the unsharded baseline.
+///
+///   ./build/bench/shard_scaling [queries] [--min-speedup X] [--hash]
+///
+/// Per K the report shows queries/sec, speedup vs K = 1, the merge-round /
+/// broadcast counters of the sharded fixpoint, and the slice/replica
+/// footprint. Matched-query and result-pair counts must agree across every
+/// K (the engine paths are bit-identical; the process exits non-zero
+/// otherwise). With --min-speedup the process also exits non-zero when the
+/// K = 4 speedup misses the gate — the CI smoke (gate only on hardware
+/// with >= 4 usable cores; on fewer cores the fan-out is time-sliced and
+/// the speedup is bounded by 1).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "engine/query_engine.h"
+#include "workload/graph_gen.h"
+#include "workload/pattern_gen.h"
+
+using namespace gpmv;
+
+namespace {
+
+struct PassResult {
+  double seconds = 0.0;
+  size_t matched = 0;
+  size_t total_pairs = 0;
+  size_t sharded = 0;
+  EngineStats stats;
+  size_t slice_bytes = 0;
+  size_t replicas = 0;
+};
+
+PassResult RunConfig(const Graph& graph, const std::vector<Pattern>& patterns,
+                     size_t num_queries, uint32_t shards,
+                     ShardingOptions::Partition partition) {
+  EngineOptions opts;
+  opts.pool.num_threads = 1;  // driver issues queries sequentially anyway
+  opts.sharding.num_shards = shards;
+  opts.sharding.partition = partition;
+  QueryEngine engine(graph, opts);
+
+  PassResult out;
+  if (auto ss = engine.sharded_snapshot()) {
+    out.slice_bytes = ss->ApproxBytes();
+    out.replicas = ss->total_replicas();
+  }
+  Stopwatch wall;
+  for (size_t i = 0; i < num_queries; ++i) {
+    QueryResponse resp = engine.Query(patterns[i % patterns.size()]);
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   resp.status.ToString().c_str());
+      std::exit(1);
+    }
+    if (resp.result.matched()) {
+      ++out.matched;
+      out.total_pairs += resp.result.TotalMatches();
+    }
+    if (resp.sharded) ++out.sharded;
+  }
+  out.seconds = wall.ElapsedSeconds();
+  out.stats = engine.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_queries = 1000;
+  double min_speedup = 0.0;
+  ShardingOptions::Partition partition = ShardingOptions::Partition::kRange;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-speedup") == 0) {
+      char* end = nullptr;
+      if (i + 1 >= argc || (min_speedup = std::strtod(argv[++i], &end),
+                            end == argv[i] || *end != '\0')) {
+        std::fprintf(stderr, "--min-speedup requires a numeric value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--hash") == 0) {
+      partition = ShardingOptions::Partition::kHash;
+    } else {
+      char* end = nullptr;
+      unsigned long long value = std::strtoull(argv[i], &end, 10);
+      if (argv[i][0] == '-' || end == argv[i] || *end != '\0' ||
+          positional >= 1) {
+        std::fprintf(stderr,
+                     "usage: shard_scaling [queries] [--min-speedup X] "
+                     "[--hash]\n");
+        return 2;
+      }
+      num_queries = value;
+      ++positional;
+    }
+  }
+
+  // Same graph family as engine_throughput; all-plain patterns so every
+  // query is fan-out eligible (bounded BFS does not shard).
+  RandomGraphOptions go;
+  go.num_nodes = 40000;
+  go.num_edges = 120000;
+  go.num_labels = 12;
+  go.seed = 2026;
+  Graph graph = GenerateRandomGraph(go);
+
+  std::vector<Pattern> patterns;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomPatternOptions po;
+    po.num_nodes = 3 + seed % 2;
+    po.num_edges = po.num_nodes - 1 + seed % 2;
+    po.label_pool = SyntheticLabels(go.num_labels);
+    po.dag_only = true;
+    po.max_bound = 1;
+    po.seed = seed;
+    patterns.push_back(GenerateRandomPattern(po));
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("graph: %zu nodes, %zu edges, %zu labels; workload: %zu "
+              "sequential queries over %zu plain patterns; partition=%s; "
+              "hardware threads: %u\n\n",
+              graph.num_nodes(), graph.num_edges(), go.num_labels,
+              num_queries, patterns.size(),
+              partition == ShardingOptions::Partition::kRange ? "range"
+                                                              : "hash",
+              hw);
+  if (hw < 4) {
+    std::printf("note: <4 usable cores — shard tasks are time-sliced and "
+                "speedups are bounded by the core count\n\n");
+  }
+
+  const uint32_t configs[] = {1, 2, 4, 8};
+  std::vector<PassResult> results;
+  for (uint32_t k : configs) {
+    results.push_back(
+        RunConfig(graph, patterns, num_queries, k, partition));
+  }
+
+  const double base_qps = static_cast<double>(num_queries) /
+                          std::max(results[0].seconds, 1e-9);
+  double k4_speedup = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PassResult& r = results[i];
+    const double qps =
+        static_cast<double>(num_queries) / std::max(r.seconds, 1e-9);
+    const double speedup = qps / std::max(base_qps, 1e-9);
+    if (configs[i] == 4) k4_speedup = speedup;
+    std::printf(
+        "K=%u: %8.2fs  %9.0f q/s  speedup=%5.2fx  sharded=%zu/%zu  "
+        "rounds=%zu  messages=%zu  removals=%zu\n",
+        configs[i], r.seconds, qps, speedup, r.sharded,
+        r.stats.queries, r.stats.shard.rounds, r.stats.shard.messages,
+        r.stats.shard.removals);
+    if (configs[i] > 1) {
+      std::printf(
+          "      slices: %zu bytes, %zu boundary replicas; plans: "
+          "direct=%zu partial=%zu fallbacks=%zu\n",
+          r.slice_bytes, r.replicas, r.stats.plans_direct,
+          r.stats.plans_partial, r.stats.shard_fallbacks);
+    }
+    if (r.matched != results[0].matched ||
+        r.total_pairs != results[0].total_pairs) {
+      std::fprintf(stderr,
+                   "RESULT MISMATCH at K=%u: matched=%zu pairs=%zu vs "
+                   "K=1 matched=%zu pairs=%zu\n",
+                   configs[i], r.matched, r.total_pairs, results[0].matched,
+                   results[0].total_pairs);
+      return 1;
+    }
+  }
+  std::printf("\nmatched queries: %zu/%zu, result pairs: %zu "
+              "(all configurations agree)\n",
+              results[0].matched, num_queries, results[0].total_pairs);
+
+  if (min_speedup > 0.0 && k4_speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: K=4 speedup %.2fx below required %.2fx\n",
+                 k4_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -74,6 +74,16 @@ class ThreadPool {
   ThreadPoolStats stats_;
 };
 
+/// Structured fork-join fan-out: runs every task in `tasks` and blocks until
+/// all of them finished. With a pool, tasks are submitted to it (a task the
+/// pool rejects — e.g. after Shutdown — runs inline in the caller); with
+/// `pool == nullptr`, tasks run serially in the caller. Tasks must not
+/// throw. Safe to call from a worker of a *different* pool; calling it with
+/// the pool the caller runs on can deadlock once every worker is blocked in
+/// a ParallelInvoke (the sharded query path therefore uses a dedicated
+/// fan-out pool — see query_engine.h).
+void ParallelInvoke(ThreadPool* pool, std::vector<std::function<void()>> tasks);
+
 }  // namespace gpmv
 
 #endif  // GPMV_ENGINE_EXECUTOR_H_

@@ -59,6 +59,12 @@ struct PlannerOptions {
   /// Cap on the BFS-depth factor bounded edges contribute to direct cost
   /// (`*` bounds count as the cap).
   uint32_t bounded_cost_cap = 8;
+  /// Mark graph-walking plans for sharded fan-out (set by the engine when
+  /// it runs with a ShardedSnapshot). The planner flags kDirect and
+  /// kPartialViews plans over unit-bound patterns — the plans whose cost is
+  /// the G-walk that shard slices split K ways; kMatchJoin never touches G,
+  /// and bounded BFS does not shard along edge-cuts, so those stay global.
+  bool shard_fanout = false;
 };
 
 /// The chosen plan plus everything the engine needs to execute it.
@@ -74,6 +80,10 @@ struct QueryPlan {
   std::vector<std::vector<ViewEdgeRef>> partial_lambda;
   /// Distinct views the plan reads, ascending (empty for kDirect).
   std::vector<uint32_t> views_needed;
+  /// Execute the plan's graph walk as a per-shard fan-out (see
+  /// PlannerOptions::shard_fanout). The engine still falls back to the
+  /// global snapshot when its sharded snapshot is mid-rebuild.
+  bool shard_fanout = false;
   /// Cost estimates (abstract units; comparable within one plan call).
   double est_direct_cost = 0.0;
   double est_view_cost = 0.0;

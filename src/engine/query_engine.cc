@@ -39,9 +39,26 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
       gstats_(ComputeStatistics(graph_)),
       snapshot_(graph_.Freeze()),
       cache_(opts.cache),
-      pool_(opts.pool) {}
+      pool_(opts.pool) {
+  if (opts_.sharding.num_shards > 1) {
+    // Let the planner mark fan-out-eligible plans (it cannot see the
+    // engine's sharded state otherwise).
+    opts_.planner.shard_fanout = true;
+    ThreadPoolOptions po;
+    po.num_threads = opts_.shard_pool_threads != 0
+                         ? opts_.shard_pool_threads
+                         : opts_.sharding.num_shards;
+    shard_pool_ = std::make_unique<ThreadPool>(po);
+    sharded_ =
+        ShardedSnapshot::Build(snapshot_, opts_.sharding, shard_pool_.get());
+    shard_parent_ = snapshot_;
+  }
+}
 
-QueryEngine::~QueryEngine() { pool_.Shutdown(); }
+QueryEngine::~QueryEngine() {
+  pool_.Shutdown();
+  if (shard_pool_ != nullptr) shard_pool_->Shutdown();
+}
 
 Result<uint32_t> QueryEngine::RegisterView(const std::string& name,
                                            Pattern pattern) {
@@ -81,6 +98,8 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
   RecordWorkload(q);
   QueryResponse resp;
   MatchJoinStats join_stats;
+  ShardSimStats shard_stats;
+  bool shard_fallback = false;
 
   {
     std::shared_lock<std::shared_mutex> lk(mu_);
@@ -106,6 +125,21 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
         // Every plan kind reads the same frozen snapshot: queries never walk
         // the mutable adjacency vectors, even while other workers run.
         const GraphSnapshot& snap = *snapshot_;
+        // Fan-out-marked plans run per shard when the published slice set
+        // matches the registry's version; mid-rebuild they fall back to the
+        // (already current) global snapshot rather than mixing versions.
+        std::shared_ptr<const ShardedSnapshot> ss;
+        if (plan.shard_fanout && shard_pool_ != nullptr) {
+          {
+            std::lock_guard<std::mutex> slk(sharded_mu_);
+            ss = sharded_;
+          }
+          if (ss != nullptr && ss->version() != snap.version()) {
+            ss.reset();
+            shard_fallback = true;
+          }
+        }
+        resp.sharded = ss != nullptr;
         Result<MatchResult> r = [&]() -> Result<MatchResult> {
           switch (plan.kind) {
             case PlanKind::kMatchJoin: {
@@ -117,7 +151,8 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
               return ExpandMinimized(plan.minimized, q, std::move(mr).value());
             }
             case PlanKind::kPartialViews: {
-              Result<MatchResult> mr = ExecutePartial(plan, snap);
+              Result<MatchResult> mr =
+                  ExecutePartial(plan, snap, ss.get(), &shard_stats);
               GPMV_RETURN_NOT_OK(mr.status());
               return ExpandMinimized(plan.minimized, q, std::move(mr).value());
             }
@@ -125,7 +160,11 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
               break;
           }
           Result<MatchResult> mr =
-              MatchBoundedSimulation(plan.minimized.pattern, snap);
+              ss != nullptr
+                  ? ShardedMatchSimulation(plan.minimized.pattern, *ss,
+                                           shard_pool_.get(), /*dual=*/false,
+                                           /*seed=*/nullptr, &shard_stats)
+                  : MatchBoundedSimulation(plan.minimized.pattern, snap);
           GPMV_RETURN_NOT_OK(mr.status());
           return ExpandMinimized(plan.minimized, q, std::move(mr).value());
         }();
@@ -148,6 +187,11 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
     ++counters_.queries;
     if (!resp.status.ok()) ++counters_.failed_queries;
     if (resp.warm) ++counters_.warm_queries;
+    if (resp.sharded) {
+      ++counters_.sharded_queries;
+      counters_.shard.Merge(shard_stats);
+    }
+    if (shard_fallback) ++counters_.shard_fallbacks;
     switch (resp.plan) {
       case PlanKind::kMatchJoin:
         ++counters_.plans_match_join;
@@ -210,7 +254,9 @@ Status QueryEngine::PinOrMaterialize(const std::vector<uint32_t>& needed,
 }
 
 Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan,
-                                                const GraphSnapshot& snap) {
+                                                const GraphSnapshot& snap,
+                                                const ShardedSnapshot* sharded,
+                                                ShardSimStats* shard_stats) {
   const Pattern& mq = plan.minimized.pattern;
   std::vector<std::vector<NodeId>> seed;
   GPMV_RETURN_NOT_OK(ComputeCandidateSets(mq, snap, &seed));
@@ -238,6 +284,12 @@ Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan,
                     sources.end());
       seed[u] = Intersect(seed[u], sources);
     }
+  }
+  if (sharded != nullptr) {
+    // Same seeds, same fixpoint — just partitioned by data-node ownership;
+    // the parity property tests pin the results to the unsharded path.
+    return ShardedMatchSimulation(mq, *sharded, shard_pool_.get(),
+                                  /*dual=*/false, &seed, shard_stats);
   }
   return MatchBoundedSimulation(mq, snap, /*distances=*/nullptr, &seed);
 }
@@ -272,17 +324,20 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
     }
     bool any_insert = false;
     std::vector<NodePair> deleted;
+    std::vector<NodePair> touched;
     for (const EdgeUpdate& up : batch) {
       if (up.kind == EdgeUpdate::Kind::kInsert) {
         if (graph_.AddEdgeIfAbsent(up.u, up.v)) {
           any_insert = true;
           ++inserted;
+          touched.emplace_back(up.u, up.v);
         }
       } else {
         Status st = graph_.RemoveEdge(up.u, up.v);
         if (st.ok()) {
           deleted.emplace_back(up.u, up.v);
           ++deleted_count;
+          touched.emplace_back(up.u, up.v);
         } else if (st.code() != Status::Code::kNotFound) {
           return st;
         }
@@ -293,6 +348,16 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
     // batch touched) and publish the new snapshot version to queries before
     // refreshing cached extensions from it.
     snapshot_ = graph_.Freeze();
+    if (shard_pool_ != nullptr) {
+      // Hand the endpoints and the frozen parent to the slice-rebuild
+      // phase; it runs after this exclusive section so queries are not
+      // blocked on slice re-freezing (they fall back to the global
+      // snapshot until the new ShardedSnapshot publishes).
+      std::lock_guard<std::mutex> slk(shard_pending_mu_);
+      shard_pending_.insert(shard_pending_.end(), touched.begin(),
+                            touched.end());
+      shard_parent_ = snapshot_;
+    }
     GPMV_RETURN_NOT_OK(cache_.RefreshMaterialized(
         *snapshot_, /*deletions_only=*/!any_insert, deleted));
     // Edge updates change neither node count nor label histogram, so the
@@ -306,11 +371,53 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
                   static_cast<double>(graph_.num_nodes());
     stats_dirty_ = true;
   }
+  if (shard_pool_ != nullptr) RefreshSharded();
   std::lock_guard<std::mutex> lk(agg_mu_);
   ++counters_.update_batches;
   counters_.edges_inserted += inserted;
   counters_.edges_deleted += deleted_count;
   return Status::OK();
+}
+
+void QueryEngine::RefreshSharded() {
+  std::lock_guard<std::mutex> phase(shard_rebuild_mu_);
+  std::vector<NodePair> pending;
+  std::shared_ptr<const GraphSnapshot> parent;
+  {
+    std::lock_guard<std::mutex> plk(shard_pending_mu_);
+    pending.swap(shard_pending_);
+    parent = shard_parent_;
+  }
+  std::shared_ptr<const ShardedSnapshot> base;
+  {
+    std::lock_guard<std::mutex> slk(sharded_mu_);
+    base = sharded_;
+  }
+  if (parent == nullptr || base->version() == parent->version()) {
+    return;  // a concurrent batch's phase already covered our endpoints
+  }
+  std::vector<uint32_t> affected;
+  if (parent->num_nodes() != base->parent().num_nodes()) {
+    for (uint32_t s = 0; s < base->num_shards(); ++s) affected.push_back(s);
+  } else {
+    affected = base->AffectedShards(pending);
+  }
+  // Only the affected slices rebuild (in parallel on the fan-out pool);
+  // the rest stay shared with `base` untouched.
+  std::shared_ptr<const ShardedSnapshot> next =
+      ShardedSnapshot::Rebuild(parent, *base, affected, shard_pool_.get());
+  {
+    std::lock_guard<std::mutex> slk(sharded_mu_);
+    sharded_ = next;
+  }
+  std::lock_guard<std::mutex> lk(agg_mu_);
+  counters_.slices_rebuilt += affected.size();
+  counters_.slices_reused += base->num_shards() - affected.size();
+}
+
+std::shared_ptr<const ShardedSnapshot> QueryEngine::sharded_snapshot() const {
+  std::lock_guard<std::mutex> lk(sharded_mu_);
+  return sharded_;
 }
 
 Result<size_t> QueryEngine::AdmitFromWorkload(size_t max_views) {

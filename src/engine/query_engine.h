@@ -25,14 +25,37 @@
 /// from under a running MatchJoin. A graph version counter detects the
 /// race where an update batch lands between computing a cold extension and
 /// installing it; the install is discarded and recomputed.
+///
+/// Sharded execution (EngineOptions::sharding, shard/sharded_snapshot.h):
+/// with K > 1 shards the engine additionally keeps a `ShardedSnapshot` —
+/// per-shard CSR slices of the current frozen version — and a dedicated
+/// fan-out pool. The planner marks graph-walking plans over unit-bound
+/// patterns (kDirect / kPartialViews) for fan-out, and Execute runs them as
+/// per-shard fixpoint tasks with cross-shard merge rounds (shard/
+/// shard_sim.h); results are bit-identical to the unsharded path. Slice
+/// maintenance is per-shard at the *data* granularity, not the exclusive
+/// registry lock: an update batch rebuilds only the slices owning a
+/// touched endpoint (in parallel on the fan-out pool), shares the rest
+/// with the previous ShardedSnapshot, and runs *outside* the exclusive
+/// registry section — queries keep executing against the last published
+/// slice set while the rebuild runs, and the snapshot-version consistency
+/// token makes any mid-rebuild query fall back to the (already current)
+/// global snapshot instead of mixing versions. Rebuild phases of racing
+/// batches are serialized on one rebuild mutex and coalesce through a
+/// pending-endpoint hand-off; publishing concurrent phases for disjoint
+/// shard sets would need per-slice version chains to keep the published
+/// assembly a consistent cut, and is left to the async-streaming roadmap
+/// item.
 
 #ifndef GPMV_ENGINE_QUERY_ENGINE_H_
 #define GPMV_ENGINE_QUERY_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -47,6 +70,8 @@
 #include "graph/snapshot.h"
 #include "graph/statistics.h"
 #include "pattern/pattern.h"
+#include "shard/shard_sim.h"
+#include "shard/sharded_snapshot.h"
 #include "simulation/match_result.h"
 
 namespace gpmv {
@@ -73,6 +98,13 @@ struct EngineOptions {
   PlannerOptions planner;
   /// Ring buffer of observed queries feeding AdmitFromWorkload (0 disables).
   size_t workload_history_limit = 256;
+  /// Snapshot sharding; num_shards > 1 enables per-shard query fan-out and
+  /// per-shard slice maintenance (see file comment).
+  ShardingOptions sharding;
+  /// Workers of the dedicated fan-out pool (0 = one per shard). Separate
+  /// from `pool` so a sharded query running on a query worker never waits
+  /// on its own pool for shard tasks.
+  size_t shard_pool_threads = 0;
 };
 
 /// Outcome of one query.
@@ -82,6 +114,7 @@ struct QueryResponse {
   PlanKind plan = PlanKind::kDirect;
   std::vector<uint32_t> views_used;  ///< view ids the plan read
   bool warm = false;    ///< view plan with every needed extension cached
+  bool sharded = false;  ///< executed as a per-shard fan-out
   double plan_ms = 0.0;
   double exec_ms = 0.0;
 };
@@ -94,15 +127,24 @@ struct EngineStats {
   /// iteration counts and counter saturation make warm-path perf
   /// regressions diagnosable from CI logs (engine_throughput prints them).
   MatchJoinStats join;
+  /// Sharded fan-out counters summed over every sharded query (rounds,
+  /// removals, cross-shard broadcasts); `shards` is the fan-out width.
+  ShardSimStats shard;
   size_t queries = 0;
   size_t plans_match_join = 0;
   size_t plans_partial = 0;
   size_t plans_direct = 0;
   size_t warm_queries = 0;
   size_t failed_queries = 0;
+  size_t sharded_queries = 0;  ///< queries executed as per-shard fan-outs
+  /// Plans marked for fan-out that ran on the global snapshot because the
+  /// sharded snapshot was mid-rebuild (version mismatch).
+  size_t shard_fallbacks = 0;
   size_t update_batches = 0;
   size_t edges_inserted = 0;
   size_t edges_deleted = 0;
+  size_t slices_rebuilt = 0;  ///< shard slices re-frozen by update batches
+  size_t slices_reused = 0;   ///< slices shared across an update unchanged
 };
 
 /// See file comment.
@@ -123,11 +165,17 @@ class QueryEngine {
   Status WarmViews();
 
   /// Answers `q` synchronously in the calling thread. Safe to call from any
-  /// number of threads concurrently.
+  /// number of threads concurrently, and concurrently with Submit,
+  /// ApplyUpdates, RegisterView and WarmViews: the query holds the registry
+  /// lock in shared mode and reads one frozen snapshot version end-to-end.
   QueryResponse Query(const Pattern& q);
 
   /// Answers `q` on the worker pool; blocks only when the task queue is
-  /// full. Fails if the pool is shut down.
+  /// full (backpressure) and fails only once the pool is shut down. Safe
+  /// from any thread. The returned future is satisfied by a worker; a
+  /// query observes the graph version current when its *execution* starts,
+  /// not when it was submitted — updates applied while it sat queued are
+  /// visible to it.
   Result<std::future<QueryResponse>> Submit(Pattern q);
 
   /// Applies an edge insert/delete batch to the graph, then routes every
@@ -135,6 +183,15 @@ class QueryEngine {
   /// seeded refresh for deletion-only batches, with a constant-time
   /// prescreen; re-materialization when the batch grew the graph). Unknown
   /// node ids fail the batch up front; deleting an absent edge is a no-op.
+  ///
+  /// Thread safety: callable from any thread, concurrently with queries
+  /// and other ApplyUpdates calls. The batch is atomic from a query's
+  /// perspective — the graph mutation, version bump, incremental re-freeze
+  /// and extension refresh happen under the exclusive registry lock, so
+  /// every query sees either the whole batch or none of it. In sharded
+  /// mode, only the slices owning a touched endpoint re-freeze, *after*
+  /// the exclusive section; until the new ShardedSnapshot publishes,
+  /// fan-out plans fall back to the (already updated) global snapshot.
   Status ApplyUpdates(const std::vector<EdgeUpdate>& batch);
 
   /// Workload-driven admission (view_selection.h): derives candidate views
@@ -154,6 +211,14 @@ class QueryEngine {
   size_t num_graph_nodes() const;
   size_t num_graph_edges() const;
 
+  /// Fan-out width (1 = sharding disabled).
+  uint32_t num_shards() const {
+    return std::max<uint32_t>(1, opts_.sharding.num_shards);
+  }
+  /// The last published sharded snapshot (nullptr when sharding is
+  /// disabled). May lag snapshot() by one in-flight update batch.
+  std::shared_ptr<const ShardedSnapshot> sharded_snapshot() const;
+
  private:
   QueryResponse Execute(const Pattern& q);
 
@@ -166,9 +231,21 @@ class QueryEngine {
                           std::vector<uint32_t>* pinned, bool* warm);
 
   /// kPartialViews execution: merge covering view pairs into per-node
-  /// candidate seeds, then direct evaluation restricted to them.
+  /// candidate seeds, then direct evaluation restricted to them — fanned
+  /// out per shard when `sharded` is non-null (unit-bound plans whose
+  /// sharded snapshot matches the registry version).
   Result<MatchResult> ExecutePartial(const QueryPlan& plan,
-                                     const GraphSnapshot& snap);
+                                     const GraphSnapshot& snap,
+                                     const ShardedSnapshot* sharded,
+                                     ShardSimStats* shard_stats);
+
+  /// Sharded-mode update tail: re-freezes the slices owning a touched
+  /// endpoint (in parallel on the fan-out pool) against the newest frozen
+  /// parent and publishes the assembled ShardedSnapshot. Runs *outside*
+  /// the exclusive registry section; rebuild phases serialize on
+  /// shard_rebuild_mu_ and drain shard_pending_, so racing batches
+  /// coalesce instead of clobbering.
+  void RefreshSharded();
 
   /// Maps a minimized-query result back to the original query's shape.
   static MatchResult ExpandMinimized(const MinimizedPattern& min,
@@ -201,6 +278,27 @@ class QueryEngine {
   mutable std::mutex agg_mu_;
   std::deque<Pattern> workload_;
   EngineStats counters_;
+
+  /// --- Sharded-mode state (unused when sharding.num_shards <= 1) ---
+  /// The last published consistent slice set; queries copy the pointer
+  /// under sharded_mu_ and never lock again (slices are immutable).
+  std::shared_ptr<const ShardedSnapshot> sharded_;
+  mutable std::mutex sharded_mu_;
+  /// Serializes rebuild phases so concurrent update batches compose (each
+  /// phase rebuilds against the newest frozen parent with every pending
+  /// endpoint accounted for; see the file comment on why phases are not
+  /// concurrent per shard).
+  std::mutex shard_rebuild_mu_;
+  /// Pending hand-off from the exclusive registry section to the rebuild
+  /// phase. Its own (tiny-critical-section) mutex, so an update batch
+  /// holding the registry lock never waits behind a running rebuild.
+  std::mutex shard_pending_mu_;
+  std::vector<NodePair> shard_pending_;               // guarded by shard_pending_mu_
+  std::shared_ptr<const GraphSnapshot> shard_parent_;  // guarded by shard_pending_mu_
+
+  /// Dedicated fan-out pool (see EngineOptions::shard_pool_threads);
+  /// declared before pool_ so query workers drain before it dies.
+  std::unique_ptr<ThreadPool> shard_pool_;
 
   /// Last member: destroyed (and joined) first, while the rest is alive.
   ThreadPool pool_;

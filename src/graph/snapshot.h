@@ -23,6 +23,28 @@
 /// with the previous snapshot and only rewrites adjacency — and only the
 /// rows of nodes the batch actually touched (`Graph::Freeze()` tracks the
 /// dirty rows and copies unchanged spans wholesale).
+///
+/// Freeze/refreeze + version contract (what callers may rely on):
+///
+///  * `version()` identifies the exact graph state frozen: it equals
+///    `Graph::version()` at freeze time, and two snapshots with equal
+///    versions of the same graph are interchangeable. Snapshot versions
+///    are strictly increasing along a graph's mutation history — they are
+///    the system-wide consistency token (the engine keys its view-install
+///    race detection, the sharded slices, and the planned result cache on
+///    them; see docs/ARCHITECTURE.md).
+///  * `Graph::Freeze()` is idempotent between mutations (returns the
+///    cached snapshot) and incremental across edge-only mutations (shares
+///    the node section, rebuilds only dirty adjacency rows). It must be
+///    externally serialized against mutations and itself; the engine does
+///    so under its exclusive registry lock.
+///  * Everything on a built snapshot is a const read: any number of
+///    threads may query one snapshot concurrently with no synchronization,
+///    including while `Freeze()` builds a *newer* snapshot of the same
+///    graph (the builder never mutates published snapshots).
+///  * `Rebuild` requires `prev` to describe the same node set — callers go
+///    through `Graph::Freeze()`, which proves this via
+///    `node_section_version()` before taking the incremental path.
 
 #ifndef GPMV_GRAPH_SNAPSHOT_H_
 #define GPMV_GRAPH_SNAPSHOT_H_

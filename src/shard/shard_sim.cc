@@ -1,0 +1,440 @@
+#include "shard/shard_sim.h"
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/bitset.h"
+#include "engine/executor.h"     // ParallelInvoke
+#include "simulation/bounded.h"  // ComputeCandidateSet
+#include "simulation/refinement.h"
+
+namespace gpmv {
+
+namespace {
+
+/// One owned-candidate deletion, queued for local cascading.
+struct Removal {
+  uint32_t u = 0;     ///< pattern node
+  uint32_t rank = 0;  ///< global candidate rank in cand(u)
+};
+
+/// One targeted support decrement routed to the owner of the affected
+/// candidate at a round barrier. The *origin* shard computes it while
+/// walking the removed node's full rows (the same walk that decrements its
+/// own counters), so the receiver applies it in O(1) — no replica lookup,
+/// no re-walk, and shards never scan messages that do not concern them.
+struct Decrement {
+  uint32_t er = 0;    ///< pattern edge << 1 | (1 = parent/pred condition)
+  uint32_t rank = 0;  ///< global rank of the candidate losing a supporter
+};
+
+/// Per-shard private fixpoint state. Counters and bitsets span the *global*
+/// rank domain (only owned entries are initialized/meaningful; `owned_mask`
+/// guards every local decrement), which keeps indexing uniform across range
+/// and hash partitioning at the cost of K× word storage — fine for the rank
+/// counts real queries produce.
+struct ShardState {
+  const ShardSlice* slice = nullptr;
+  std::vector<std::vector<uint32_t>> owned_ranks;  ///< u -> ascending ranks
+  std::vector<DenseBitset> owned_mask;             ///< u -> rank owned here
+  std::vector<DenseBitset> alive;  ///< u -> owned rank still in sim
+  std::vector<std::vector<uint32_t>> succ;  ///< e -> src-rank support
+  std::vector<std::vector<uint32_t>> pred;  ///< e -> dst-rank support (dual)
+  std::deque<Removal> worklist;             ///< local cascade queue
+  /// Outgoing decrements per destination shard, flushed at the barrier.
+  std::vector<std::vector<Decrement>> outbox;
+  /// Owned removals this phase, per pattern node — the barrier's
+  /// global-emptiness accounting.
+  std::vector<uint32_t> phase_removed;
+};
+
+class ShardSim {
+ public:
+  ShardSim(const Pattern& q, const ShardedSnapshot& ss,
+           const CandidateSpace& space, bool dual)
+      : q_(q), ss_(ss), space_(space), dual_(dual) {}
+
+  /// Runs the sharded fixpoint. Returns false when some pattern node ran
+  /// out of candidates (all-empty result); on true, the owner-merged
+  /// `final_alive()` bitsets hold the exact maximum relation.
+  bool Run(ThreadPool* pool, ShardSimStats* stats);
+
+  /// Per-shard edge-match extraction into `pairs[s][e]` (owned sources
+  /// only); caller stitches shards together.
+  void ExtractShardMatches(
+      ThreadPool* pool,
+      std::vector<std::vector<std::vector<NodePair>>>* pairs) const;
+
+  /// Sorted sim sets from the owner-merged relation.
+  void CollectSim(std::vector<std::vector<NodeId>>* sim) const;
+
+ private:
+  void InitShard(uint32_t s);
+  void ProcessInbox(uint32_t s, const std::vector<Decrement>& inbox);
+  void RemoveLocal(ShardState& st, uint32_t u, uint32_t rank);
+  void Propagate(ShardState& st, uint32_t u2, NodeId w);
+  void Drain(ShardState& st);
+  /// Owner-authoritative merge of every shard's owned alive bits.
+  void BuildFinalAlive();
+
+  const Pattern& q_;
+  const ShardedSnapshot& ss_;
+  const CandidateSpace& space_;
+  const bool dual_;
+  std::vector<ShardState> states_;
+  std::vector<DenseBitset> final_alive_;  ///< u -> rank, after Run
+};
+
+void ShardSim::RemoveLocal(ShardState& st, uint32_t u, uint32_t rank) {
+  if (!st.alive[u].test(rank)) return;
+  st.alive[u].reset(rank);
+  st.worklist.push_back(Removal{u, rank});
+  ++st.phase_removed[u];
+}
+
+void ShardSim::Propagate(ShardState& st, uint32_t u2, NodeId w) {
+  // Owner-side propagation: walk w's full slice rows once; owned
+  // candidates' counters decrement in place (cascading locally), foreign
+  // candidates' decrements are routed to their owner for the next round.
+  const NodeSpan sources = st.slice->in_neighbors(w);
+  // Child condition: every candidate predecessor of w loses one supporting
+  // successor on each pattern edge into u2.
+  for (uint32_t e : q_.in_edges(u2)) {
+    const uint32_t u = q_.edge(e).src;
+    std::vector<uint32_t>& sc = st.succ[e];
+    for (NodeId v : sources) {
+      const uint32_t r = space_.rank(u, v);
+      if (r == CandidateSpace::kNoRank) continue;
+      if (st.owned_mask[u].test(r)) {
+        if (--sc[r] == 0 && st.alive[u].test(r)) RemoveLocal(st, u, r);
+      } else {
+        st.outbox[ss_.owner(v)].push_back(Decrement{e << 1, r});
+      }
+    }
+  }
+  if (!dual_) return;
+  // Parent condition: every candidate successor of w loses one supporting
+  // predecessor on each pattern edge out of u2.
+  const NodeSpan targets = st.slice->out_neighbors(w);
+  for (uint32_t e : q_.out_edges(u2)) {
+    const uint32_t u3 = q_.edge(e).dst;
+    std::vector<uint32_t>& pc = st.pred[e];
+    for (NodeId x : targets) {
+      const uint32_t r3 = space_.rank(u3, x);
+      if (r3 == CandidateSpace::kNoRank) continue;
+      if (st.owned_mask[u3].test(r3)) {
+        if (--pc[r3] == 0 && st.alive[u3].test(r3)) RemoveLocal(st, u3, r3);
+      } else {
+        st.outbox[ss_.owner(x)].push_back(Decrement{(e << 1) | 1u, r3});
+      }
+    }
+  }
+}
+
+void ShardSim::Drain(ShardState& st) {
+  while (!st.worklist.empty()) {
+    const Removal rm = st.worklist.front();
+    st.worklist.pop_front();
+    Propagate(st, rm.u, space_.node(rm.u, rm.rank));
+  }
+}
+
+void ShardSim::InitShard(uint32_t s) {
+  ShardState& st = states_[s];
+  st.slice = &ss_.slice(s);
+  const size_t np = q_.num_nodes();
+  const size_t ne = q_.num_edges();
+  st.owned_ranks.resize(np);
+  st.owned_mask.resize(np);
+  st.alive.resize(np);
+  st.phase_removed.assign(np, 0);
+  st.outbox.resize(ss_.num_shards());
+  for (uint32_t u = 0; u < np; ++u) {
+    const uint32_t c = space_.size(u);
+    st.alive[u].Reset(c, /*value=*/true);
+    st.owned_mask[u].Reset(c);
+    std::vector<uint32_t>& mine = st.owned_ranks[u];
+    mine.reserve(c / ss_.num_shards() + 8);
+    for (uint32_t r = 0; r < c; ++r) {
+      if (st.slice->Owns(space_.node(u, r))) {
+        mine.push_back(r);
+        st.owned_mask[u].set(r);
+      }
+    }
+  }
+  // Initial support counters over owned candidates, from the slice's full
+  // owned rows (neighbors of any ownership count — the conditions are
+  // global, only the *state* is partitioned).
+  st.succ.resize(ne);
+  if (dual_) st.pred.resize(ne);
+  for (uint32_t e = 0; e < ne; ++e) {
+    const uint32_t u = q_.edge(e).src;
+    const uint32_t u2 = q_.edge(e).dst;
+    std::vector<uint32_t>& sc = st.succ[e];
+    sc.assign(space_.size(u), 0);
+    for (uint32_t r : st.owned_ranks[u]) {
+      for (NodeId w : st.slice->out_neighbors(space_.node(u, r))) {
+        if (space_.rank(u2, w) != CandidateSpace::kNoRank) ++sc[r];
+      }
+    }
+    if (dual_) {
+      std::vector<uint32_t>& pc = st.pred[e];
+      pc.assign(space_.size(u2), 0);
+      for (uint32_t r2 : st.owned_ranks[u2]) {
+        for (NodeId v : st.slice->in_neighbors(space_.node(u2, r2))) {
+          if (space_.rank(u, v) != CandidateSpace::kNoRank) ++pc[r2];
+        }
+      }
+    }
+  }
+  // Queue initially violating owned candidates and cascade locally.
+  for (uint32_t e = 0; e < ne; ++e) {
+    const uint32_t u = q_.edge(e).src;
+    const uint32_t u2 = q_.edge(e).dst;
+    for (uint32_t r : st.owned_ranks[u]) {
+      if (st.succ[e][r] == 0) RemoveLocal(st, u, r);
+    }
+    if (dual_) {
+      for (uint32_t r2 : st.owned_ranks[u2]) {
+        if (st.pred[e][r2] == 0) RemoveLocal(st, u2, r2);
+      }
+    }
+  }
+  Drain(st);
+}
+
+void ShardSim::ProcessInbox(uint32_t s, const std::vector<Decrement>& inbox) {
+  ShardState& st = states_[s];
+  for (const Decrement& d : inbox) {
+    const uint32_t e = d.er >> 1;
+    const bool parent_cond = (d.er & 1u) != 0;
+    const uint32_t u = parent_cond ? q_.edge(e).dst : q_.edge(e).src;
+    std::vector<uint32_t>& c = parent_cond ? st.pred[e] : st.succ[e];
+    if (--c[d.rank] == 0 && st.alive[u].test(d.rank)) {
+      RemoveLocal(st, u, d.rank);
+    }
+  }
+  Drain(st);
+}
+
+bool ShardSim::Run(ThreadPool* pool, ShardSimStats* stats) {
+  const uint32_t k = ss_.num_shards();
+  const size_t np = q_.num_nodes();
+  states_.assign(k, ShardState{});
+  if (stats != nullptr) stats->shards = k;
+
+  // Remaining candidates per pattern node, settled at the barrier so an
+  // emptied sim set short-circuits the remaining rounds.
+  std::vector<size_t> global_alive(np);
+  for (uint32_t u = 0; u < np; ++u) global_alive[u] = space_.size(u);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s] { InitShard(s); });
+  }
+  ParallelInvoke(pool, std::move(tasks));
+  if (stats != nullptr) ++stats->rounds;
+
+  std::vector<std::vector<Decrement>> inbox(k);
+  for (;;) {
+    // Barrier: settle the emptiness accounting and route every shard's
+    // outgoing decrements to their destination inboxes.
+    for (uint32_t s = 0; s < k; ++s) {
+      std::vector<uint32_t>& removed = states_[s].phase_removed;
+      for (uint32_t u = 0; u < np; ++u) {
+        if (removed[u] == 0) continue;
+        if (stats != nullptr) stats->removals += removed[u];
+        if (global_alive[u] <= removed[u]) return false;  // all-empty
+        global_alive[u] -= removed[u];
+        removed[u] = 0;
+      }
+    }
+    size_t routed = 0;
+    for (uint32_t t = 0; t < k; ++t) {
+      inbox[t].clear();
+      for (uint32_t s = 0; s < k; ++s) {
+        std::vector<Decrement>& out = states_[s].outbox[t];
+        inbox[t].insert(inbox[t].end(), out.begin(), out.end());
+        out.clear();
+      }
+      routed += inbox[t].size();
+    }
+    if (routed == 0) {
+      BuildFinalAlive();
+      return true;
+    }
+    if (stats != nullptr) stats->messages += routed;
+    std::vector<std::function<void()>> round;
+    round.reserve(k);
+    for (uint32_t s = 0; s < k; ++s) {
+      round.push_back([this, s, &inbox] { ProcessInbox(s, inbox[s]); });
+    }
+    ParallelInvoke(pool, std::move(round));
+    if (stats != nullptr) ++stats->rounds;
+  }
+}
+
+void ShardSim::BuildFinalAlive() {
+  const size_t np = q_.num_nodes();
+  final_alive_.resize(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    final_alive_[u].Reset(space_.size(u));
+    for (const ShardState& st : states_) {
+      for (uint32_t r : st.owned_ranks[u]) {
+        if (st.alive[u].test(r)) final_alive_[u].set(r);
+      }
+    }
+  }
+}
+
+void ShardSim::CollectSim(std::vector<std::vector<NodeId>>* sim) const {
+  const size_t np = q_.num_nodes();
+  sim->assign(np, {});
+  for (uint32_t u = 0; u < np; ++u) {
+    std::vector<NodeId>& su = (*sim)[u];
+    for (uint32_t r = 0; r < space_.size(u); ++r) {
+      if (final_alive_[u].test(r)) su.push_back(space_.node(u, r));
+    }
+  }
+}
+
+void ShardSim::ExtractShardMatches(
+    ThreadPool* pool,
+    std::vector<std::vector<std::vector<NodePair>>>* pairs) const {
+  const uint32_t k = ss_.num_shards();
+  const size_t ne = q_.num_edges();
+  pairs->assign(k, std::vector<std::vector<NodePair>>(ne));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([this, s, pairs] {
+      const ShardState& st = states_[s];
+      for (uint32_t e = 0; e < q_.num_edges(); ++e) {
+        const uint32_t src = q_.edge(e).src;
+        const uint32_t dst = q_.edge(e).dst;
+        std::vector<NodePair>& out = (*pairs)[s][e];
+        for (uint32_t r : st.owned_ranks[src]) {
+          if (!final_alive_[src].test(r)) continue;
+          const NodeId v = space_.node(src, r);
+          for (NodeId w : st.slice->out_neighbors(v)) {
+            const uint32_t r2 = space_.rank(dst, w);
+            if (r2 != CandidateSpace::kNoRank && final_alive_[dst].test(r2)) {
+              out.emplace_back(v, w);
+            }
+          }
+        }
+      }
+    });
+  }
+  ParallelInvoke(pool, std::move(tasks));
+}
+
+/// BuildCandidateSpace with the per-pattern-node work (label scan,
+/// predicate checks, and the |V|-sized dense-inverse fill) fanned out on
+/// `pool` — the construction is the serial prologue of every sharded
+/// query, so it shards by pattern node the way the fixpoint shards by data
+/// node. Produces exactly the space BuildCandidateSpace builds.
+Status BuildCandidateSpaceFanOut(const Pattern& q, const GraphSnapshot& g,
+                                 const std::vector<std::vector<NodeId>>* seed,
+                                 ThreadPool* pool, CandidateSpace* space) {
+  const size_t np = q.num_nodes();
+  if (np == 0) return Status::InvalidArgument("empty pattern");
+  if (seed != nullptr && seed->size() != np) {
+    return Status::InvalidArgument("seed relation shape mismatch");
+  }
+  space->ResetForConcurrentAssign(np, g.num_nodes());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    tasks.push_back([&, u] {
+      std::vector<NodeId> cu;
+      if (seed != nullptr) {
+        // External seeds: sort defensively and deduplicate, as Assign does.
+        cu = (*seed)[u];
+        std::sort(cu.begin(), cu.end());
+        cu.erase(std::unique(cu.begin(), cu.end()), cu.end());
+      } else {
+        // Candidate sets come out ascending and unique; rank = position.
+        ComputeCandidateSet(q, u, g, &cu);
+      }
+      space->AssignPrerankedConcurrent(u, std::move(cu));
+    });
+  }
+  ParallelInvoke(pool, std::move(tasks));
+  space->FinishConcurrentAssign();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShardedRefineSimulation(const Pattern& q, const ShardedSnapshot& ss,
+                               const CandidateSpace& space, bool dual,
+                               ThreadPool* pool,
+                               std::vector<std::vector<NodeId>>* sim,
+                               ShardSimStats* stats) {
+  const size_t np = q.num_nodes();
+  if (np == 0) return Status::InvalidArgument("empty pattern");
+  if (!q.IsSimulationPattern()) {
+    return Status::InvalidArgument(
+        "sharded refinement requires unit edge bounds");
+  }
+  sim->assign(np, {});
+  for (uint32_t u = 0; u < np; ++u) {
+    if (space.size(u) == 0) return Status::OK();  // all-empty result
+  }
+  ShardSim engine(q, ss, space, dual);
+  if (!engine.Run(pool, stats)) return Status::OK();
+  engine.CollectSim(sim);
+  return Status::OK();
+}
+
+Result<MatchResult> ShardedMatchSimulation(
+    const Pattern& q, const ShardedSnapshot& ss, ThreadPool* pool, bool dual,
+    const std::vector<std::vector<NodeId>>* seed, ShardSimStats* stats) {
+  if (q.num_nodes() == 0) return Status::InvalidArgument("empty pattern");
+  if (!q.IsSimulationPattern()) {
+    return Status::InvalidArgument(
+        "sharded evaluation requires unit edge bounds");
+  }
+  CandidateSpace space;
+  GPMV_RETURN_NOT_OK(
+      BuildCandidateSpaceFanOut(q, ss.parent(), seed, pool, &space));
+  MatchResult result = MatchResult::Empty(q);
+  for (uint32_t u = 0; u < q.num_nodes(); ++u) {
+    if (space.size(u) == 0) return result;
+  }
+  ShardSim engine(q, ss, space, dual);
+  if (!engine.Run(pool, stats)) return result;
+
+  // Stitch per-shard owned-source matches; shards partition the sources,
+  // so concatenation is duplicate-free and Normalize() canonicalizes the
+  // order regardless of partitioning mode.
+  std::vector<std::vector<std::vector<NodePair>>> pairs;
+  engine.ExtractShardMatches(pool, &pairs);
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    std::vector<NodePair>* se = result.mutable_edge_matches(e);
+    size_t total = 0;
+    for (uint32_t s = 0; s < ss.num_shards(); ++s) total += pairs[s][e].size();
+    se->reserve(total);
+    for (uint32_t s = 0; s < ss.num_shards(); ++s) {
+      se->insert(se->end(), pairs[s][e].begin(), pairs[s][e].end());
+    }
+    // The maximum relation guarantees non-empty match sets, but mirror the
+    // unsharded extraction's guard.
+    if (se->empty()) return MatchResult::Empty(q);
+    // Shards partition the sources, so the stitched set is duplicate-free;
+    // range partitioning even concatenates in ascending order (each shard
+    // emits ascending sources over sorted CSR rows), making this sort a
+    // no-op check. Together this equals Normalize() on the same set.
+    if (!std::is_sorted(se->begin(), se->end())) {
+      std::sort(se->begin(), se->end());
+    }
+  }
+  result.set_matched(true);
+  result.DeriveNodeMatches(q);
+  return result;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,186 @@
+#include "shard/sharded_snapshot.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "engine/executor.h"  // ParallelInvoke
+
+namespace gpmv {
+
+namespace {
+
+/// Degree-balanced contiguous cut points: walks nodes accumulating
+/// (out + in + 1) weight and cuts when the running sum crosses the next
+/// K-quantile. The +1 keeps isolated-node tails from collapsing into one
+/// shard. Deterministic in the snapshot contents.
+std::vector<NodeId> ComputeRangeBounds(const GraphSnapshot& parent,
+                                       uint32_t num_shards) {
+  const size_t n = parent.num_nodes();
+  std::vector<NodeId> bounds(num_shards + 1, static_cast<NodeId>(n));
+  bounds[0] = 0;
+  const uint64_t total = 2 * static_cast<uint64_t>(parent.num_edges()) +
+                         static_cast<uint64_t>(n);
+  uint64_t acc = 0;
+  uint32_t next_cut = 1;
+  for (NodeId v = 0; v < n && next_cut < num_shards; ++v) {
+    acc += parent.out_degree(v) + parent.in_degree(v) + 1;
+    while (next_cut < num_shards &&
+           acc * num_shards >= total * next_cut) {
+      bounds[next_cut++] = v + 1;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace
+
+std::shared_ptr<const ShardSlice> ShardSlice::Build(
+    const GraphSnapshot& parent, const ShardingOptions& opts,
+    const std::vector<NodeId>& range_bounds, uint32_t shard) {
+  auto slice = std::make_shared<ShardSlice>();
+  const uint32_t k = std::max<uint32_t>(1, opts.num_shards);
+  slice->shard_ = shard;
+  slice->num_shards_ = k;
+  slice->partition_ = opts.partition;
+
+  const size_t n = parent.num_nodes();
+  if (opts.partition == ShardingOptions::Partition::kRange) {
+    slice->node_begin_ = range_bounds[shard];
+    slice->node_end_ = range_bounds[shard + 1];
+    slice->num_owned_ = slice->node_end_ - slice->node_begin_;
+  } else {
+    slice->num_owned_ =
+        shard < n ? static_cast<uint32_t>((n - shard + k - 1) / k) : 0;
+  }
+  const uint32_t owned = slice->num_owned_;
+
+  // Pass 1: copy the full rows of every owned node and collect boundary
+  // references.
+  slice->out_offsets_.assign(owned + 1, 0);
+  slice->in_offsets_.assign(owned + 1, 0);
+  std::vector<NodeId> boundary;
+  for (uint32_t i = 0; i < owned; ++i) {
+    const NodeId v = slice->owned_node(i);
+    slice->out_offsets_[i + 1] =
+        slice->out_offsets_[i] + static_cast<uint32_t>(parent.out_degree(v));
+    slice->in_offsets_[i + 1] =
+        slice->in_offsets_[i] + static_cast<uint32_t>(parent.in_degree(v));
+  }
+  slice->out_targets_.reserve(slice->out_offsets_[owned]);
+  slice->in_sources_.reserve(slice->in_offsets_[owned]);
+  for (uint32_t i = 0; i < owned; ++i) {
+    const NodeId v = slice->owned_node(i);
+    for (NodeId w : parent.out_neighbors(v)) {
+      slice->out_targets_.push_back(w);
+      if (!slice->Owns(w)) boundary.push_back(w);
+    }
+    for (NodeId w : parent.in_neighbors(v)) {
+      slice->in_sources_.push_back(w);
+      if (!slice->Owns(w)) boundary.push_back(w);
+    }
+  }
+  std::sort(boundary.begin(), boundary.end());
+  boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                 boundary.end());
+  slice->replicas_ = std::move(boundary);
+  return slice;
+}
+
+uint32_t ShardSlice::FindReplica(NodeId v) const {
+  auto it = std::lower_bound(replicas_.begin(), replicas_.end(), v);
+  return (it != replicas_.end() && *it == v)
+             ? static_cast<uint32_t>(it - replicas_.begin())
+             : kNoReplica;
+}
+
+size_t ShardSlice::ApproxBytes() const {
+  return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint32_t) +
+         (out_targets_.size() + in_sources_.size() + replicas_.size()) *
+             sizeof(NodeId);
+}
+
+std::shared_ptr<const ShardedSnapshot> ShardedSnapshot::Build(
+    std::shared_ptr<const GraphSnapshot> parent, ShardingOptions opts,
+    ThreadPool* pool) {
+  opts.num_shards = std::max<uint32_t>(1, opts.num_shards);
+  auto out = std::make_shared<ShardedSnapshot>();
+  out->parent_ = std::move(parent);
+  out->opts_ = opts;
+  if (opts.partition == ShardingOptions::Partition::kRange) {
+    out->bounds_ = ComputeRangeBounds(*out->parent_, opts.num_shards);
+  }
+  out->slices_.resize(opts.num_shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(opts.num_shards);
+  for (uint32_t s = 0; s < opts.num_shards; ++s) {
+    tasks.push_back([&, s] {
+      out->slices_[s] =
+          ShardSlice::Build(*out->parent_, opts, out->bounds_, s);
+    });
+  }
+  ParallelInvoke(pool, std::move(tasks));
+  return out;
+}
+
+std::shared_ptr<const ShardedSnapshot> ShardedSnapshot::Rebuild(
+    std::shared_ptr<const GraphSnapshot> parent, const ShardedSnapshot& prev,
+    const std::vector<uint32_t>& affected, ThreadPool* pool) {
+  // Ownership is defined over the node set; a changed node count (or a
+  // snapshot that no longer shares its node section lineage) invalidates
+  // the partition wholesale.
+  if (parent->num_nodes() != prev.parent().num_nodes()) {
+    return Build(std::move(parent), prev.opts_, pool);
+  }
+  auto out = std::make_shared<ShardedSnapshot>();
+  out->parent_ = std::move(parent);
+  out->opts_ = prev.opts_;
+  out->bounds_ = prev.bounds_;
+  out->slices_ = prev.slices_;  // share untouched slices
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(affected.size());
+  for (uint32_t s : affected) {
+    tasks.push_back([&, s] {
+      out->slices_[s] =
+          ShardSlice::Build(*out->parent_, out->opts_, out->bounds_, s);
+    });
+  }
+  ParallelInvoke(pool, std::move(tasks));
+  return out;
+}
+
+uint32_t ShardedSnapshot::owner(NodeId v) const {
+  if (opts_.partition == ShardingOptions::Partition::kHash) {
+    return v % opts_.num_shards;
+  }
+  // First cut point strictly greater than v, minus one interval.
+  auto it = std::upper_bound(bounds_.begin() + 1, bounds_.end(), v);
+  return static_cast<uint32_t>(it - (bounds_.begin() + 1));
+}
+
+std::vector<uint32_t> ShardedSnapshot::AffectedShards(
+    const std::vector<NodePair>& touched) const {
+  std::vector<uint32_t> shards;
+  shards.reserve(touched.size() * 2);
+  for (const NodePair& e : touched) {
+    shards.push_back(owner(e.first));
+    shards.push_back(owner(e.second));
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+size_t ShardedSnapshot::total_replicas() const {
+  size_t total = 0;
+  for (const auto& s : slices_) total += s->num_replicas();
+  return total;
+}
+
+size_t ShardedSnapshot::ApproxBytes() const {
+  size_t total = bounds_.size() * sizeof(NodeId);
+  for (const auto& s : slices_) total += s->ApproxBytes();
+  return total;
+}
+
+}  // namespace gpmv

@@ -30,25 +30,30 @@ Status ComputeCandidateSets(const Pattern& q, const Graph& g,
   return Status::OK();
 }
 
+void ComputeCandidateSet(const Pattern& q, uint32_t u, const GraphSnapshot& g,
+                         std::vector<NodeId>* cand) {
+  const PatternNode& pn = q.node(u);
+  LabelId lid = pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
+  cand->clear();
+  if (!pn.label.empty()) {
+    if (lid == kInvalidLabel) return;
+    // Label ranges are stored ascending, so the set comes out sorted.
+    for (NodeId v : g.NodesWithLabel(lid)) {
+      if (pn.MatchesData(g, v, lid)) cand->push_back(v);
+    }
+  } else {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (pn.MatchesData(g, v, lid)) cand->push_back(v);
+    }
+  }
+}
+
 Status ComputeCandidateSets(const Pattern& q, const GraphSnapshot& g,
                             std::vector<std::vector<NodeId>>* cand) {
   if (q.num_nodes() == 0) return Status::InvalidArgument("empty pattern");
   cand->assign(q.num_nodes(), {});
   for (uint32_t u = 0; u < q.num_nodes(); ++u) {
-    const PatternNode& pn = q.node(u);
-    LabelId lid = pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
-    auto& cu = (*cand)[u];
-    if (!pn.label.empty()) {
-      if (lid == kInvalidLabel) continue;
-      // Label ranges are stored ascending, so cu comes out sorted.
-      for (NodeId v : g.NodesWithLabel(lid)) {
-        if (pn.MatchesData(g, v, lid)) cu.push_back(v);
-      }
-    } else {
-      for (NodeId v = 0; v < g.num_nodes(); ++v) {
-        if (pn.MatchesData(g, v, lid)) cu.push_back(v);
-      }
-    }
+    ComputeCandidateSet(q, u, g, &(*cand)[u]);
   }
   return Status::OK();
 }

@@ -17,6 +17,23 @@
 /// inverse maps. The inverse map is one |V|-sized array per pattern node
 /// (uint32), filled once at build; `kNoRank` marks non-candidates, which is
 /// also how fixpoints test candidate membership in O(1).
+///
+/// Rank ↔ node id mapping contract:
+///
+///  * ranks are *per pattern node*: rank r of u and rank r of u' are
+///    unrelated; always pair a rank with its pattern node;
+///  * `node(u, rank(u, v)) == v` for every candidate v of u, and
+///    `rank(u, node(u, r)) == r` for every r < size(u) — except after
+///    `AssignPreranked` in sparse mode with caller-ordered candidates,
+///    where rank() is unusable for that node (see its comment);
+///  * via `Assign`/`AssignPreranked`-from-sorted-input, rank order equals
+///    ascending node-id order, so iterating ranks 0..size(u)-1 yields a
+///    sorted candidate list — matchers rely on this to emit sorted sim
+///    sets without re-sorting (the sharded engine additionally relies on
+///    it to give each shard's owned ranks a deterministic order);
+///  * a built space is immutable-in-practice: every accessor is const and
+///    any number of threads may translate concurrently (the engine shares
+///    one space across all per-shard fixpoint tasks of a query).
 
 #ifndef GPMV_SIMULATION_CANDIDATE_SPACE_H_
 #define GPMV_SIMULATION_CANDIDATE_SPACE_H_
@@ -61,6 +78,19 @@ class CandidateSpace {
   /// sparse mode rank() must not be called for u afterwards (its binary
   /// search needs ascending order) — such callers keep their own map.
   void AssignPreranked(uint32_t u, std::vector<NodeId> candidates);
+
+  /// Fan-out building (the sharded engine): shapes the space like
+  /// Reset(dense_inverse = true) but defers the per-pattern-node inverse
+  /// fills to AssignPrerankedConcurrent, which distinct threads may call
+  /// for *distinct* `u` concurrently (each touches only u's slots, and the
+  /// |V|-sized kNoRank fill — the expensive part of a dense Reset — runs
+  /// inside the per-node call). Call FinishConcurrentAssign after joining;
+  /// until then total_ranks() is unspecified. Every pattern node must be
+  /// assigned before rank() is consulted.
+  void ResetForConcurrentAssign(size_t num_pattern_nodes,
+                                size_t num_graph_nodes);
+  void AssignPrerankedConcurrent(uint32_t u, std::vector<NodeId> candidates);
+  void FinishConcurrentAssign();
 
   size_t num_pattern_nodes() const { return nodes_.size(); }
 

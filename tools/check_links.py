@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans the given markdown files for inline links/images `[text](target)`
+and verifies that every *relative* target resolves to an existing file or
+directory (anchors are stripped; external schemes are skipped). Exits
+non-zero listing every broken link.
+
+Usage: tools/check_links.py README.md docs/*.md ROADMAP.md
+"""
+
+import os
+import re
+import sys
+
+# Inline links and images; deliberately simple — the docs stick to plain
+# CommonMark inline links.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path):
+    broken = []
+    base = os.path.dirname(path)
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError as err:
+        return [(path, 0, str(err))]
+    in_code_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(base, rel))
+            if not os.path.exists(resolved):
+                broken.append((path, lineno, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    for path in argv[1:]:
+        broken.extend(check_file(path))
+    for path, lineno, target in broken:
+        print(f"{path}:{lineno}: broken link -> {target}", file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv) - 1} file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,13 +11,17 @@
 ///   gpmv_cli rewrite <graph> <pattern> <views>
 ///   gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]
 ///                  [--cache-mb M] [--warm] [--advise K] [--updates <file>]
+///                  [--shards K] [--hash-shards]
 ///
 /// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
 /// view_io.h. `serve` runs a query file (view-set format: `view <name>`
 /// headers separating patterns) through the concurrent view-cache engine
 /// (engine/query_engine.h); an optional updates file holds lines
 /// `+ <u> <v>` / `- <u> <v>` applied as one maintenance batch halfway
-/// through the stream.
+/// through the stream. `--shards K` slices the frozen snapshot into K
+/// per-shard CSR partitions (shard/sharded_snapshot.h) and fans
+/// graph-walking plans out across them (`--hash-shards` selects the hash
+/// edge-cut instead of degree-balanced ranges).
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,7 +66,8 @@ int Usage() {
       "  gpmv_cli rewrite <graph> <pattern> <views>\n"
       "  gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]\n"
       "                 [--cache-mb M] [--warm] [--advise K] "
-      "[--updates <file>]\n");
+      "[--updates <file>]\n"
+      "                 [--shards K] [--hash-shards]\n");
   return 2;
 }
 
@@ -104,11 +109,11 @@ bool NumericFlag(const std::vector<std::string>& args, const char* flag,
 /// flag actually has a value (a trailing `--updates` would otherwise be
 /// silently treated as absent).
 bool ValidateServeFlags(const std::vector<std::string>& args) {
-  static const char* kValueFlags[] = {"--views", "--threads", "--cache-mb",
-                                      "--advise", "--updates"};
+  static const char* kValueFlags[] = {"--views",   "--threads", "--cache-mb",
+                                      "--advise",  "--updates", "--shards"};
   for (size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a == "--warm") continue;
+    if (a == "--warm" || a == "--hash-shards") continue;
     bool known = false;
     for (const char* f : kValueFlags) {
       if (a == f) {
@@ -393,14 +398,19 @@ int CmdServe(const std::vector<std::string>& args) {
   if (!Load(ReadViewSetFile(args[1]), "queries", &queries)) return 1;
 
   EngineOptions opts;
-  size_t threads = 0, cache_mb = 0, advise = 0;
+  size_t threads = 0, cache_mb = 0, advise = 0, shards = 0;
   if (!NumericFlag(args, "--threads", 0, &threads) ||
       !NumericFlag(args, "--cache-mb", 64, &cache_mb) ||
-      !NumericFlag(args, "--advise", 0, &advise)) {
+      !NumericFlag(args, "--advise", 0, &advise) ||
+      !NumericFlag(args, "--shards", 1, &shards)) {
     return Usage();
   }
   opts.pool.num_threads = threads;
   opts.cache.budget_bytes = cache_mb << 20;
+  opts.sharding.num_shards = static_cast<uint32_t>(shards);
+  if (HasFlag(args, "--hash-shards")) {
+    opts.sharding.partition = ShardingOptions::Partition::kHash;
+  }
   QueryEngine engine(std::move(g), opts);
 
   const std::string views_path = FlagValue(args, "--views");
@@ -436,6 +446,14 @@ int CmdServe(const std::vector<std::string>& args) {
               queries.card(), engine.num_graph_nodes(),
               engine.num_graph_edges(), engine.num_views(),
               engine.num_worker_threads());
+  if (auto ss = engine.sharded_snapshot()) {
+    std::printf("sharding: %u %s slices, %zu boundary replicas, %zu bytes\n",
+                ss->num_shards(),
+                opts.sharding.partition == ShardingOptions::Partition::kHash
+                    ? "hash"
+                    : "range",
+                ss->total_replicas(), ss->ApproxBytes());
+  }
   Stopwatch wall;
   std::vector<std::future<QueryResponse>> futures;
   futures.reserve(queries.card());
@@ -497,7 +515,9 @@ int CmdServe(const std::vector<std::string>& args) {
       "plans: match_join=%zu partial=%zu direct=%zu (warm=%zu)\n"
       "cache: hit_rate=%.1f%% (%zu/%zu) evictions=%zu installs=%zu "
       "bytes=%zu/%zu\n"
-      "updates: batches=%zu +%zu -%zu refreshes=%zu skipped=%zu\n",
+      "updates: batches=%zu +%zu -%zu refreshes=%zu skipped=%zu\n"
+      "shards: queries=%zu fallbacks=%zu rounds=%zu messages=%zu "
+      "slices_rebuilt=%zu reused=%zu\n",
       s.queries, secs, secs > 0 ? static_cast<double>(s.queries) / secs : 0.0,
       failed, s.plans_match_join, s.plans_partial, s.plans_direct,
       s.warm_queries,
@@ -506,7 +526,8 @@ int CmdServe(const std::vector<std::string>& args) {
       s.cache.hits, lookups, s.cache.evictions, s.cache.installs,
       s.cache.bytes_cached, opts.cache.budget_bytes,
       s.update_batches, s.edges_inserted, s.edges_deleted, s.cache.refreshes,
-      s.cache.refreshes_skipped);
+      s.cache.refreshes_skipped, s.sharded_queries, s.shard_fallbacks,
+      s.shard.rounds, s.shard.messages, s.slices_rebuilt, s.slices_reused);
   return failed == 0 ? 0 : 1;
 }
 

@@ -1,26 +1,34 @@
 /// \file bench_util.h
-/// \brief Shared scaffolding for the figure-reproduction benchmarks.
+/// \brief Shared scaffolding for the benchmarks: the machine-readable JSON
+/// reporter used by every standalone harness (`--json <path>`), and the
+/// fixture helpers of the figure-reproduction (google-benchmark) binaries.
 ///
-/// Every binary in bench/ regenerates one figure of the paper's evaluation
-/// (Fig. 8(a)-(l)). The real datasets are replaced by the synthetic
-/// stand-ins of workload/datasets.h at roughly 10x reduced scale (see
-/// DESIGN.md §4 and EXPERIMENTS.md); the GPMV_BENCH_SCALE environment
-/// variable multiplies all graph sizes for larger runs.
+/// The JSON section has no dependencies beyond the standard library so the
+/// standalone harnesses (engine_throughput, fixpoint_microbench,
+/// shard_scaling, update_latency) can include this header without linking
+/// google-benchmark; the gbench-only fixture section below is guarded by
+/// GPMV_BENCH_HAVE_GBENCH, which CMake defines for the fig8*/ablation
+/// binaries (the ones that link the library).
 ///
-/// Fixtures (graph + materialized views) are built once per binary and
-/// cached; the timed regions cover exactly what the paper times — direct
-/// matching vs. MatchJoin over cached extensions (the per-query containment
-/// check is sub-millisecond and benchmarked separately in Fig. 8(g)/(h)).
+/// Figure benchmarks: every fig8* binary regenerates one figure of the
+/// paper's evaluation (Fig. 8(a)-(l)). The real datasets are replaced by
+/// the synthetic stand-ins of workload/datasets.h at roughly 10x reduced
+/// scale; the GPMV_BENCH_SCALE environment variable multiplies all graph
+/// sizes for larger runs. Fixtures (graph + materialized views) are built
+/// once per binary and cached; the timed regions cover exactly what the
+/// paper times.
 
 #ifndef GPMV_BENCH_BENCH_UTIL_H_
 #define GPMV_BENCH_BENCH_UTIL_H_
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/bmatch_join.h"
 #include "core/containment.h"
@@ -34,6 +42,143 @@
 
 namespace gpmv {
 namespace bench {
+
+/// Machine-readable results for the perf-trajectory artifacts the CI
+/// uploads (and the BENCH_*.json files committed per PR): one named report
+/// with flat string metadata plus labeled rows of numeric metrics.
+///
+///   JsonReport report("update_latency");
+///   report.Meta("graph_nodes", 20000);
+///   report.Add("insert_b16_delta", {{"p50_ms", 0.4}, {"updates_per_sec", 9e4}});
+///   report.WriteTo(path);  // {"bench": "...", "meta": {...}, "results": [...]}
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void Meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, Quote(value));
+  }
+  void Meta(const std::string& key, double value) {
+    meta_.emplace_back(key, Number(value));
+  }
+
+  void Add(const std::string& label,
+           std::initializer_list<std::pair<const char*, double>> metrics) {
+    rows_.emplace_back();
+    rows_.back().first = label;
+    for (const auto& [k, v] : metrics) rows_.back().second.emplace_back(k, v);
+  }
+
+  /// Writes the report; returns false (with a message on stderr) on I/O
+  /// failure. An empty path is a no-op success, so callers can pass the
+  /// --json flag value through unconditionally.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"meta\": {", Quote(bench_).c_str());
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i ? "," : "",
+                   Quote(meta_[i].first).c_str(), meta_[i].second.c_str());
+    }
+    std::fprintf(f, "%s},\n  \"results\": [", meta_.empty() ? "" : "\n  ");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"label\": %s", i ? "," : "",
+                   Quote(rows_[i].first).c_str());
+      for (const auto& [k, v] : rows_[i].second) {
+        std::fprintf(f, ", %s: %s", Quote(k).c_str(), Number(v).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s]\n}\n", rows_.empty() ? "" : "\n  ");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+  static std::string Number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      rows_;
+};
+
+/// Parses the shared `--json <path>` flag out of argv (removing both
+/// tokens); returns false on a missing value.
+inline bool TakeJsonFlag(int* argc, char** argv, std::string* path) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return false;
+      }
+      *path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return true;
+    }
+  }
+  return true;
+}
+
+/// Parses the shared `--min-speedup X` gate flag out of argv (removing
+/// both tokens); returns false on a missing or malformed value. `*value`
+/// is untouched (harnesses default it to 0 = no gate) when absent.
+inline bool TakeMinSpeedupFlag(int* argc, char** argv, double* value) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--min-speedup") {
+      char* end = nullptr;
+      if (i + 1 >= *argc ||
+          (*value = std::strtod(argv[i + 1], &end), end == argv[i + 1] ||
+           *end != '\0')) {
+        std::fprintf(stderr, "--min-speedup requires a numeric value\n");
+        return false;
+      }
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return true;
+    }
+  }
+  return true;
+}
+
+/// Parses the harnesses' trailing numeric positionals (after the Take*Flag
+/// helpers stripped the shared flags): up to `max_positional` non-negative
+/// integers into `positionals[]`, in order. Returns false (printing
+/// `usage`) on anything else.
+inline bool ParsePositionals(int argc, char** argv, const char* usage,
+                             size_t* positionals, int max_positional) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(argv[i], &end, 10);
+    if (argv[i][0] == '-' || end == argv[i] || *end != '\0' ||
+        positional >= max_positional) {
+      std::fprintf(stderr, "usage: %s\n", usage);
+      return false;
+    }
+    positionals[positional++] = static_cast<size_t>(value);
+  }
+  return true;
+}
 
 /// Global size multiplier (GPMV_BENCH_SCALE, default 1.0).
 inline double Scale() {
@@ -79,6 +224,19 @@ inline Fixture& CachedFixture(const std::string& key,
   return *it->second;
 }
 
+}  // namespace bench
+}  // namespace gpmv
+
+// ---- google-benchmark-only section (fig8*/ablation binaries) -------------
+// Guarded by a CMake-provided define, not __has_include: the gbench header
+// drags in a global initializer that needs the library at link time, which
+// the standalone harnesses do not link.
+#ifdef GPMV_BENCH_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+
+namespace gpmv {
+namespace bench {
+
 /// Runs one view-based matching configuration inside a benchmark loop and
 /// reports the paper's counters.
 inline void RunMatchJoinLoop(benchmark::State& state, const Pattern& q,
@@ -119,5 +277,6 @@ inline void RunDirectLoop(benchmark::State& state, const Pattern& q,
 
 }  // namespace bench
 }  // namespace gpmv
+#endif  // GPMV_BENCH_HAVE_GBENCH
 
 #endif  // GPMV_BENCH_BENCH_UTIL_H_

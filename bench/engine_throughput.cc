@@ -3,16 +3,22 @@
 /// a 1k-query mixed workload over a generated graph, evaluated twice —
 ///
 ///   cold: an engine with no registered views (every plan is direct
-///         (bounded) simulation on G), and
+///         (bounded) simulation on G),
 ///   warm: an engine whose covering views are materialized up front, so
-///         queries answer from the cache via MatchJoin.
+///         queries answer from the cache via MatchJoin, and
+///   memo: the warm configuration plus the full-result cache
+///         (engine/result_cache.h) — repeats of a (minimized) query at an
+///         unchanged graph version return the memoized Q(G).
 ///
-/// Both passes run the same queries on the same worker pool; the report
-/// gives queries/sec for each, the warm/cold speedup, the cache hit rate,
+/// The result cache is disabled in the cold and warm passes so the gated
+/// warm/cold ratio keeps measuring the *view* serving path. All passes run
+/// the same queries on the same worker pool; the report gives queries/sec
+/// for each, the warm/cold and memo/warm speedups, the cache hit rates,
 /// and the eviction counters. A standalone harness (not google-benchmark)
 /// because the interesting numbers are the engine's own counters.
 ///
 ///   ./build/bench/engine_throughput [queries] [threads] [--min-speedup X]
+///                                    [--json path]
 ///
 /// With --min-speedup the process exits non-zero when the warm pass is not
 /// at least X times faster — the CI smoke gate.
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
 #include "workload/graph_gen.h"
@@ -76,32 +83,20 @@ PassResult RunPass(QueryEngine& engine, const std::vector<Pattern>& patterns,
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t num_queries = 1000;
-  size_t threads = 0;  // hardware concurrency
+  size_t positionals[2] = {1000, 0};  // queries, threads (0 = hw conc.)
   double min_speedup = 0.0;
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--min-speedup") == 0) {
-      char* end = nullptr;
-      if (i + 1 >= argc || (min_speedup = std::strtod(argv[++i], &end),
-                            end == argv[i] || *end != '\0')) {
-        std::fprintf(stderr, "--min-speedup requires a numeric value\n");
-        return 2;
-      }
-    } else {
-      char* end = nullptr;
-      unsigned long long value = std::strtoull(argv[i], &end, 10);
-      if (argv[i][0] == '-' || end == argv[i] || *end != '\0' ||
-          positional >= 2) {
-        std::fprintf(stderr,
-                     "usage: engine_throughput [queries] [threads] "
-                     "[--min-speedup X]\n");
-        return 2;
-      }
-      (positional == 0 ? num_queries : threads) = value;
-      ++positional;
-    }
+  std::string json_path;
+  if (!gpmv::bench::TakeJsonFlag(&argc, argv, &json_path) ||
+      !gpmv::bench::TakeMinSpeedupFlag(&argc, argv, &min_speedup) ||
+      !gpmv::bench::ParsePositionals(
+          argc, argv,
+          "engine_throughput [queries] [threads] [--min-speedup X] "
+          "[--json path]",
+          positionals, 2)) {
+    return 2;
   }
+  const size_t num_queries = positionals[0];
+  const size_t threads = positionals[1];
 
   // A mid-size random graph and a mixed workload of recurring DAG patterns
   // — the shape a cache layer sees: many submissions, few distinct shapes.
@@ -131,6 +126,9 @@ int main(int argc, char** argv) {
 
   EngineOptions opts;
   opts.pool.num_threads = threads;
+  // Cold/warm measure the view path; the memo pass re-enables the default
+  // result cache below.
+  opts.result_cache.budget_bytes = 0;
 
   std::printf("graph: %zu nodes, %zu edges, %zu labels; workload: %zu "
               "queries over %zu distinct patterns\n\n",
@@ -144,11 +142,10 @@ int main(int argc, char** argv) {
     cold = RunPass(engine, patterns, num_queries);
   }
 
-  // Warm pass: covering views registered and materialized up front; the
-  // stream answers from the cache.
-  PassResult warm;
-  {
-    QueryEngine engine(graph, opts);
+  // Warm/memo passes: covering views registered and materialized up front;
+  // the stream answers from the cache (and, for memo, the result memo).
+  auto run_view_pass = [&](const EngineOptions& pass_opts, PassResult* out) {
+    QueryEngine engine(graph, pass_opts);
     for (size_t i = 0; i < patterns.size(); ++i) {
       CoveringViewOptions co;
       co.edges_per_view = 2;
@@ -161,24 +158,33 @@ int main(int argc, char** argv) {
         if (!id.ok()) {
           std::fprintf(stderr, "register failed: %s\n",
                        id.status().ToString().c_str());
-          return 1;
+          std::exit(1);
         }
       }
     }
     Status st = engine.WarmViews();
     if (!st.ok()) {
       std::fprintf(stderr, "warmup failed: %s\n", st.ToString().c_str());
-      return 1;
+      std::exit(1);
     }
-    warm = RunPass(engine, patterns, num_queries);
+    *out = RunPass(engine, patterns, num_queries);
+  };
+  PassResult warm;
+  run_view_pass(opts, &warm);
+  PassResult memo;
+  {
+    EngineOptions memo_opts = opts;
+    memo_opts.result_cache = ResultCacheOptions{};  // back to the default
+    run_view_pass(memo_opts, &memo);
   }
 
-  if (cold.matched != warm.matched || cold.total_pairs != warm.total_pairs) {
+  if (cold.matched != warm.matched || cold.total_pairs != warm.total_pairs ||
+      memo.matched != warm.matched || memo.total_pairs != warm.total_pairs) {
     std::fprintf(stderr,
                  "RESULT MISMATCH: cold matched=%zu pairs=%zu vs warm "
-                 "matched=%zu pairs=%zu\n",
+                 "matched=%zu pairs=%zu vs memo matched=%zu pairs=%zu\n",
                  cold.matched, cold.total_pairs, warm.matched,
-                 warm.total_pairs);
+                 warm.total_pairs, memo.matched, memo.total_pairs);
     return 1;
   }
 
@@ -195,7 +201,15 @@ int main(int argc, char** argv) {
               "match_join=%zu partial=%zu direct=%zu\n",
               warm.seconds, warm_qps, warm.stats.plans_match_join,
               warm.stats.plans_partial, warm.stats.plans_direct);
-  std::printf("speedup (warm/cold):  %8.2fx\n", speedup);
+  const double memo_qps =
+      static_cast<double>(num_queries) / std::max(memo.seconds, 1e-9);
+  std::printf("memo (+result cache): %8.2fs  %9.0f q/s  result_cache: "
+              "hits=%zu stale_drops=%zu bytes=%zu\n",
+              memo.seconds, memo_qps, memo.stats.result_cache.hits,
+              memo.stats.result_cache.stale_drops,
+              memo.stats.result_cache.bytes_cached);
+  std::printf("speedup (warm/cold):  %8.2fx   (memo/warm: %.2fx)\n", speedup,
+              memo_qps / std::max(warm_qps, 1e-9));
   std::printf("matched queries: %zu/%zu, result pairs: %zu (passes agree)\n",
               warm.matched, num_queries, warm.total_pairs);
   std::printf("cache: hit_rate=%.1f%% (%zu/%zu)  evictions=%zu  "
@@ -216,6 +230,25 @@ int main(int argc, char** argv) {
               js.initial_pairs, js.removed_pairs, js.match_set_visits,
               js.fixpoint_iterations, js.counters_zeroed, js.candidate_ranks,
               js.filtered_by_distance, js.filtered_by_condition);
+
+  gpmv::bench::JsonReport jr("engine_throughput");
+  jr.Meta("queries", static_cast<double>(num_queries));
+  jr.Add("cold", {{"seconds", cold.seconds}, {"queries_per_sec", cold_qps}});
+  jr.Add("warm",
+         {{"seconds", warm.seconds},
+          {"queries_per_sec", warm_qps},
+          {"speedup", speedup},
+          {"cache_hit_rate",
+           lookups == 0 ? 0.0
+                        : static_cast<double>(warm.stats.cache.hits) /
+                              static_cast<double>(lookups)}});
+  jr.Add("memo",
+         {{"seconds", memo.seconds},
+          {"queries_per_sec", memo_qps},
+          {"speedup_vs_warm", memo_qps / std::max(warm_qps, 1e-9)},
+          {"result_cache_hits",
+           static_cast<double>(memo.stats.result_cache.hits)}});
+  if (!jr.WriteTo(json_path)) return 1;
 
   if (min_speedup > 0.0 && speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",

@@ -13,6 +13,7 @@
 /// equivalence check.
 ///
 ///   ./build/bench/fixpoint_microbench [queries] [--min-speedup X]
+///                                      [--json path]
 ///
 /// With --min-speedup the process exits non-zero when the dense pass is not
 /// at least X times faster — the CI gate for the ROADMAP "MatchJoin
@@ -27,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "core/containment.h"
 #include "core/match_join.h"
@@ -78,29 +80,17 @@ void RunBatch(const std::vector<PreparedQuery>& queries, size_t start,
 int main(int argc, char** argv) {
   size_t num_queries = 1000;
   double min_speedup = 0.0;
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--min-speedup") == 0) {
-      char* end = nullptr;
-      if (i + 1 >= argc || (min_speedup = std::strtod(argv[++i], &end),
-                            end == argv[i] || *end != '\0')) {
-        std::fprintf(stderr, "--min-speedup requires a numeric value\n");
-        return 2;
-      }
-    } else {
-      char* end = nullptr;
-      unsigned long long value = std::strtoull(argv[i], &end, 10);
-      if (argv[i][0] == '-' || end == argv[i] || *end != '\0' ||
-          positional >= 1) {
-        std::fprintf(stderr,
-                     "usage: fixpoint_microbench [queries] "
-                     "[--min-speedup X]\n");
-        return 2;
-      }
-      num_queries = value;
-      ++positional;
-    }
+  std::string json_path;
+  size_t positionals[1] = {num_queries};
+  if (!gpmv::bench::TakeJsonFlag(&argc, argv, &json_path) ||
+      !gpmv::bench::TakeMinSpeedupFlag(&argc, argv, &min_speedup) ||
+      !gpmv::bench::ParsePositionals(
+          argc, argv,
+          "fixpoint_microbench [queries] [--min-speedup X] [--json path]",
+          positionals, 1)) {
+    return 2;
   }
+  num_queries = positionals[0];
 
   // Same workload shape as engine_throughput: mid-size random graph, ten
   // recurring mixed plain/bounded DAG patterns, covering views.
@@ -198,6 +188,17 @@ int main(int argc, char** argv) {
   std::printf("speedup (hash/dense): %6.2fx   result pairs: %zu (passes "
               "agree)\n",
               speedup, dense.total_pairs);
+
+  gpmv::bench::JsonReport jr("fixpoint_microbench");
+  jr.Meta("queries", static_cast<double>(num_queries));
+  jr.Add("hash", {{"seconds", hash.seconds},
+                  {"joins_per_sec", static_cast<double>(num_queries) /
+                                        std::max(hash.seconds, 1e-9)}});
+  jr.Add("dense", {{"seconds", dense.seconds},
+                   {"joins_per_sec", static_cast<double>(num_queries) /
+                                         std::max(dense.seconds, 1e-9)},
+                   {"speedup", speedup}});
+  if (!jr.WriteTo(json_path)) return 1;
 
   if (min_speedup > 0.0 && speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",

@@ -11,6 +11,7 @@
 /// K = 1 disables sharding entirely and is the unsharded baseline.
 ///
 ///   ./build/bench/shard_scaling [queries] [--min-speedup X] [--hash]
+///                               [--json path]
 ///
 /// Per K the report shows queries/sec, speedup vs K = 1, the merge-round /
 /// broadcast counters of the sharded fixpoint, and the slice/replica
@@ -27,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
 #include "workload/graph_gen.h"
@@ -84,32 +86,28 @@ PassResult RunConfig(const Graph& graph, const std::vector<Pattern>& patterns,
 int main(int argc, char** argv) {
   size_t num_queries = 1000;
   double min_speedup = 0.0;
+  std::string json_path;
   ShardingOptions::Partition partition = ShardingOptions::Partition::kRange;
-  int positional = 0;
+  // Strip the harness-specific --hash flag, then the shared flags and the
+  // single numeric positional.
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--min-speedup") == 0) {
-      char* end = nullptr;
-      if (i + 1 >= argc || (min_speedup = std::strtod(argv[++i], &end),
-                            end == argv[i] || *end != '\0')) {
-        std::fprintf(stderr, "--min-speedup requires a numeric value\n");
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--hash") == 0) {
+    if (std::strcmp(argv[i], "--hash") == 0) {
       partition = ShardingOptions::Partition::kHash;
-    } else {
-      char* end = nullptr;
-      unsigned long long value = std::strtoull(argv[i], &end, 10);
-      if (argv[i][0] == '-' || end == argv[i] || *end != '\0' ||
-          positional >= 1) {
-        std::fprintf(stderr,
-                     "usage: shard_scaling [queries] [--min-speedup X] "
-                     "[--hash]\n");
-        return 2;
-      }
-      num_queries = value;
-      ++positional;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
     }
   }
+  size_t positionals[1] = {num_queries};
+  if (!gpmv::bench::TakeJsonFlag(&argc, argv, &json_path) ||
+      !gpmv::bench::TakeMinSpeedupFlag(&argc, argv, &min_speedup) ||
+      !gpmv::bench::ParsePositionals(
+          argc, argv,
+          "shard_scaling [queries] [--min-speedup X] [--hash] [--json path]",
+          positionals, 1)) {
+    return 2;
+  }
+  num_queries = positionals[0];
 
   // Same graph family as engine_throughput; all-plain patterns so every
   // query is fan-out eligible (bounded BFS does not shard).
@@ -188,6 +186,22 @@ int main(int argc, char** argv) {
   std::printf("\nmatched queries: %zu/%zu, result pairs: %zu "
               "(all configurations agree)\n",
               results[0].matched, num_queries, results[0].total_pairs);
+
+  gpmv::bench::JsonReport jr("shard_scaling");
+  jr.Meta("queries", static_cast<double>(num_queries));
+  jr.Meta("partition",
+          partition == ShardingOptions::Partition::kRange ? "range" : "hash");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const double qps = static_cast<double>(num_queries) /
+                       std::max(results[i].seconds, 1e-9);
+    jr.Add("K" + std::to_string(configs[i]),
+           {{"seconds", results[i].seconds},
+            {"queries_per_sec", qps},
+            {"speedup", qps / std::max(base_qps, 1e-9)},
+            {"messages", static_cast<double>(results[i].stats.shard.messages)},
+            {"rounds", static_cast<double>(results[i].stats.shard.rounds)}});
+  }
+  if (!jr.WriteTo(json_path)) return 1;
 
   if (min_speedup > 0.0 && k4_speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: K=4 speedup %.2fx below required %.2fx\n",

@@ -1,6 +1,7 @@
 #include "core/maintenance.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "simulation/bounded.h"
 
@@ -24,6 +25,103 @@ Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
                             std::vector<std::vector<NodeId>>* relation) {
   return RefreshViewExtension(def, *GraphSnapshot::Build(g, g.version()),
                               seeded, ext, relation);
+}
+
+namespace {
+
+/// Merges the insert delta into a plain-simulation extension in place: new
+/// match pairs of view edge (s, t) are exactly the inserted edges landing
+/// in rel'(s) × rel'(t) plus the edges incident to newly added relation
+/// members — old pairs never leave under insertions, and since every new
+/// pair has a new edge or a new endpoint, the three sources cover all of
+/// them and are disjoint from the old sorted list.
+size_t MergeInsertDelta(const ViewDefinition& def, const GraphSnapshot& g,
+                        const std::vector<NodePair>& inserted,
+                        const std::vector<std::vector<NodeId>>& relation,
+                        const std::vector<std::vector<NodeId>>& added,
+                        ViewExtension* ext) {
+  size_t pairs_added = 0;
+  auto contains = [](const std::vector<NodeId>& sorted, NodeId v) {
+    return std::binary_search(sorted.begin(), sorted.end(), v);
+  };
+  for (uint32_t e = 0; e < def.pattern.num_edges(); ++e) {
+    const PatternEdge& pe = def.pattern.edge(e);
+    const std::vector<NodeId>& rs = relation[pe.src];
+    const std::vector<NodeId>& rt = relation[pe.dst];
+    std::vector<NodePair> fresh;
+    for (const NodePair& p : inserted) {
+      if (contains(rs, p.first) && contains(rt, p.second)) fresh.push_back(p);
+    }
+    for (NodeId v : added[pe.src]) {
+      for (NodeId w : g.out_neighbors(v)) {
+        if (contains(rt, w)) fresh.emplace_back(v, w);
+      }
+    }
+    for (NodeId w : added[pe.dst]) {
+      for (NodeId v : g.in_neighbors(w)) {
+        if (contains(rs, v)) fresh.emplace_back(v, w);
+      }
+    }
+    if (fresh.empty()) continue;
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+
+    ViewEdgeExtension& vee = (*ext->mutable_edges())[e];
+    // Guard the sorted-unique invariant against re-notified edges: a pair
+    // is only new if it is not cached yet (an `inserted` entry for an edge
+    // that already existed would otherwise duplicate its match pair).
+    fresh.erase(std::remove_if(fresh.begin(), fresh.end(),
+                               [&](const NodePair& p) {
+                                 return std::binary_search(
+                                     vee.pairs.begin(), vee.pairs.end(), p);
+                               }),
+                fresh.end());
+    if (fresh.empty()) continue;
+    std::vector<NodePair> merged;
+    merged.reserve(vee.pairs.size() + fresh.size());
+    std::merge(vee.pairs.begin(), vee.pairs.end(), fresh.begin(), fresh.end(),
+               std::back_inserter(merged));
+    vee.pairs = std::move(merged);
+    // Plain simulation views: every match is one data edge, distance 1.
+    vee.distances.assign(vee.pairs.size(), 1);
+    pairs_added += fresh.size();
+    for (const NodePair& p : fresh) {
+      ext->EnsureSnapshot(g, p.first);
+      ext->EnsureSnapshot(g, p.second);
+    }
+  }
+  return pairs_added;
+}
+
+}  // namespace
+
+Status RefreshViewExtensionInserted(const ViewDefinition& def,
+                                    const GraphSnapshot& g,
+                                    const std::vector<NodePair>& inserted,
+                                    const InsertMaintenanceOptions& opts,
+                                    ViewExtension* ext,
+                                    std::vector<std::vector<NodeId>>* relation,
+                                    InsertMaintenanceStats* stats) {
+  InsertMaintenanceStats local;
+  if (stats == nullptr) stats = &local;
+  if (opts.enable_delta) {
+    DeltaInsertOptions dopts;
+    dopts.max_area_fraction = opts.max_area_fraction;
+    DeltaInsertStats dstats;
+    std::vector<std::vector<NodeId>> added;
+    GPMV_RETURN_NOT_OK(DeltaSimulationInsert(def.pattern, g, inserted, dopts,
+                                             relation, &added, &dstats));
+    if (dstats.applied) {
+      ++stats->delta_refreshes;
+      stats->affected_nodes += dstats.affected_nodes;
+      stats->delta_relation_added += dstats.relation_added;
+      stats->delta_matches_added +=
+          MergeInsertDelta(def, g, inserted, *relation, added, ext);
+      return Status::OK();
+    }
+  }
+  ++stats->rematerialize_fallbacks;
+  return RefreshViewExtension(def, g, /*seeded=*/false, ext, relation);
 }
 
 bool DeletionMayAffectView(const ViewDefinition& def,
@@ -67,10 +165,12 @@ Status MaintainedView::OnEdgeRemoved(Graph& g, NodeId u, NodeId v) {
 
 Status MaintainedView::OnEdgeInserted(Graph& g, NodeId u, NodeId v) {
   if (!attached_) return Status::InvalidArgument("view not attached");
-  (void)u;
-  (void)v;
-  // Insertions can grow the relation beyond the cached seed; re-materialize.
-  return Refresh(g, /*seeded=*/false);
+  // Localized insert delta; re-materializes internally on fallback. Either
+  // way the extension was maintained, so the refresh counter advances
+  // (insert_stats_ breaks it down into delta vs fallback).
+  ++refresh_count_;
+  return RefreshViewExtensionInserted(def_, *g.Freeze(), {{u, v}}, opts_,
+                                      &ext_, &relation_, &insert_stats_);
 }
 
 }  // namespace gpmv

@@ -12,10 +12,21 @@
 ///    scan, no candidate re-enumeration — and the match sets re-extracted.
 ///    For plain simulation views a constant-time prescreen skips deletions
 ///    that touch no matched node.
-///  * *Edge insertions* re-materialize the view: insertions can grow the
-///    relation beyond the cached seed, which a removal-driven engine cannot
-///    discover. (The full delta algorithm of [15] is out of scope; the
-///    interface is insertion-ready so it can be swapped in.)
+///  * *Edge insertions* are handled with the localized delta of [15]
+///    (simulation/delta.h): the affected area around the inserted edges'
+///    endpoints is computed from the cached relation's reach, a delta
+///    fixpoint adds-then-re-verifies matches inside that area only, and the
+///    new match pairs merge into the cached extension — no from-scratch
+///    MatchJoin, cost proportional to the area's edge volume. The path
+///    re-materializes instead (counted in InsertMaintenanceStats::
+///    rematerialize_fallbacks) when the delta cannot apply: bounded views
+///    (an inserted edge can shorten paths between untouched pairs), views
+///    whose cached relation is empty, or an affected area larger than
+///    `max_area_fraction`·|V| — the boundedness caveat of [15].
+///
+/// Mixed batches run deletions first, then the insert delta (each phase
+/// against its own frozen snapshot); a view that would re-materialize for
+/// the insert phase anyway skips the deletion refresh entirely.
 ///
 /// Callers mutate the Graph first, then notify the maintained view.
 
@@ -27,6 +38,7 @@
 #include "common/status.h"
 #include "core/view.h"
 #include "graph/graph.h"
+#include "simulation/delta.h"
 
 namespace gpmv {
 
@@ -43,6 +55,47 @@ Status RefreshViewExtension(const ViewDefinition& def, const GraphSnapshot& g,
 Status RefreshViewExtension(const ViewDefinition& def, const Graph& g,
                             bool seeded, ViewExtension* ext,
                             std::vector<std::vector<NodeId>>* relation);
+
+/// Insert-path knobs; see file comment and simulation/delta.h.
+struct InsertMaintenanceOptions {
+  /// Kill switch: false always re-materializes on insertions (the
+  /// pre-delta behavior; bench/update_latency's baseline).
+  bool enable_delta = true;
+  /// Affected-area fallback threshold (DeltaInsertOptions).
+  double max_area_fraction = 0.25;
+};
+
+/// Counters of the insert maintenance path, aggregated per update batch by
+/// the engine (EngineStats::delta) and per view by MaintainedView.
+struct InsertMaintenanceStats {
+  size_t delta_refreshes = 0;          ///< views maintained via the delta
+  size_t rematerialize_fallbacks = 0;  ///< views re-materialized instead
+  size_t affected_nodes = 0;           ///< Σ affected-area sizes
+  size_t delta_relation_added = 0;     ///< Σ nodes added to sim sets
+  size_t delta_matches_added = 0;      ///< Σ match pairs merged into exts
+
+  void Merge(const InsertMaintenanceStats& other) {
+    delta_refreshes += other.delta_refreshes;
+    rematerialize_fallbacks += other.rematerialize_fallbacks;
+    affected_nodes += other.affected_nodes;
+    delta_relation_added += other.delta_relation_added;
+    delta_matches_added += other.delta_matches_added;
+  }
+};
+
+/// Insert-path refresh: brings `ext`/`relation` (valid for the graph
+/// *before* `inserted` was added) up to date with `g`, the frozen snapshot
+/// *after* the insertions. Tries DeltaSimulationInsert and merges the new
+/// match pairs into the extension in place; falls back to a full unseeded
+/// RefreshViewExtension when the delta cannot apply (see file comment).
+/// `stats` (optional) accumulates — callers zero it per batch.
+Status RefreshViewExtensionInserted(const ViewDefinition& def,
+                                    const GraphSnapshot& g,
+                                    const std::vector<NodePair>& inserted,
+                                    const InsertMaintenanceOptions& opts,
+                                    ViewExtension* ext,
+                                    std::vector<std::vector<NodeId>>* relation,
+                                    InsertMaintenanceStats* stats = nullptr);
 
 /// Constant-time prescreen for *plain simulation* views: removing edge
 /// (u, v) can only shrink the extension when (u, v) was itself a match pair
@@ -62,7 +115,9 @@ bool DeletionMayAffectView(const ViewDefinition& def,
 /// rebuilt) instead of copying the whole graph per update.
 class MaintainedView {
  public:
-  explicit MaintainedView(ViewDefinition def) : def_(std::move(def)) {}
+  explicit MaintainedView(ViewDefinition def,
+                          InsertMaintenanceOptions opts = {})
+      : def_(std::move(def)), opts_(opts) {}
 
   /// Fully materializes against `g`; must be called before notifications.
   Status Attach(Graph& g);
@@ -71,6 +126,7 @@ class MaintainedView {
   Status OnEdgeRemoved(Graph& g, NodeId u, NodeId v);
 
   /// Notifies that edge (u, v) was inserted into `g` (after the insertion).
+  /// Runs the localized insert delta; re-materializes only on fallback.
   Status OnEdgeInserted(Graph& g, NodeId u, NodeId v);
 
   const ViewDefinition& definition() const { return def_; }
@@ -79,16 +135,19 @@ class MaintainedView {
   /// Maintenance counters (observability / tests).
   size_t refresh_count() const { return refresh_count_; }
   size_t skipped_updates() const { return skipped_updates_; }
+  const InsertMaintenanceStats& insert_stats() const { return insert_stats_; }
 
  private:
   Status Refresh(Graph& g, bool seeded);
 
   ViewDefinition def_;
+  InsertMaintenanceOptions opts_;
   ViewExtension ext_;
   std::vector<std::vector<NodeId>> relation_;  // cached node relation
   bool attached_ = false;
   size_t refresh_count_ = 0;
   size_t skipped_updates_ = 0;
+  InsertMaintenanceStats insert_stats_;
 };
 
 }  // namespace gpmv

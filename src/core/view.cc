@@ -33,19 +33,21 @@ Result<ViewExtension> ViewExtension::Materialize(
     ext.edges_[e].pairs = match->edge_matches(e);
     ext.edges_[e].distances = std::move(distances[e]);
     for (const NodePair& p : ext.edges_[e].pairs) {
-      for (NodeId v : {p.first, p.second}) {
-        auto [it, inserted] = ext.snapshots_.try_emplace(v);
-        if (inserted) {
-          NodeSnapshot& snap = it->second;
-          snap.labels.reserve(g.labels(v).size());
-          for (LabelId l : g.labels(v)) snap.labels.push_back(g.LabelName(l));
-          std::sort(snap.labels.begin(), snap.labels.end());
-          snap.attrs = g.attrs(v);
-        }
-      }
+      ext.EnsureSnapshot(g, p.first);
+      ext.EnsureSnapshot(g, p.second);
     }
   }
   return ext;
+}
+
+void ViewExtension::EnsureSnapshot(const GraphSnapshot& g, NodeId v) {
+  auto [it, inserted] = snapshots_.try_emplace(v);
+  if (!inserted) return;
+  NodeSnapshot& snap = it->second;
+  snap.labels.reserve(g.labels(v).size());
+  for (LabelId l : g.labels(v)) snap.labels.push_back(g.LabelName(l));
+  std::sort(snap.labels.begin(), snap.labels.end());
+  snap.attrs = g.attrs(v);
 }
 
 Result<ViewExtension> ViewExtension::Materialize(

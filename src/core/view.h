@@ -116,6 +116,10 @@ class ViewExtension {
     return &snapshots_;
   }
 
+  /// Captures node `v`'s labels + attributes if not snapshotted yet — used
+  /// at materialization and when delta maintenance adds match pairs.
+  void EnsureSnapshot(const GraphSnapshot& g, NodeId v);
+
  private:
   bool matched_ = false;
   std::vector<ViewEdgeExtension> edges_;

@@ -39,6 +39,7 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
       gstats_(ComputeStatistics(graph_)),
       snapshot_(graph_.Freeze()),
       cache_(opts.cache),
+      result_cache_(opts.result_cache),
       pool_(opts.pool) {
   if (opts_.sharding.num_shards > 1) {
     // Let the planner mark fan-out-eligible plans (it cannot see the
@@ -117,10 +118,28 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
       resp.plan_ms = sw.ElapsedMillis();
       sw.Restart();
 
+      // Full-result cache: a repeat of the same minimized query against the
+      // same graph version skips pinning, materialization and the fixpoint.
+      // The cache stores the *minimized-shape* result, so queries sharing a
+      // minimized form share one entry and expand through their own map.
+      std::string rc_key;
+      if (result_cache_.enabled()) {
+        rc_key = PatternToText(plan.minimized.pattern);
+        MatchResult cached;
+        if (result_cache_.Lookup(rc_key, snapshot_->version(), &cached)) {
+          resp.result_cached = true;
+          resp.result = ExpandMinimized(plan.minimized, q, std::move(cached));
+        }
+      }
+
       std::vector<uint32_t> pinned;
       bool warm = true;
-      Status st = PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
-      if (st.ok()) {
+      Status st = resp.result_cached
+                      ? Status::OK()
+                      : PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
+      if (resp.result_cached) {
+        // Served from the memo above; nothing to pin or evaluate.
+      } else if (st.ok()) {
         resp.warm = warm && plan.kind != PlanKind::kDirect;
         // Every plan kind reads the same frozen snapshot: queries never walk
         // the mutable adjacency vectors, even while other workers run.
@@ -140,36 +159,34 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
           }
         }
         resp.sharded = ss != nullptr;
+        // Evaluate in the minimized shape; the memo stores that shape (so
+        // all queries with the same quotient share it) and expansion back
+        // to q's shape happens once at the end.
         Result<MatchResult> r = [&]() -> Result<MatchResult> {
           switch (plan.kind) {
-            case PlanKind::kMatchJoin: {
-              Result<MatchResult> mr =
-                  MatchJoin(plan.minimized.pattern, cache_.views(),
-                            cache_.extensions(), plan.mapping, {},
-                            &join_stats);
-              GPMV_RETURN_NOT_OK(mr.status());
-              return ExpandMinimized(plan.minimized, q, std::move(mr).value());
-            }
-            case PlanKind::kPartialViews: {
-              Result<MatchResult> mr =
-                  ExecutePartial(plan, snap, ss.get(), &shard_stats);
-              GPMV_RETURN_NOT_OK(mr.status());
-              return ExpandMinimized(plan.minimized, q, std::move(mr).value());
-            }
+            case PlanKind::kMatchJoin:
+              return MatchJoin(plan.minimized.pattern, cache_.views(),
+                               cache_.extensions(), plan.mapping, {},
+                               &join_stats);
+            case PlanKind::kPartialViews:
+              return ExecutePartial(plan, snap, ss.get(), &shard_stats);
             case PlanKind::kDirect:
               break;
           }
-          Result<MatchResult> mr =
-              ss != nullptr
-                  ? ShardedMatchSimulation(plan.minimized.pattern, *ss,
-                                           shard_pool_.get(), /*dual=*/false,
-                                           /*seed=*/nullptr, &shard_stats)
-                  : MatchBoundedSimulation(plan.minimized.pattern, snap);
-          GPMV_RETURN_NOT_OK(mr.status());
-          return ExpandMinimized(plan.minimized, q, std::move(mr).value());
+          return ss != nullptr
+                     ? ShardedMatchSimulation(plan.minimized.pattern, *ss,
+                                              shard_pool_.get(),
+                                              /*dual=*/false,
+                                              /*seed=*/nullptr, &shard_stats)
+                     : MatchBoundedSimulation(plan.minimized.pattern, snap);
         }();
         if (r.ok()) {
-          resp.result = std::move(r).value();
+          if (result_cache_.enabled()) {
+            // snap is the state actually read (re-read after pinning, which
+            // may have dropped the lock across an update batch).
+            result_cache_.Insert(rc_key, snap.version(), *r);
+          }
+          resp.result = ExpandMinimized(plan.minimized, q, std::move(r).value());
         } else {
           resp.status = r.status();
         }
@@ -313,8 +330,9 @@ MatchResult QueryEngine::ExpandMinimized(const MinimizedPattern& min,
 }
 
 Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
-  size_t inserted = 0;
+  size_t inserted_count = 0;
   size_t deleted_count = 0;
+  InsertMaintenanceStats delta_stats;
   {
     std::unique_lock<std::shared_mutex> lk(mu_);
     for (const EdgeUpdate& up : batch) {
@@ -322,25 +340,33 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
         return Status::InvalidArgument("update references unknown node");
       }
     }
-    bool any_insert = false;
+    // Phase 1 — deletions (batches have set semantics: all deletions land
+    // before any insertion; see the header contract). The intermediate
+    // freeze gives the decremental refresh a snapshot that contains none
+    // of the batch's insertions; it is never published to queries.
     std::vector<NodePair> deleted;
+    std::vector<NodePair> inserted;
     std::vector<NodePair> touched;
     for (const EdgeUpdate& up : batch) {
-      if (up.kind == EdgeUpdate::Kind::kInsert) {
-        if (graph_.AddEdgeIfAbsent(up.u, up.v)) {
-          any_insert = true;
-          ++inserted;
-          touched.emplace_back(up.u, up.v);
-        }
-      } else {
-        Status st = graph_.RemoveEdge(up.u, up.v);
-        if (st.ok()) {
-          deleted.emplace_back(up.u, up.v);
-          ++deleted_count;
-          touched.emplace_back(up.u, up.v);
-        } else if (st.code() != Status::Code::kNotFound) {
-          return st;
-        }
+      if (up.kind != EdgeUpdate::Kind::kDelete) continue;
+      Status st = graph_.RemoveEdge(up.u, up.v);
+      if (st.ok()) {
+        deleted.emplace_back(up.u, up.v);
+        ++deleted_count;
+        touched.emplace_back(up.u, up.v);
+      } else if (st.code() != Status::Code::kNotFound) {
+        return st;
+      }
+    }
+    std::shared_ptr<const GraphSnapshot> after_deletions;
+    if (!deleted.empty()) after_deletions = graph_.Freeze();
+    // Phase 2 — insertions.
+    for (const EdgeUpdate& up : batch) {
+      if (up.kind != EdgeUpdate::Kind::kInsert) continue;
+      if (graph_.AddEdgeIfAbsent(up.u, up.v)) {
+        inserted.emplace_back(up.u, up.v);
+        ++inserted_count;
+        touched.emplace_back(up.u, up.v);
       }
     }
     ++graph_version_;
@@ -349,17 +375,19 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
     // refreshing cached extensions from it.
     snapshot_ = graph_.Freeze();
     if (shard_pool_ != nullptr) {
-      // Hand the endpoints and the frozen parent to the slice-rebuild
-      // phase; it runs after this exclusive section so queries are not
-      // blocked on slice re-freezing (they fall back to the global
-      // snapshot until the new ShardedSnapshot publishes).
+      // Hand the endpoints (of both phases) and the frozen parent to the
+      // slice-rebuild phase; it runs after this exclusive section so
+      // queries are not blocked on slice re-freezing (they fall back to
+      // the global snapshot until the new ShardedSnapshot publishes).
       std::lock_guard<std::mutex> slk(shard_pending_mu_);
       shard_pending_.insert(shard_pending_.end(), touched.begin(),
                             touched.end());
       shard_parent_ = snapshot_;
     }
-    GPMV_RETURN_NOT_OK(cache_.RefreshMaterialized(
-        *snapshot_, /*deletions_only=*/!any_insert, deleted));
+    GPMV_RETURN_NOT_OK(cache_.RefreshForUpdates(after_deletions.get(),
+                                                *snapshot_, deleted, inserted,
+                                                opts_.maintenance,
+                                                &delta_stats));
     // Edge updates change neither node count nor label histogram, so the
     // fields the planner reads stay exact in O(1); the degree-profile
     // details are recomputed lazily by graph_statistics().
@@ -374,8 +402,9 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
   if (shard_pool_ != nullptr) RefreshSharded();
   std::lock_guard<std::mutex> lk(agg_mu_);
   ++counters_.update_batches;
-  counters_.edges_inserted += inserted;
+  counters_.edges_inserted += inserted_count;
   counters_.edges_deleted += deleted_count;
+  counters_.delta.Merge(delta_stats);
   return Status::OK();
 }
 
@@ -475,6 +504,7 @@ EngineStats QueryEngine::stats() const {
   }
   out.cache = cache_.stats();
   out.pool = pool_.stats();
+  out.result_cache = result_cache_.stats();
   return out;
 }
 

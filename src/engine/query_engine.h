@@ -11,9 +11,15 @@
 ///  * view_cache.h   — byte-accounted LRU cache of materialized extensions
 ///                     with pinning and hit/miss/eviction counters;
 ///  * executor.h     — fixed worker pool + bounded queue behind Submit();
+///  * result_cache.h — full-result memo per (minimized query, graph
+///                     version), consulted before any view is pinned;
 ///  * core/maintenance — ApplyUpdates() routes edge insert/delete batches
 ///                     through incremental maintenance so cached extensions
-///                     stay fresh instead of being invalidated.
+///                     stay fresh instead of being invalidated: deletions
+///                     re-refine decrementally (seeded + prescreen), and
+///                     insertions run the localized delta-simulation path
+///                     (simulation/delta.h), re-materializing only when
+///                     the affected area outgrows the locality threshold.
 ///
 /// Concurrency model: one shared_mutex (the *registry lock*) protects the
 /// graph and every extension payload. Query execution — planning, MatchJoin,
@@ -62,9 +68,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/maintenance.h"
 #include "core/match_join.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
+#include "engine/result_cache.h"
 #include "engine/view_cache.h"
 #include "graph/graph.h"
 #include "graph/snapshot.h"
@@ -105,6 +113,11 @@ struct EngineOptions {
   /// from `pool` so a sharded query running on a query worker never waits
   /// on its own pool for shard tasks.
   size_t shard_pool_threads = 0;
+  /// Insert-path maintenance knobs (delta kill switch + affected-area
+  /// fallback threshold); see core/maintenance.h.
+  InsertMaintenanceOptions maintenance;
+  /// Full-result memoization (result_cache.h); budget_bytes 0 disables.
+  ResultCacheOptions result_cache;
 };
 
 /// Outcome of one query.
@@ -115,6 +128,7 @@ struct QueryResponse {
   std::vector<uint32_t> views_used;  ///< view ids the plan read
   bool warm = false;    ///< view plan with every needed extension cached
   bool sharded = false;  ///< executed as a per-shard fan-out
+  bool result_cached = false;  ///< answered from the full-result cache
   double plan_ms = 0.0;
   double exec_ms = 0.0;
 };
@@ -130,6 +144,13 @@ struct EngineStats {
   /// Sharded fan-out counters summed over every sharded query (rounds,
   /// removals, cross-shard broadcasts); `shards` is the fan-out width.
   ShardSimStats shard;
+  /// Insert-path maintenance counters summed over every update batch:
+  /// delta refreshes vs. re-materialization fallbacks, affected-area sizes,
+  /// relation members and match pairs added by the delta.
+  InsertMaintenanceStats delta;
+  /// Full-result cache counters (hits skip planning's downstream cost:
+  /// no pinning, no materialization, no fixpoint).
+  ResultCacheStats result_cache;
   size_t queries = 0;
   size_t plans_match_join = 0;
   size_t plans_partial = 0;
@@ -179,19 +200,26 @@ class QueryEngine {
   Result<std::future<QueryResponse>> Submit(Pattern q);
 
   /// Applies an edge insert/delete batch to the graph, then routes every
-  /// materialized extension through incremental maintenance (decremental
-  /// seeded refresh for deletion-only batches, with a constant-time
-  /// prescreen; re-materialization when the batch grew the graph). Unknown
-  /// node ids fail the batch up front; deleting an absent edge is a no-op.
+  /// materialized extension through incremental maintenance in two phases:
+  /// *deletions first* (decremental seeded refresh with the constant-time
+  /// prescreen, against a snapshot frozen after the deletions), *then the
+  /// insertions* (localized delta-simulation — affected-area fixpoint +
+  /// extension merge, simulation/delta.h — against the final snapshot,
+  /// re-materializing only on a delta fallback). A batch therefore has
+  /// *set semantics*: its deletions are applied before its insertions
+  /// regardless of interleaving, so deleting and re-inserting the same
+  /// edge in one batch leaves the edge present. Unknown node ids fail the
+  /// batch up front; deleting an absent edge is a no-op.
   ///
   /// Thread safety: callable from any thread, concurrently with queries
   /// and other ApplyUpdates calls. The batch is atomic from a query's
-  /// perspective — the graph mutation, version bump, incremental re-freeze
-  /// and extension refresh happen under the exclusive registry lock, so
-  /// every query sees either the whole batch or none of it. In sharded
-  /// mode, only the slices owning a touched endpoint re-freeze, *after*
-  /// the exclusive section; until the new ShardedSnapshot publishes,
-  /// fan-out plans fall back to the (already updated) global snapshot.
+  /// perspective — the graph mutation, version bump, incremental re-freezes
+  /// and extension maintenance happen under the exclusive registry lock, so
+  /// every query sees either the whole batch or none of it (the mid-batch
+  /// post-deletion snapshot is never published). In sharded mode, only the
+  /// slices owning a touched endpoint re-freeze, *after* the exclusive
+  /// section; until the new ShardedSnapshot publishes, fan-out plans fall
+  /// back to the (already updated) global snapshot.
   Status ApplyUpdates(const std::vector<EdgeUpdate>& batch);
 
   /// Workload-driven admission (view_selection.h): derives candidate views
@@ -273,6 +301,9 @@ class QueryEngine {
   /// never re-walk mutable adjacency vectors.
   std::shared_ptr<const GraphSnapshot> snapshot_;
   ViewCache cache_;
+  /// Full-result memo, consulted after planning and before any pin; keys
+  /// carry the snapshot version, so updates invalidate by version compare.
+  ResultCache result_cache_;
 
   /// Aggregate counters + workload history (never held together with mu_).
   mutable std::mutex agg_mu_;

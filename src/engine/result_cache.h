@@ -1,0 +1,102 @@
+/// \file result_cache.h
+/// \brief Full-result memoization in front of the view cache: Q(G) keyed by
+/// (minimized-query key, graph snapshot version).
+///
+/// The workloads the engine serves repeat a few query shapes many times
+/// (engine_throughput submits 1k queries over ~10 patterns); between update
+/// batches the graph version is constant, so a repeated query's full result
+/// is simply the previous one. This cache stores the *minimized-shape*
+/// MatchResult under the minimized pattern's canonical text — two queries
+/// that minimize to the same pattern share one entry, and each caller
+/// expands the hit back through its own edge_map — so a hit skips view
+/// pinning, materialization, and the fixpoint entirely.
+///
+/// Invalidation is a version compare: entries are stamped with the
+/// `GraphSnapshot::version()` they were computed against (the engine bumps
+/// it per update batch), and a lookup that finds a stale version drops the
+/// entry and reports a miss. Entries are byte-accounted and evicted LRU
+/// under a small budget; `budget_bytes == 0` disables the cache.
+///
+/// Thread safety: all methods are safe from any number of threads (one
+/// internal mutex; the engine calls Lookup/Insert under its *shared*
+/// registry lock). Entries hold their result behind a shared_ptr so the
+/// mutex guards only pointer/LRU traffic — the hit's copy into the caller
+/// happens outside the critical section.
+
+#ifndef GPMV_ENGINE_RESULT_CACHE_H_
+#define GPMV_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "simulation/match_result.h"
+
+namespace gpmv {
+
+/// Sizing knobs.
+struct ResultCacheOptions {
+  /// Byte budget for cached results; 0 disables the cache entirely.
+  size_t budget_bytes = 8u << 20;
+};
+
+/// Observability counters; bytes/entries reflect the current state, the
+/// rest are monotone totals.
+struct ResultCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;          ///< includes stale-version lookups
+  size_t stale_drops = 0;     ///< entries dropped on a version mismatch
+  size_t inserts = 0;
+  size_t evictions = 0;       ///< LRU evictions under the byte budget
+  size_t bytes_cached = 0;
+  size_t entries = 0;
+};
+
+/// See file comment.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions opts = {});
+
+  bool enabled() const { return opts_.budget_bytes > 0; }
+
+  /// Copies the cached result for `key` at `version` into `out` and
+  /// returns true. A stale entry (any other version) is dropped and
+  /// counted; absent or stale lookups count a miss and return false.
+  bool Lookup(const std::string& key, uint64_t version, MatchResult* out);
+
+  /// Installs (replacing any previous entry for `key`) and evicts LRU
+  /// entries over budget. Results larger than the whole budget are not
+  /// cached — rejected by size *before* the copy is made, so oversized
+  /// results cost nothing per miss. No-op when disabled.
+  void Insert(const std::string& key, uint64_t version,
+              const MatchResult& result);
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    /// Shared so a hit only copies the pointer under the mutex.
+    std::shared_ptr<const MatchResult> result;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static size_t ResultBytes(const std::string& key, const MatchResult& r);
+
+  /// Caller holds mu_; drops `it`'s entry and its LRU link.
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
+
+  ResultCacheOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  ///< most recently used at the front
+  ResultCacheStats stats_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_ENGINE_RESULT_CACHE_H_

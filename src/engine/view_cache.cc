@@ -111,32 +111,64 @@ void ViewCache::EvictLocked(uint32_t v) {
   ++stats_.evictions;
 }
 
-Status ViewCache::RefreshMaterialized(const GraphSnapshot& g, bool deletions_only,
-                                      const std::vector<NodePair>& deleted) {
+Status ViewCache::RefreshForUpdates(const GraphSnapshot* after_deletions,
+                                    const GraphSnapshot& final_snap,
+                                    const std::vector<NodePair>& deleted,
+                                    const std::vector<NodePair>& inserted,
+                                    const InsertMaintenanceOptions& opts,
+                                    InsertMaintenanceStats* delta_stats) {
   std::lock_guard<std::mutex> lk(meta_mu_);
   for (uint32_t v = 0; v < entries_.size(); ++v) {
     Entry& e = entries_[v];
     if (!e.materialized) continue;
-    if (deletions_only) {
+    const ViewDefinition& def = views_.view(v);
+    const size_t bytes_before = e.bytes;
+    bool touched = false;
+    bool deletion_skipped = false;
+
+    // A view the insert phase will re-materialize anyway (delta disabled,
+    // or a bounded pattern the delta never applies to) does so once,
+    // against the final snapshot — its deletion refresh would be wasted.
+    const bool insert_rematerializes =
+        !inserted.empty() &&
+        (!opts.enable_delta || !def.pattern.IsSimulationPattern());
+
+    if (!deleted.empty() && !insert_rematerializes) {
       bool affected = false;
       for (const NodePair& p : deleted) {
-        if (DeletionMayAffectView(views_.view(v), e.relation, p.first,
-                                  p.second)) {
+        if (DeletionMayAffectView(def, e.relation, p.first, p.second)) {
           affected = true;
           break;
         }
       }
-      if (!affected) {
-        ++stats_.refreshes_skipped;
-        continue;
+      if (affected) {
+        // Decremental: seeded from the cached relation, against the
+        // post-deletion snapshot (insertions are not in the graph yet from
+        // this phase's point of view).
+        GPMV_RETURN_NOT_OK(RefreshViewExtension(
+            def, after_deletions != nullptr ? *after_deletions : final_snap,
+            /*seeded=*/true, &exts_[v], &e.relation));
+        touched = true;
+      } else {
+        deletion_skipped = true;
       }
     }
-    GPMV_RETURN_NOT_OK(RefreshViewExtension(views_.view(v), g, deletions_only,
-                                            &exts_[v], &e.relation));
-    stats_.bytes_cached -= e.bytes;
-    e.bytes = EntryBytes(exts_[v], e.relation);
-    stats_.bytes_cached += e.bytes;
-    ++stats_.refreshes;
+    if (!inserted.empty()) {
+      GPMV_RETURN_NOT_OK(RefreshViewExtensionInserted(
+          def, final_snap, inserted, opts, &exts_[v], &e.relation,
+          delta_stats));
+      touched = true;
+    }
+    if (touched) {
+      stats_.bytes_cached -= bytes_before;
+      e.bytes = EntryBytes(exts_[v], e.relation);
+      stats_.bytes_cached += e.bytes;
+      ++stats_.refreshes;
+    } else if (deletion_skipped) {
+      // Only count a skip when the *whole batch* left the view untouched —
+      // a prescreen skip followed by an insert-phase refresh is a refresh.
+      ++stats_.refreshes_skipped;
+    }
   }
   EnforceBudgetLocked();
   return Status::OK();

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/maintenance.h"
 #include "core/view.h"
 #include "graph/graph.h"
 
@@ -97,13 +98,28 @@ class ViewCache {
   /// bytes_cached <= budget; returns the number evicted.
   size_t EnforceBudget();
 
-  /// [exclusive] Maintenance sweep after a graph-update batch: refreshes
-  /// every materialized extension against `g`. With `deletions_only`, the
-  /// refresh is seeded from the cached relation (decremental), and plain
-  /// simulation views untouched by every edge of `deleted` are skipped via
-  /// the constant-time prescreen. Byte accounting is rebuilt per entry.
-  Status RefreshMaterialized(const GraphSnapshot& g, bool deletions_only,
-                             const std::vector<NodePair>& deleted);
+  /// [exclusive] Maintenance sweep after a graph-update batch, two-phased
+  /// per materialized view (core/maintenance.h):
+  ///
+  ///  * deletions (against `after_deletions`, the snapshot frozen after the
+  ///    batch's deletions and before its insertions; null when the batch
+  ///    deleted nothing): decremental seeded refresh, with the
+  ///    constant-time prescreen skipping plain simulation views untouched
+  ///    by every edge of `deleted`;
+  ///  * insertions (against `final_snap`, the batch's final snapshot):
+  ///    localized delta-insert, re-materializing only on fallback. A view
+  ///    the insert phase would re-materialize anyway (bounded pattern, or
+  ///    delta disabled) skips its deletion refresh and re-materializes
+  ///    once against `final_snap`.
+  ///
+  /// Byte accounting is rebuilt per entry; `delta_stats` (optional)
+  /// accumulates the insert-path counters.
+  Status RefreshForUpdates(const GraphSnapshot* after_deletions,
+                           const GraphSnapshot& final_snap,
+                           const std::vector<NodePair>& deleted,
+                           const std::vector<NodePair>& inserted,
+                           const InsertMaintenanceOptions& opts,
+                           InsertMaintenanceStats* delta_stats = nullptr);
 
   /// [shared] Is `v` currently materialized? (Racy snapshot — use
   /// TryPinMaterialized to act on the answer.)

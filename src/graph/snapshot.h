@@ -31,7 +31,7 @@
 ///    versions of the same graph are interchangeable. Snapshot versions
 ///    are strictly increasing along a graph's mutation history — they are
 ///    the system-wide consistency token (the engine keys its view-install
-///    race detection, the sharded slices, and the planned result cache on
+///    race detection, the sharded slices, and the full-result cache on
 ///    them; see docs/ARCHITECTURE.md).
 ///  * `Graph::Freeze()` is idempotent between mutations (returns the
 ///    cached snapshot) and incremental across edge-only mutations (shares

@@ -160,12 +160,20 @@ uint32_t ShardedSnapshot::owner(NodeId v) const {
 
 std::vector<uint32_t> ShardedSnapshot::AffectedShards(
     const std::vector<NodePair>& touched) const {
-  std::vector<uint32_t> shards;
-  shards.reserve(touched.size() * 2);
+  std::vector<NodeId> nodes;
+  nodes.reserve(touched.size() * 2);
   for (const NodePair& e : touched) {
-    shards.push_back(owner(e.first));
-    shards.push_back(owner(e.second));
+    nodes.push_back(e.first);
+    nodes.push_back(e.second);
   }
+  return AffectedShards(nodes);
+}
+
+std::vector<uint32_t> ShardedSnapshot::AffectedShards(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<uint32_t> shards;
+  shards.reserve(nodes.size());
+  for (NodeId v : nodes) shards.push_back(owner(v));
   std::sort(shards.begin(), shards.end());
   shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
   return shards;

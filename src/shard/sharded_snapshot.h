@@ -182,8 +182,15 @@ class ShardedSnapshot {
 
   /// Shards owning at least one endpoint of `touched` (ascending, unique) —
   /// exactly the slices an edge batch over those endpoint pairs invalidates.
+  /// Slice contents depend only on the adjacency rows of owned nodes, so an
+  /// update batch's *affected area* (the nodes whose rows changed — for the
+  /// delta-insert maintenance path, the touched edge endpoints; membership
+  /// changes of cached view relations never live in slices) intersects a
+  /// slice iff its owner appears here. The node-list overload is the raw
+  /// form for callers that already flattened their endpoints.
   std::vector<uint32_t> AffectedShards(
       const std::vector<NodePair>& touched) const;
+  std::vector<uint32_t> AffectedShards(const std::vector<NodeId>& nodes) const;
 
   const ShardingOptions& options() const { return opts_; }
   size_t total_replicas() const;

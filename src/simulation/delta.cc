@@ -1,0 +1,220 @@
+#include "simulation/delta.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bitset.h"
+#include "graph/traversal.h"  // kUnbounded
+#include "simulation/candidate_space.h"
+#include "simulation/refinement.h"
+
+namespace gpmv {
+
+const char* DeltaInsertFallbackName(DeltaInsertFallback f) {
+  switch (f) {
+    case DeltaInsertFallback::kNone:
+      return "none";
+    case DeltaInsertFallback::kNotSimulationPattern:
+      return "not_simulation_pattern";
+    case DeltaInsertFallback::kUnmatchedRelation:
+      return "unmatched_relation";
+    case DeltaInsertFallback::kAreaTooLarge:
+      return "area_too_large";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Longest path length (in edges) of a DAG pattern; the depth bound of the
+/// addition chains. Kahn order + relaxation, O(|Vp| + |Ep|).
+uint32_t LongestPatternPath(const Pattern& q) {
+  const size_t np = q.num_nodes();
+  std::vector<uint32_t> indeg(np, 0);
+  for (uint32_t e = 0; e < q.num_edges(); ++e) ++indeg[q.edge(e).dst];
+  std::vector<uint32_t> order;
+  order.reserve(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    if (indeg[u] == 0) order.push_back(u);
+  }
+  std::vector<uint32_t> depth(np, 0);
+  uint32_t longest = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t u = order[i];
+    for (uint32_t e : q.out_edges(u)) {
+      const uint32_t u2 = q.edge(e).dst;
+      depth[u2] = std::max(depth[u2], depth[u] + 1);
+      longest = std::max(longest, depth[u2]);
+      if (--indeg[u2] == 0) order.push_back(u2);
+    }
+  }
+  return longest;
+}
+
+bool Contains(const std::vector<NodeId>& sorted, NodeId v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+/// Multi-source reverse BFS collecting every node that can reach an
+/// inserted-edge source within `depth_limit` hops — the affected area.
+/// Returns false (leaving `area` at the nodes visited so far) when more
+/// than `cap` nodes are reached.
+bool CollectAffectedArea(const GraphSnapshot& g,
+                         const std::vector<NodePair>& inserted,
+                         uint32_t depth_limit, size_t cap,
+                         std::vector<NodeId>* area) {
+  DenseBitset visited(g.num_nodes());
+  area->clear();
+  for (const NodePair& p : inserted) {
+    if (visited.test(p.first)) continue;
+    visited.set(p.first);
+    area->push_back(p.first);
+    if (area->size() > cap) return false;
+  }
+  size_t frontier_begin = 0;
+  for (uint32_t depth = 0; depth < depth_limit; ++depth) {
+    const size_t frontier_end = area->size();
+    if (frontier_begin == frontier_end) break;
+    for (size_t i = frontier_begin; i < frontier_end; ++i) {
+      for (NodeId p : g.in_neighbors((*area)[i])) {
+        if (visited.test(p)) continue;
+        visited.set(p);
+        area->push_back(p);
+        if (area->size() > cap) return false;
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status DeltaSimulationInsert(const Pattern& q, const GraphSnapshot& g,
+                             const std::vector<NodePair>& inserted,
+                             const DeltaInsertOptions& opts,
+                             std::vector<std::vector<NodeId>>* rel,
+                             std::vector<std::vector<NodeId>>* added,
+                             DeltaInsertStats* stats) {
+  const size_t np = q.num_nodes();
+  const size_t ne = q.num_edges();
+  if (np == 0) return Status::InvalidArgument("empty pattern");
+  if (rel->size() != np) {
+    return Status::InvalidArgument("cached relation shape mismatch");
+  }
+  *stats = DeltaInsertStats{};
+  added->assign(np, {});
+  if (inserted.empty()) {  // nothing to do; the cached relation stands
+    stats->applied = true;
+    return Status::OK();
+  }
+  if (!q.IsSimulationPattern()) {
+    stats->fallback = DeltaInsertFallback::kNotSimulationPattern;
+    return Status::OK();
+  }
+  for (uint32_t u = 0; u < np; ++u) {
+    if ((*rel)[u].empty()) {
+      stats->fallback = DeltaInsertFallback::kUnmatchedRelation;
+      return Status::OK();
+    }
+  }
+
+  // Affected area: reverse BFS from the inserted sources, depth-bounded by
+  // the pattern's longest path for DAGs (addition chains follow pattern
+  // edges), unbounded — cap-limited only — around pattern cycles.
+  const uint32_t depth_limit =
+      q.IsDag() ? LongestPatternPath(q) : kUnbounded;
+  const size_t cap =
+      opts.max_area_fraction >= 1.0
+          ? g.num_nodes()
+          : static_cast<size_t>(opts.max_area_fraction *
+                                static_cast<double>(g.num_nodes()));
+  std::vector<NodeId> area;
+  if (!CollectAffectedArea(g, inserted, depth_limit, cap, &area)) {
+    stats->fallback = DeltaInsertFallback::kAreaTooLarge;
+    stats->affected_nodes = area.size();
+    return Status::OK();
+  }
+  stats->affected_nodes = area.size();
+
+  // Optimistic additions: area nodes that satisfy a pattern node's search
+  // condition and are not cached members yet. Ranked through a sparse
+  // CandidateSpace over the delta sets only (the area is small; |V|-sized
+  // inverse arrays would dominate).
+  std::vector<std::vector<NodeId>> delta(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    const PatternNode& pn = q.node(u);
+    const LabelId lid =
+        pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
+    if (!pn.label.empty() && lid == kInvalidLabel) continue;
+    for (NodeId v : area) {
+      if (pn.MatchesData(g, v, lid) && !Contains((*rel)[u], v)) {
+        delta[u].push_back(v);
+      }
+    }
+  }
+  CandidateSpace space;
+  space.Reset(np, g.num_nodes(), /*dense_inverse=*/false);
+  for (uint32_t u = 0; u < np; ++u) {
+    stats->candidates += delta[u].size();
+    space.Assign(u, std::move(delta[u]));
+  }
+
+  // Re-verify: the removal fixpoint of refinement.h restricted to the
+  // delta candidates. succ_count[e][r] counts successors of the rank-r
+  // delta candidate of src(e) alive in rel(dst) ∪ Δ(dst); cached members
+  // are permanent support under insertions, so only Δ removals cascade.
+  RankRemovalState st;
+  st.Init(space);
+  std::vector<std::vector<uint32_t>> succ_count(ne);
+  for (uint32_t e = 0; e < ne; ++e) {
+    const uint32_t u = q.edge(e).src;
+    const uint32_t u2 = q.edge(e).dst;
+    std::vector<uint32_t>& sc = succ_count[e];
+    sc.assign(space.size(u), 0);
+    for (uint32_t r = 0; r < space.size(u); ++r) {
+      for (NodeId w : g.out_neighbors(space.node(u, r))) {
+        if (Contains((*rel)[u2], w) ||
+            space.rank(u2, w) != CandidateSpace::kNoRank) {
+          ++sc[r];
+        }
+      }
+      if (sc[r] == 0) st.Remove(u, r);
+    }
+  }
+  while (!st.removals.empty()) {
+    auto [u2, r2] = st.removals.front();
+    st.removals.pop_front();
+    const NodeId w = space.node(u2, r2);
+    for (uint32_t e : q.in_edges(u2)) {
+      const uint32_t u = q.edge(e).src;
+      std::vector<uint32_t>& sc = succ_count[e];
+      for (NodeId v : g.in_neighbors(w)) {
+        const uint32_t r = space.rank(u, v);
+        if (r == CandidateSpace::kNoRank) continue;
+        if (--sc[r] == 0 && st.alive[u].test(r)) st.Remove(u, r);
+      }
+    }
+  }
+
+  // Merge the survivors: ranks are ascending node ids, so each added set
+  // comes out sorted and the union is a linear merge.
+  for (uint32_t u = 0; u < np; ++u) {
+    std::vector<NodeId>& au = (*added)[u];
+    au.reserve(st.alive_count[u]);
+    for (uint32_t r = 0; r < space.size(u); ++r) {
+      if (st.alive[u].test(r)) au.push_back(space.node(u, r));
+    }
+    stats->relation_added += au.size();
+    if (au.empty()) continue;
+    std::vector<NodeId> merged;
+    merged.reserve((*rel)[u].size() + au.size());
+    std::merge((*rel)[u].begin(), (*rel)[u].end(), au.begin(), au.end(),
+               std::back_inserter(merged));
+    (*rel)[u] = std::move(merged);
+  }
+  stats->applied = true;
+  return Status::OK();
+}
+
+}  // namespace gpmv

@@ -1,0 +1,99 @@
+/// \file delta.h
+/// \brief Localized delta-simulation under edge *insertions* — the
+/// incremental counterpart of the removal fixpoint in refinement.h, after
+/// the insertion algorithms of Fan et al. (SIGMOD 2011, "Incremental graph
+/// pattern matching") that the source paper delegates maintenance to.
+///
+/// Insertions only grow the maximum simulation relation: every member of
+/// the cached relation stays a member, and any *new* member must be
+/// reachable from the change. Concretely, a node can newly enter sim(u)
+/// only by a chain v0 -> v1 -> ... -> vk of pre-existing data edges where
+/// every vi is itself newly added along a pattern path from u and vk is the
+/// source of an inserted edge (the base case: the inserted edge supplies
+/// the missing successor). The chain follows pattern edges, so for DAG
+/// patterns its length is bounded by the pattern's longest path — which
+/// makes the *affected area* (all nodes that could newly enter any sim set)
+/// a reverse BFS of that depth from the inserted-edge sources. For cyclic
+/// patterns the chain can wind around pattern cycles, so the BFS is
+/// depth-unbounded and only the area cap below keeps it local.
+///
+/// The delta fixpoint then works entirely inside the area:
+///  1. *add* optimistically — every area node satisfying a pattern node's
+///     search condition and not already in its sim set becomes a delta
+///     candidate, rank-indexed through a CandidateSpace over the delta
+///     sets only (never the |V| universe);
+///  2. *re-verify* — the rank-indexed removal machinery of refinement.h
+///     (RankRemovalState) prunes delta candidates lacking a successor in
+///     sim(u') ∪ Δ(u') for some pattern edge (u, u'); cached members count
+///     as permanent support (they never leave under insertions), so only
+///     delta-candidate removals cascade.
+///
+/// Cost is proportional to the affected area's edge volume, not |G|. The
+/// boundedness caveat of the paper applies: when the area exceeds
+/// `max_area_fraction` of |V| (or the cached relation is unusable — see
+/// DeltaInsertFallback), the caller must re-materialize from scratch
+/// instead; DeltaSimulationInsert reports the fallback and leaves the
+/// relation untouched.
+
+#ifndef GPMV_SIMULATION_DELTA_H_
+#define GPMV_SIMULATION_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/snapshot.h"
+#include "pattern/pattern.h"
+#include "simulation/match_result.h"  // NodePair
+
+namespace gpmv {
+
+/// Why DeltaSimulationInsert declined to apply the delta.
+enum class DeltaInsertFallback : uint8_t {
+  kNone = 0,               ///< delta applied
+  kNotSimulationPattern,   ///< pattern has a bound > 1 (paths, not edges)
+  kUnmatchedRelation,      ///< cached relation is empty (collapsed); the
+                           ///< pre-collapse maximum is lost, so additions
+                           ///< cannot be localized
+  kAreaTooLarge,           ///< affected area exceeded max_area_fraction·|V|
+};
+
+const char* DeltaInsertFallbackName(DeltaInsertFallback f);
+
+/// Knobs for the locality heuristic.
+struct DeltaInsertOptions {
+  /// Re-materialize instead when the affected area exceeds this fraction of
+  /// |V| (0 forces the fallback, >= 1 never falls back on area size).
+  double max_area_fraction = 0.25;
+};
+
+/// Outcome counters of one DeltaSimulationInsert call.
+struct DeltaInsertStats {
+  bool applied = false;
+  DeltaInsertFallback fallback = DeltaInsertFallback::kNone;
+  size_t affected_nodes = 0;   ///< area size (nodes visited when capped)
+  size_t candidates = 0;       ///< optimistic additions before re-verify
+  size_t relation_added = 0;   ///< additions surviving re-verify
+};
+
+/// Updates `rel` — the cached maximum simulation relation of `q` on the
+/// graph *before* the insertions — to the maximum relation on `g` (the
+/// frozen snapshot *after* inserting `inserted`), touching only the
+/// affected area. `q` must be a plain simulation pattern with every sim
+/// set of `rel` non-empty; otherwise, or when the area cap trips, the call
+/// returns OK with stats->applied == false and `rel` untouched (the caller
+/// re-materializes). On success `added` holds the per-pattern-node newly
+/// added members (sorted ascending, disjoint from the old sets) and `rel`
+/// the merged relation — exactly what a from-scratch computation on `g`
+/// would produce (property-tested in tests/delta_insert_test.cc).
+Status DeltaSimulationInsert(const Pattern& q, const GraphSnapshot& g,
+                             const std::vector<NodePair>& inserted,
+                             const DeltaInsertOptions& opts,
+                             std::vector<std::vector<NodeId>>* rel,
+                             std::vector<std::vector<NodeId>>* added,
+                             DeltaInsertStats* stats);
+
+}  // namespace gpmv
+
+#endif  // GPMV_SIMULATION_DELTA_H_

@@ -33,20 +33,12 @@ Status BuildCandidateSpace(const Pattern& q, const GraphSnapshot& g,
 
 namespace {
 
-/// Fixpoint state; all per-candidate arrays are rank-indexed.
-struct RefineState {
-  std::vector<DenseBitset> alive;          // u -> rank bit
-  std::vector<uint32_t> alive_count;       // u -> |sim(u)|
+/// Fixpoint state; all per-candidate arrays are rank-indexed. The alive
+/// bits and removal worklist are the shared RankRemovalState; the support
+/// counters below encode this fixpoint's own removal conditions.
+struct RefineState : RankRemovalState {
   std::vector<std::vector<uint32_t>> succ_count;  // e -> src-rank counter
   std::vector<std::vector<uint32_t>> pred_count;  // e -> dst-rank (dual)
-  std::deque<std::pair<uint32_t, uint32_t>> removals;  // (u, rank)
-
-  void Remove(uint32_t u, uint32_t r) {
-    if (!alive[u].test(r)) return;
-    alive[u].reset(r);
-    --alive_count[u];
-    removals.emplace_back(u, r);
-  }
 };
 
 }  // namespace
@@ -64,12 +56,7 @@ Status RefineSimulation(const Pattern& q, const GraphSnapshot& g,
   }
 
   RefineState st;
-  st.alive.resize(np);
-  st.alive_count.resize(np);
-  for (uint32_t u = 0; u < np; ++u) {
-    st.alive[u].Reset(space.size(u), /*value=*/true);
-    st.alive_count[u] = space.size(u);
-  }
+  st.Init(space);
 
   // Initial support counters: every candidate of every pattern node is
   // alive, so succ_count[e][r] = |post(cand(src)[r]) ∩ cand(dst)| — one CSR

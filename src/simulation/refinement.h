@@ -34,8 +34,12 @@
 #ifndef GPMV_SIMULATION_REFINEMENT_H_
 #define GPMV_SIMULATION_REFINEMENT_H_
 
+#include <cstdint>
+#include <deque>
+#include <utility>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/status.h"
 #include "graph/snapshot.h"
 #include "pattern/pattern.h"
@@ -43,6 +47,39 @@
 #include "simulation/match_result.h"
 
 namespace gpmv {
+
+/// The rank-indexed removal worklist shared by the full refinement fixpoint
+/// below and the delta-insert re-verify fixpoint (simulation/delta.h): one
+/// alive bit per candidate rank of each pattern node, live counts, and a
+/// FIFO of (pattern node, rank) removals to propagate. The *conditions*
+/// that trigger removals differ per fixpoint (support counters over the
+/// full candidate space vs. over the delta candidates only) and stay with
+/// the caller; this struct owns the idempotent remove-and-queue part.
+struct RankRemovalState {
+  std::vector<DenseBitset> alive;          // u -> rank bit
+  std::vector<uint32_t> alive_count;       // u -> live candidates of u
+  std::deque<std::pair<uint32_t, uint32_t>> removals;  // (u, rank)
+
+  /// All candidates of `space` start alive, nothing queued.
+  void Init(const CandidateSpace& space) {
+    const size_t np = space.num_pattern_nodes();
+    alive.resize(np);
+    alive_count.resize(np);
+    removals.clear();
+    for (uint32_t u = 0; u < np; ++u) {
+      alive[u].Reset(space.size(u), /*value=*/true);
+      alive_count[u] = space.size(u);
+    }
+  }
+
+  /// Kills (u, r) and queues it for propagation; no-op when already dead.
+  void Remove(uint32_t u, uint32_t r) {
+    if (!alive[u].test(r)) return;
+    alive[u].reset(r);
+    --alive_count[u];
+    removals.emplace_back(u, r);
+  }
+};
 
 /// Refines `space` (the per-pattern-node candidate sets) to the maximum
 /// (dual-)simulation relation of `q` over `g` and writes it to `sim`

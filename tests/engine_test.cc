@@ -43,7 +43,11 @@ TEST(QueryEngineTest, DirectPlanMatchesOracleWithoutViews) {
 }
 
 TEST(QueryEngineTest, MatchJoinPlanMatchesOracleAndTurnsWarm) {
-  QueryEngine engine(SmallChainGraph());
+  // Result cache off: this test exercises the view-cache warm path, which
+  // a repeat query would otherwise skip (result_cache_test.cc covers that).
+  EngineOptions opts;
+  opts.result_cache.budget_bytes = 0;
+  QueryEngine engine(SmallChainGraph(), opts);
   ASSERT_TRUE(engine
                   .RegisterView("v_ab", PatternBuilder()
                                             .Node("A").Node("B")

@@ -148,6 +148,19 @@ TEST(ShardedSnapshotTest, AffectedShardsCoversEndpointOwners) {
     expect.insert(ss->owner(e.second));
   }
   EXPECT_EQ(std::set<uint32_t>(affected.begin(), affected.end()), expect);
+
+  // The node-list overload (the flattened affected-area form) agrees with
+  // the pair overload over the same endpoints.
+  std::vector<NodeId> nodes;
+  for (const NodePair& e : touched) {
+    nodes.push_back(e.first);
+    nodes.push_back(e.second);
+  }
+  EXPECT_EQ(ss->AffectedShards(nodes), affected);
+  EXPECT_EQ(ss->AffectedShards(std::vector<NodeId>{}),
+            std::vector<uint32_t>{});
+  EXPECT_EQ(ss->AffectedShards(std::vector<NodeId>{7}),
+            std::vector<uint32_t>{ss->owner(7)});
 }
 
 TEST(ShardedSnapshotTest, RebuildSharesUntouchedSlicesAndMatchesFullBuild) {

@@ -10,7 +10,8 @@
 ///   gpmv_cli answer <graph> <pattern> <views> [--minimal|--minimum] [--check]
 ///   gpmv_cli rewrite <graph> <pattern> <views>
 ///   gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]
-///                  [--cache-mb M] [--warm] [--advise K] [--updates <file>]
+///                  [--cache-mb M] [--result-cache-mb M] [--warm]
+///                  [--advise K] [--updates <file>] [--no-delta]
 ///                  [--shards K] [--hash-shards]
 ///
 /// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
@@ -18,7 +19,10 @@
 /// headers separating patterns) through the concurrent view-cache engine
 /// (engine/query_engine.h); an optional updates file holds lines
 /// `+ <u> <v>` / `- <u> <v>` applied as one maintenance batch halfway
-/// through the stream. `--shards K` slices the frozen snapshot into K
+/// through the stream — deletions refresh cached extensions decrementally
+/// and insertions run the localized delta-simulation path (`--no-delta`
+/// forces per-batch re-materialization instead). `--result-cache-mb` sizes
+/// the full-result memo in front of the view cache (0 disables it). `--shards K` slices the frozen snapshot into K
 /// per-shard CSR partitions (shard/sharded_snapshot.h) and fans
 /// graph-walking plans out across them (`--hash-shards` selects the hash
 /// edge-cut instead of degree-balanced ranges).
@@ -65,8 +69,8 @@ int Usage() {
       "[--check]\n"
       "  gpmv_cli rewrite <graph> <pattern> <views>\n"
       "  gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]\n"
-      "                 [--cache-mb M] [--warm] [--advise K] "
-      "[--updates <file>]\n"
+      "                 [--cache-mb M] [--result-cache-mb M] [--warm]\n"
+      "                 [--advise K] [--updates <file>] [--no-delta]\n"
       "                 [--shards K] [--hash-shards]\n");
   return 2;
 }
@@ -109,11 +113,12 @@ bool NumericFlag(const std::vector<std::string>& args, const char* flag,
 /// flag actually has a value (a trailing `--updates` would otherwise be
 /// silently treated as absent).
 bool ValidateServeFlags(const std::vector<std::string>& args) {
-  static const char* kValueFlags[] = {"--views",   "--threads", "--cache-mb",
+  static const char* kValueFlags[] = {"--views",  "--threads",
+                                      "--cache-mb", "--result-cache-mb",
                                       "--advise",  "--updates", "--shards"};
   for (size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a == "--warm" || a == "--hash-shards") continue;
+    if (a == "--warm" || a == "--hash-shards" || a == "--no-delta") continue;
     bool known = false;
     for (const char* f : kValueFlags) {
       if (a == f) {
@@ -398,15 +403,19 @@ int CmdServe(const std::vector<std::string>& args) {
   if (!Load(ReadViewSetFile(args[1]), "queries", &queries)) return 1;
 
   EngineOptions opts;
-  size_t threads = 0, cache_mb = 0, advise = 0, shards = 0;
+  size_t threads = 0, cache_mb = 0, result_cache_mb = 0, advise = 0,
+         shards = 0;
   if (!NumericFlag(args, "--threads", 0, &threads) ||
       !NumericFlag(args, "--cache-mb", 64, &cache_mb) ||
+      !NumericFlag(args, "--result-cache-mb", 8, &result_cache_mb) ||
       !NumericFlag(args, "--advise", 0, &advise) ||
       !NumericFlag(args, "--shards", 1, &shards)) {
     return Usage();
   }
   opts.pool.num_threads = threads;
   opts.cache.budget_bytes = cache_mb << 20;
+  opts.result_cache.budget_bytes = result_cache_mb << 20;
+  opts.maintenance.enable_delta = !HasFlag(args, "--no-delta");
   opts.sharding.num_shards = static_cast<uint32_t>(shards);
   if (HasFlag(args, "--hash-shards")) {
     opts.sharding.partition = ShardingOptions::Partition::kHash;
@@ -515,7 +524,10 @@ int CmdServe(const std::vector<std::string>& args) {
       "plans: match_join=%zu partial=%zu direct=%zu (warm=%zu)\n"
       "cache: hit_rate=%.1f%% (%zu/%zu) evictions=%zu installs=%zu "
       "bytes=%zu/%zu\n"
+      "results: hits=%zu misses=%zu stale=%zu bytes=%zu/%zu\n"
       "updates: batches=%zu +%zu -%zu refreshes=%zu skipped=%zu\n"
+      "delta: refreshes=%zu fallbacks=%zu affected_nodes=%zu "
+      "relation_added=%zu matches_added=%zu\n"
       "shards: queries=%zu fallbacks=%zu rounds=%zu messages=%zu "
       "slices_rebuilt=%zu reused=%zu\n",
       s.queries, secs, secs > 0 ? static_cast<double>(s.queries) / secs : 0.0,
@@ -525,8 +537,13 @@ int CmdServe(const std::vector<std::string>& args) {
                                static_cast<double>(lookups),
       s.cache.hits, lookups, s.cache.evictions, s.cache.installs,
       s.cache.bytes_cached, opts.cache.budget_bytes,
+      s.result_cache.hits, s.result_cache.misses, s.result_cache.stale_drops,
+      s.result_cache.bytes_cached, opts.result_cache.budget_bytes,
       s.update_batches, s.edges_inserted, s.edges_deleted, s.cache.refreshes,
-      s.cache.refreshes_skipped, s.sharded_queries, s.shard_fallbacks,
+      s.cache.refreshes_skipped, s.delta.delta_refreshes,
+      s.delta.rematerialize_fallbacks, s.delta.affected_nodes,
+      s.delta.delta_relation_added, s.delta.delta_matches_added,
+      s.sharded_queries, s.shard_fallbacks,
       s.shard.rounds, s.shard.messages, s.slices_rebuilt, s.slices_reused);
   return failed == 0 ? 0 : 1;
 }

@@ -11,6 +11,7 @@ ThreadPool::ThreadPool(ThreadPoolOptions opts)
   if (n == 0) {
     n = std::max(1u, std::thread::hardware_concurrency());
   }
+  num_threads_ = n;
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

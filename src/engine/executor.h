@@ -58,7 +58,10 @@ class ThreadPool {
   /// Idempotent; also called by the destructor.
   void Shutdown();
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Configured worker count. Immutable after construction (Shutdown joins
+  /// and clears workers_, so reading workers_.size() would race a
+  /// concurrent shutdown — this stays safe from any thread, any time).
+  size_t num_threads() const { return num_threads_; }
   ThreadPoolStats stats() const;
 
  private:
@@ -69,6 +72,7 @@ class ThreadPool {
   std::condition_variable not_full_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t num_threads_ = 0;
   size_t queue_capacity_;
   bool shutdown_ = false;
   ThreadPoolStats stats_;

@@ -118,6 +118,11 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
       resp.plan_ms = sw.ElapsedMillis();
       sw.Restart();
 
+      // The version pair the response reports: re-read below if pinning
+      // dropped the lock across an update batch.
+      resp.snapshot_version = snapshot_->version();
+      resp.applied_through_ts = applied_through_ts();
+
       // Full-result cache: a repeat of the same minimized query against the
       // same graph version skips pinning, materialization and the fixpoint.
       // The cache stores the *minimized-shape* result, so queries sharing a
@@ -144,6 +149,8 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
         // Every plan kind reads the same frozen snapshot: queries never walk
         // the mutable adjacency vectors, even while other workers run.
         const GraphSnapshot& snap = *snapshot_;
+        resp.snapshot_version = snap.version();
+        resp.applied_through_ts = applied_through_ts();
         // Fan-out-marked plans run per shard when the published slice set
         // matches the registry's version; mid-rebuild they fall back to the
         // (already current) global snapshot rather than mixing versions.
@@ -330,6 +337,21 @@ MatchResult QueryEngine::ExpandMinimized(const MinimizedPattern& min,
 }
 
 Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
+  return ApplyUpdatesInternal(batch, /*through_ts=*/0);
+}
+
+Status QueryEngine::ApplyStreamBatch(const std::vector<EdgeUpdate>& batch,
+                                     uint64_t through_ts) {
+  return ApplyUpdatesInternal(batch, through_ts);
+}
+
+void QueryEngine::MergeStreamStats(const StreamStats& delta) {
+  std::lock_guard<std::mutex> lk(agg_mu_);
+  counters_.stream.Merge(delta);
+}
+
+Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
+                                         uint64_t through_ts) {
   size_t inserted_count = 0;
   size_t deleted_count = 0;
   InsertMaintenanceStats delta_stats;
@@ -398,6 +420,18 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
             : static_cast<double>(graph_.num_edges()) /
                   static_cast<double>(graph_.num_nodes());
     stats_dirty_ = true;
+    if (through_ts != 0) {
+      // Streamed batch: stamp the published snapshot's applied-through
+      // watermark — only now, after the whole batch (including extension
+      // maintenance above) succeeded, so a failed batch never advances the
+      // watermark past ops its caller will report as dropped. max()
+      // because a manual ApplyUpdates interleaved between stream batches
+      // must not regress it (the applier's timestamps are monotone).
+      uint64_t prev = applied_through_ts_.load(std::memory_order_relaxed);
+      if (through_ts > prev) {
+        applied_through_ts_.store(through_ts, std::memory_order_release);
+      }
+    }
   }
   if (shard_pool_ != nullptr) RefreshSharded();
   std::lock_guard<std::mutex> lk(agg_mu_);

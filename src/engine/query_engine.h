@@ -81,6 +81,7 @@
 #include "shard/shard_sim.h"
 #include "shard/sharded_snapshot.h"
 #include "simulation/match_result.h"
+#include "stream/stream_stats.h"
 
 namespace gpmv {
 
@@ -129,6 +130,15 @@ struct QueryResponse {
   bool warm = false;    ///< view plan with every needed extension cached
   bool sharded = false;  ///< executed as a per-shard fan-out
   bool result_cached = false;  ///< answered from the full-result cache
+  /// Version of the frozen snapshot the query read end-to-end. Monotone
+  /// across queries (the concurrency stress suite asserts it): updates only
+  /// ever advance the published snapshot.
+  uint64_t snapshot_version = 0;
+  /// Stream timestamp the snapshot had applied through when the query read
+  /// it (0 when no streamed op was applied yet) — the bounded-staleness
+  /// handle: a reader that pushed op ts and sees applied_through_ts >= ts
+  /// has read-your-writes.
+  uint64_t applied_through_ts = 0;
   double plan_ms = 0.0;
   double exec_ms = 0.0;
 };
@@ -151,6 +161,12 @@ struct EngineStats {
   /// Full-result cache counters (hits skip planning's downstream cost:
   /// no pinning, no materialization, no fixpoint).
   ResultCacheStats result_cache;
+  /// Streaming ingestion counters (stream/stream_stats.h): queue depth
+  /// high-water, micro-batch size histogram, publish lag, applied-through
+  /// watermark. Merged once per micro-batch by the StreamApplier, as a
+  /// single unit — a concurrent stats() reader never observes a torn
+  /// batch, so cross-counter invariants hold in every snapshot.
+  StreamStats stream;
   size_t queries = 0;
   size_t plans_match_join = 0;
   size_t plans_partial = 0;
@@ -222,6 +238,29 @@ class QueryEngine {
   /// back to the (already updated) global snapshot.
   Status ApplyUpdates(const std::vector<EdgeUpdate>& batch);
 
+  /// Streaming (non-stop-the-world) update entry point, called by the
+  /// StreamApplier once per drained micro-batch: identical two-phase apply
+  /// to ApplyUpdates — micro-batches keep the exclusive section short, so
+  /// Submit/Query never stall behind a bulk ingest — plus the published
+  /// snapshot is stamped as applied-through `through_ts` (monotone; see
+  /// QueryResponse::applied_through_ts). The batch must already be
+  /// coalesced to at most one op per edge (UpdateStream::Coalesce) for the
+  /// engine's batch set-semantics to coincide with stream order.
+  Status ApplyStreamBatch(const std::vector<EdgeUpdate>& batch,
+                          uint64_t through_ts);
+
+  /// Folds one applier-built StreamStats delta into EngineStats.stream
+  /// under the counter lock — one merge per micro-batch, as a unit, which
+  /// is what keeps concurrently read stats snapshots un-torn.
+  void MergeStreamStats(const StreamStats& delta);
+
+  /// Stream timestamp the *published* snapshot has applied through (0
+  /// before any streamed batch). Monotone; readable lock-free from any
+  /// thread.
+  uint64_t applied_through_ts() const {
+    return applied_through_ts_.load(std::memory_order_acquire);
+  }
+
   /// Workload-driven admission (view_selection.h): derives candidate views
   /// from the observed query history, greedily selects at most `max_views`,
   /// and registers the ones not structurally present yet. Returns how many
@@ -249,6 +288,11 @@ class QueryEngine {
 
  private:
   QueryResponse Execute(const Pattern& q);
+
+  /// Shared body of ApplyUpdates / ApplyStreamBatch; `through_ts != 0`
+  /// advances the applied-through watermark with the published snapshot.
+  Status ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
+                              uint64_t through_ts);
 
   /// Pins every view in `needed`, materializing cold ones (may drop and
   /// reacquire `lk` around installs). Pinned ids accumulate in `pinned`
@@ -294,6 +338,12 @@ class QueryEngine {
   mutable GraphStatistics gstats_;
   mutable std::atomic<bool> stats_dirty_{false};
   uint64_t graph_version_ = 0;
+  /// Streamed-op watermark of the published snapshot. Written inside the
+  /// exclusive registry section (right after the snapshot publishes, so a
+  /// shared-lock reader always sees a (snapshot, watermark) pair at least
+  /// as fresh as any earlier batch); atomic so FlushAndWait-style pollers
+  /// can read it without the registry lock.
+  std::atomic<uint64_t> applied_through_ts_{0};
   /// The frozen CSR snapshot of `graph_` at `graph_version_`, shared by
   /// every in-flight query (reads happen under the shared lock; the update
   /// path re-freezes — incrementally, thanks to the graph's dirty-row

@@ -1,0 +1,113 @@
+#include "stream/stream_applier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace gpmv {
+
+StreamApplier::StreamApplier(QueryEngine* engine, UpdateStream* stream,
+                             StreamApplierOptions opts)
+    : engine_(engine), stream_(stream), opts_(opts) {
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  thread_ = std::thread([this] { ApplierLoop(); });
+}
+
+StreamApplier::~StreamApplier() { (void)Stop(); }
+
+void StreamApplier::ApplierLoop() {
+  size_t cap = opts_.max_batch;
+  StreamDrainResult d;
+  while (stream_->Drain(cap, &d)) {
+    bool healthy;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      healthy = status_.ok();
+    }
+
+    StreamStats delta;
+    delta.ops_ingested = d.ops_popped;
+    delta.ops_coalesced = d.ops_popped - d.batch.size();
+    // The enqueue-side high-water mark is itself monotone, so reading it
+    // into each per-batch delta keeps EngineStats.stream's gauge fresh
+    // without a second merge point.
+    delta.max_queue_depth = stream_->max_depth();
+
+    Status st;
+    double apply_ms = 0.0;
+    if (healthy) {
+      Stopwatch sw;
+      st = engine_->ApplyStreamBatch(d.batch, d.through_ts);
+      apply_ms = sw.ElapsedMillis();
+    }
+    if (healthy && st.ok()) {
+      delta.ops_applied = d.batch.size();
+      delta.applied_through_ts = d.through_ts;
+      delta.RecordBatch(d.batch.size(), d.oldest_wait_ms + apply_ms);
+    } else {
+      // Sticky failure: this batch (and everything after it) is discarded;
+      // the watermark still advances so flushes and producers never hang.
+      delta.ops_dropped = d.batch.size() + delta.ops_coalesced;
+      delta.ops_coalesced = 0;
+      if (healthy) ++delta.apply_failures;
+    }
+    engine_->MergeStreamStats(delta);
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (healthy && !st.ok()) status_ = st;
+      consumed_ts_ = std::max(consumed_ts_, d.through_ts);
+    }
+    consumed_cv_.notify_all();
+
+    if (healthy && st.ok() && opts_.max_lag_ms > 0.0) {
+      // AIMD-flavored cap steering: a slow apply halves the next drain so
+      // publish lag recovers; a fast one doubles it back toward max_batch
+      // (larger batches amortize the freeze + maintenance sweep).
+      if (apply_ms > opts_.max_lag_ms) {
+        cap = std::max<size_t>(1, cap / 2);
+      } else {
+        cap = std::min(opts_.max_batch, cap * 2);
+      }
+    }
+  }
+}
+
+Status StreamApplier::FlushAndWait() {
+  const uint64_t target = stream_->last_assigned_ts();
+  Status out;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    consumed_cv_.wait(lk, [&] { return consumed_ts_ >= target; });
+    out = status_;
+  }
+  StreamStats delta;
+  delta.flushes = 1;
+  engine_->MergeStreamStats(delta);
+  return out;
+}
+
+Status StreamApplier::Stop() {
+  stream_->Close();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return status_;
+    stopped_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  return status_;
+}
+
+Status StreamApplier::status() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return status_;
+}
+
+uint64_t StreamApplier::consumed_through_ts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return consumed_ts_;
+}
+
+}  // namespace gpmv

@@ -1,0 +1,108 @@
+/// \file stream_applier.h
+/// \brief The background drain half of the streaming-update subsystem: one
+/// applier thread pulls timestamped edge ops off an UpdateStream, coalesces
+/// them into adaptive micro-batches, and pushes each through the engine's
+/// two-phase maintenance path (QueryEngine::ApplyStreamBatch — deletions,
+/// then insert deltas), so snapshots publish continuously while Submit and
+/// Query keep running. Queries never wait on ingestion: the only exclusive
+/// section is the per-micro-batch apply, and the sharded slice rebuild
+/// still runs outside it through the PR 3 pending/coalesce hand-off.
+///
+/// Adaptive micro-batching: the applier drains whatever is queued, up to a
+/// moving cap. While an apply is in flight the queue accumulates, so batch
+/// size tracks the ingest-rate/apply-latency ratio by itself; the cap
+/// steers publish lag — an apply slower than `max_lag_ms` halves it (AIMD),
+/// a fast one lets it grow back toward `max_batch`. The resulting batch
+/// sizes are recorded in `StreamStats::batch_size_hist`.
+///
+/// Failure contract: a failed ApplyStreamBatch makes the applier
+/// *sticky-failed*: the error is latched, every subsequent drained op is
+/// discarded (counted in ops_dropped) so producers never block on a dead
+/// consumer, and FlushAndWait / Stop return the latched status. An op
+/// referencing an unknown node fails its micro-batch's up-front validation
+/// all-or-nothing (nothing applied); a failure deeper in the engine's
+/// maintenance sweep follows ApplyUpdates' partial-failure semantics for
+/// that batch — either way the applied-through watermark never advances
+/// past a failed batch.
+///
+/// Quiesce: FlushAndWait() blocks until every op enqueued before the call
+/// has been applied and published (or discarded by a sticky failure) —
+/// the equivalence suites call it to compare streamed state against batch
+/// oracles deterministically. Stop() closes the stream, drains the
+/// remainder, joins the thread, and returns the final status; the
+/// destructor does the same (discarding the status).
+
+#ifndef GPMV_STREAM_STREAM_APPLIER_H_
+#define GPMV_STREAM_STREAM_APPLIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/query_engine.h"
+#include "stream/update_stream.h"
+
+namespace gpmv {
+
+/// Micro-batching knobs.
+struct StreamApplierOptions {
+  /// Upper bound on ops per micro-batch (post-coalesce batches are smaller).
+  size_t max_batch = 256;
+  /// Target publish-lag bound: an apply slower than this halves the drain
+  /// cap, a faster one doubles it back (never above max_batch, never below
+  /// 1). 0 disables adaptation (the cap stays at max_batch).
+  double max_lag_ms = 20.0;
+};
+
+/// See file comment.
+class StreamApplier {
+ public:
+  /// Starts the applier thread immediately. `engine` and `stream` must
+  /// outlive this object (or its Stop()).
+  StreamApplier(QueryEngine* engine, UpdateStream* stream,
+                StreamApplierOptions opts = {});
+  ~StreamApplier();
+
+  StreamApplier(const StreamApplier&) = delete;
+  StreamApplier& operator=(const StreamApplier&) = delete;
+
+  /// Blocks until every op enqueued before the call is applied-and-
+  /// published or discarded; returns the sticky status (OK while healthy).
+  /// Safe from any thread, concurrently with producers still pushing —
+  /// the watermark is captured at entry, so later pushes don't extend the
+  /// wait.
+  Status FlushAndWait();
+
+  /// Closes the stream, drains the remainder, joins the applier thread and
+  /// returns the sticky status. Idempotent.
+  Status Stop();
+
+  /// Sticky apply status (OK while healthy). Non-blocking.
+  Status status() const;
+
+  /// Timestamp through which ops have been consumed (applied or
+  /// discarded). Non-blocking.
+  uint64_t consumed_through_ts() const;
+
+ private:
+  void ApplierLoop();
+
+  QueryEngine* engine_;
+  UpdateStream* stream_;
+  StreamApplierOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable consumed_cv_;
+  uint64_t consumed_ts_ = 0;  ///< watermark: drained-and-handled through here
+  Status status_;             ///< sticky first failure
+  bool stopped_ = false;
+
+  std::thread thread_;  ///< last member: joined by Stop()/dtor
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_STREAM_STREAM_APPLIER_H_

@@ -1,0 +1,138 @@
+/// \file update_stream.h
+/// \brief Streaming-update ingestion front-end: a bounded multi-producer /
+/// single-consumer queue of timestamped edge operations, drained by the
+/// background StreamApplier (stream/stream_applier.h) into adaptive
+/// micro-batches.
+///
+/// Ordering contract — the stream's observable semantics are *sequential*:
+/// the final graph equals the one obtained by applying every accepted op in
+/// timestamp (enqueue) order, one at a time. Edge inserts/deletes on
+/// distinct edges commute and edge presence is a per-edge property, so this
+/// is equivalently "for every edge, the op with the highest timestamp
+/// wins". The drain path exploits exactly that: a drained micro-batch is
+/// *coalesced* per edge (only the last op on each (u, v) survives), which
+/// both shrinks the batch and makes the engine's batch set-semantics
+/// (deletions applied before insertions — see QueryEngine::ApplyUpdates)
+/// coincide with sequential order, since a coalesced batch carries at most
+/// one op per edge. Note the consequence for equivalence oracles: a stream
+/// containing *contradicting* ops on one edge (insert then delete, or vice
+/// versa) matches the single-batch oracle only after the same last-op-wins
+/// canonicalization — applying the raw op list as one set-semantics batch
+/// would resurrect a deleted edge. tests/stream_equivalence_test.cc pins
+/// both formulations.
+///
+/// Timestamps are dense 1-based sequence numbers assigned under the queue
+/// mutex at Push; they double as the bounded-staleness watermark
+/// ("applied-through") that the applier stamps onto published snapshots.
+///
+/// Concurrency: any number of producer threads may Push concurrently
+/// (blocking while the queue is at capacity — backpressure, like the
+/// executor's bounded task queue); exactly one consumer drains. Close()
+/// makes further Push calls fail and lets the consumer drain the remainder;
+/// Drain returns false only once the stream is closed *and* empty.
+
+#ifndef GPMV_STREAM_UPDATE_STREAM_H_
+#define GPMV_STREAM_UPDATE_STREAM_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "stream/stream_stats.h"
+
+namespace gpmv {
+
+/// Queue sizing knobs.
+struct UpdateStreamOptions {
+  /// Maximum enqueued (not yet drained) ops before Push blocks.
+  size_t queue_capacity = 4096;
+};
+
+/// One accepted edge op with its assigned stream timestamp.
+struct TimestampedUpdate {
+  EdgeUpdate op;
+  uint64_t ts = 0;
+};
+
+/// Result of one Drain call; `batch` is already coalesced (at most one op
+/// per edge, each edge's last-enqueued op).
+struct StreamDrainResult {
+  std::vector<EdgeUpdate> batch;
+  uint64_t through_ts = 0;     ///< highest timestamp popped (pre-coalesce)
+  size_t ops_popped = 0;       ///< queue elements consumed (pre-coalesce)
+  size_t depth_after = 0;      ///< queue depth left behind
+  double oldest_wait_ms = 0.0; ///< queue wait of the oldest popped op
+};
+
+/// See file comment.
+class UpdateStream {
+ public:
+  explicit UpdateStream(UpdateStreamOptions opts = {});
+
+  UpdateStream(const UpdateStream&) = delete;
+  UpdateStream& operator=(const UpdateStream&) = delete;
+
+  /// Enqueues `op`, blocking while the queue is at capacity. Returns the
+  /// assigned (1-based, strictly increasing) timestamp, or 0 if the stream
+  /// was closed.
+  uint64_t Push(EdgeUpdate op);
+
+  /// Non-blocking Push: fails (returns 0) when the queue is full or the
+  /// stream is closed; `*full` distinguishes the two when non-null.
+  uint64_t TryPush(EdgeUpdate op, bool* full = nullptr);
+
+  /// Stops accepting ops (Push returns 0 from now on) and wakes a blocked
+  /// Drain so the consumer can finish the remainder. Idempotent.
+  void Close();
+
+  bool closed() const;
+
+  /// Consumer side (single-threaded): blocks until at least one op is
+  /// queued or the stream is closed; pops up to `max_ops` ops, coalesces
+  /// them per edge (last op wins), and fills `*out`. Returns false — with
+  /// an empty `out->batch` — only when the stream is closed and empty.
+  bool Drain(size_t max_ops, StreamDrainResult* out);
+
+  /// Last timestamp assigned by Push (0 before the first op): the quiesce
+  /// watermark FlushAndWait targets.
+  uint64_t last_assigned_ts() const;
+
+  size_t depth() const;
+
+  /// Enqueue-side counters: ops accepted so far and the depth high-water
+  /// mark (the applier folds these into its per-batch deltas).
+  size_t ops_accepted() const;
+  size_t max_depth() const;
+
+  /// Last-op-wins canonicalization, exposed for oracles and the applier
+  /// alike: keeps, for every (u, v), only the op appearing last in `ops`.
+  /// The result carries at most one op per edge, so applying it as a single
+  /// set-semantics batch reproduces the sequential application of `ops`.
+  static std::vector<EdgeUpdate> Coalesce(const std::vector<EdgeUpdate>& ops);
+
+ private:
+  struct Element {
+    EdgeUpdate op;
+    uint64_t ts;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  UpdateStreamOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Element> queue_;
+  uint64_t next_ts_ = 1;
+  size_t ops_accepted_ = 0;
+  size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_STREAM_UPDATE_STREAM_H_

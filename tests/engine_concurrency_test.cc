@@ -3,17 +3,28 @@
 /// a shared (and deliberately tight) view cache. Asserts no lost results —
 /// every submitted query returns and returns the *right* answer — and that
 /// the cache's eviction/byte accounting stays consistent throughout.
+///
+/// The update-racing and streaming suites run on the deterministic-schedule
+/// harness in test_util.h (ScheduleDriver: logical ops released one at a
+/// time in a seed-determined order; PhaseBarrier: free-running threads
+/// pinned to a known phase structure). A failing schedule logs its seed —
+/// re-run with GPMV_STRESS_SEED=<seed> to replay it (docs/TESTING.md).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/query_engine.h"
 #include "pattern/pattern_builder.h"
 #include "simulation/bounded.h"
+#include "stream/stream_applier.h"
+#include "stream/update_stream.h"
+#include "test_util.h"
 #include "workload/graph_gen.h"
 #include "workload/pattern_gen.h"
 
@@ -34,8 +45,11 @@ StressFixture MakeStressFixture() {
   go.num_labels = 6;
   go.seed = 2026;
   f.graph = GenerateRandomGraph(go);
-  // Two extra nodes whose label no pattern uses: update batches toggle an
-  // edge between them without disturbing any query's answer.
+  // Four extra nodes whose label no pattern uses: update batches and
+  // streamed ops toggle edges among them without disturbing any query's
+  // answer.
+  f.graph.AddNode("UPD");
+  f.graph.AddNode("UPD");
   f.graph.AddNode("UPD");
   f.graph.AddNode("UPD");
 
@@ -154,14 +168,7 @@ TEST(EngineConcurrencyTest, TinyBudgetEvictionChurnStaysConsistent) {
   EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
 }
 
-TEST(EngineConcurrencyTest, QueriesRaceUpdateBatchesSafely) {
-  StressFixture f = MakeStressFixture();
-  const NodeId upd_a = static_cast<NodeId>(f.graph.num_nodes() - 2);
-  const NodeId upd_b = static_cast<NodeId>(f.graph.num_nodes() - 1);
-
-  EngineOptions opts;
-  opts.pool.num_threads = 6;
-  QueryEngine engine(f.graph, opts);
+void RegisterCoveringViews(QueryEngine* engine, const StressFixture& f) {
   for (size_t i = 0; i < f.patterns.size(); i += 2) {
     CoveringViewOptions co;
     co.edges_per_view = 2;
@@ -169,40 +176,233 @@ TEST(EngineConcurrencyTest, QueriesRaceUpdateBatchesSafely) {
     co.seed = 100 + i;
     ViewSet cover = GenerateCoveringViews(f.patterns[i], co);
     for (const ViewDefinition& def : cover.views()) {
-      ASSERT_TRUE(
-          engine.RegisterView(def.name + "_q" + std::to_string(i),
-                              def.pattern)
-              .ok());
+      ASSERT_TRUE(engine
+                      ->RegisterView(def.name + "_q" + std::to_string(i),
+                                     def.pattern)
+                      .ok());
     }
   }
+}
 
-  constexpr int kQueries = 80;
-  std::vector<std::future<QueryResponse>> futures;
-  for (int i = 0; i < kQueries; ++i) {
-    auto fut = engine.Submit(f.patterns[i % f.patterns.size()]);
-    ASSERT_TRUE(fut.ok());
-    futures.push_back(std::move(*fut));
-    if (i % 10 == 5) {
-      // Toggle an edge between the UPD nodes: exercises the full update +
-      // maintenance path concurrently with in-flight queries, without
-      // changing any query's answer (no pattern uses the UPD label).
-      ASSERT_TRUE(
-          engine.ApplyUpdates({EdgeUpdate::Insert(upd_a, upd_b)}).ok());
-      ASSERT_TRUE(
-          engine.ApplyUpdates({EdgeUpdate::Delete(upd_a, upd_b)}).ok());
+TEST(EngineConcurrencyTest, QueriesRaceUpdateBatchesSafely) {
+  // Seeded-schedule port of the old ad-hoc interleaving: four submitter
+  // workers and one update worker, their logical steps released in a
+  // seed-determined order by the ScheduleDriver, so the submit/update
+  // interleaving reproduces exactly from the logged seed (query execution
+  // itself still races on the engine's worker pool underneath).
+  StressFixture f = MakeStressFixture();
+  const NodeId upd_a = static_cast<NodeId>(f.graph.num_nodes() - 2);
+  const NodeId upd_b = static_cast<NodeId>(f.graph.num_nodes() - 1);
+
+  for (uint64_t seed : testutil::StressSeeds({1, 2, 3})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EngineOptions opts;
+    opts.pool.num_threads = 6;
+    QueryEngine engine(f.graph, opts);
+    RegisterCoveringViews(&engine, f);
+
+    constexpr size_t kSubmitters = 4;
+    constexpr size_t kQueriesPerSubmitter = 20;
+    constexpr size_t kBatchesPerToggle = 8;
+    std::vector<std::vector<std::future<QueryResponse>>> futures(kSubmitters);
+    std::vector<std::vector<size_t>> pattern_ids(kSubmitters);
+
+    testutil::ScheduleDriver driver(seed);
+    for (size_t w = 0; w < kSubmitters; ++w) {
+      driver.AddWorker([&, w](size_t step) {
+        const size_t pid = (w + step * kSubmitters) % f.patterns.size();
+        auto fut = engine.Submit(f.patterns[pid]);
+        EXPECT_TRUE(fut.ok());
+        if (fut.ok()) {
+          futures[w].push_back(std::move(*fut));
+          pattern_ids[w].push_back(pid);
+        }
+        return step + 1 < kQueriesPerSubmitter;
+      });
     }
+    driver.AddWorker([&](size_t step) {
+      // Toggle an edge between the UPD nodes: the full update + maintenance
+      // path racing in-flight queries, without changing any query's answer
+      // (no pattern uses the UPD label).
+      EXPECT_TRUE(engine
+                      .ApplyUpdates({step % 2 == 0
+                                         ? EdgeUpdate::Insert(upd_a, upd_b)
+                                         : EdgeUpdate::Delete(upd_a, upd_b)})
+                      .ok());
+      return step + 1 < 2 * kBatchesPerToggle;
+    });
+    driver.Run();
+
+    for (size_t w = 0; w < kSubmitters; ++w) {
+      ASSERT_EQ(futures[w].size(), kQueriesPerSubmitter);
+      for (size_t i = 0; i < futures[w].size(); ++i) {
+        QueryResponse resp = futures[w][i].get();
+        ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+        resp.result.Normalize();
+        EXPECT_TRUE(resp.result == f.expected[pattern_ids[w][i]])
+            << "worker " << w << " query " << i
+            << " diverged after racing update batches";
+      }
+    }
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.update_batches, 2 * kBatchesPerToggle);
+    EXPECT_EQ(stats.queries, kSubmitters * kQueriesPerSubmitter);
+    CheckAccounting(stats.cache);
+    EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
   }
-  for (int i = 0; i < kQueries; ++i) {
-    QueryResponse resp = futures[i].get();
-    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
-    resp.result.Normalize();
-    EXPECT_TRUE(resp.result == f.expected[i % f.patterns.size()])
-        << "query " << i << " diverged after racing update batches";
+}
+
+TEST(EngineConcurrencyTest, StreamingIngestionRacesQueries) {
+  // Free-running stress with a pinned phase structure: two producers
+  // streaming UPD-edge toggles, two query threads asserting per-thread
+  // monotone snapshot versions and applied-through watermarks, one stats
+  // reader asserting cross-counter invariants on every snapshot it takes
+  // (the torn-read detector: stream deltas merge as one unit per batch).
+  StressFixture f = MakeStressFixture();
+  const NodeId n = static_cast<NodeId>(f.graph.num_nodes());
+
+  for (uint64_t seed : testutil::StressSeeds({5, 6})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EngineOptions opts;
+    opts.pool.num_threads = 4;
+    QueryEngine engine(f.graph, opts);
+    RegisterCoveringViews(&engine, f);
+
+    UpdateStream stream;
+    StreamApplierOptions ao;
+    ao.max_batch = 16;
+    StreamApplier applier(&engine, &stream, ao);
+
+    constexpr size_t kProducers = 2;
+    constexpr size_t kOpsPerProducer = 61;  // odd toggle count: ends inserted
+    constexpr size_t kQueryThreads = 2;
+    // Start barrier: every racing thread (plus this one) enters the race
+    // window together instead of relying on spawn-order luck.
+    testutil::PhaseBarrier barrier(kProducers + kQueryThreads + 2);
+    std::atomic<bool> producers_done{false};
+    std::vector<std::thread> threads;
+
+    for (size_t p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        // Each producer owns one UPD edge, so the final graph is
+        // deterministic regardless of cross-producer interleaving.
+        const NodeId u = static_cast<NodeId>(n - 4 + 2 * p);
+        const NodeId v = static_cast<NodeId>(n - 4 + 2 * p + 1);
+        barrier.Arrive();
+        for (size_t i = 0; i < kOpsPerProducer; ++i) {
+          EXPECT_NE(stream.Push(i % 2 == 0 ? EdgeUpdate::Insert(u, v)
+                                           : EdgeUpdate::Delete(u, v)),
+                    0u);
+        }
+      });
+    }
+    for (size_t q = 0; q < kQueryThreads; ++q) {
+      threads.emplace_back([&, q] {
+        Rng rng(seed * 100 + q);
+        uint64_t last_version = 0;
+        uint64_t last_watermark = 0;
+        barrier.Arrive();
+        while (!producers_done.load(std::memory_order_acquire)) {
+          const size_t pid = rng.NextBounded(f.patterns.size());
+          QueryResponse resp = engine.Query(f.patterns[pid]);
+          EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+          if (!resp.status.ok()) break;
+          resp.result.Normalize();
+          EXPECT_TRUE(resp.result == f.expected[pid])
+              << "query diverged while racing streamed ingestion";
+          // Published snapshots only ever move forward.
+          EXPECT_GE(resp.snapshot_version, last_version);
+          EXPECT_GE(resp.applied_through_ts, last_watermark);
+          last_version = resp.snapshot_version;
+          last_watermark = resp.applied_through_ts;
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      barrier.Arrive();
+      while (!producers_done.load(std::memory_order_acquire)) {
+        EngineStats s = engine.stats();
+        // Per-batch deltas merge atomically: these invariants must hold in
+        // *every* observed snapshot, torn reads would break them.
+        EXPECT_EQ(s.stream.ops_ingested, s.stream.ops_applied +
+                                             s.stream.ops_coalesced +
+                                             s.stream.ops_dropped);
+        size_t hist = 0;
+        for (size_t b = 0; b < kStreamBatchBuckets; ++b) {
+          hist += s.stream.batch_size_hist[b];
+        }
+        EXPECT_EQ(hist, s.stream.batches_applied);
+        EXPECT_LE(s.stream.applied_through_ts,
+                  kProducers * kOpsPerProducer);
+        EXPECT_GE(s.pool.submitted, s.pool.executed);
+        std::this_thread::yield();
+      }
+    });
+
+    barrier.Arrive();  // everyone starts racing together
+    // Producers run to completion, then the stream quiesces before the
+    // racing readers stop (so they observe the tail of ingestion too).
+    for (size_t p = 0; p < kProducers; ++p) threads[p].join();
+    ASSERT_TRUE(applier.FlushAndWait().ok());
+    producers_done.store(true, std::memory_order_release);
+    for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+    ASSERT_TRUE(applier.Stop().ok());
+    // Both producer edges end inserted (odd toggle counts): deterministic
+    // final graph, exact stream totals, watermark == total ops.
+    EXPECT_EQ(engine.num_graph_edges(), f.graph.num_edges() + 2);
+    EngineStats s = engine.stats();
+    EXPECT_EQ(s.stream.ops_ingested, kProducers * kOpsPerProducer);
+    EXPECT_EQ(s.stream.ops_dropped, 0u);
+    EXPECT_EQ(s.stream.applied_through_ts, kProducers * kOpsPerProducer);
+    EXPECT_EQ(engine.applied_through_ts(), kProducers * kOpsPerProducer);
+    CheckAccounting(s.cache);
+    EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
   }
-  EngineStats stats = engine.stats();
-  EXPECT_EQ(stats.update_batches, 16u);
-  CheckAccounting(stats.cache);
-  EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
+}
+
+TEST(EngineConcurrencyTest, PhaseBarrierReleasesAllParticipantsTogether) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPhases = 5;
+  testutil::PhaseBarrier barrier(kThreads);
+  std::atomic<size_t> in_phase{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t phase = 0; phase < kPhases; ++phase) {
+        barrier.Arrive();
+        // Everyone is in the same phase window between two barriers.
+        in_phase.fetch_add(1, std::memory_order_relaxed);
+        barrier.Arrive();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(in_phase.load(), kThreads * kPhases);
+}
+
+TEST(EngineConcurrencyTest, ScheduleDriverReplaysSeedDeterministically) {
+  // The driver's whole point: the same seed yields the same interleaving.
+  auto run = [](uint64_t seed) {
+    std::vector<int> order;
+    std::mutex mu;
+    testutil::ScheduleDriver driver(seed);
+    for (int w = 0; w < 3; ++w) {
+      driver.AddWorker([&, w](size_t step) {
+        std::lock_guard<std::mutex> lk(mu);
+        order.push_back(w);
+        return step + 1 < 4;
+      });
+    }
+    driver.Run();
+    return order;
+  };
+  const std::vector<int> a = run(42);
+  const std::vector<int> b = run(42);
+  const std::vector<int> c = run(43);
+  EXPECT_EQ(a.size(), 12u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, different schedule (for these seeds)
 }
 
 }  // namespace

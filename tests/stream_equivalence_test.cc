@@ -1,0 +1,252 @@
+/// \file stream_equivalence_test.cc
+/// \brief The streaming-vs-batch equivalence oracle: randomized op streams
+/// (inserts/deletes/mixed, with duplicate and contradicting ops on the same
+/// edge) fed through UpdateStream + StreamApplier must leave the engine —
+/// final Q(G) for every probe pattern AND the cached-view extensions the
+/// plans read — bit-identical to the same ops applied through two oracles:
+///
+///  * the *single-batch* oracle: the stream's last-op-wins canonical batch
+///    (UpdateStream::Coalesce) applied as one ApplyUpdates call — the
+///    canonicalization is part of the stream contract, because a raw
+///    contradicting op list applied as one set-semantics batch (deletions
+///    before insertions) would resurrect edges the stream order deletes;
+///  * the *per-op* oracle: every raw op applied as its own singleton batch,
+///    in timestamp order — pure sequential semantics, no canonicalization.
+///
+/// The whole matrix runs across delta maintenance on/off × sharding
+/// K ∈ {1, 4}, so the streamed path is pinned against every update-path
+/// configuration the engine has. FlushAndWait quiesces the applier before
+/// each comparison, which is what makes the checks deterministic.
+///
+/// Seeds come from testutil::StressSeeds — reproduce a CI failure with
+/// GPMV_STRESS_SEED=<logged seed> (docs/TESTING.md).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/query_engine.h"
+#include "stream/stream_applier.h"
+#include "stream/update_stream.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+#include "workload/pattern_gen.h"
+
+namespace gpmv {
+namespace {
+
+struct EquivalenceFixture {
+  Graph graph;
+  std::vector<Pattern> probes;  ///< random query patterns
+  ViewSet views;                ///< registered on every engine
+};
+
+EquivalenceFixture MakeFixture(uint64_t seed) {
+  EquivalenceFixture f;
+  RandomGraphOptions go;
+  go.num_nodes = 600;
+  go.num_edges = 2000;
+  go.num_labels = 6;
+  go.seed = 7000 + seed;
+  f.graph = GenerateRandomGraph(go);
+
+  for (uint64_t i = 1; i <= 4; ++i) {
+    RandomPatternOptions po;
+    po.num_nodes = 3 + i % 2;
+    po.num_edges = po.num_nodes;
+    po.label_pool = SyntheticLabels(6);
+    po.seed = 40 * seed + i;
+    f.probes.push_back(GenerateRandomPattern(po));
+  }
+  // Covering views for half the probes: their plans read cached extensions,
+  // so the comparison exercises maintained-view state, not just the graph.
+  for (size_t i = 0; i < f.probes.size(); i += 2) {
+    CoveringViewOptions co;
+    co.edges_per_view = 2;
+    co.num_distractors = 0;
+    co.seed = 500 + i;
+    ViewSet cover = GenerateCoveringViews(f.probes[i], co);
+    for (const ViewDefinition& def : cover.views()) {
+      f.views.Add(ViewDefinition{def.name + "_q" + std::to_string(i),
+                                 def.pattern});
+    }
+  }
+  return f;
+}
+
+/// Random op stream with deliberate duplicate and contradicting ops: a
+/// quarter of the ops land on a small "hot" set of node pairs, so the same
+/// edge sees insert/delete churn within and across micro-batches.
+std::vector<EdgeUpdate> MakeOps(const Graph& g, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(g.num_nodes());
+  const NodeId hot = std::max<NodeId>(4, n / 100);
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const bool hot_pair = rng.NextBounded(4) == 0;
+    const NodeId span = hot_pair ? hot : n;
+    NodeId u = static_cast<NodeId>(rng.NextBounded(span));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(span));
+    if (u == v) v = (v + 1) % span;
+    ops.push_back(rng.NextBounded(2) == 0 ? EdgeUpdate::Insert(u, v)
+                                          : EdgeUpdate::Delete(u, v));
+  }
+  return ops;
+}
+
+std::unique_ptr<QueryEngine> MakeEngine(const EquivalenceFixture& f,
+                                        bool enable_delta, uint32_t shards) {
+  EngineOptions opts;
+  opts.pool.num_threads = 2;
+  opts.maintenance.enable_delta = enable_delta;
+  opts.sharding.num_shards = shards;
+  opts.result_cache.budget_bytes = 0;  // compare evaluations, not memo hits
+  auto engine = std::make_unique<QueryEngine>(f.graph, opts);
+  for (const ViewDefinition& def : f.views.views()) {
+    EXPECT_TRUE(engine->RegisterView(def.name, def.pattern).ok());
+  }
+  EXPECT_TRUE(engine->WarmViews().ok());  // maintenance has state to keep fresh
+  return engine;
+}
+
+/// Probe + view-pattern answers, normalized; view patterns double as an
+/// extension probe (their plans read the cached extension bit-for-bit).
+std::vector<MatchResult> Answers(QueryEngine* engine,
+                                 const EquivalenceFixture& f) {
+  std::vector<MatchResult> out;
+  for (const Pattern& q : f.probes) {
+    QueryResponse resp = engine->Query(q);
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    out.push_back(std::move(resp.result));
+  }
+  for (const ViewDefinition& def : f.views.views()) {
+    QueryResponse resp = engine->Query(def.pattern);
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    out.push_back(std::move(resp.result));
+  }
+  return out;
+}
+
+class StreamEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, uint32_t>> {
+ protected:
+  bool enable_delta() const { return std::get<0>(GetParam()); }
+  uint32_t shards() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(StreamEquivalenceTest, StreamedMatchesBatchAndPerOpOracles) {
+  for (uint64_t seed : testutil::StressSeeds({11, 12, 13})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EquivalenceFixture f = MakeFixture(seed);
+    const std::vector<EdgeUpdate> ops = MakeOps(f.graph, 240, 9000 + seed);
+
+    // Streamed: through the queue + applier, in micro-batches.
+    std::unique_ptr<QueryEngine> streamed =
+        MakeEngine(f, enable_delta(), shards());
+    {
+      UpdateStream stream;
+      StreamApplierOptions ao;
+      ao.max_batch = 16;  // several micro-batches per stream
+      StreamApplier applier(streamed.get(), &stream, ao);
+      for (const EdgeUpdate& op : ops) ASSERT_NE(stream.Push(op), 0u);
+      ASSERT_TRUE(applier.FlushAndWait().ok());
+      ASSERT_TRUE(applier.Stop().ok());
+    }
+
+    // Oracle 1: canonical last-op-wins batch, applied in one call.
+    std::unique_ptr<QueryEngine> batched =
+        MakeEngine(f, enable_delta(), shards());
+    ASSERT_TRUE(batched->ApplyUpdates(UpdateStream::Coalesce(ops)).ok());
+
+    // Oracle 2: raw sequential singleton batches.
+    std::unique_ptr<QueryEngine> per_op =
+        MakeEngine(f, enable_delta(), shards());
+    for (const EdgeUpdate& op : ops) {
+      ASSERT_TRUE(per_op->ApplyUpdates({op}).ok());
+    }
+
+    EXPECT_EQ(streamed->num_graph_edges(), batched->num_graph_edges());
+    EXPECT_EQ(streamed->num_graph_edges(), per_op->num_graph_edges());
+
+    const std::vector<MatchResult> sa = Answers(streamed.get(), f);
+    const std::vector<MatchResult> ba = Answers(batched.get(), f);
+    const std::vector<MatchResult> pa = Answers(per_op.get(), f);
+    ASSERT_EQ(sa.size(), ba.size());
+    ASSERT_EQ(sa.size(), pa.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_TRUE(sa[i] == ba[i])
+          << "streamed diverged from single-batch oracle on answer " << i;
+      EXPECT_TRUE(sa[i] == pa[i])
+          << "streamed diverged from per-op oracle on answer " << i;
+    }
+    EXPECT_TRUE(streamed->CheckCacheConsistency(/*expect_unpinned=*/true));
+
+    // The stream saw every op exactly once, and nothing was dropped.
+    EngineStats s = streamed->stats();
+    EXPECT_EQ(s.stream.ops_ingested, ops.size());
+    EXPECT_EQ(s.stream.ops_dropped, 0u);
+    EXPECT_EQ(s.stream.ops_ingested,
+              s.stream.ops_applied + s.stream.ops_coalesced);
+    EXPECT_EQ(s.stream.applied_through_ts, ops.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeltaByShards, StreamEquivalenceTest,
+    ::testing::Combine(::testing::Values(false, true),
+                       ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, uint32_t>>& info) {
+      return std::string(std::get<0>(info.param) ? "delta" : "nodelta") +
+             "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(StreamQuiesceTest, FlushBoundariesGiveDeterministicIntermediateStates) {
+  EquivalenceFixture f = MakeFixture(21);
+  const std::vector<EdgeUpdate> ops = MakeOps(f.graph, 120, 777);
+
+  // Stream in two halves with a flush between; an engine fed the same two
+  // halves as plain batches must agree at BOTH boundaries — the quiesce
+  // point is a real consistent cut, not just an eventual state.
+  std::unique_ptr<QueryEngine> streamed = MakeEngine(f, true, 1);
+  std::unique_ptr<QueryEngine> oracle = MakeEngine(f, true, 1);
+  UpdateStream stream;
+  StreamApplier applier(streamed.get(), &stream, {});
+
+  const size_t half = ops.size() / 2;
+  std::vector<EdgeUpdate> first(ops.begin(), ops.begin() + half);
+  std::vector<EdgeUpdate> second(ops.begin() + half, ops.end());
+
+  for (const EdgeUpdate& op : first) ASSERT_NE(stream.Push(op), 0u);
+  ASSERT_TRUE(applier.FlushAndWait().ok());
+  ASSERT_TRUE(oracle->ApplyUpdates(UpdateStream::Coalesce(first)).ok());
+  EXPECT_EQ(Answers(streamed.get(), f).size(), Answers(oracle.get(), f).size());
+  {
+    const std::vector<MatchResult> sa = Answers(streamed.get(), f);
+    const std::vector<MatchResult> oa = Answers(oracle.get(), f);
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_TRUE(sa[i] == oa[i]) << "mid-stream cut diverged at " << i;
+    }
+  }
+
+  for (const EdgeUpdate& op : second) ASSERT_NE(stream.Push(op), 0u);
+  ASSERT_TRUE(applier.FlushAndWait().ok());
+  ASSERT_TRUE(oracle->ApplyUpdates(UpdateStream::Coalesce(second)).ok());
+  {
+    const std::vector<MatchResult> sa = Answers(streamed.get(), f);
+    const std::vector<MatchResult> oa = Answers(oracle.get(), f);
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_TRUE(sa[i] == oa[i]) << "final state diverged at " << i;
+    }
+  }
+  ASSERT_TRUE(applier.Stop().ok());
+}
+
+}  // namespace
+}  // namespace gpmv

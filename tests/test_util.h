@@ -1,14 +1,29 @@
 /// \file test_util.h
 /// \brief Shared helpers for the gpmv test suite: a brute-force simulation
-/// oracle, match-set expectation helpers, and small graph builders.
+/// oracle, match-set expectation helpers, small graph builders, and the
+/// deterministic-schedule concurrency harness (PhaseBarrier +
+/// ScheduleDriver + seed plumbing) the stress suites run on.
+///
+/// Reproducing a seeded stress failure: every randomized/stress test logs
+/// its seed through SCOPED_TRACE (look for `seed=N` in the failure output)
+/// and draws it from StressSeeds(); re-run the failing test binary with
+/// GPMV_STRESS_SEED=N to pin the harness to exactly that schedule/stream.
+/// docs/TESTING.md walks through the workflow.
 
 #ifndef GPMV_TESTS_TEST_UTIL_H_
 #define GPMV_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "graph/graph.h"
 #include "graph/traversal.h"
 #include "pattern/pattern.h"
@@ -122,6 +137,143 @@ inline Pattern ChainPattern(const std::vector<std::string>& labels) {
   }
   return p;
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic-schedule concurrency harness
+// ---------------------------------------------------------------------------
+
+/// Seeds for a randomized/stress test: the given defaults, unless the
+/// GPMV_STRESS_SEED environment variable pins a single seed (the reproduce-
+/// from-CI-logs knob; see the file comment).
+inline std::vector<uint64_t> StressSeeds(std::vector<uint64_t> defaults) {
+  const char* env = std::getenv("GPMV_STRESS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return defaults;
+}
+
+/// Reusable phase barrier: `participants` threads call Arrive() to enter
+/// the next phase together; nobody proceeds until everyone arrived. Used to
+/// pin stress tests to a known structure (e.g. "all producers and all
+/// readers start racing at once, then all quiesce before verification")
+/// instead of relying on spawn-order luck.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(size_t participants) : participants_(participants) {}
+
+  void Arrive() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const uint64_t gen = generation_;
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const size_t participants_;
+  size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Seeded interleaving driver: N logical workers, each a step function
+/// `bool step(size_t k)` (return false when out of work). The driver runs
+/// every worker on its own thread but releases exactly one step at a time,
+/// picking the next worker from a seeded RNG — so the *interleaving of
+/// logical operations* (submits, update batches, stats reads, stream
+/// pushes) is a pure function of the seed and reproduces exactly, while
+/// whatever each step triggers inside the engine (worker pools, the stream
+/// applier) still runs genuinely concurrently underneath. A failing
+/// schedule replays from its logged seed (StressSeeds + GPMV_STRESS_SEED).
+class ScheduleDriver {
+ public:
+  explicit ScheduleDriver(uint64_t seed) : rng_(seed) {}
+
+  /// Registers a worker; call before Run(). Returns its index.
+  size_t AddWorker(std::function<bool(size_t)> step_fn) {
+    workers_.push_back(Worker{std::move(step_fn), 0, false});
+    return workers_.size() - 1;
+  }
+
+  /// Runs the schedule to completion (every worker returned false).
+  void Run() {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      threads.emplace_back([this, i] { WorkerLoop(i); });
+    }
+    std::vector<size_t> live;
+    for (size_t i = 0; i < workers_.size(); ++i) live.push_back(i);
+    while (!live.empty()) {
+      const size_t pick = static_cast<size_t>(rng_.NextBounded(live.size()));
+      const size_t w = live[pick];
+      bool more;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        current_ = static_cast<long>(w);
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return current_ == kNone; });
+        more = !workers_[w].done;
+      }
+      if (!more) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      finished_ = true;
+      cv_.notify_all();
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+ private:
+  static constexpr long kNone = -1;
+
+  struct Worker {
+    std::function<bool(size_t)> step;
+    size_t steps_run;
+    bool done;
+  };
+
+  void WorkerLoop(size_t w) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+          return finished_ || current_ == static_cast<long>(w);
+        });
+        if (finished_) return;
+      }
+      // Run the step outside the driver lock: the step may block on engine
+      // internals (queue backpressure, futures) without wedging the driver.
+      Worker& worker = workers_[w];
+      const bool more = !worker.done && worker.step(worker.steps_run);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++worker.steps_run;
+        if (!more) worker.done = true;
+        current_ = kNone;
+        cv_.notify_all();
+      }
+      if (!more) return;
+    }
+  }
+
+  Rng rng_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Worker> workers_;
+  long current_ = kNone;
+  bool finished_ = false;
+};
 
 }  // namespace testutil
 }  // namespace gpmv

@@ -13,6 +13,7 @@
 ///                  [--cache-mb M] [--result-cache-mb M] [--warm]
 ///                  [--advise K] [--updates <file>] [--no-delta]
 ///                  [--shards K] [--hash-shards]
+///                  [--stream <file>] [--stream-rate N] [--max-lag-ms M]
 ///
 /// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
 /// view_io.h. `serve` runs a query file (view-set format: `view <name>`
@@ -26,7 +27,20 @@
 /// per-shard CSR partitions (shard/sharded_snapshot.h) and fans
 /// graph-walking plans out across them (`--hash-shards` selects the hash
 /// edge-cut instead of degree-balanced ranges).
+///
+/// `--stream <file>` ingests the same update-file format *concurrently*
+/// with the queries instead of as one stop-the-world batch: a producer
+/// thread pushes the ops through the bounded UpdateStream and the
+/// background StreamApplier drains them into adaptive micro-batches
+/// (stream/stream_applier.h), so queries keep executing while edges land.
+/// `--stream-rate N` paces the producer at N ops/sec (0 = full speed);
+/// `--max-lag-ms M` bounds the applier's adaptive batching (an apply
+/// slower than M halves the next micro-batch). The run quiesces with
+/// FlushAndWait before the final report and prints the stream counters
+/// (ingested/coalesced ops, micro-batches, queue depth, publish lag,
+/// applied-through watermark).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,10 +49,13 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
+#include "stream/stream_applier.h"
+#include "stream/update_stream.h"
 #include "core/containment.h"
 #include "core/match_join.h"
 #include "core/rewriting.h"
@@ -71,7 +88,9 @@ int Usage() {
       "  gpmv_cli serve <graph> <queries> [--views <views>] [--threads N]\n"
       "                 [--cache-mb M] [--result-cache-mb M] [--warm]\n"
       "                 [--advise K] [--updates <file>] [--no-delta]\n"
-      "                 [--shards K] [--hash-shards]\n");
+      "                 [--shards K] [--hash-shards]\n"
+      "                 [--stream <file>] [--stream-rate N] "
+      "[--max-lag-ms M]\n");
   return 2;
 }
 
@@ -113,9 +132,11 @@ bool NumericFlag(const std::vector<std::string>& args, const char* flag,
 /// flag actually has a value (a trailing `--updates` would otherwise be
 /// silently treated as absent).
 bool ValidateServeFlags(const std::vector<std::string>& args) {
-  static const char* kValueFlags[] = {"--views",  "--threads",
-                                      "--cache-mb", "--result-cache-mb",
-                                      "--advise",  "--updates", "--shards"};
+  static const char* kValueFlags[] = {"--views",       "--threads",
+                                      "--cache-mb",    "--result-cache-mb",
+                                      "--advise",      "--updates",
+                                      "--shards",      "--stream",
+                                      "--stream-rate", "--max-lag-ms"};
   for (size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--warm" || a == "--hash-shards" || a == "--no-delta") continue;
@@ -450,6 +471,23 @@ int CmdServe(const std::vector<std::string>& args) {
     if (!Load(std::move(up), "updates", &updates)) return 1;
   }
 
+  std::vector<EdgeUpdate> stream_ops;
+  const std::string stream_path = FlagValue(args, "--stream");
+  size_t stream_rate = 0, max_lag_ms = 0;
+  if (!NumericFlag(args, "--stream-rate", 0, &stream_rate) ||
+      !NumericFlag(args, "--max-lag-ms", 20, &max_lag_ms)) {
+    return Usage();
+  }
+  if (!stream_path.empty()) {
+    if (!updates_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --updates and --stream are mutually exclusive\n");
+      return 1;
+    }
+    Result<std::vector<EdgeUpdate>> up = ReadUpdatesFile(stream_path);
+    if (!Load(std::move(up), "stream", &stream_ops)) return 1;
+  }
+
   std::printf("serving %zu queries on %zu nodes / %zu edges, %zu views, "
               "%zu workers\n",
               queries.card(), engine.num_graph_nodes(),
@@ -464,13 +502,53 @@ int CmdServe(const std::vector<std::string>& args) {
                 ss->total_replicas(), ss->ApproxBytes());
   }
   Stopwatch wall;
+
+  // Concurrent streamed ingestion: producer thread pushes the op file
+  // through the bounded queue (optionally paced) while the query loop
+  // below submits; the applier drains micro-batches in the background.
+  std::unique_ptr<UpdateStream> stream;
+  std::unique_ptr<StreamApplier> applier;
+  std::thread producer;
+  if (!stream_ops.empty()) {
+    stream = std::make_unique<UpdateStream>();
+    StreamApplierOptions ao;
+    ao.max_lag_ms = static_cast<double>(max_lag_ms);
+    applier = std::make_unique<StreamApplier>(&engine, stream.get(), ao);
+    producer = std::thread([&stream, &stream_ops, stream_rate] {
+      using clock = std::chrono::steady_clock;
+      const clock::time_point start = clock::now();
+      for (size_t i = 0; i < stream_ops.size(); ++i) {
+        if (stream_rate > 0) {
+          // Pace against the global schedule (not per-op sleeps), so slow
+          // pushes don't accumulate drift.
+          const auto due =
+              start + std::chrono::microseconds(1000000 * i / stream_rate);
+          std::this_thread::sleep_until(due);
+        }
+        if (stream->Push(stream_ops[i]) == 0) return;  // stream closed
+      }
+    });
+  }
+
+  // Any early return below must first close the stream and join the
+  // producer — destroying a joinable std::thread terminates the process.
+  auto abandon_stream = [&] {
+    if (producer.joinable()) {
+      stream->Close();  // wakes a Push blocked on backpressure
+      producer.join();
+    }
+  };
+
   std::vector<std::future<QueryResponse>> futures;
   futures.reserve(queries.card());
   if (queries.card() == 0 && !updates.empty()) {
     Status st = engine.ApplyUpdates(updates);
     std::printf("-- applied %zu updates: %s\n", updates.size(),
                 st.ok() ? "ok" : st.ToString().c_str());
-    if (!st.ok()) return 1;
+    if (!st.ok()) {
+      abandon_stream();
+      return 1;
+    }
   }
   const size_t update_at = queries.card() / 2;
   for (size_t i = 0; i < queries.card(); ++i) {
@@ -481,15 +559,32 @@ int CmdServe(const std::vector<std::string>& args) {
       Status st = engine.ApplyUpdates(updates);
       std::printf("-- applied %zu updates: %s\n", updates.size(),
                   st.ok() ? "ok" : st.ToString().c_str());
-      if (!st.ok()) return 1;
+      if (!st.ok()) {
+        abandon_stream();
+        return 1;
+      }
     }
     Result<std::future<QueryResponse>> fut =
         engine.Submit(queries.view(i).pattern);
     if (!fut.ok()) {
       std::fprintf(stderr, "submit: %s\n", fut.status().ToString().c_str());
+      abandon_stream();
       return 1;
     }
     futures.push_back(std::move(*fut));
+  }
+  if (producer.joinable()) {
+    // Quiesce: every streamed op applied and published before the final
+    // report (queries above may or may not have seen the tail — that is
+    // the bounded-staleness contract; the watermark line below says how
+    // far reads could lag).
+    producer.join();
+    Status st = applier->FlushAndWait();
+    std::printf("-- stream quiesced: %zu ops through ts %llu: %s\n",
+                stream_ops.size(),
+                static_cast<unsigned long long>(engine.applied_through_ts()),
+                st.ok() ? "ok" : st.ToString().c_str());
+    if (!st.ok()) return 1;
   }
   size_t failed = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
@@ -545,6 +640,21 @@ int CmdServe(const std::vector<std::string>& args) {
       s.delta.delta_relation_added, s.delta.delta_matches_added,
       s.sharded_queries, s.shard_fallbacks,
       s.shard.rounds, s.shard.messages, s.slices_rebuilt, s.slices_reused);
+  if (!stream_ops.empty()) {
+    std::printf(
+        "stream: ingested=%zu applied=%zu coalesced=%zu batches=%zu "
+        "max_batch=%zu queue_max=%zu publish_lag avg %.2fms max %.2fms "
+        "applied_through=%llu\n",
+        s.stream.ops_ingested, s.stream.ops_applied, s.stream.ops_coalesced,
+        s.stream.batches_applied, s.stream.max_batch_size,
+        s.stream.max_queue_depth,
+        s.stream.batches_applied == 0
+            ? 0.0
+            : s.stream.publish_lag_ms_total /
+                  static_cast<double>(s.stream.batches_applied),
+        s.stream.publish_lag_ms_max,
+        static_cast<unsigned long long>(s.stream.applied_through_ts));
+  }
   return failed == 0 ? 0 : 1;
 }
 

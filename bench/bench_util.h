@@ -139,17 +139,18 @@ inline bool TakeJsonFlag(int* argc, char** argv, std::string* path) {
   return true;
 }
 
-/// Parses the shared `--min-speedup X` gate flag out of argv (removing
-/// both tokens); returns false on a missing or malformed value. `*value`
-/// is untouched (harnesses default it to 0 = no gate) when absent.
-inline bool TakeMinSpeedupFlag(int* argc, char** argv, double* value) {
+/// Parses a `<flag> X` numeric gate flag out of argv (removing both
+/// tokens); returns false on a missing or malformed value. `*value` is
+/// untouched (harnesses default it to 0 = no gate) when absent.
+inline bool TakeDoubleFlag(int* argc, char** argv, const char* flag,
+                           double* value) {
   for (int i = 1; i < *argc; ++i) {
-    if (std::string(argv[i]) == "--min-speedup") {
+    if (std::string(argv[i]) == flag) {
       char* end = nullptr;
       if (i + 1 >= *argc ||
           (*value = std::strtod(argv[i + 1], &end), end == argv[i + 1] ||
            *end != '\0')) {
-        std::fprintf(stderr, "--min-speedup requires a numeric value\n");
+        std::fprintf(stderr, "%s requires a numeric value\n", flag);
         return false;
       }
       for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
@@ -158,6 +159,11 @@ inline bool TakeMinSpeedupFlag(int* argc, char** argv, double* value) {
     }
   }
   return true;
+}
+
+/// The shared `--min-speedup X` gate flag.
+inline bool TakeMinSpeedupFlag(int* argc, char** argv, double* value) {
+  return TakeDoubleFlag(argc, argv, "--min-speedup", value);
 }
 
 /// Parses the harnesses' trailing numeric positionals (after the Take*Flag

@@ -17,16 +17,26 @@
 /// and the eviction counters. A standalone harness (not google-benchmark)
 /// because the interesting numbers are the engine's own counters.
 ///
+/// A fourth section measures the observability tax: the warm pass re-run
+/// with the metrics registry on vs off (EngineOptions::obs.enabled — the
+/// serve `--no-metrics` baseline), best-of-3 each, interleaved. The hot
+/// path per query is a handful of relaxed atomic adds under a shared gate
+/// lock, so the ratio is gated tightly in CI.
+///
 ///   ./build/bench/engine_throughput [queries] [threads] [--min-speedup X]
-///                                    [--json path]
+///                                    [--max-obs-overhead F] [--json path]
 ///
 /// With --min-speedup the process exits non-zero when the warm pass is not
-/// at least X times faster — the CI smoke gate.
+/// at least X times faster — the CI smoke gate. With --max-obs-overhead
+/// the process exits non-zero when the instrumented warm pass is more than
+/// a fraction F slower than the uninstrumented one (CI uses 0.03 = 3%).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -85,13 +95,16 @@ PassResult RunPass(QueryEngine& engine, const std::vector<Pattern>& patterns,
 int main(int argc, char** argv) {
   size_t positionals[2] = {1000, 0};  // queries, threads (0 = hw conc.)
   double min_speedup = 0.0;
+  double max_obs_overhead = 0.0;
   std::string json_path;
   if (!gpmv::bench::TakeJsonFlag(&argc, argv, &json_path) ||
       !gpmv::bench::TakeMinSpeedupFlag(&argc, argv, &min_speedup) ||
+      !gpmv::bench::TakeDoubleFlag(&argc, argv, "--max-obs-overhead",
+                                   &max_obs_overhead) ||
       !gpmv::bench::ParsePositionals(
           argc, argv,
           "engine_throughput [queries] [threads] [--min-speedup X] "
-          "[--json path]",
+          "[--max-obs-overhead F] [--json path]",
           positionals, 2)) {
     return 2;
   }
@@ -231,6 +244,32 @@ int main(int argc, char** argv) {
               js.fixpoint_iterations, js.counters_zeroed, js.candidate_ranks,
               js.filtered_by_distance, js.filtered_by_condition);
 
+  // Observability tax: the warm pass with the metrics registry on vs off.
+  // Each rep runs the two configurations back to back and takes their
+  // ratio — adjacent runs see the same machine state, so drift cancels
+  // inside a pair — and the gate uses the median rep (single-rep minima
+  // still carry several percent of scheduler noise).
+  std::vector<double> obs_ratios;
+  double obs_on_s = std::numeric_limits<double>::infinity();
+  double obs_off_s = std::numeric_limits<double>::infinity();
+  {
+    EngineOptions off_opts = opts;
+    off_opts.obs.enabled = false;
+    for (int rep = 0; rep < 5; ++rep) {
+      PassResult on, off;
+      run_view_pass(opts, &on);
+      run_view_pass(off_opts, &off);
+      obs_ratios.push_back(on.seconds / std::max(off.seconds, 1e-9));
+      obs_on_s = std::min(obs_on_s, on.seconds);
+      obs_off_s = std::min(obs_off_s, off.seconds);
+    }
+  }
+  std::sort(obs_ratios.begin(), obs_ratios.end());
+  const double obs_overhead = obs_ratios[obs_ratios.size() / 2] - 1.0;
+  std::printf("observability: instrumented %.3fs vs --no-metrics %.3fs "
+              "(median overhead %+.2f%%)\n",
+              obs_on_s, obs_off_s, 100.0 * obs_overhead);
+
   gpmv::bench::JsonReport jr("engine_throughput");
   jr.Meta("queries", static_cast<double>(num_queries));
   jr.Add("cold", {{"seconds", cold.seconds}, {"queries_per_sec", cold_qps}});
@@ -248,11 +287,20 @@ int main(int argc, char** argv) {
           {"speedup_vs_warm", memo_qps / std::max(warm_qps, 1e-9)},
           {"result_cache_hits",
            static_cast<double>(memo.stats.result_cache.hits)}});
+  jr.Add("observability", {{"instrumented_seconds", obs_on_s},
+                           {"no_metrics_seconds", obs_off_s},
+                           {"overhead_fraction", obs_overhead}});
   if (!jr.WriteTo(json_path)) return 1;
 
   if (min_speedup > 0.0 && speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",
                  speedup, min_speedup);
+    return 1;
+  }
+  if (max_obs_overhead > 0.0 && obs_overhead > max_obs_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead %.2f%% above allowed %.2f%%\n",
+                 100.0 * obs_overhead, 100.0 * max_obs_overhead);
     return 1;
   }
   return 0;

@@ -119,6 +119,21 @@ Status RefreshViewExtensionInserted(const ViewDefinition& def,
           MergeInsertDelta(def, g, inserted, *relation, added, ext);
       return Status::OK();
     }
+    switch (dstats.fallback) {
+      case DeltaInsertFallback::kNotSimulationPattern:
+        ++stats->fallback_not_simulation;
+        break;
+      case DeltaInsertFallback::kUnmatchedRelation:
+        ++stats->fallback_unmatched;
+        break;
+      case DeltaInsertFallback::kAreaTooLarge:
+        ++stats->fallback_area_too_large;
+        break;
+      case DeltaInsertFallback::kNone:
+        break;
+    }
+  } else {
+    ++stats->fallback_disabled;
   }
   ++stats->rematerialize_fallbacks;
   return RefreshViewExtension(def, g, /*seeded=*/false, ext, relation);

@@ -74,12 +74,22 @@ struct InsertMaintenanceStats {
   size_t delta_relation_added = 0;     ///< Σ nodes added to sim sets
   size_t delta_matches_added = 0;      ///< Σ match pairs merged into exts
 
+  /// Fallback-reason breakdown (sums to rematerialize_fallbacks):
+  size_t fallback_not_simulation = 0;  ///< bounded view, delta unsound
+  size_t fallback_unmatched = 0;       ///< cached relation had empty sets
+  size_t fallback_area_too_large = 0;  ///< affected area over the threshold
+  size_t fallback_disabled = 0;        ///< enable_delta was false
+
   void Merge(const InsertMaintenanceStats& other) {
     delta_refreshes += other.delta_refreshes;
     rematerialize_fallbacks += other.rematerialize_fallbacks;
     affected_nodes += other.affected_nodes;
     delta_relation_added += other.delta_relation_added;
     delta_matches_added += other.delta_matches_added;
+    fallback_not_simulation += other.fallback_not_simulation;
+    fallback_unmatched += other.fallback_unmatched;
+    fallback_area_too_large += other.fallback_area_too_large;
+    fallback_disabled += other.fallback_disabled;
   }
 };
 

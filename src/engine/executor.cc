@@ -6,7 +6,8 @@
 namespace gpmv {
 
 ThreadPool::ThreadPool(ThreadPoolOptions opts)
-    : queue_capacity_(std::max<size_t>(1, opts.queue_capacity)) {
+    : queue_capacity_(std::max<size_t>(1, opts.queue_capacity)),
+      obs_(opts.obs) {
   size_t n = opts.num_threads;
   if (n == 0) {
     n = std::max(1u, std::thread::hardware_concurrency());
@@ -29,7 +30,12 @@ Status ThreadPool::Submit(std::function<void()> task) {
       ++stats_.rejected;
       return Status::InvalidArgument("submit after shutdown");
     }
-    queue_.push_back(std::move(task));
+    QueuedTask qt;
+    qt.fn = std::move(task);
+    if (obs_.queue_wait_us != nullptr) {
+      qt.enqueued = std::chrono::steady_clock::now();
+    }
+    queue_.push_back(std::move(qt));
     ++stats_.submitted;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   }
@@ -90,7 +96,7 @@ void ParallelInvoke(ThreadPool* pool, std::vector<std::function<void()>> tasks) 
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lk(mu_);
       not_empty_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
@@ -102,7 +108,22 @@ void ThreadPool::WorkerLoop() {
       ++stats_.executed;
     }
     not_full_.notify_one();
-    task();
+    if (obs_.queue_wait_us != nullptr) {
+      const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+      obs_.queue_wait_us->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(waited)
+              .count()));
+    }
+    if (obs_.run_us != nullptr) {
+      const auto begin = std::chrono::steady_clock::now();
+      task.fn();
+      const auto ran = std::chrono::steady_clock::now() - begin;
+      obs_.run_us->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(ran)
+              .count()));
+    } else {
+      task.fn();
+    }
   }
 }
 

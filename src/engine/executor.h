@@ -11,6 +11,7 @@
 #ifndef GPMV_ENGINE_EXECUTOR_H_
 #define GPMV_ENGINE_EXECUTOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -20,8 +21,19 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace gpmv {
+
+/// Optional metric hooks the pool records into (obs/metrics.h handles,
+/// resolved by the owner). Null members are simply not recorded — the
+/// per-task cost with hooks set is two relaxed atomic adds per histogram,
+/// taken *outside* the queue mutex. These are ungrouped updates: a snapshot
+/// may miss an in-flight record, which is fine (no cross-metric invariant).
+struct ThreadPoolObs {
+  obs::Histogram* queue_wait_us = nullptr;  ///< Submit-to-dequeue delay
+  obs::Histogram* run_us = nullptr;         ///< task body wall time
+};
 
 /// Pool sizing knobs.
 struct ThreadPoolOptions {
@@ -29,6 +41,8 @@ struct ThreadPoolOptions {
   size_t num_threads = 0;
   /// Maximum queued (not yet running) tasks before Submit blocks.
   size_t queue_capacity = 1024;
+  /// Metric hooks (all-null by default: zero overhead).
+  ThreadPoolObs obs;
 };
 
 /// Observability counters; a consistent snapshot as of the call.
@@ -67,15 +81,23 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue timestamp (for the queue-wait metric;
+  /// only stamped when obs_.queue_wait_us is set).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   size_t num_threads_ = 0;
   size_t queue_capacity_;
   bool shutdown_ = false;
   ThreadPoolStats stats_;
+  ThreadPoolObs obs_;
 };
 
 /// Structured fork-join fan-out: runs every task in `tasks` and blocks until

@@ -31,6 +31,22 @@ std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
   return out;
 }
 
+/// Query-pool options with the per-task executor histograms wired in (the
+/// pool is constructed in the init list, before InitMetrics runs).
+ThreadPoolOptions QueryPoolOptions(const EngineOptions& opts,
+                                   obs::MetricsRegistry* metrics) {
+  ThreadPoolOptions po = opts.pool;
+  if (opts.obs.enabled) {
+    po.obs.queue_wait_us = metrics->FindOrCreateHistogram("exec.queue_wait_us");
+    po.obs.run_us = metrics->FindOrCreateHistogram("exec.run_us");
+  }
+  return po;
+}
+
+uint64_t ToMicros(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(Graph g, EngineOptions opts)
@@ -40,7 +56,8 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
       snapshot_(graph_.Freeze()),
       cache_(opts.cache),
       result_cache_(opts.result_cache),
-      pool_(opts.pool) {
+      pool_(QueryPoolOptions(opts, &metrics_)) {
+  InitMetrics();
   if (opts_.sharding.num_shards > 1) {
     // Let the planner mark fan-out-eligible plans (it cannot see the
     // engine's sharded state otherwise).
@@ -49,10 +66,140 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
     po.num_threads = opts_.shard_pool_threads != 0
                          ? opts_.shard_pool_threads
                          : opts_.sharding.num_shards;
+    if (opts_.obs.enabled) {
+      po.obs.queue_wait_us =
+          metrics_.FindOrCreateHistogram("shard_exec.queue_wait_us");
+      po.obs.run_us = metrics_.FindOrCreateHistogram("shard_exec.run_us");
+    }
     shard_pool_ = std::make_unique<ThreadPool>(po);
     sharded_ =
         ShardedSnapshot::Build(snapshot_, opts_.sharding, shard_pool_.get());
     shard_parent_ = snapshot_;
+  }
+}
+
+void QueryEngine::InitMetrics() {
+  obs::MetricsRegistry& m = metrics_;
+  h_.queries = m.FindOrCreateCounter("engine.queries");
+  h_.queries_failed = m.FindOrCreateCounter("engine.queries_failed");
+  h_.queries_warm = m.FindOrCreateCounter("engine.queries_warm");
+  h_.queries_sharded = m.FindOrCreateCounter("engine.queries_sharded");
+  h_.shard_fallbacks = m.FindOrCreateCounter("engine.shard_fallbacks");
+  h_.plans_match_join = m.FindOrCreateCounter("engine.plans.match_join");
+  h_.plans_partial = m.FindOrCreateCounter("engine.plans.partial");
+  h_.plans_direct = m.FindOrCreateCounter("engine.plans.direct");
+  h_.update_batches = m.FindOrCreateCounter("engine.update_batches");
+  h_.edges_inserted = m.FindOrCreateCounter("engine.edges_inserted");
+  h_.edges_deleted = m.FindOrCreateCounter("engine.edges_deleted");
+  h_.slices_rebuilt = m.FindOrCreateCounter("engine.slices_rebuilt");
+  h_.slices_reused = m.FindOrCreateCounter("engine.slices_reused");
+  h_.slow_queries = m.FindOrCreateCounter("engine.slow_queries");
+  h_.join_initial_pairs = m.FindOrCreateCounter("join.initial_pairs");
+  h_.join_removed_pairs = m.FindOrCreateCounter("join.removed_pairs");
+  h_.join_match_set_visits = m.FindOrCreateCounter("join.match_set_visits");
+  h_.join_filtered_by_condition =
+      m.FindOrCreateCounter("join.filtered_by_condition");
+  h_.join_filtered_by_distance =
+      m.FindOrCreateCounter("join.filtered_by_distance");
+  h_.join_fixpoint_iterations =
+      m.FindOrCreateCounter("join.fixpoint_iterations");
+  h_.join_counters_zeroed = m.FindOrCreateCounter("join.counters_zeroed");
+  h_.join_candidate_ranks = m.FindOrCreateCounter("join.candidate_ranks");
+  h_.shard_rounds = m.FindOrCreateCounter("shard.rounds");
+  h_.shard_removals = m.FindOrCreateCounter("shard.removals");
+  h_.shard_messages = m.FindOrCreateCounter("shard.messages");
+  h_.shard_fanout_width = m.FindOrCreateGauge("shard.fanout_width");
+  h_.delta_refreshes = m.FindOrCreateCounter("delta.refreshes");
+  h_.delta_fallbacks = m.FindOrCreateCounter("delta.fallbacks");
+  h_.delta_affected_nodes = m.FindOrCreateCounter("delta.affected_nodes");
+  h_.delta_relation_added = m.FindOrCreateCounter("delta.relation_added");
+  h_.delta_matches_added = m.FindOrCreateCounter("delta.matches_added");
+  h_.delta_fallback_not_simulation =
+      m.FindOrCreateCounter("delta.fallback_not_simulation");
+  h_.delta_fallback_unmatched =
+      m.FindOrCreateCounter("delta.fallback_unmatched");
+  h_.delta_fallback_area_too_large =
+      m.FindOrCreateCounter("delta.fallback_area_too_large");
+  h_.delta_fallback_disabled =
+      m.FindOrCreateCounter("delta.fallback_disabled");
+  h_.stream_ops_ingested = m.FindOrCreateCounter("stream.ops_ingested");
+  h_.stream_ops_applied = m.FindOrCreateCounter("stream.ops_applied");
+  h_.stream_ops_coalesced = m.FindOrCreateCounter("stream.ops_coalesced");
+  h_.stream_ops_dropped = m.FindOrCreateCounter("stream.ops_dropped");
+  h_.stream_batches_applied = m.FindOrCreateCounter("stream.batches_applied");
+  h_.stream_apply_failures = m.FindOrCreateCounter("stream.apply_failures");
+  h_.stream_flushes = m.FindOrCreateCounter("stream.flushes");
+  h_.stream_queue_depth = m.FindOrCreateGauge("stream.queue_depth");
+  h_.stream_queue_depth_max = m.FindOrCreateGauge("stream.queue_depth_max");
+  h_.stream_max_batch_size = m.FindOrCreateGauge("stream.max_batch_size");
+  h_.stream_publish_lag_max =
+      m.FindOrCreateGauge("stream.publish_lag_ms_max");
+  h_.stream_publish_lag_total =
+      m.FindOrCreateGauge("stream.publish_lag_ms_total");
+  h_.stream_applied_through =
+      m.FindOrCreateGauge("stream.applied_through_ts");
+  h_.stream_batch_size = m.FindOrCreateHistogram("stream.batch_size");
+  h_.query_latency_us = m.FindOrCreateHistogram("query.latency_us");
+  h_.query_plan_us = m.FindOrCreateHistogram("query.plan_us");
+  h_.query_exec_us = m.FindOrCreateHistogram("query.exec_us");
+  h_.query_queue_wait_us = m.FindOrCreateHistogram("query.queue_wait_us");
+  h_.update_apply_us = m.FindOrCreateHistogram("update.apply_us");
+  h_.update_delete_phase_us =
+      m.FindOrCreateHistogram("update.delete_phase_us");
+  h_.update_insert_phase_us =
+      m.FindOrCreateHistogram("update.insert_phase_us");
+
+  // Component-owned stats (each guarded by its component's own lock)
+  // surface as derived gauges in every snapshot. Running inside the gate
+  // puts them in the same consistent cut as the raw metrics; none of the
+  // component locks is ever held while a writer takes the gate, so the
+  // ordering cannot deadlock.
+  metrics_.AddCollector([this](obs::MetricsSnapshot* s) {
+    const ViewCacheStats cs = cache_.stats();
+    s->AddGauge("cache.hits", static_cast<double>(cs.hits));
+    s->AddGauge("cache.misses", static_cast<double>(cs.misses));
+    s->AddGauge("cache.evictions", static_cast<double>(cs.evictions));
+    s->AddGauge("cache.installs", static_cast<double>(cs.installs));
+    s->AddGauge("cache.duplicate_installs",
+                static_cast<double>(cs.duplicate_installs));
+    s->AddGauge("cache.refreshes", static_cast<double>(cs.refreshes));
+    s->AddGauge("cache.refreshes_skipped",
+                static_cast<double>(cs.refreshes_skipped));
+    s->AddGauge("cache.bytes_cached", static_cast<double>(cs.bytes_cached));
+    s->AddGauge("cache.materialized", static_cast<double>(cs.materialized));
+    s->AddGauge("cache.registered", static_cast<double>(cs.registered));
+    const double cache_lookups = static_cast<double>(cs.hits + cs.misses);
+    s->AddGauge("cache.hit_rate",
+                cache_lookups == 0.0 ? 0.0 : cs.hits / cache_lookups);
+    const ResultCacheStats rs = result_cache_.stats();
+    s->AddGauge("result_cache.hits", static_cast<double>(rs.hits));
+    s->AddGauge("result_cache.misses", static_cast<double>(rs.misses));
+    s->AddGauge("result_cache.stale_drops",
+                static_cast<double>(rs.stale_drops));
+    s->AddGauge("result_cache.inserts", static_cast<double>(rs.inserts));
+    s->AddGauge("result_cache.evictions", static_cast<double>(rs.evictions));
+    s->AddGauge("result_cache.bytes_cached",
+                static_cast<double>(rs.bytes_cached));
+    s->AddGauge("result_cache.entries", static_cast<double>(rs.entries));
+    const double rc_lookups = static_cast<double>(rs.hits + rs.misses);
+    s->AddGauge("result_cache.hit_rate",
+                rc_lookups == 0.0 ? 0.0 : rs.hits / rc_lookups);
+    const ThreadPoolStats ps = pool_.stats();
+    s->AddGauge("pool.submitted", static_cast<double>(ps.submitted));
+    s->AddGauge("pool.executed", static_cast<double>(ps.executed));
+    s->AddGauge("pool.rejected", static_cast<double>(ps.rejected));
+    s->AddGauge("pool.max_queue_depth",
+                static_cast<double>(ps.max_queue_depth));
+  });
+
+  if (opts_.obs.enabled &&
+      (opts_.obs.slow_query_ms > 0.0 &&
+       (!opts_.obs.slow_query_path.empty() || opts_.obs.slow_query_sink))) {
+    obs::SlowQueryLog::Options so;
+    so.threshold_ms = opts_.obs.slow_query_ms;
+    so.path = opts_.obs.slow_query_path;
+    so.sink = opts_.obs.slow_query_sink;
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(std::move(so));
   }
 }
 
@@ -88,35 +235,65 @@ Status QueryEngine::WarmViews() {
 QueryResponse QueryEngine::Query(const Pattern& q) { return Execute(q); }
 
 Result<std::future<QueryResponse>> QueryEngine::Submit(Pattern q) {
+  // The stopwatch rides into the task by value: when a worker picks the
+  // task up, its elapsed time *is* the queue wait.
+  Stopwatch queued;
   auto task = std::make_shared<std::packaged_task<QueryResponse()>>(
-      [this, query = std::move(q)] { return Execute(query); });
+      [this, query = std::move(q), queued] {
+        return Execute(query, queued.ElapsedMillis());
+      });
   std::future<QueryResponse> fut = task->get_future();
   GPMV_RETURN_NOT_OK(pool_.Submit([task] { (*task)(); }));
   return fut;
 }
 
-QueryResponse QueryEngine::Execute(const Pattern& q) {
+QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
   RecordWorkload(q);
   QueryResponse resp;
+  resp.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   MatchJoinStats join_stats;
   ShardSimStats shard_stats;
   bool shard_fallback = false;
 
+  // Tracing is on when asked for explicitly or when the slow-query log
+  // might need the span tree; the trace is private to this thread until
+  // Finish() publishes it immutable.
+  const bool tracing =
+      opts_.obs.enabled &&
+      (opts_.obs.trace || (slow_log_ != nullptr && slow_log_->enabled()));
+  std::unique_ptr<obs::Trace> trace;
+  if (tracing) {
+    trace = std::make_unique<obs::Trace>(resp.trace_id, "query");
+  }
+  obs::Trace* tr = trace.get();
+  if (tr != nullptr && queue_wait_ms >= 0.0) {
+    obs::SpanScope wait(tr, "queue.wait");
+    wait.Attr("wait_ms", queue_wait_ms);
+  }
+  Stopwatch total_sw;
+
   {
     std::shared_lock<std::shared_mutex> lk(mu_);
     Stopwatch sw;
+    obs::SpanScope plan_span(tr, "plan");
     const std::vector<uint8_t> live = cache_.MaterializedSnapshot();
     Result<QueryPlan> planned = PlanQuery(q, cache_.views(),
                                           cache_.extensions(), gstats_,
                                           opts_.planner, &live);
     if (!planned.ok()) {
       resp.status = planned.status();
+      plan_span.AttrBool("ok", false);
     } else {
       QueryPlan plan = std::move(planned).value();
       resp.plan = plan.kind;
       resp.views_used = plan.views_needed;
       resp.plan_ms = sw.ElapsedMillis();
       sw.Restart();
+      plan_span.Attr("kind", std::string(PlanKindName(plan.kind)));
+      plan_span.Attr("views_needed",
+                     static_cast<uint64_t>(plan.views_needed.size()));
+      plan_span.AttrBool("shard_fanout", plan.shard_fanout);
+      plan_span.Close();
 
       // The version pair the response reports: re-read below if pinning
       // dropped the lock across an update batch.
@@ -129,19 +306,25 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
       // minimized form share one entry and expand through their own map.
       std::string rc_key;
       if (result_cache_.enabled()) {
+        obs::SpanScope rc_span(tr, "result_cache.lookup");
         rc_key = PatternToText(plan.minimized.pattern);
         MatchResult cached;
         if (result_cache_.Lookup(rc_key, snapshot_->version(), &cached)) {
           resp.result_cached = true;
           resp.result = ExpandMinimized(plan.minimized, q, std::move(cached));
         }
+        rc_span.AttrBool("hit", resp.result_cached);
       }
 
       std::vector<uint32_t> pinned;
       bool warm = true;
-      Status st = resp.result_cached
-                      ? Status::OK()
-                      : PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
+      Status st = Status::OK();
+      if (!resp.result_cached) {
+        obs::SpanScope pin_span(tr, "view_cache.pin");
+        st = PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
+        pin_span.Attr("views", static_cast<uint64_t>(pinned.size()));
+        pin_span.AttrBool("warm", warm);
+      }
       if (resp.result_cached) {
         // Served from the memo above; nothing to pin or evaluate.
       } else if (st.ok()) {
@@ -166,6 +349,8 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
           }
         }
         resp.sharded = ss != nullptr;
+        obs::SpanScope fix_span(tr, "fixpoint");
+        fix_span.AttrBool("sharded", resp.sharded);
         // Evaluate in the minimized shape; the memo stores that shape (so
         // all queries with the same quotient share it) and expansion back
         // to q's shape happens once at the end.
@@ -187,6 +372,31 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
                                               /*seed=*/nullptr, &shard_stats)
                      : MatchBoundedSimulation(plan.minimized.pattern, snap);
         }();
+        if (plan.kind == PlanKind::kMatchJoin) {
+          fix_span.Attr("iterations",
+                        static_cast<uint64_t>(join_stats.fixpoint_iterations));
+          fix_span.Attr("candidate_ranks",
+                        static_cast<uint64_t>(join_stats.candidate_ranks));
+        }
+        if (tr != nullptr && resp.sharded) {
+          // The shard sim reports its per-phase timings through the stats
+          // struct; synthesize the fan-out subtree from them so the slow-
+          // query log shows where a sharded query spent its time.
+          obs::SpanScope fan(tr, "shard.fanout");
+          fan.Attr("shards", static_cast<uint64_t>(shard_stats.shards));
+          fan.Attr("rounds", static_cast<uint64_t>(shard_stats.rounds));
+          fan.Attr("messages", static_cast<uint64_t>(shard_stats.messages));
+          for (size_t i = 0; i < shard_stats.shard_ms.size(); ++i) {
+            obs::SpanScope s(tr, ("shard." + std::to_string(i)).c_str());
+            s.Attr("fixpoint_ms", shard_stats.shard_ms[i]);
+          }
+          for (size_t j = 1; j < shard_stats.round_ms.size(); ++j) {
+            obs::SpanScope s(tr,
+                             ("merge_round." + std::to_string(j)).c_str());
+            s.Attr("phase_ms", shard_stats.round_ms[j]);
+          }
+        }
+        fix_span.Close();
         if (r.ok()) {
           if (result_cache_.enabled()) {
             // snap is the state actually read (re-read after pinning, which
@@ -205,30 +415,68 @@ QueryResponse QueryEngine::Execute(const Pattern& q) {
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lk(agg_mu_);
-    counters_.join.Merge(join_stats);
-    ++counters_.queries;
-    if (!resp.status.ok()) ++counters_.failed_queries;
-    if (resp.warm) ++counters_.warm_queries;
+  if (opts_.obs.enabled) {
+    // The counter tail updates as one group under the snapshot gate
+    // (shared mode — concurrent queries never block each other here), so a
+    // racing stats() snapshot sees a query's counters all-or-nothing.
+    auto group = metrics_.Group();
+    h_.queries->Add(1);
+    if (!resp.status.ok()) h_.queries_failed->Add(1);
+    if (resp.warm) h_.queries_warm->Add(1);
     if (resp.sharded) {
-      ++counters_.sharded_queries;
-      counters_.shard.Merge(shard_stats);
+      h_.queries_sharded->Add(1);
+      h_.shard_rounds->Add(shard_stats.rounds);
+      h_.shard_removals->Add(shard_stats.removals);
+      h_.shard_messages->Add(shard_stats.messages);
+      h_.shard_fanout_width->SetMax(static_cast<double>(shard_stats.shards));
     }
-    if (shard_fallback) ++counters_.shard_fallbacks;
+    if (shard_fallback) h_.shard_fallbacks->Add(1);
     switch (resp.plan) {
       case PlanKind::kMatchJoin:
-        ++counters_.plans_match_join;
+        h_.plans_match_join->Add(1);
         break;
       case PlanKind::kPartialViews:
-        ++counters_.plans_partial;
+        h_.plans_partial->Add(1);
         break;
       case PlanKind::kDirect:
-        ++counters_.plans_direct;
+        h_.plans_direct->Add(1);
         break;
     }
+    h_.join_initial_pairs->Add(join_stats.initial_pairs);
+    h_.join_removed_pairs->Add(join_stats.removed_pairs);
+    h_.join_match_set_visits->Add(join_stats.match_set_visits);
+    h_.join_filtered_by_condition->Add(join_stats.filtered_by_condition);
+    h_.join_filtered_by_distance->Add(join_stats.filtered_by_distance);
+    h_.join_fixpoint_iterations->Add(join_stats.fixpoint_iterations);
+    h_.join_counters_zeroed->Add(join_stats.counters_zeroed);
+    h_.join_candidate_ranks->Add(join_stats.candidate_ranks);
+    h_.query_plan_us->Record(ToMicros(resp.plan_ms));
+    h_.query_exec_us->Record(ToMicros(resp.exec_ms));
+    h_.query_latency_us->Record(ToMicros(total_sw.ElapsedMillis()));
+    if (queue_wait_ms >= 0.0) {
+      h_.query_queue_wait_us->Record(ToMicros(queue_wait_ms));
+    }
   }
+  if (tr != nullptr) FinishTrace(tr, &resp);
   return resp;
+}
+
+void QueryEngine::FinishTrace(obs::Trace* trace, QueryResponse* resp) {
+  obs::TraceSpan* root = trace->root();
+  root->Attr("plan", std::string(PlanKindName(resp->plan)));
+  root->Attr("snapshot_version", resp->snapshot_version);
+  root->AttrBool("ok", resp->status.ok());
+  root->AttrBool("warm", resp->warm);
+  root->AttrBool("sharded", resp->sharded);
+  root->AttrBool("result_cached", resp->result_cached);
+  const double total_ms = trace->ElapsedMs();
+  std::shared_ptr<const obs::TraceSpan> tree = trace->Finish();
+  if (opts_.obs.trace) resp->trace = tree;
+  if (slow_log_ != nullptr && slow_log_->enabled() &&
+      total_ms >= slow_log_->threshold_ms()) {
+    slow_log_->Log(obs::TraceToJsonLine(trace->id(), total_ms, *tree));
+    h_.slow_queries->Add(1);
+  }
 }
 
 Status QueryEngine::PinOrMaterialize(const std::vector<uint32_t>& needed,
@@ -346,8 +594,39 @@ Status QueryEngine::ApplyStreamBatch(const std::vector<EdgeUpdate>& batch,
 }
 
 void QueryEngine::MergeStreamStats(const StreamStats& delta) {
-  std::lock_guard<std::mutex> lk(agg_mu_);
-  counters_.stream.Merge(delta);
+  if (!opts_.obs.enabled) return;
+  // One shared-gate group per micro-batch delta: a racing stats() reader
+  // (exclusive on the gate) sees the whole batch or none of it, which is
+  // what keeps invariants like ops_ingested == applied + coalesced +
+  // dropped and Σ batch_size_hist == batches_applied true in every
+  // snapshot (the TSan suite asserts them while racing the applier).
+  auto group = metrics_.Group();
+  h_.stream_ops_ingested->Add(delta.ops_ingested);
+  h_.stream_ops_applied->Add(delta.ops_applied);
+  h_.stream_ops_coalesced->Add(delta.ops_coalesced);
+  h_.stream_ops_dropped->Add(delta.ops_dropped);
+  h_.stream_batches_applied->Add(delta.batches_applied);
+  h_.stream_apply_failures->Add(delta.apply_failures);
+  h_.stream_flushes->Add(delta.flushes);
+  h_.stream_queue_depth_max->SetMax(
+      static_cast<double>(delta.max_queue_depth));
+  h_.stream_max_batch_size->SetMax(
+      static_cast<double>(delta.max_batch_size));
+  h_.stream_publish_lag_max->SetMax(delta.publish_lag_ms_max);
+  h_.stream_publish_lag_total->Add(delta.publish_lag_ms_total);
+  h_.stream_applied_through->SetMax(
+      static_cast<double>(delta.applied_through_ts));
+  for (size_t b = 0; b < kStreamBatchBuckets; ++b) {
+    // Re-record each bucketed batch at its bucket's lower bound: the
+    // registry histogram's BucketFor maps 2^b back to bucket b, so the
+    // 12-bucket delta folds losslessly into the low buckets of the
+    // 40-bucket metric (deltas are per-batch, so counts are almost
+    // always 0 or 1).
+    const uint64_t representative = b == 0 ? 1 : (uint64_t{1} << b);
+    for (size_t n = 0; n < delta.batch_size_hist[b]; ++n) {
+      h_.stream_batch_size->Record(representative);
+    }
+  }
 }
 
 Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
@@ -355,8 +634,12 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
   size_t inserted_count = 0;
   size_t deleted_count = 0;
   InsertMaintenanceStats delta_stats;
+  double delete_phase_ms = 0.0;
+  double insert_phase_ms = 0.0;
+  Stopwatch apply_sw;
   {
     std::unique_lock<std::shared_mutex> lk(mu_);
+    Stopwatch phase_sw;
     for (const EdgeUpdate& up : batch) {
       if (up.u >= graph_.num_nodes() || up.v >= graph_.num_nodes()) {
         return Status::InvalidArgument("update references unknown node");
@@ -382,6 +665,8 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
     }
     std::shared_ptr<const GraphSnapshot> after_deletions;
     if (!deleted.empty()) after_deletions = graph_.Freeze();
+    delete_phase_ms = phase_sw.ElapsedMillis();
+    phase_sw.Restart();
     // Phase 2 — insertions.
     for (const EdgeUpdate& up : batch) {
       if (up.kind != EdgeUpdate::Kind::kInsert) continue;
@@ -413,6 +698,7 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
     // Edge updates change neither node count nor label histogram, so the
     // fields the planner reads stay exact in O(1); the degree-profile
     // details are recomputed lazily by graph_statistics().
+    insert_phase_ms = phase_sw.ElapsedMillis();
     gstats_.num_edges = graph_.num_edges();
     gstats_.avg_out_degree =
         graph_.num_nodes() == 0
@@ -434,11 +720,26 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
     }
   }
   if (shard_pool_ != nullptr) RefreshSharded();
-  std::lock_guard<std::mutex> lk(agg_mu_);
-  ++counters_.update_batches;
-  counters_.edges_inserted += inserted_count;
-  counters_.edges_deleted += deleted_count;
-  counters_.delta.Merge(delta_stats);
+  if (opts_.obs.enabled) {
+    auto group = metrics_.Group();
+    h_.update_batches->Add(1);
+    h_.edges_inserted->Add(inserted_count);
+    h_.edges_deleted->Add(deleted_count);
+    h_.delta_refreshes->Add(delta_stats.delta_refreshes);
+    h_.delta_fallbacks->Add(delta_stats.rematerialize_fallbacks);
+    h_.delta_affected_nodes->Add(delta_stats.affected_nodes);
+    h_.delta_relation_added->Add(delta_stats.delta_relation_added);
+    h_.delta_matches_added->Add(delta_stats.delta_matches_added);
+    h_.delta_fallback_not_simulation->Add(
+        delta_stats.fallback_not_simulation);
+    h_.delta_fallback_unmatched->Add(delta_stats.fallback_unmatched);
+    h_.delta_fallback_area_too_large->Add(
+        delta_stats.fallback_area_too_large);
+    h_.delta_fallback_disabled->Add(delta_stats.fallback_disabled);
+    h_.update_apply_us->Record(ToMicros(apply_sw.ElapsedMillis()));
+    h_.update_delete_phase_us->Record(ToMicros(delete_phase_ms));
+    h_.update_insert_phase_us->Record(ToMicros(insert_phase_ms));
+  }
   return Status::OK();
 }
 
@@ -473,9 +774,11 @@ void QueryEngine::RefreshSharded() {
     std::lock_guard<std::mutex> slk(sharded_mu_);
     sharded_ = next;
   }
-  std::lock_guard<std::mutex> lk(agg_mu_);
-  counters_.slices_rebuilt += affected.size();
-  counters_.slices_reused += base->num_shards() - affected.size();
+  if (opts_.obs.enabled) {
+    auto group = metrics_.Group();
+    h_.slices_rebuilt->Add(affected.size());
+    h_.slices_reused->Add(base->num_shards() - affected.size());
+  }
 }
 
 std::shared_ptr<const ShardedSnapshot> QueryEngine::sharded_snapshot() const {
@@ -532,9 +835,76 @@ bool QueryEngine::CheckCacheConsistency(bool expect_unpinned) const {
 
 EngineStats QueryEngine::stats() const {
   EngineStats out;
-  {
-    std::lock_guard<std::mutex> lk(agg_mu_);
-    out = counters_;
+  if (opts_.obs.enabled) {
+    // Exclusive on the snapshot gate: every grouped writer (query counter
+    // tails, stream-batch merges, update tails) is either fully before or
+    // fully after this read, so the reconstructed struct preserves the
+    // same cross-counter invariants the old single-mutex aggregate did.
+    auto gate = metrics_.ReadGate();
+    out.queries = h_.queries->Value();
+    out.failed_queries = h_.queries_failed->Value();
+    out.warm_queries = h_.queries_warm->Value();
+    out.sharded_queries = h_.queries_sharded->Value();
+    out.shard_fallbacks = h_.shard_fallbacks->Value();
+    out.plans_match_join = h_.plans_match_join->Value();
+    out.plans_partial = h_.plans_partial->Value();
+    out.plans_direct = h_.plans_direct->Value();
+    out.update_batches = h_.update_batches->Value();
+    out.edges_inserted = h_.edges_inserted->Value();
+    out.edges_deleted = h_.edges_deleted->Value();
+    out.slices_rebuilt = h_.slices_rebuilt->Value();
+    out.slices_reused = h_.slices_reused->Value();
+    out.join.initial_pairs = h_.join_initial_pairs->Value();
+    out.join.removed_pairs = h_.join_removed_pairs->Value();
+    out.join.match_set_visits = h_.join_match_set_visits->Value();
+    out.join.filtered_by_condition = h_.join_filtered_by_condition->Value();
+    out.join.filtered_by_distance = h_.join_filtered_by_distance->Value();
+    out.join.fixpoint_iterations = h_.join_fixpoint_iterations->Value();
+    out.join.counters_zeroed = h_.join_counters_zeroed->Value();
+    out.join.candidate_ranks = h_.join_candidate_ranks->Value();
+    out.shard.shards =
+        static_cast<size_t>(h_.shard_fanout_width->Value());
+    out.shard.rounds = h_.shard_rounds->Value();
+    out.shard.removals = h_.shard_removals->Value();
+    out.shard.messages = h_.shard_messages->Value();
+    out.delta.delta_refreshes = h_.delta_refreshes->Value();
+    out.delta.rematerialize_fallbacks = h_.delta_fallbacks->Value();
+    out.delta.affected_nodes = h_.delta_affected_nodes->Value();
+    out.delta.delta_relation_added = h_.delta_relation_added->Value();
+    out.delta.delta_matches_added = h_.delta_matches_added->Value();
+    out.delta.fallback_not_simulation =
+        h_.delta_fallback_not_simulation->Value();
+    out.delta.fallback_unmatched = h_.delta_fallback_unmatched->Value();
+    out.delta.fallback_area_too_large =
+        h_.delta_fallback_area_too_large->Value();
+    out.delta.fallback_disabled = h_.delta_fallback_disabled->Value();
+    out.stream.ops_ingested = h_.stream_ops_ingested->Value();
+    out.stream.ops_applied = h_.stream_ops_applied->Value();
+    out.stream.ops_coalesced = h_.stream_ops_coalesced->Value();
+    out.stream.ops_dropped = h_.stream_ops_dropped->Value();
+    out.stream.batches_applied = h_.stream_batches_applied->Value();
+    out.stream.apply_failures = h_.stream_apply_failures->Value();
+    out.stream.flushes = h_.stream_flushes->Value();
+    out.stream.max_queue_depth =
+        static_cast<size_t>(h_.stream_queue_depth_max->Value());
+    out.stream.max_batch_size =
+        static_cast<size_t>(h_.stream_max_batch_size->Value());
+    out.stream.publish_lag_ms_max = h_.stream_publish_lag_max->Value();
+    out.stream.publish_lag_ms_total = h_.stream_publish_lag_total->Value();
+    out.stream.applied_through_ts =
+        static_cast<uint64_t>(h_.stream_applied_through->Value());
+    // 40-bucket registry histogram -> the struct's 12 buckets: identical
+    // power-of-two boundaries below the fold, everything >= the last
+    // stream bucket folds into it (MergeStreamStats only records
+    // representatives <= 2^11, so the fold is exact).
+    for (size_t b = 0; b < kStreamBatchBuckets - 1; ++b) {
+      out.stream.batch_size_hist[b] = h_.stream_batch_size->BucketCount(b);
+    }
+    for (size_t b = kStreamBatchBuckets - 1; b < obs::kHistogramBuckets;
+         ++b) {
+      out.stream.batch_size_hist[kStreamBatchBuckets - 1] +=
+          h_.stream_batch_size->BucketCount(b);
+    }
   }
   out.cache = cache_.stats();
   out.pool = pool_.stats();

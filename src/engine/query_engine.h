@@ -77,6 +77,8 @@
 #include "graph/graph.h"
 #include "graph/snapshot.h"
 #include "graph/statistics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 #include "shard/shard_sim.h"
 #include "shard/sharded_snapshot.h"
@@ -100,6 +102,23 @@ struct EdgeUpdate {
   }
 };
 
+/// Observability knobs (src/obs/). The engine always owns a
+/// MetricsRegistry; `enabled` only controls whether the hot paths record
+/// into it (the `--no-metrics` overhead baseline of bench/engine_throughput
+/// — with it false, stats() returns only component-owned stats).
+struct ObsOptions {
+  bool enabled = true;
+  /// Attach the finished span tree to every QueryResponse (`--trace`).
+  bool trace = false;
+  /// Queries slower than this (total wall ms) serialize their span tree to
+  /// the slow-query log; <= 0 disables the log.
+  double slow_query_ms = 0.0;
+  /// Slow-query JSON-lines file (appended); empty = no file sink.
+  std::string slow_query_path;
+  /// Extra slow-query sink (tests, CLI echo); receives each JSON line.
+  std::function<void(const std::string&)> slow_query_sink;
+};
+
 /// Engine configuration.
 struct EngineOptions {
   ThreadPoolOptions pool;
@@ -119,6 +138,8 @@ struct EngineOptions {
   InsertMaintenanceOptions maintenance;
   /// Full-result memoization (result_cache.h); budget_bytes 0 disables.
   ResultCacheOptions result_cache;
+  /// Observability: tracing, slow-query log, metrics kill switch.
+  ObsOptions obs;
 };
 
 /// Outcome of one query.
@@ -141,9 +162,19 @@ struct QueryResponse {
   uint64_t applied_through_ts = 0;
   double plan_ms = 0.0;
   double exec_ms = 0.0;
+  /// Monotone per-engine trace id, assigned to every query (cheap: one
+  /// relaxed fetch_add) whether or not tracing is on — so a slow-query log
+  /// line is joinable to the response that produced it.
+  uint64_t trace_id = 0;
+  /// The finished span tree (ObsOptions::trace only; nullptr otherwise).
+  std::shared_ptr<const obs::TraceSpan> trace;
 };
 
-/// Aggregate engine counters.
+/// Aggregate engine counters. Since the unified metrics registry landed
+/// (src/obs/metrics.h) this struct is a *view*: stats() reconstructs it
+/// from the engine's registry under the snapshot gate (plus the component
+/// stats the subsystems own), so existing consumers keep working while the
+/// exporters read the same numbers by metric name.
 struct EngineStats {
   ViewCacheStats cache;
   ThreadPoolStats pool;
@@ -164,7 +195,8 @@ struct EngineStats {
   /// Streaming ingestion counters (stream/stream_stats.h): queue depth
   /// high-water, micro-batch size histogram, publish lag, applied-through
   /// watermark. Merged once per micro-batch by the StreamApplier, as a
-  /// single unit — a concurrent stats() reader never observes a torn
+  /// single unit under the registry's snapshot gate — a concurrent stats()
+  /// reader (which takes the gate exclusively) never observes a torn
   /// batch, so cross-counter invariants hold in every snapshot.
   StreamStats stream;
   size_t queries = 0;
@@ -249,9 +281,10 @@ class QueryEngine {
   Status ApplyStreamBatch(const std::vector<EdgeUpdate>& batch,
                           uint64_t through_ts);
 
-  /// Folds one applier-built StreamStats delta into EngineStats.stream
-  /// under the counter lock — one merge per micro-batch, as a unit, which
-  /// is what keeps concurrently read stats snapshots un-torn.
+  /// Folds one applier-built StreamStats delta into the stream.* metrics
+  /// while holding the registry's snapshot gate shared — one merge per
+  /// micro-batch, as a unit, which is what keeps concurrently read stats
+  /// snapshots un-torn (writers never block each other on the gate).
   void MergeStreamStats(const StreamStats& delta);
 
   /// Stream timestamp the *published* snapshot has applied through (0
@@ -272,6 +305,18 @@ class QueryEngine {
   bool CheckCacheConsistency(bool expect_unpinned = true) const;
 
   EngineStats stats() const;
+
+  /// The engine's metrics registry — exporters (obs/exporter.h), the CLI
+  /// summary table and tests snapshot it directly. Valid for the engine's
+  /// lifetime.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  const obs::MetricsRegistry* metrics() const { return &metrics_; }
+
+  /// Lines the slow-query log has written (0 when disabled).
+  size_t slow_query_lines() const {
+    return slow_log_ != nullptr ? slow_log_->lines_written() : 0;
+  }
+
   GraphStatistics graph_statistics() const;
   size_t num_worker_threads() const { return pool_.num_threads(); }
   size_t num_views() const;
@@ -287,7 +332,10 @@ class QueryEngine {
   std::shared_ptr<const ShardedSnapshot> sharded_snapshot() const;
 
  private:
-  QueryResponse Execute(const Pattern& q);
+  /// `queue_wait_ms >= 0` is the Submit-to-execution delay of a pooled
+  /// query (recorded as query.queue_wait_us + a queue.wait span); direct
+  /// Query() calls pass -1 (no queue involved).
+  QueryResponse Execute(const Pattern& q, double queue_wait_ms = -1.0);
 
   /// Shared body of ApplyUpdates / ApplyStreamBatch; `through_ts != 0`
   /// advances the applied-through watermark with the published snapshot.
@@ -326,7 +374,92 @@ class QueryEngine {
 
   void RecordWorkload(const Pattern& q);
 
+  /// Resolves every metric handle from metrics_ (constructor) and
+  /// registers the component-stats collectors.
+  void InitMetrics();
+
+  /// Builds + records the trace/slow-query tail of one Execute call.
+  void FinishTrace(obs::Trace* trace, QueryResponse* resp);
+
   EngineOptions opts_;
+
+  /// The unified metrics registry (obs/metrics.h). Declared before every
+  /// component that records into it — in particular before the pools, whose
+  /// workers may touch handles until their Shutdown() joins.
+  obs::MetricsRegistry metrics_;
+
+  /// Registry handles, resolved once at construction (see InitMetrics).
+  /// Raw pointers into metrics_; never null after the constructor ran.
+  struct MetricHandles {
+    // engine scalars
+    obs::Counter* queries;
+    obs::Counter* queries_failed;
+    obs::Counter* queries_warm;
+    obs::Counter* queries_sharded;
+    obs::Counter* shard_fallbacks;
+    obs::Counter* plans_match_join;
+    obs::Counter* plans_partial;
+    obs::Counter* plans_direct;
+    obs::Counter* update_batches;
+    obs::Counter* edges_inserted;
+    obs::Counter* edges_deleted;
+    obs::Counter* slices_rebuilt;
+    obs::Counter* slices_reused;
+    obs::Counter* slow_queries;
+    // MatchJoin fixpoint (EngineStats::join)
+    obs::Counter* join_initial_pairs;
+    obs::Counter* join_removed_pairs;
+    obs::Counter* join_match_set_visits;
+    obs::Counter* join_filtered_by_condition;
+    obs::Counter* join_filtered_by_distance;
+    obs::Counter* join_fixpoint_iterations;
+    obs::Counter* join_counters_zeroed;
+    obs::Counter* join_candidate_ranks;
+    // sharded fan-out (EngineStats::shard)
+    obs::Counter* shard_rounds;
+    obs::Counter* shard_removals;
+    obs::Counter* shard_messages;
+    obs::Gauge* shard_fanout_width;  // SetMax
+    // insert maintenance (EngineStats::delta)
+    obs::Counter* delta_refreshes;
+    obs::Counter* delta_fallbacks;
+    obs::Counter* delta_affected_nodes;
+    obs::Counter* delta_relation_added;
+    obs::Counter* delta_matches_added;
+    obs::Counter* delta_fallback_not_simulation;
+    obs::Counter* delta_fallback_unmatched;
+    obs::Counter* delta_fallback_area_too_large;
+    obs::Counter* delta_fallback_disabled;
+    // streaming ingestion (EngineStats::stream)
+    obs::Counter* stream_ops_ingested;
+    obs::Counter* stream_ops_applied;
+    obs::Counter* stream_ops_coalesced;
+    obs::Counter* stream_ops_dropped;
+    obs::Counter* stream_batches_applied;
+    obs::Counter* stream_apply_failures;
+    obs::Counter* stream_flushes;
+    obs::Gauge* stream_queue_depth;        // Set (live depth, applier)
+    obs::Gauge* stream_queue_depth_max;    // SetMax
+    obs::Gauge* stream_max_batch_size;     // SetMax
+    obs::Gauge* stream_publish_lag_max;    // SetMax (ms)
+    obs::Gauge* stream_publish_lag_total;  // Add (ms)
+    obs::Gauge* stream_applied_through;    // SetMax (stream ts)
+    obs::Histogram* stream_batch_size;
+    // latency histograms (microseconds)
+    obs::Histogram* query_latency_us;
+    obs::Histogram* query_plan_us;
+    obs::Histogram* query_exec_us;
+    obs::Histogram* query_queue_wait_us;
+    obs::Histogram* update_apply_us;
+    obs::Histogram* update_delete_phase_us;
+    obs::Histogram* update_insert_phase_us;
+  };
+  MetricHandles h_ = {};
+
+  /// Monotone trace-id source (every query gets one; see QueryResponse).
+  std::atomic<uint64_t> next_trace_id_{1};
+  /// Threshold-gated slow-query sink; nullptr when disabled.
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 
   /// Registry lock; see file comment.
   mutable std::shared_mutex mu_;
@@ -355,10 +488,10 @@ class QueryEngine {
   /// carry the snapshot version, so updates invalidate by version compare.
   ResultCache result_cache_;
 
-  /// Aggregate counters + workload history (never held together with mu_).
+  /// Workload history (never held together with mu_). The aggregate
+  /// counters that used to live here moved into metrics_.
   mutable std::mutex agg_mu_;
   std::deque<Pattern> workload_;
-  EngineStats counters_;
 
   /// --- Sharded-mode state (unused when sharding.num_shards <= 1) ---
   /// The last published consistent slice set; queries copy the pointer

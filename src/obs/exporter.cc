@@ -1,0 +1,249 @@
+#include "obs/exporter.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace gpmv {
+namespace obs {
+
+namespace {
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+      continue;
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  // %.6g can emit "inf"/"nan" which is not JSON; clamp to 0.
+  if (buf[0] != '-' && (buf[0] < '0' || buf[0] > '9')) {
+    out->push_back('0');
+    return;
+  }
+  if (buf[0] == '-' && (buf[1] < '0' || buf[1] > '9')) {
+    out->push_back('0');
+    return;
+  }
+  out->append(buf);
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "gpmv_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SnapshotToJsonLine(const MetricsSnapshot& snap, uint64_t seq,
+                               double ts_ms) {
+  std::string out;
+  out.reserve(1024);
+  out.append("{\"seq\":");
+  out.append(std::to_string(seq));
+  out.append(",\"ts_ms\":");
+  AppendDouble(&out, ts_ms);
+  out.append(",\"counters\":{");
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendQuoted(&out, snap.counters[i].first);
+    out.push_back(':');
+    out.append(std::to_string(snap.counters[i].second));
+  }
+  out.append("},\"gauges\":{");
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendQuoted(&out, snap.gauges[i].first);
+    out.push_back(':');
+    AppendDouble(&out, snap.gauges[i].second);
+  }
+  out.append("},\"histograms\":{");
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (i != 0) out.push_back(',');
+    AppendQuoted(&out, h.name);
+    out.append(":{\"count\":");
+    out.append(std::to_string(h.count));
+    out.append(",\"sum\":");
+    out.append(std::to_string(h.sum));
+    out.append(",\"avg\":");
+    AppendDouble(&out, h.Average());
+    out.append(",\"p50\":");
+    AppendDouble(&out, h.Quantile(0.50));
+    out.append(",\"p95\":");
+    AppendDouble(&out, h.Quantile(0.95));
+    out.append(",\"p99\":");
+    AppendDouble(&out, h.Quantile(0.99));
+    out.append(",\"buckets\":[");
+    // Trailing zero buckets are truncated to keep lines compact; the
+    // schema checker treats the array as right-padded with zeros.
+    size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (size_t b = 0; b < last; ++b) {
+      if (b != 0) out.push_back(',');
+      out.append(std::to_string(h.buckets[b]));
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+bool WritePrometheusText(const MetricsSnapshot& snap,
+                         const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = PromName(name);
+    std::fprintf(f, "# TYPE %s counter\n%s %" PRIu64 "\n", p.c_str(),
+                 p.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = PromName(name);
+    std::fprintf(f, "# TYPE %s gauge\n%s %.6g\n", p.c_str(), p.c_str(),
+                 value);
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string p = PromName(h.name);
+    std::fprintf(f, "# TYPE %s histogram\n", p.c_str());
+    uint64_t cum = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cum += h.buckets[b];
+      // Upper bound of bucket b: 1 for b == 0 (values <= 1), else
+      // 2^(b+1) - 1 (the largest value BucketFor maps to b); the last
+      // bucket is open-ended and merged into +Inf below.
+      if (b + 1 == h.buckets.size()) break;
+      const double le =
+          b == 0 ? 1.0
+                 : static_cast<double>((uint64_t{1} << (b + 1)) - 1);
+      std::fprintf(f, "%s_bucket{le=\"%.0f\"} %" PRIu64 "\n", p.c_str(), le,
+                   cum);
+    }
+    std::fprintf(f, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", p.c_str(),
+                 h.count);
+    std::fprintf(f, "%s_sum %" PRIu64 "\n", p.c_str(), h.sum);
+    std::fprintf(f, "%s_count %" PRIu64 "\n", p.c_str(), h.count);
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void PrintSummaryTable(std::FILE* out, const MetricsSnapshot& snap) {
+  std::fprintf(out, "--- metrics summary ---\n");
+  size_t width = 0;
+  for (const auto& [name, _] : snap.counters)
+    width = std::max(width, name.size());
+  for (const auto& [name, _] : snap.gauges)
+    width = std::max(width, name.size());
+  for (const HistogramSnapshot& h : snap.histograms)
+    width = std::max(width, h.name.size());
+  const int w = static_cast<int>(width);
+  if (!snap.counters.empty()) std::fprintf(out, "counters:\n");
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;  // keep the table to what actually happened
+    std::fprintf(out, "  %-*s %12" PRIu64 "\n", w, name.c_str(), value);
+  }
+  if (!snap.gauges.empty()) std::fprintf(out, "gauges:\n");
+  for (const auto& [name, value] : snap.gauges) {
+    if (value == 0.0) continue;
+    std::fprintf(out, "  %-*s %12.6g\n", w, name.c_str(), value);
+  }
+  if (!snap.histograms.empty()) {
+    std::fprintf(out, "histograms:%*s        count          avg          p50          p95          p99\n",
+                 w > 10 ? w - 10 : 0, "");
+    for (const HistogramSnapshot& h : snap.histograms) {
+      if (h.count == 0) continue;
+      std::fprintf(out,
+                   "  %-*s %12" PRIu64 " %12.6g %12.6g %12.6g %12.6g\n", w,
+                   h.name.c_str(), h.count, h.Average(), h.Quantile(0.50),
+                   h.Quantile(0.95), h.Quantile(0.99));
+    }
+  }
+}
+
+MetricsExporter::MetricsExporter(MetricsRegistry* registry, Options opts)
+    : registry_(registry), opts_(std::move(opts)) {
+  if (opts_.interval_ms == 0) opts_.interval_ms = 1000;
+  file_ = std::fopen(opts_.path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "metrics exporter: cannot open %s\n",
+                 opts_.path.c_str());
+    return;
+  }
+  start_ = std::chrono::steady_clock::now();
+  thread_ = std::thread(&MetricsExporter::Loop, this);
+}
+
+MetricsExporter::~MetricsExporter() {
+  Stop();
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  stopped_ = true;
+}
+
+size_t MetricsExporter::snapshots_written() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_;
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(opts_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lk.unlock();
+    Emit();
+    lk.lock();
+  }
+  lk.unlock();
+  // Final snapshot so short runs still leave a complete artifact.
+  Emit();
+}
+
+void MetricsExporter::Emit() {
+  const double ts_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const MetricsSnapshot snap = registry_->TakeSnapshot();
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seq = ++seq_;
+  }
+  const std::string line = SnapshotToJsonLine(snap, seq, ts_ms);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+}  // namespace obs
+}  // namespace gpmv

@@ -1,0 +1,89 @@
+/// \file exporter.h
+/// \brief Metrics egress: a background thread emitting periodic JSON-lines
+/// snapshots (the `serve --metrics-out` artifact, schema-checked in CI by
+/// tools/check_metrics_schema.py), a Prometheus-text-format writer (file
+/// based for now — the socket endpoint lands with the ROADMAP net front
+/// end), and the human-readable summary table the CLI prints at exit.
+///
+/// JSON-lines schema (tools/metrics_schema.json is the committed source of
+/// truth):
+///   {"seq": N,            // strictly increasing per exporter, from 1
+///    "ts_ms": T,          // steady-clock ms since the exporter started
+///    "counters": {"engine.queries": 12, ...},
+///    "gauges": {"stream.queue_depth": 3.0, ...},
+///    "histograms": {"query.latency_us":
+///        {"count": 12, "sum": 3456, "avg": 288.0,
+///         "p50": 180.2, "p95": 612.0, "p99": 1200.0,
+///         "buckets": [0,0,1,...]}, ...}}
+/// Timestamps are deliberately monotone-relative (steady_clock), never
+/// wall-clock — see the clock-discipline lint (tools/check_clocks.py).
+
+#ifndef GPMV_OBS_EXPORTER_H_
+#define GPMV_OBS_EXPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace gpmv {
+namespace obs {
+
+/// One snapshot as a schema-conformant JSON line (no trailing newline).
+std::string SnapshotToJsonLine(const MetricsSnapshot& snap, uint64_t seq,
+                               double ts_ms);
+
+/// Writes the snapshot in Prometheus text exposition format (# TYPE
+/// comments, gpmv_ prefix, dots mapped to underscores; histograms as
+/// cumulative `le` buckets + _sum/_count). Returns false on I/O failure.
+bool WritePrometheusText(const MetricsSnapshot& snap, const std::string& path);
+
+/// Prints the aligned human-readable summary table (counters, gauges, and
+/// per-histogram count/avg/p50/p95/p99 rows) the CLI shows at exit.
+void PrintSummaryTable(std::FILE* out, const MetricsSnapshot& snap);
+
+/// Background JSON-lines emitter: one snapshot every `interval_ms` while
+/// the owner runs, plus a final snapshot on Stop() — so even a run shorter
+/// than one interval leaves a non-empty, schema-valid artifact.
+class MetricsExporter {
+ public:
+  struct Options {
+    std::string path;          ///< JSON-lines output file (truncated)
+    size_t interval_ms = 1000;  ///< emission period
+  };
+
+  MetricsExporter(MetricsRegistry* registry, Options opts);
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Emits the final snapshot, flushes, and joins the thread. Idempotent.
+  void Stop();
+
+  bool ok() const { return file_ != nullptr; }
+  size_t snapshots_written() const;
+
+ private:
+  void Loop();
+  void Emit();
+
+  MetricsRegistry* registry_;
+  Options opts_;
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace obs
+}  // namespace gpmv
+
+#endif  // GPMV_OBS_EXPORTER_H_

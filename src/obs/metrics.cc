@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace gpmv {
+namespace obs {
+
+size_t ThreadCellIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank in [1, count]; walk the cumulative distribution to the
+  // straddling bucket and interpolate linearly inside it.
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) < rank) continue;
+    // Bucket bounds: b == 0 holds [0, 2); b >= 1 holds [2^b, 2^(b+1)).
+    const double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
+    const double hi = static_cast<double>(
+        uint64_t{1} << std::min(b + 1, kHistogramBuckets));
+    const double frac = (rank - static_cast<double>(prev)) /
+                        static_cast<double>(buckets[b]);
+    return lo + frac * (hi - lo);
+  }
+  return 0.0;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  counter_storage_.emplace_back();
+  return counters_.emplace(name, &counter_storage_.back()).first->second;
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  gauge_storage_.emplace_back();
+  return gauges_.emplace(name, &gauge_storage_.back()).first->second;
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  histogram_storage_.emplace_back();
+  return histograms_.emplace(name, &histogram_storage_.back()).first->second;
+}
+
+void MetricsRegistry::AddCollector(std::function<void(MetricsSnapshot*)> fn) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot out;
+  // Lock order: registration mutex first, then the gate exclusively. No
+  // writer holds both (handle updates take only the gate, registration
+  // only reg_mu_), so the order cannot deadlock.
+  std::lock_guard<std::mutex> reg(reg_mu_);
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->Value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->Value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.sum = h->Sum();
+    hs.buckets.resize(kHistogramBuckets);
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      hs.buckets[b] = h->BucketCount(b);
+      hs.count += hs.buckets[b];
+    }
+    out.histograms.push_back(std::move(hs));
+  }
+  // Collectors run inside the gate: their derived gauges land in the same
+  // consistent cut as the raw metrics.
+  for (const auto& fn : collectors_) fn(&out);
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.gauges.begin(), out.gauges.end());
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace obs
+}  // namespace gpmv

@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace gpmv {
+namespace obs {
+
+namespace {
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+      continue;
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// True when `s` can be emitted as a bare JSON token (number or bool).
+bool IsJsonBare(const std::string& s) {
+  if (s == "true" || s == "false") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+void AppendSpan(std::string* out, const TraceSpan& span) {
+  out->append("{\"name\":");
+  AppendQuoted(out, span.name);
+  out->append(",\"start_ms\":");
+  AppendNumber(out, span.start_ms);
+  out->append(",\"dur_ms\":");
+  AppendNumber(out, span.dur_ms);
+  if (!span.attrs.empty()) {
+    out->append(",\"attrs\":{");
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i != 0) out->push_back(',');
+      AppendQuoted(out, span.attrs[i].first);
+      out->push_back(':');
+      if (IsJsonBare(span.attrs[i].second)) {
+        out->append(span.attrs[i].second);
+      } else {
+        AppendQuoted(out, span.attrs[i].second);
+      }
+    }
+    out->push_back('}');
+  }
+  if (!span.children.empty()) {
+    out->append(",\"children\":[");
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i != 0) out->push_back(',');
+      AppendSpan(out, *span.children[i]);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+const TraceSpan* TraceSpan::Find(const std::string& span_name) const {
+  if (name == span_name) return this;
+  for (const auto& c : children) {
+    if (const TraceSpan* hit = c->Find(span_name)) return hit;
+  }
+  return nullptr;
+}
+
+Trace::Trace(uint64_t id, std::string root_name)
+    : start_(Clock::now()), id_(id), root_(std::make_shared<TraceSpan>()) {
+  root_->name = std::move(root_name);
+  open_.push_back(root_.get());
+}
+
+double Trace::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+      .count();
+}
+
+TraceSpan* Trace::Open(std::string name) {
+  TraceSpan* parent = open_.back();
+  parent->children.push_back(std::make_unique<TraceSpan>());
+  TraceSpan* span = parent->children.back().get();
+  span->name = std::move(name);
+  span->start_ms = ElapsedMs();
+  open_.push_back(span);
+  return span;
+}
+
+void Trace::Close(TraceSpan* span) {
+  const double now = ElapsedMs();
+  // Close everything opened after `span` too (a forgotten inner scope must
+  // not corrupt the stack), then `span` itself. The root never closes here.
+  while (open_.size() > 1) {
+    TraceSpan* top = open_.back();
+    open_.pop_back();
+    top->dur_ms = now - top->start_ms;
+    if (top == span) break;
+  }
+}
+
+std::shared_ptr<const TraceSpan> Trace::Finish() {
+  const double now = ElapsedMs();
+  while (!open_.empty()) {
+    TraceSpan* top = open_.back();
+    open_.pop_back();
+    top->dur_ms = now - top->start_ms;
+  }
+  return root_;
+}
+
+std::string TraceToJsonLine(uint64_t trace_id, double total_ms,
+                            const TraceSpan& root) {
+  std::string out;
+  out.reserve(256);
+  out.append("{\"trace_id\":");
+  out.append(std::to_string(trace_id));
+  out.append(",\"total_ms\":");
+  AppendNumber(&out, total_ms);
+  out.append(",\"span\":");
+  AppendSpan(&out, root);
+  out.push_back('}');
+  return out;
+}
+
+SlowQueryLog::SlowQueryLog(Options opts) : opts_(std::move(opts)) {
+  if (opts_.threshold_ms > 0.0 && !opts_.path.empty()) {
+    file_ = std::fopen(opts_.path.c_str(), "a");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "slow-query log: cannot open %s\n",
+                   opts_.path.c_str());
+    }
+  }
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SlowQueryLog::Log(const std::string& json_line) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++lines_;
+  if (file_ != nullptr) {
+    std::fputs(json_line.c_str(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+  if (opts_.sink) opts_.sink(json_line);
+}
+
+size_t SlowQueryLog::lines_written() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lines_;
+}
+
+}  // namespace obs
+}  // namespace gpmv

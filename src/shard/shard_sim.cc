@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/bitset.h"
+#include "common/stopwatch.h"
 #include "engine/executor.h"     // ParallelInvoke
 #include "simulation/bounded.h"  // ComputeCandidateSet
 #include "simulation/refinement.h"
@@ -229,13 +230,24 @@ bool ShardSim::Run(ThreadPool* pool, ShardSimStats* stats) {
   std::vector<size_t> global_alive(np);
   for (uint32_t u = 0; u < np; ++u) global_alive[u] = space_.size(u);
 
+  // Per-shard wall times: distinct slots, so the parallel tasks never race.
+  std::vector<double> shard_ms(k, 0.0);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(k);
   for (uint32_t s = 0; s < k; ++s) {
-    tasks.push_back([this, s] { InitShard(s); });
+    tasks.push_back([this, s, &shard_ms] {
+      Stopwatch sw;
+      InitShard(s);
+      shard_ms[s] = sw.ElapsedMillis();
+    });
   }
+  Stopwatch phase_sw;
   ParallelInvoke(pool, std::move(tasks));
-  if (stats != nullptr) ++stats->rounds;
+  if (stats != nullptr) {
+    ++stats->rounds;
+    stats->round_ms.push_back(phase_sw.ElapsedMillis());
+    stats->shard_ms = std::move(shard_ms);
+  }
 
   std::vector<std::vector<Decrement>> inbox(k);
   for (;;) {
@@ -271,8 +283,12 @@ bool ShardSim::Run(ThreadPool* pool, ShardSimStats* stats) {
     for (uint32_t s = 0; s < k; ++s) {
       round.push_back([this, s, &inbox] { ProcessInbox(s, inbox[s]); });
     }
+    phase_sw.Restart();
     ParallelInvoke(pool, std::move(round));
-    if (stats != nullptr) ++stats->rounds;
+    if (stats != nullptr) {
+      ++stats->rounds;
+      stats->round_ms.push_back(phase_sw.ElapsedMillis());
+    }
   }
 }
 

@@ -69,7 +69,16 @@ struct ShardSimStats {
   /// would do locally).
   size_t messages = 0;
 
+  /// Per-call detail for trace spans (obs/trace.h), NOT aggregated by
+  /// Merge: wall time of each parallel phase (index 0 is the local-fixpoint
+  /// fan-out, the rest are merge rounds) and of each shard's local fixpoint
+  /// within that first phase.
+  std::vector<double> round_ms;
+  std::vector<double> shard_ms;
+
   /// Field-wise aggregate (max for `shards`), mirroring MatchJoinStats.
+  /// Per-call timing vectors are left untouched — they only describe a
+  /// single evaluation.
   void Merge(const ShardSimStats& other) {
     shards = std::max(shards, other.shards);
     rounds += other.rounds;

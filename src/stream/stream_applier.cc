@@ -11,6 +11,8 @@ StreamApplier::StreamApplier(QueryEngine* engine, UpdateStream* stream,
                              StreamApplierOptions opts)
     : engine_(engine), stream_(stream), opts_(opts) {
   if (opts_.max_batch == 0) opts_.max_batch = 1;
+  queue_depth_gauge_ =
+      engine_->metrics()->FindOrCreateGauge("stream.queue_depth");
   thread_ = std::thread([this] { ApplierLoop(); });
 }
 
@@ -53,6 +55,9 @@ void StreamApplier::ApplierLoop() {
       if (healthy) ++delta.apply_failures;
     }
     engine_->MergeStreamStats(delta);
+    // Live depth, not a high-water mark: exporter snapshots between drains
+    // see how far the applier is behind right now.
+    queue_depth_gauge_->Set(static_cast<double>(d.depth_after));
 
     {
       std::lock_guard<std::mutex> lk(mu_);

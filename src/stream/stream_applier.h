@@ -93,6 +93,9 @@ class StreamApplier {
   QueryEngine* engine_;
   UpdateStream* stream_;
   StreamApplierOptions opts_;
+  /// Live queue-depth gauge (stream.queue_depth), resolved once from the
+  /// engine's registry; null when metrics are disabled.
+  obs::Gauge* queue_depth_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable consumed_cv_;

@@ -44,7 +44,7 @@ TEST(ThreadPoolTest, BoundedQueueAppliesBackpressureNotLoss) {
 }
 
 TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
-  ThreadPool pool(ThreadPoolOptions{1, 4});
+  ThreadPool pool(ThreadPoolOptions{1, 4, {}});
   pool.Shutdown();
   Status st = pool.Submit([] {});
   EXPECT_FALSE(st.ok());
@@ -53,7 +53,7 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
 }
 
 TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
-  ThreadPool pool(ThreadPoolOptions{0, 16});
+  ThreadPool pool(ThreadPoolOptions{0, 16, {}});
   EXPECT_GE(pool.num_threads(), 1u);
   std::atomic<int> counter{0};
   ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());

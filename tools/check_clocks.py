@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Lint: timing code must use std::chrono::steady_clock.
+
+Scans C++ sources for std::chrono::system_clock and
+high_resolution_clock. Both are banned in timing paths: system_clock
+jumps under NTP adjustment (breaking latency histograms and the
+exporter's monotone ts_ms contract, see tools/metrics_schema.json), and
+high_resolution_clock is an unspecified alias that is system_clock on
+some standard libraries. Lines that genuinely need wall-clock time
+(e.g. log timestamps for humans) can opt out with a
+`// clock-lint: allow` comment on the same line.
+
+Usage: tools/check_clocks.py [dir ...]   (defaults: src tools bench tests)
+"""
+
+import os
+import re
+import sys
+
+BANNED = re.compile(r"\b(?:std::chrono::)?(system_clock|high_resolution_clock)\b")
+ALLOW_TAG = "clock-lint: allow"
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def check_file(path):
+    failures = []
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = BANNED.search(line)
+            if m and ALLOW_TAG not in line:
+                failures.append(f"{path}:{lineno}: {m.group(1)} (use "
+                                f"steady_clock, or tag `// {ALLOW_TAG}`)")
+    return failures
+
+
+def main(argv):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    dirs = argv[1:] or ["src", "tools", "bench", "tests"]
+    failures = []
+    scanned = 0
+    for d in dirs:
+        for dirpath, _, filenames in os.walk(os.path.join(root, d)):
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    scanned += 1
+                    failures.extend(check_file(os.path.join(dirpath, name)))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} banned clock use(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {scanned} files use steady_clock only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,6 +14,9 @@
 ///                  [--advise K] [--updates <file>] [--no-delta]
 ///                  [--shards K] [--hash-shards]
 ///                  [--stream <file>] [--stream-rate N] [--max-lag-ms M]
+///                  [--metrics-out <file>] [--metrics-interval-ms N]
+///                  [--prom-out <file>] [--trace] [--no-metrics]
+///                  [--slow-query-ms M] [--slow-query-log <file>]
 ///
 /// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
 /// view_io.h. `serve` runs a query file (view-set format: `view <name>`
@@ -39,6 +42,22 @@
 /// FlushAndWait before the final report and prints the stream counters
 /// (ingested/coalesced ops, micro-batches, queue depth, publish lag,
 /// applied-through watermark).
+///
+/// Observability (src/obs/): `--metrics-out <file>` starts a background
+/// exporter emitting one JSON-lines registry snapshot every
+/// `--metrics-interval-ms` (default 1000) plus a final one at exit —
+/// schema-checked by tools/check_metrics_schema.py. `--prom-out <file>`
+/// writes a final Prometheus-text-format snapshot. `--trace` attaches the
+/// per-query span tree and prints each query's trace id.
+/// `--slow-query-ms M` logs any query slower than M as a JSON line with
+/// its full span tree — to `--slow-query-log <file>`, or stderr when no
+/// file is given. `--no-metrics` disables the registry entirely (the
+/// bench overhead-gate baseline) and conflicts with the flags above.
+/// When metrics are on, serve ends with the registry summary table.
+///
+/// `stats --json <path>` additionally dumps the graph statistics plus a
+/// fresh engine metrics-registry snapshot through bench_util.h's
+/// JsonReport (same shape as the bench artifacts).
 
 #include <chrono>
 #include <cstdio>
@@ -52,8 +71,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
+#include "obs/exporter.h"
 #include "stream/stream_applier.h"
 #include "stream/update_stream.h"
 #include "core/containment.h"
@@ -78,7 +99,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  gpmv_cli gen <amazon|citation|youtube|random> <n> <seed> <out>\n"
-      "  gpmv_cli stats <graph>\n"
+      "  gpmv_cli stats <graph> [--json <path>]\n"
       "  gpmv_cli match <graph> <pattern> [--dual]\n"
       "  gpmv_cli contain <pattern> <views>\n"
       "  gpmv_cli materialize <graph> <views>\n"
@@ -90,7 +111,10 @@ int Usage() {
       "                 [--advise K] [--updates <file>] [--no-delta]\n"
       "                 [--shards K] [--hash-shards]\n"
       "                 [--stream <file>] [--stream-rate N] "
-      "[--max-lag-ms M]\n");
+      "[--max-lag-ms M]\n"
+      "                 [--metrics-out <file>] [--metrics-interval-ms N]\n"
+      "                 [--prom-out <file>] [--trace] [--no-metrics]\n"
+      "                 [--slow-query-ms M] [--slow-query-log <file>]\n");
   return 2;
 }
 
@@ -132,14 +156,18 @@ bool NumericFlag(const std::vector<std::string>& args, const char* flag,
 /// flag actually has a value (a trailing `--updates` would otherwise be
 /// silently treated as absent).
 bool ValidateServeFlags(const std::vector<std::string>& args) {
-  static const char* kValueFlags[] = {"--views",       "--threads",
-                                      "--cache-mb",    "--result-cache-mb",
-                                      "--advise",      "--updates",
-                                      "--shards",      "--stream",
-                                      "--stream-rate", "--max-lag-ms"};
+  static const char* kValueFlags[] = {
+      "--views",       "--threads",     "--cache-mb",
+      "--result-cache-mb", "--advise",  "--updates",
+      "--shards",      "--stream",      "--stream-rate",
+      "--max-lag-ms",  "--metrics-out", "--metrics-interval-ms",
+      "--prom-out",    "--slow-query-ms", "--slow-query-log"};
   for (size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a == "--warm" || a == "--hash-shards" || a == "--no-delta") continue;
+    if (a == "--warm" || a == "--hash-shards" || a == "--no-delta" ||
+        a == "--trace" || a == "--no-metrics") {
+      continue;
+    }
     bool known = false;
     for (const char* f : kValueFlags) {
       if (a == f) {
@@ -212,7 +240,8 @@ int CmdStats(const std::vector<std::string>& args) {
   Stopwatch sw;
   std::shared_ptr<const GraphSnapshot> snap = g.Freeze();
   const double freeze_ms = sw.ElapsedMillis();
-  std::printf("%s", ComputeStatistics(*snap).ToString().c_str());
+  const GraphStatistics gs = ComputeStatistics(*snap);
+  std::printf("%s", gs.ToString().c_str());
   std::printf(
       "snapshot: version %llu, built in %.2f ms, CSR footprint ~%zu KiB\n",
       static_cast<unsigned long long>(snap->version()), freeze_ms,
@@ -233,6 +262,50 @@ int CmdStats(const std::vector<std::string>& args) {
         "shared: %s)\n",
         sw.ElapsedMillis(),
         refrozen->SharesNodeSection(*snap) ? "yes" : "no");
+  }
+
+  // --json: the graph shape plus a fresh engine's metrics-registry
+  // snapshot (collector gauges included), in the same JsonReport shape
+  // the bench artifacts use, so downstream tooling parses one format.
+  const std::string json_path = FlagValue(args, "--json");
+  if (!json_path.empty()) {
+    EngineOptions eopts;
+    eopts.pool.num_threads = 1;
+    QueryEngine engine(std::move(g), eopts);
+    const obs::MetricsSnapshot ms = engine.metrics()->TakeSnapshot();
+    bench::JsonReport report("gpmv_stats");
+    report.Meta("graph", args[0]);
+    report.Meta("freeze_ms", freeze_ms);
+    report.Add("graph", {{"nodes", static_cast<double>(gs.num_nodes)},
+                         {"edges", static_cast<double>(gs.num_edges)},
+                         {"avg_out_degree", gs.avg_out_degree},
+                         {"max_out_degree",
+                          static_cast<double>(gs.max_out_degree)},
+                         {"max_in_degree",
+                          static_cast<double>(gs.max_in_degree)},
+                         {"source_nodes",
+                          static_cast<double>(gs.source_nodes)},
+                         {"sink_nodes", static_cast<double>(gs.sink_nodes)},
+                         {"self_loops", static_cast<double>(gs.self_loops)},
+                         {"snapshot_bytes",
+                          static_cast<double>(snap->ApproxBytes())}});
+    for (const auto& [name, value] : ms.counters) {
+      report.Add("counter." + name,
+                 {{"value", static_cast<double>(value)}});
+    }
+    for (const auto& [name, value] : ms.gauges) {
+      report.Add("gauge." + name, {{"value", value}});
+    }
+    for (const obs::HistogramSnapshot& h : ms.histograms) {
+      report.Add("hist." + h.name,
+                 {{"count", static_cast<double>(h.count)},
+                  {"sum", static_cast<double>(h.sum)},
+                  {"avg", h.Average()},
+                  {"p50", h.Quantile(0.50)},
+                  {"p95", h.Quantile(0.95)},
+                  {"p99", h.Quantile(0.99)}});
+    }
+    if (!report.WriteTo(json_path)) return 1;
   }
   return 0;
 }
@@ -441,7 +514,47 @@ int CmdServe(const std::vector<std::string>& args) {
   if (HasFlag(args, "--hash-shards")) {
     opts.sharding.partition = ShardingOptions::Partition::kHash;
   }
+
+  size_t metrics_interval_ms = 0, slow_query_ms = 0;
+  if (!NumericFlag(args, "--metrics-interval-ms", 1000,
+                   &metrics_interval_ms) ||
+      !NumericFlag(args, "--slow-query-ms", 0, &slow_query_ms)) {
+    return Usage();
+  }
+  const std::string metrics_out = FlagValue(args, "--metrics-out");
+  const std::string prom_out = FlagValue(args, "--prom-out");
+  const bool trace = HasFlag(args, "--trace");
+  opts.obs.enabled = !HasFlag(args, "--no-metrics");
+  if (!opts.obs.enabled &&
+      (trace || !metrics_out.empty() || !prom_out.empty() ||
+       slow_query_ms > 0)) {
+    std::fprintf(stderr,
+                 "error: --no-metrics conflicts with --trace/--metrics-out/"
+                 "--prom-out/--slow-query-ms\n");
+    return 1;
+  }
+  opts.obs.trace = trace;
+  opts.obs.slow_query_ms = static_cast<double>(slow_query_ms);
+  opts.obs.slow_query_path = FlagValue(args, "--slow-query-log");
+  if (slow_query_ms > 0 && opts.obs.slow_query_path.empty()) {
+    // No file given: slow-query JSON lines go to stderr.
+    opts.obs.slow_query_sink = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+
   QueryEngine engine(std::move(g), opts);
+
+  // The exporter starts before warmup so its first snapshots cover view
+  // materialization too; its destructor stops it on every early return.
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!metrics_out.empty()) {
+    obs::MetricsExporter::Options eo;
+    eo.path = metrics_out;
+    eo.interval_ms = metrics_interval_ms;
+    exporter = std::make_unique<obs::MetricsExporter>(engine.metrics(), eo);
+    if (!exporter->ok()) return 1;
+  }
 
   const std::string views_path = FlagValue(args, "--views");
   if (!views_path.empty()) {
@@ -591,13 +704,18 @@ int CmdServe(const std::vector<std::string>& args) {
     QueryResponse resp = futures[i].get();
     if (!resp.status.ok()) ++failed;
     std::printf("%-20s plan=%-13s %s pairs=%-8zu %s plan=%.2fms "
-                "exec=%.2fms views=%zu\n",
+                "exec=%.2fms views=%zu",
                 queries.view(i).name.c_str(), PlanKindName(resp.plan),
                 resp.status.ok() ? (resp.result.matched() ? "hit " : "empty")
                                  : "FAIL",
                 resp.status.ok() ? resp.result.TotalMatches() : 0,
                 resp.warm ? "warm" : "cold", resp.plan_ms, resp.exec_ms,
                 resp.views_used.size());
+    if (trace) {
+      std::printf(" trace_id=%llu",
+                  static_cast<unsigned long long>(resp.trace_id));
+    }
+    std::printf("\n");
   }
   double secs = wall.ElapsedSeconds();
 
@@ -654,6 +772,32 @@ int CmdServe(const std::vector<std::string>& args) {
                   static_cast<double>(s.stream.batches_applied),
         s.stream.publish_lag_ms_max,
         static_cast<unsigned long long>(s.stream.applied_through_ts));
+  }
+
+  if (slow_query_ms > 0) {
+    std::printf("slow queries (>= %zu ms): %zu logged to %s\n", slow_query_ms,
+                engine.slow_query_lines(),
+                opts.obs.slow_query_path.empty()
+                    ? "stderr"
+                    : opts.obs.slow_query_path.c_str());
+  }
+  if (exporter) {
+    // Final snapshot (seq N+1) lands before the summary reads, so the
+    // artifact's last line agrees with the table below.
+    exporter->Stop();
+    std::printf("-- metrics: %zu snapshot(s) written to %s\n",
+                exporter->snapshots_written(), metrics_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    if (!obs::WritePrometheusText(engine.metrics()->TakeSnapshot(),
+                                  prom_out)) {
+      return 1;
+    }
+    std::printf("-- prometheus snapshot written to %s\n", prom_out.c_str());
+  }
+  if (opts.obs.enabled) {
+    std::printf("\n");
+    obs::PrintSummaryTable(stdout, engine.metrics()->TakeSnapshot());
   }
   return failed == 0 ? 0 : 1;
 }

@@ -68,6 +68,13 @@ class JsonReport {
     rows_.back().first = label;
     for (const auto& [k, v] : metrics) rows_.back().second.emplace_back(k, v);
   }
+  /// Vector overload for rows assembled conditionally.
+  void Add(const std::string& label,
+           const std::vector<std::pair<std::string, double>>& metrics) {
+    rows_.emplace_back();
+    rows_.back().first = label;
+    for (const auto& [k, v] : metrics) rows_.back().second.emplace_back(k, v);
+  }
 
   /// Writes the report; returns false (with a message on stderr) on I/O
   /// failure. An empty path is a no-op success, so callers can pass the

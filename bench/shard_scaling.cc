@@ -2,10 +2,11 @@
 /// \brief Sharded query fan-out scaling: the 1k-query direct workload at
 /// K = 1/2/4/8 shards.
 ///
-/// Every configuration answers the same plain-pattern query stream on the
-/// same graph with *no registered views*, so each query is a direct
-/// (simulation) evaluation — the plan the sharded engine fans out across
-/// per-shard CSR slices. Queries are issued one at a time from the driver
+/// Every configuration answers the same query stream — a mix of plain and
+/// bounded patterns — on the same graph with *no registered views*, so
+/// each query is a direct evaluation: the plan the sharded engine fans out
+/// across per-shard CSR slices (decrement exchange for plain patterns,
+/// BFS frontier hand-off for bounded ones). Queries are issued one at a time from the driver
 /// thread: the measured speedup is intra-query shard parallelism, not
 /// inter-query pool parallelism (engine_throughput covers that axis).
 /// K = 1 disables sharding entirely and is the unsharded baseline.
@@ -109,8 +110,10 @@ int main(int argc, char** argv) {
   }
   num_queries = positionals[0];
 
-  // Same graph family as engine_throughput; all-plain patterns so every
-  // query is fan-out eligible (bounded BFS does not shard).
+  // Same graph family as engine_throughput. Every third pattern carries
+  // path bounds up to 3: bounded direct plans fan out too (sharded bounded
+  // BFS with frontier hand-off), and the cross-K equality check below
+  // covers both exchange protocols.
   RandomGraphOptions go;
   go.num_nodes = 40000;
   go.num_edges = 120000;
@@ -125,14 +128,15 @@ int main(int argc, char** argv) {
     po.num_edges = po.num_nodes - 1 + seed % 2;
     po.label_pool = SyntheticLabels(go.num_labels);
     po.dag_only = true;
-    po.max_bound = 1;
+    po.max_bound = seed % 3 == 0 ? 3 : 1;
     po.seed = seed;
     patterns.push_back(GenerateRandomPattern(po));
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("graph: %zu nodes, %zu edges, %zu labels; workload: %zu "
-              "sequential queries over %zu plain patterns; partition=%s; "
+              "sequential queries over %zu plain+bounded patterns; "
+              "partition=%s; "
               "hardware threads: %u\n\n",
               graph.num_nodes(), graph.num_edges(), go.num_labels,
               num_queries, patterns.size(),
@@ -162,10 +166,10 @@ int main(int argc, char** argv) {
     if (configs[i] == 4) k4_speedup = speedup;
     std::printf(
         "K=%u: %8.2fs  %9.0f q/s  speedup=%5.2fx  sharded=%zu/%zu  "
-        "rounds=%zu  messages=%zu  removals=%zu\n",
+        "rounds=%zu  messages=%zu  frontier=%zu  removals=%zu\n",
         configs[i], r.seconds, qps, speedup, r.sharded,
         r.stats.queries, r.stats.shard.rounds, r.stats.shard.messages,
-        r.stats.shard.removals);
+        r.stats.shard.frontier_msgs, r.stats.shard.removals);
     if (configs[i] > 1) {
       std::printf(
           "      slices: %zu bytes, %zu boundary replicas; plans: "
@@ -199,6 +203,8 @@ int main(int argc, char** argv) {
             {"queries_per_sec", qps},
             {"speedup", qps / std::max(base_qps, 1e-9)},
             {"messages", static_cast<double>(results[i].stats.shard.messages)},
+            {"frontier_msgs",
+             static_cast<double>(results[i].stats.shard.frontier_msgs)},
             {"rounds", static_cast<double>(results[i].stats.shard.rounds)}});
   }
   if (!jr.WriteTo(json_path)) return 1;

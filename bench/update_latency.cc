@@ -5,19 +5,24 @@
 /// head-to-head against per-batch re-materialization (the pre-delta
 /// behavior, `EngineOptions::maintenance.enable_delta = false`).
 ///
-///   ./build/bench/update_latency [batches] [--min-speedup X] [--json path]
+///   ./build/bench/update_latency [batches] [--min-speedup X]
+///       [--min-bounded-speedup X] [--json path]
 ///
-/// Every (stream kind, batch size) configuration generates one update
-/// stream and applies the *identical* stream through two engines with the
-/// same materialized views; per-batch ApplyUpdates latency gives p50/p99,
-/// and edges-applied-per-second gives the throughput rows. After each
-/// stream the two engines must answer the view queries identically (the
-/// process exits non-zero otherwise), so the bench doubles as an
-/// end-to-end equivalence check of the delta path. `--min-speedup X` gates
-/// the aggregate insert-stream speedup (delta vs re-materialize) — the CI
-/// smoke runs it at 1.3, well under the >=2x the delta delivers on insert-
-/// heavy streams (docs/BENCHMARKS.md). `--json` writes the machine-
-/// readable rows (bench_util.h JsonReport).
+/// Two view families run the full matrix: plain simulation views (the
+/// original delta path) and bounded views (DeltaBoundedInsert + the
+/// distance-index merge, new in PR 7 — before which every bounded view
+/// re-materialized per batch). Every (family, stream kind, batch size)
+/// configuration generates one update stream and applies the *identical*
+/// stream through two engines with the same materialized views; per-batch
+/// ApplyUpdates latency gives p50/p99, and edges-applied-per-second gives
+/// the throughput rows. After each stream the two engines must answer the
+/// view queries identically (the process exits non-zero otherwise), so the
+/// bench doubles as an end-to-end equivalence check of both delta paths.
+/// `--min-speedup X` gates the aggregate insert-stream speedup of the
+/// plain family and `--min-bounded-speedup X` the bounded family (delta vs
+/// re-materialize) — the CI smoke runs both at 1.3, under the >=2x the
+/// delta delivers on insert-heavy streams (docs/BENCHMARKS.md). `--json`
+/// writes the machine-readable rows (bench_util.h JsonReport).
 
 #include <algorithm>
 #include <cstdio>
@@ -119,8 +124,7 @@ struct PassResult {
 
 std::vector<Pattern> ViewPatterns() {
   // Plain simulation views over the generator's label pool: the shapes the
-  // delta path maintains. (Bounded views always re-materialize and are
-  // covered by the equivalence tests, not the perf gate.)
+  // original delta path maintains.
   std::vector<Pattern> views;
   views.push_back(
       PatternBuilder().Node("L0").Node("L1").Edge("L0", "L1").Build());
@@ -131,6 +135,23 @@ std::vector<Pattern> ViewPatterns() {
   views.push_back(PatternBuilder()
                       .Node("L4").Node("L5").Node("L6")
                       .Edge("L4", "L5").Edge("L4", "L6")
+                      .Build());
+  return views;
+}
+
+std::vector<Pattern> BoundedViewPatterns() {
+  // Bounded views (path bounds 2/3): maintained by DeltaBoundedInsert and
+  // the distance-index merge since PR 7; re-materialized per batch before.
+  std::vector<Pattern> views;
+  views.push_back(
+      PatternBuilder().Node("L0").Node("L1").Edge("L0", "L1", 2).Build());
+  views.push_back(PatternBuilder()
+                      .Node("L2").Node("L3").Node("L4")
+                      .Edge("L2", "L3", 2).Edge("L3", "L4", 3)
+                      .Build());
+  views.push_back(PatternBuilder()
+                      .Node("L5").Node("L6").Node("L7")
+                      .Edge("L5", "L6", 3).Edge("L5", "L7", 2)
                       .Build());
   return views;
 }
@@ -193,17 +214,116 @@ PassResult RunPass(const Graph& base, const std::vector<Pattern>& views,
   return out;
 }
 
+/// Insert-stream totals for one view family's aggregate speedup gate.
+struct InsertAggregate {
+  double delta_edges = 0.0, delta_secs = 0.0;
+  double base_edges = 0.0, base_secs = 0.0;
+
+  double Speedup() const {
+    return (delta_edges / std::max(delta_secs, 1e-9)) /
+           std::max(base_edges / std::max(base_secs, 1e-9), 1e-9);
+  }
+};
+
+/// Runs the full (stream kind x batch size) matrix for one view family,
+/// printing rows, appending JSON rows under `family`-prefixed labels and
+/// accumulating the insert-stream aggregate. Returns false on a
+/// delta-vs-rematerialize result mismatch.
+bool RunMatrix(const Graph& base, const std::vector<Pattern>& views,
+               size_t num_batches, const char* family, bool bounded,
+               bench::JsonReport* report, InsertAggregate* agg,
+               uint64_t* stream_seed) {
+  const StreamKind kinds[] = {StreamKind::kInsert, StreamKind::kDelete,
+                              StreamKind::kMixed};
+  const size_t batch_sizes[] = {1, 16, 128};
+  for (StreamKind kind : kinds) {
+    for (size_t bs : batch_sizes) {
+      const std::vector<std::vector<EdgeUpdate>> stream =
+          MakeStream(base, kind, num_batches, bs, (*stream_seed)++);
+      PassResult delta = RunPass(base, views, stream, /*enable_delta=*/true);
+      PassResult remat = RunPass(base, views, stream, /*enable_delta=*/false);
+      bool answers_equal =
+          delta.view_answers.size() == remat.view_answers.size();
+      for (size_t i = 0; answers_equal && i < delta.view_answers.size(); ++i) {
+        answers_equal = delta.view_answers[i] == remat.view_answers[i];
+      }
+      if (!answers_equal) {
+        std::fprintf(stderr,
+                     "RESULT MISMATCH (%s%s, batch=%zu): delta-maintained "
+                     "views disagree with re-materialized views\n",
+                     family, StreamName(kind), bs);
+        return false;
+      }
+      const double delta_ups = static_cast<double>(delta.edges_applied) /
+                               std::max(delta.seconds, 1e-9);
+      const double remat_ups = static_cast<double>(remat.edges_applied) /
+                               std::max(remat.seconds, 1e-9);
+      const double speedup = delta_ups / std::max(remat_ups, 1e-9);
+      if (kind == StreamKind::kInsert) {
+        agg->delta_edges += static_cast<double>(delta.edges_applied);
+        agg->delta_secs += delta.seconds;
+        agg->base_edges += static_cast<double>(remat.edges_applied);
+        agg->base_secs += remat.seconds;
+      }
+      // The "delta" column counts the refreshes the family's delta path
+      // actually served: DeltaBoundedInsert for bounded views.
+      const size_t delta_count =
+          bounded ? delta.stats.delta.bounded_delta_refreshes
+                  : delta.stats.delta.delta_refreshes;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s%s_b%zu", family,
+                    StreamName(kind), bs);
+      std::printf("%-20s delta %10.3f %10.3f %10.0f %10zu %10zu %7.2fx\n",
+                  label, delta.p50_ms, delta.p99_ms, delta_ups, delta_count,
+                  delta.stats.delta.rematerialize_fallbacks, speedup);
+      std::printf("%-20s remat %10.3f %10.3f %10.0f %10zu %10zu\n", label,
+                  remat.p50_ms, remat.p99_ms, remat_ups,
+                  remat.stats.delta.delta_refreshes,
+                  remat.stats.delta.rematerialize_fallbacks);
+      std::vector<std::pair<std::string, double>> row = {
+          {"p50_ms", delta.p50_ms},
+          {"p99_ms", delta.p99_ms},
+          {"updates_per_sec", delta_ups},
+          {"delta_refreshes", static_cast<double>(delta_count)},
+          {"fallbacks",
+           static_cast<double>(delta.stats.delta.rematerialize_fallbacks)},
+          {"affected_nodes",
+           static_cast<double>(delta.stats.delta.affected_nodes)},
+          {"speedup", speedup}};
+      if (bounded) {
+        row.push_back({"bounded_matches_added",
+                       static_cast<double>(
+                           delta.stats.delta.bounded_matches_added)});
+        row.push_back({"distance_entries",
+                       static_cast<double>(delta.stats.cache.distance_entries)});
+        row.push_back({"distance_repairs",
+                       static_cast<double>(delta.stats.cache.distance_repairs)});
+      }
+      report->Add(std::string(label) + "_delta", row);
+      report->Add(std::string(label) + "_rematerialize",
+                  {{"p50_ms", remat.p50_ms},
+                   {"p99_ms", remat.p99_ms},
+                   {"updates_per_sec", remat_ups}});
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   double min_speedup = 0.0;
+  double min_bounded_speedup = 0.0;
   size_t positionals[1] = {120};  // batches per configuration
   if (!bench::TakeJsonFlag(&argc, argv, &json_path) ||
       !bench::TakeMinSpeedupFlag(&argc, argv, &min_speedup) ||
+      !bench::TakeDoubleFlag(&argc, argv, "--min-bounded-speedup",
+                             &min_bounded_speedup) ||
       !bench::ParsePositionals(
           argc, argv,
-          "update_latency [batches] [--min-speedup X] [--json path]",
+          "update_latency [batches] [--min-speedup X] "
+          "[--min-bounded-speedup X] [--json path]",
           positionals, 1)) {
     return 2;
   }
@@ -219,13 +339,14 @@ int main(int argc, char** argv) {
   go.num_labels = 8;
   go.seed = 2026;
   Graph base = GenerateRandomGraph(go);
-  const std::vector<Pattern> views = ViewPatterns();
+  const std::vector<Pattern> plain_views = ViewPatterns();
+  const std::vector<Pattern> bounded_views = BoundedViewPatterns();
 
-  std::printf("graph: %zu nodes, %zu edges, %zu labels; %zu views; %zu "
-              "batches per configuration\n\n",
-              base.num_nodes(), base.num_edges(), go.num_labels, views.size(),
-              num_batches);
-  std::printf("%-18s %10s %10s %10s %10s %10s %8s\n", "stream", "p50(ms)",
+  std::printf("graph: %zu nodes, %zu edges, %zu labels; %zu plain + %zu "
+              "bounded views; %zu batches per configuration\n\n",
+              base.num_nodes(), base.num_edges(), go.num_labels,
+              plain_views.size(), bounded_views.size(), num_batches);
+  std::printf("%-25s %10s %10s %10s %10s %10s %8s\n", "stream", "p50(ms)",
               "p99(ms)", "upd/s", "delta", "fallback", "speedup");
 
   bench::JsonReport report("update_latency");
@@ -233,82 +354,36 @@ int main(int argc, char** argv) {
   report.Meta("graph_edges", static_cast<double>(base.num_edges()));
   report.Meta("batches", static_cast<double>(num_batches));
 
-  const StreamKind kinds[] = {StreamKind::kInsert, StreamKind::kDelete,
-                              StreamKind::kMixed};
-  const size_t batch_sizes[] = {1, 16, 128};
-  double insert_delta_edges = 0.0, insert_delta_secs = 0.0;
-  double insert_base_edges = 0.0, insert_base_secs = 0.0;
   uint64_t stream_seed = 1;
-  for (StreamKind kind : kinds) {
-    for (size_t bs : batch_sizes) {
-      const std::vector<std::vector<EdgeUpdate>> stream =
-          MakeStream(base, kind, num_batches, bs, stream_seed++);
-      PassResult delta = RunPass(base, views, stream, /*enable_delta=*/true);
-      PassResult remat = RunPass(base, views, stream, /*enable_delta=*/false);
-      bool answers_equal = delta.view_answers.size() == remat.view_answers.size();
-      for (size_t i = 0; answers_equal && i < delta.view_answers.size(); ++i) {
-        answers_equal = delta.view_answers[i] == remat.view_answers[i];
-      }
-      if (!answers_equal) {
-        std::fprintf(stderr,
-                     "RESULT MISMATCH (%s, batch=%zu): delta-maintained "
-                     "views disagree with re-materialized views\n",
-                     StreamName(kind), bs);
-        return 1;
-      }
-      const double delta_ups =
-          static_cast<double>(delta.edges_applied) /
-          std::max(delta.seconds, 1e-9);
-      const double remat_ups =
-          static_cast<double>(remat.edges_applied) /
-          std::max(remat.seconds, 1e-9);
-      const double speedup = delta_ups / std::max(remat_ups, 1e-9);
-      if (kind == StreamKind::kInsert) {
-        insert_delta_edges += static_cast<double>(delta.edges_applied);
-        insert_delta_secs += delta.seconds;
-        insert_base_edges += static_cast<double>(remat.edges_applied);
-        insert_base_secs += remat.seconds;
-      }
-      char label[64];
-      std::snprintf(label, sizeof(label), "%s_b%zu", StreamName(kind), bs);
-      std::printf("%-13s delta %10.3f %10.3f %10.0f %10zu %10zu %7.2fx\n",
-                  label, delta.p50_ms, delta.p99_ms, delta_ups,
-                  delta.stats.delta.delta_refreshes,
-                  delta.stats.delta.rematerialize_fallbacks, speedup);
-      std::printf("%-13s remat %10.3f %10.3f %10.0f %10zu %10zu\n", label,
-                  remat.p50_ms, remat.p99_ms, remat_ups,
-                  remat.stats.delta.delta_refreshes,
-                  remat.stats.delta.rematerialize_fallbacks);
-      report.Add(std::string(label) + "_delta",
-                 {{"p50_ms", delta.p50_ms},
-                  {"p99_ms", delta.p99_ms},
-                  {"updates_per_sec", delta_ups},
-                  {"delta_refreshes",
-                   static_cast<double>(delta.stats.delta.delta_refreshes)},
-                  {"fallbacks", static_cast<double>(
-                                    delta.stats.delta.rematerialize_fallbacks)},
-                  {"affected_nodes",
-                   static_cast<double>(delta.stats.delta.affected_nodes)},
-                  {"speedup", speedup}});
-      report.Add(std::string(label) + "_rematerialize",
-                 {{"p50_ms", remat.p50_ms},
-                  {"p99_ms", remat.p99_ms},
-                  {"updates_per_sec", remat_ups}});
-    }
+  InsertAggregate plain_agg;
+  if (!RunMatrix(base, plain_views, num_batches, "", /*bounded=*/false,
+                 &report, &plain_agg, &stream_seed)) {
+    return 1;
+  }
+  InsertAggregate bounded_agg;
+  if (!RunMatrix(base, bounded_views, num_batches, "bounded_",
+                 /*bounded=*/true, &report, &bounded_agg, &stream_seed)) {
+    return 1;
   }
 
-  const double agg_speedup =
-      (insert_delta_edges / std::max(insert_delta_secs, 1e-9)) /
-      std::max(insert_base_edges / std::max(insert_base_secs, 1e-9), 1e-9);
+  const double agg_speedup = plain_agg.Speedup();
+  const double bounded_speedup = bounded_agg.Speedup();
   std::printf("\ninsert-stream aggregate speedup (delta vs re-materialize): "
-              "%.2fx\n",
-              agg_speedup);
+              "plain %.2fx, bounded %.2fx\n",
+              agg_speedup, bounded_speedup);
   report.Add("insert_aggregate", {{"speedup", agg_speedup}});
+  report.Add("bounded_insert_aggregate", {{"speedup", bounded_speedup}});
   if (!report.WriteTo(json_path)) return 1;
 
   if (min_speedup > 0.0 && agg_speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: insert speedup %.2fx below required %.2fx\n",
                  agg_speedup, min_speedup);
+    return 1;
+  }
+  if (min_bounded_speedup > 0.0 && bounded_speedup < min_bounded_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: bounded insert speedup %.2fx below required %.2fx\n",
+                 bounded_speedup, min_bounded_speedup);
     return 1;
   }
   return 0;

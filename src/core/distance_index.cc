@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/traversal.h"
+
 namespace gpmv {
 
 DistanceIndex DistanceIndex::Build(const std::vector<ViewExtension>& exts) {
@@ -10,9 +12,8 @@ DistanceIndex DistanceIndex::Build(const std::vector<ViewExtension>& exts) {
     for (uint32_t e = 0; e < ext.num_view_edges(); ++e) {
       const ViewEdgeExtension& vee = ext.edge(e);
       for (size_t i = 0; i < vee.pairs.size(); ++i) {
-        uint64_t key = Key(vee.pairs[i].first, vee.pairs[i].second);
-        auto [it, inserted] = idx.index_.try_emplace(key, vee.distances[i]);
-        if (!inserted) it->second = std::min(it->second, vee.distances[i]);
+        idx.AddOrShorten(vee.pairs[i].first, vee.pairs[i].second,
+                         vee.distances[i]);
       }
     }
   }
@@ -20,9 +21,101 @@ DistanceIndex DistanceIndex::Build(const std::vector<ViewExtension>& exts) {
 }
 
 std::optional<uint32_t> DistanceIndex::Distance(NodeId v, NodeId v2) const {
-  auto it = index_.find(Key(v, v2));
-  if (it == index_.end()) return std::nullopt;
+  auto sit = index_.find(v);
+  if (sit == index_.end()) return std::nullopt;
+  auto it = sit->second.find(v2);
+  if (it == sit->second.end()) return std::nullopt;
   return it->second;
+}
+
+void DistanceIndex::AddOrShorten(NodeId v, NodeId v2, uint32_t d) {
+  auto [it, inserted] = index_[v].try_emplace(v2, d);
+  if (inserted) {
+    ++size_;
+  } else if (d < it->second) {
+    it->second = d;
+  }
+  budget_ = std::max(budget_, it->second);
+}
+
+size_t DistanceIndex::ApplyInsertions(const GraphSnapshot& g,
+                                      const std::vector<NodePair>& inserted) {
+  if (size_ == 0 || inserted.empty()) return 0;
+  // Any improved path for a tracked pair has length <= its old distance
+  // <= B; splitting it at the inserted edge leaves both halves <= B - 1.
+  const uint32_t half = budget_ == 0 ? 0 : budget_ - 1;
+  BfsScratch rev(g.num_nodes());
+  BfsScratch fwd(g.num_nodes());
+  size_t shortened = 0;
+  for (const NodePair& e : inserted) {
+    rev.RunSingle(g, e.first, half, /*forward=*/false);
+    fwd.RunSingle(g, e.second, half, /*forward=*/true);
+    for (NodeId v : rev.reached()) {
+      auto sit = index_.find(v);
+      if (sit == index_.end()) continue;
+      const uint32_t head = rev.dist(v) + 1;
+      for (auto& [x, d] : sit->second) {
+        if (!fwd.Reached(x)) continue;
+        const uint32_t cand = head + fwd.dist(x);
+        if (cand < d) {
+          d = cand;
+          ++shortened;
+        }
+      }
+    }
+  }
+  return shortened;
+}
+
+size_t DistanceIndex::InvalidateForDeletions(
+    const GraphSnapshot& g, const std::vector<NodePair>& deleted) {
+  if (size_ == 0 || deleted.empty()) return 0;
+  // A stale entry's old path crossed some deleted edge; its prefix up to
+  // the *first* deleted edge survives in the post-delete graph, so the
+  // source lies within B - 1 reverse hops of that edge's tail.
+  const uint32_t half = budget_ == 0 ? 0 : budget_ - 1;
+  BfsScratch rev(g.num_nodes());
+  size_t newly_dirty = 0;
+  for (const NodePair& e : deleted) {
+    rev.RunSingle(g, e.first, half, /*forward=*/false);
+    for (NodeId v : rev.reached()) {
+      if (index_.find(v) == index_.end()) continue;
+      if (dirty_.insert(v).second) ++newly_dirty;
+    }
+  }
+  return newly_dirty;
+}
+
+void DistanceIndex::RepairDirty(const GraphSnapshot& g) {
+  if (dirty_.empty()) return;
+  // Stored distances are shortest *nonempty* path lengths (a tracked
+  // (v, v) pair means a cycle through v), so the refresh BFS starts from
+  // v's out-neighbors at depth B - 1 and adds the first hop back.
+  const uint32_t half = budget_ == 0 ? 0 : budget_ - 1;
+  BfsScratch fwd(g.num_nodes());
+  for (NodeId v : dirty_) {
+    auto sit = index_.find(v);
+    if (sit == index_.end()) continue;
+    fwd.Run(g, g.out_neighbors(v), half, /*forward=*/true);
+    auto& targets = sit->second;
+    for (auto it = targets.begin(); it != targets.end();) {
+      if (fwd.Reached(it->first)) {
+        it->second = fwd.dist(it->first) + 1;
+        ++it;
+      } else {
+        it = targets.erase(it);
+        --size_;
+      }
+    }
+    if (targets.empty()) index_.erase(sit);
+    ++repairs_;
+  }
+  dirty_.clear();
+}
+
+void DistanceIndex::RepairAll(const GraphSnapshot& g) {
+  for (const auto& [v, targets] : index_) dirty_.insert(v);
+  RepairDirty(g);
 }
 
 }  // namespace gpmv

@@ -1,12 +1,35 @@
 /// \file distance_index.h
-/// \brief The distance index I(V) of Section VI-A.
+/// \brief The distance index I(V) of Section VI-A, maintained incrementally.
 ///
 /// For each pair (v, v') materialized in some view extension, I(V) records
 /// the exact shortest distance d from v to v' in G, giving BMatchJoin O(1)
 /// distance lookups without touching G. Its size is bounded by |V(G)|.
 /// The MatchJoin engine consumes the equivalent columnar form stored inside
 /// each ViewEdgeExtension; this standalone structure provides the paper's
-/// lookup-table view of the same data for external callers and tests.
+/// lookup-table view of the same data for external callers and the engine's
+/// bounded-view maintenance path.
+///
+/// Incremental contract. Every stored entry is the *exact* shortest-path
+/// distance in the current graph; a tracked pair may be absent only when its
+/// distance exceeds the index budget B (the largest distance ever stored).
+/// Consumers that treat a lookup miss as "too far" (BMatchJoin checks
+/// `!d || *d > bound`) therefore stay correct across maintenance, because
+/// every view bound is <= B by construction.
+///
+///  * Insertions only shorten distances. A new shortest v ~> v' path through
+///    an inserted edge (a, b) splits into v ~> a and b ~> v', each of length
+///    <= B - 1 (the whole path is <= the old distance <= B). ApplyInsertions
+///    runs one reverse and one forward BFS of budget B - 1 per inserted edge
+///    on the post-insert snapshot and min-updates the tracked entries inside
+///    the ball product — no rebuild, cost proportional to the affected ball.
+///  * Deletions can only lengthen distances, and only for sources whose old
+///    shortest path crossed a deleted edge. The prefix of that path up to
+///    its *first* deleted edge survives deletion, so the source sits in the
+///    post-delete reverse (B-1)-ball of some deleted edge's tail.
+///    InvalidateForDeletions marks exactly those tracked sources dirty;
+///    lookups stay lock-free and const, and the owner calls RepairDirty
+///    (one forward budget-B BFS per dirty source) to re-resolve or drop
+///    their entries before the next query wave.
 
 #ifndef GPMV_CORE_DISTANCE_INDEX_H_
 #define GPMV_CORE_DISTANCE_INDEX_H_
@@ -14,34 +37,73 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/view.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 
 namespace gpmv {
 
-/// Lookup table 〈(v, v'), d〉 built from materialized view extensions.
+/// Lookup table 〈(v, v'), d〉 built from materialized view extensions and
+/// maintained in place under edge insertions/deletions.
 class DistanceIndex {
  public:
   DistanceIndex() = default;
 
   /// Builds I(V) over the given extensions. Distances are shortest-path
   /// lengths in G and therefore agree across views; the minimum is kept as
-  /// a safeguard.
+  /// a safeguard. The budget becomes the largest stored distance.
   static DistanceIndex Build(const std::vector<ViewExtension>& exts);
 
-  /// Distance from v to v' if the pair is materialized anywhere.
+  /// Distance from v to v' if the pair is tracked and currently resolved.
+  /// Dirty sources still answer (their entries may be stale-short until
+  /// RepairDirty); the engine repairs before exposing the new snapshot.
   std::optional<uint32_t> Distance(NodeId v, NodeId v2) const;
 
-  size_t size() const { return index_.size(); }
+  /// Tracks the pair (or shortens its stored distance). Raises the budget
+  /// when d exceeds it — the view-merge path feeds fresh pairs through
+  /// here, keeping the ball budget in sync with what is actually stored.
+  void AddOrShorten(NodeId v, NodeId v2, uint32_t d);
+
+  /// Min-updates every tracked entry whose shortest path improved through
+  /// one of `inserted`, via budget-(B-1) balls on the post-insert snapshot
+  /// `g`. Returns the number of entries shortened.
+  size_t ApplyInsertions(const GraphSnapshot& g,
+                         const std::vector<NodePair>& inserted);
+
+  /// Marks every tracked source inside the post-delete reverse (B-1)-ball
+  /// of a deleted edge's tail dirty. `g` is the snapshot *after* the
+  /// deletions. Returns the number of newly dirtied sources.
+  size_t InvalidateForDeletions(const GraphSnapshot& g,
+                                const std::vector<NodePair>& deleted);
+
+  /// Re-resolves the entries of every dirty source with one forward
+  /// budget-B BFS each on `g`: distances are refreshed (they may grow) and
+  /// pairs no longer reachable within the budget are dropped. Each
+  /// repaired source increments repairs().
+  void RepairDirty(const GraphSnapshot& g);
+
+  /// Marks every source dirty and repairs — a full refresh without losing
+  /// the tracked pair set.
+  void RepairAll(const GraphSnapshot& g);
+
+  size_t size() const { return size_; }
+  uint32_t budget() const { return budget_; }
+  size_t dirty_count() const { return dirty_.size(); }
+  /// Cumulative count of dirty sources repaired by RepairDirty/RepairAll.
+  size_t repairs() const { return repairs_; }
 
  private:
-  static uint64_t Key(NodeId v, NodeId v2) {
-    return (static_cast<uint64_t>(v) << 32) | v2;
-  }
-
-  std::unordered_map<uint64_t, uint32_t> index_;
+  // Per-source adjacency of tracked targets: the balls of ApplyInsertions
+  // and the per-source repair both want "all entries of v" without scanning
+  // the whole table, which the old flat (v << 32 | v') keying could not do.
+  std::unordered_map<NodeId, std::unordered_map<NodeId, uint32_t>> index_;
+  std::unordered_set<NodeId> dirty_;
+  size_t size_ = 0;
+  uint32_t budget_ = 0;
+  size_t repairs_ = 0;
 };
 
 }  // namespace gpmv

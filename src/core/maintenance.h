@@ -17,11 +17,15 @@
 ///    endpoints is computed from the cached relation's reach, a delta
 ///    fixpoint adds-then-re-verifies matches inside that area only, and the
 ///    new match pairs merge into the cached extension — no from-scratch
-///    MatchJoin, cost proportional to the area's edge volume. The path
-///    re-materializes instead (counted in InsertMaintenanceStats::
-///    rematerialize_fallbacks) when the delta cannot apply: bounded views
-///    (an inserted edge can shorten paths between untouched pairs), views
-///    whose cached relation is empty, or an affected area larger than
+///    MatchJoin, cost proportional to the area's edge volume. Bounded views
+///    take the same route through DeltaBoundedInsert plus a bounded merge:
+///    an inserted edge (a, b) can shorten paths between untouched pairs, so
+///    the merge additionally sweeps the bound-radius balls around each
+///    inserted edge and add-or-min-updates the (pair, distance) columns —
+///    distances stay exact shortest nonempty path lengths throughout. The
+///    path re-materializes instead (counted in InsertMaintenanceStats::
+///    rematerialize_fallbacks) when the delta cannot apply: views whose
+///    cached relation is empty, or an affected area larger than
 ///    `max_area_fraction`·|V| — the boundedness caveat of [15].
 ///
 /// Mixed batches run deletions first, then the insert delta (each phase
@@ -36,6 +40,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/distance_index.h"
 #include "core/view.h"
 #include "graph/graph.h"
 #include "simulation/delta.h"
@@ -74,8 +79,12 @@ struct InsertMaintenanceStats {
   size_t delta_relation_added = 0;     ///< Σ nodes added to sim sets
   size_t delta_matches_added = 0;      ///< Σ match pairs merged into exts
 
+  /// Bounded-view slice of the above (counted in addition, not instead):
+  size_t bounded_delta_refreshes = 0;  ///< bounded views kept via the delta
+  size_t bounded_matches_added = 0;    ///< Σ bounded pairs added/shortened
+
   /// Fallback-reason breakdown (sums to rematerialize_fallbacks):
-  size_t fallback_not_simulation = 0;  ///< bounded view, delta unsound
+  size_t fallback_not_simulation = 0;  ///< (legacy) bounded-delta disabled
   size_t fallback_unmatched = 0;       ///< cached relation had empty sets
   size_t fallback_area_too_large = 0;  ///< affected area over the threshold
   size_t fallback_disabled = 0;        ///< enable_delta was false
@@ -86,6 +95,8 @@ struct InsertMaintenanceStats {
     affected_nodes += other.affected_nodes;
     delta_relation_added += other.delta_relation_added;
     delta_matches_added += other.delta_matches_added;
+    bounded_delta_refreshes += other.bounded_delta_refreshes;
+    bounded_matches_added += other.bounded_matches_added;
     fallback_not_simulation += other.fallback_not_simulation;
     fallback_unmatched += other.fallback_unmatched;
     fallback_area_too_large += other.fallback_area_too_large;
@@ -95,17 +106,23 @@ struct InsertMaintenanceStats {
 
 /// Insert-path refresh: brings `ext`/`relation` (valid for the graph
 /// *before* `inserted` was added) up to date with `g`, the frozen snapshot
-/// *after* the insertions. Tries DeltaSimulationInsert and merges the new
-/// match pairs into the extension in place; falls back to a full unseeded
+/// *after* the insertions. Tries DeltaBoundedInsert (which handles plain
+/// patterns via DeltaSimulationInsert) and merges the new match pairs into
+/// the extension in place; falls back to a full unseeded
 /// RefreshViewExtension when the delta cannot apply (see file comment).
-/// `stats` (optional) accumulates — callers zero it per batch.
+/// `stats` (optional) accumulates — callers zero it per batch. For bounded
+/// views a non-null `dindex` receives every added or shortened
+/// (pair, distance) via AddOrShorten, keeping the engine's distance index
+/// in lockstep without a rebuild; on the re-materialize fallback the caller
+/// must refresh `dindex` itself (the merge never ran).
 Status RefreshViewExtensionInserted(const ViewDefinition& def,
                                     const GraphSnapshot& g,
                                     const std::vector<NodePair>& inserted,
                                     const InsertMaintenanceOptions& opts,
                                     ViewExtension* ext,
                                     std::vector<std::vector<NodeId>>* relation,
-                                    InsertMaintenanceStats* stats = nullptr);
+                                    InsertMaintenanceStats* stats = nullptr,
+                                    DistanceIndex* dindex = nullptr);
 
 /// Constant-time prescreen for *plain simulation* views: removing edge
 /// (u, v) can only shrink the extension when (u, v) was itself a match pair

@@ -12,10 +12,25 @@ namespace {
 /// Cost charged per merged view pair (merge + fixpoint rescans).
 constexpr double kJoinPairFactor = 2.0;
 
-/// BFS-depth factor a bounded edge contributes to traversal work.
-double BoundFactor(uint32_t bound, uint32_t cap) {
-  if (bound == kUnbounded) return static_cast<double>(cap);
-  return static_cast<double>(std::min(bound, cap));
+/// Edges one candidate's bounded BFS ball may scan: the geometric series
+/// sum_{i=1..d} max(deg, 1)^i at depth d = min(bound, cap) (`*` bounds
+/// count as the cap), clamped to |E| — no walk scans more than the whole
+/// graph. The first layer absorbs the old flat degree term, and on sparse
+/// graphs (deg <= 1) the series degenerates to the depth itself, keeping
+/// the estimate strictly monotone in the bound.
+double BallEdges(uint32_t bound, uint32_t cap, const GraphStatistics& gs) {
+  const uint32_t depth = bound == kUnbounded ? cap : std::min(bound, cap);
+  const double deg = std::max(1.0, gs.avg_out_degree);
+  double sum = 0.0;
+  double layer = 1.0;
+  for (uint32_t i = 0; i < depth; ++i) {
+    layer *= deg;
+    sum += layer;
+    if (sum >= static_cast<double>(gs.num_edges) && deg > 1.0) break;
+  }
+  const double whole_graph =
+      std::max(static_cast<double>(depth), static_cast<double>(gs.num_edges));
+  return std::max(1.0, std::min(sum, whole_graph));
 }
 
 using LabelCounts = std::unordered_map<std::string, size_t>;
@@ -55,22 +70,31 @@ double EstimateDirectCostWithCounts(const Pattern& q,
   for (uint32_t u = 0; u < q.num_nodes(); ++u) cost += cand[u];
   for (uint32_t e = 0; e < q.num_edges(); ++e) {
     const PatternEdge& pe = q.edge(e);
-    cost += cand[pe.src] * std::max(1.0, gs.avg_out_degree) *
-            BoundFactor(pe.bound, bounded_cost_cap);
+    cost += cand[pe.src] * BallEdges(pe.bound, bounded_cost_cap, gs);
   }
   return cost;
 }
 
 /// Estimated pairs a cold view edge materializes: candidate sources times
-/// average out-degree, never more than |E| for unit bounds.
+/// the per-candidate ball size, never more than |E| for unit bounds. For
+/// bounded edges, distance-index coverage discounts the estimate: pairs
+/// whose exact distance I(V) already tracks re-verify in O(1) lookups
+/// instead of fresh ball walks, so the more entries the index holds
+/// relative to the node universe, the cheaper the bounded view plan —
+/// never below the one-unit-per-candidate merge floor.
 double EstimateViewEdgePairs(const Pattern& view, uint32_t e,
                              const std::vector<double>& cand,
-                             const GraphStatistics& gs, uint32_t cap) {
+                             const GraphStatistics& gs, uint32_t cap,
+                             size_t dindex_entries) {
   const PatternEdge& pe = view.edge(e);
-  double pairs = cand[pe.src] * std::max(1.0, gs.avg_out_degree) *
-                 BoundFactor(pe.bound, cap);
+  double pairs = cand[pe.src] * BallEdges(pe.bound, cap, gs);
   if (pe.bound == 1) {
     pairs = std::min(pairs, static_cast<double>(gs.num_edges));
+  } else if (dindex_entries > 0) {
+    const double coverage =
+        std::min(1.0, static_cast<double>(dindex_entries) /
+                          std::max(1.0, static_cast<double>(gs.num_nodes)));
+    pairs = std::max(cand[pe.src], pairs * (1.0 - 0.5 * coverage));
   }
   return pairs;
 }
@@ -127,7 +151,7 @@ Result<QueryPlan> PlanQuery(const Pattern& q, const ViewSet& views,
   QueryPlan plan = std::move(planned).value();
   const Pattern& mq = plan.minimized.pattern;
   plan.shard_fanout = opts.shard_fanout && plan.kind != PlanKind::kMatchJoin &&
-                      mq.num_edges() > 0 && mq.IsSimulationPattern();
+                      mq.num_edges() > 0;
   return plan;
 }
 
@@ -183,7 +207,8 @@ Result<QueryPlan> PlanQueryImpl(const Pattern& q, const ViewSet& views,
     const Pattern& vp = views.view(ref.view).pattern;
     std::vector<double> cand = EstimateCandidates(vp, gs, label_count);
     return EstimateViewEdgePairs(vp, ref.edge, cand, gs,
-                                 opts.bounded_cost_cap);
+                                 opts.bounded_cost_cap,
+                                 opts.distance_index_entries);
   };
 
   Result<ContainmentMapping> mapping = MinimumContainment(mq, views);

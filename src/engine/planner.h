@@ -56,15 +56,24 @@ struct PlannerOptions {
   /// > 1 biases toward views (they also spare G's memory bandwidth);
   /// 0 disables view plans entirely (cost-model kill switch).
   double view_cost_advantage = 4.0;
-  /// Cap on the BFS-depth factor bounded edges contribute to direct cost
-  /// (`*` bounds count as the cap).
+  /// Cap on the BFS depth bounded edges contribute to direct cost (`*`
+  /// bounds count as the cap). Each bounded edge is charged a geometric
+  /// ball of that depth over the average out-degree, clamped to |E|.
   uint32_t bounded_cost_cap = 8;
   /// Mark graph-walking plans for sharded fan-out (set by the engine when
   /// it runs with a ShardedSnapshot). The planner flags kDirect and
-  /// kPartialViews plans over unit-bound patterns — the plans whose cost is
-  /// the G-walk that shard slices split K ways; kMatchJoin never touches G,
-  /// and bounded BFS does not shard along edge-cuts, so those stay global.
+  /// kPartialViews plans — the plans whose cost is the G-walk that shard
+  /// slices split K ways: unit-bound patterns through the decrement
+  /// exchange, bounded patterns through the BFS frontier hand-off
+  /// (shard/shard_sim.h). kMatchJoin never touches G, so it stays global.
   bool shard_fanout = false;
+  /// Live (v, v') pairs tracked by the engine's distance index I(V)
+  /// (ViewCacheStats::distance_entries; set by the engine per plan call).
+  /// Bounded view edges re-verify tracked pairs through O(1) index lookups
+  /// instead of fresh ball walks, so index coverage — entries relative to
+  /// the node universe — discounts the estimated bounded view cost. 0
+  /// means no index and no discount.
+  size_t distance_index_entries = 0;
 };
 
 /// The chosen plan plus everything the engine needs to execute it.

@@ -108,12 +108,17 @@ void QueryEngine::InitMetrics() {
   h_.shard_rounds = m.FindOrCreateCounter("shard.rounds");
   h_.shard_removals = m.FindOrCreateCounter("shard.removals");
   h_.shard_messages = m.FindOrCreateCounter("shard.messages");
+  h_.shard_frontier_msgs = m.FindOrCreateCounter("shard.frontier_msgs");
   h_.shard_fanout_width = m.FindOrCreateGauge("shard.fanout_width");
   h_.delta_refreshes = m.FindOrCreateCounter("delta.refreshes");
   h_.delta_fallbacks = m.FindOrCreateCounter("delta.fallbacks");
   h_.delta_affected_nodes = m.FindOrCreateCounter("delta.affected_nodes");
   h_.delta_relation_added = m.FindOrCreateCounter("delta.relation_added");
   h_.delta_matches_added = m.FindOrCreateCounter("delta.matches_added");
+  h_.delta_bounded_refreshes =
+      m.FindOrCreateCounter("delta.bounded_refreshes");
+  h_.delta_bounded_matches_added =
+      m.FindOrCreateCounter("delta.bounded_matches_added");
   h_.delta_fallback_not_simulation =
       m.FindOrCreateCounter("delta.fallback_not_simulation");
   h_.delta_fallback_unmatched =
@@ -171,6 +176,12 @@ void QueryEngine::InitMetrics() {
     const double cache_lookups = static_cast<double>(cs.hits + cs.misses);
     s->AddGauge("cache.hit_rate",
                 cache_lookups == 0.0 ? 0.0 : cs.hits / cache_lookups);
+    s->AddGauge("distance_index.entries",
+                static_cast<double>(cs.distance_entries));
+    s->AddGauge("distance_index.repairs",
+                static_cast<double>(cs.distance_repairs));
+    s->AddGauge("distance_index.shortened",
+                static_cast<double>(cs.distance_shortened));
     const ResultCacheStats rs = result_cache_.stats();
     s->AddGauge("result_cache.hits", static_cast<double>(rs.hits));
     s->AddGauge("result_cache.misses", static_cast<double>(rs.misses));
@@ -277,9 +288,13 @@ QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
     Stopwatch sw;
     obs::SpanScope plan_span(tr, "plan");
     const std::vector<uint8_t> live = cache_.MaterializedSnapshot();
+    // The distance index's current size feeds the bounded-view cost
+    // discount (tracked pairs re-verify via I(V) instead of ball walks).
+    PlannerOptions popts = opts_.planner;
+    popts.distance_index_entries = cache_.stats().distance_entries;
     Result<QueryPlan> planned = PlanQuery(q, cache_.views(),
                                           cache_.extensions(), gstats_,
-                                          opts_.planner, &live);
+                                          popts, &live);
     if (!planned.ok()) {
       resp.status = planned.status();
       plan_span.AttrBool("ok", false);
@@ -365,11 +380,14 @@ QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
             case PlanKind::kDirect:
               break;
           }
+          // ShardedMatchBoundedSimulation routes unit-bound patterns to the
+          // decrement-exchange engine and bounded ones to the BFS frontier
+          // hand-off; both are bit-identical to the unsharded path.
           return ss != nullptr
-                     ? ShardedMatchSimulation(plan.minimized.pattern, *ss,
-                                              shard_pool_.get(),
-                                              /*dual=*/false,
-                                              /*seed=*/nullptr, &shard_stats)
+                     ? ShardedMatchBoundedSimulation(plan.minimized.pattern,
+                                                     *ss, shard_pool_.get(),
+                                                     /*seed=*/nullptr,
+                                                     &shard_stats)
                      : MatchBoundedSimulation(plan.minimized.pattern, snap);
         }();
         if (plan.kind == PlanKind::kMatchJoin) {
@@ -386,6 +404,8 @@ QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
           fan.Attr("shards", static_cast<uint64_t>(shard_stats.shards));
           fan.Attr("rounds", static_cast<uint64_t>(shard_stats.rounds));
           fan.Attr("messages", static_cast<uint64_t>(shard_stats.messages));
+          fan.Attr("frontier_msgs",
+                   static_cast<uint64_t>(shard_stats.frontier_msgs));
           for (size_t i = 0; i < shard_stats.shard_ms.size(); ++i) {
             obs::SpanScope s(tr, ("shard." + std::to_string(i)).c_str());
             s.Attr("fixpoint_ms", shard_stats.shard_ms[i]);
@@ -428,6 +448,7 @@ QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
       h_.shard_rounds->Add(shard_stats.rounds);
       h_.shard_removals->Add(shard_stats.removals);
       h_.shard_messages->Add(shard_stats.messages);
+      h_.shard_frontier_msgs->Add(shard_stats.frontier_msgs);
       h_.shard_fanout_width->SetMax(static_cast<double>(shard_stats.shards));
     }
     if (shard_fallback) h_.shard_fallbacks->Add(1);
@@ -560,8 +581,10 @@ Result<MatchResult> QueryEngine::ExecutePartial(const QueryPlan& plan,
   if (sharded != nullptr) {
     // Same seeds, same fixpoint — just partitioned by data-node ownership;
     // the parity property tests pin the results to the unsharded path.
-    return ShardedMatchSimulation(mq, *sharded, shard_pool_.get(),
-                                  /*dual=*/false, &seed, shard_stats);
+    // Bounded seeds take the frontier hand-off engine, unit-bound ones the
+    // decrement exchange (routed inside ShardedMatchBoundedSimulation).
+    return ShardedMatchBoundedSimulation(mq, *sharded, shard_pool_.get(),
+                                         &seed, shard_stats);
   }
   return MatchBoundedSimulation(mq, snap, /*distances=*/nullptr, &seed);
 }
@@ -730,6 +753,8 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
     h_.delta_affected_nodes->Add(delta_stats.affected_nodes);
     h_.delta_relation_added->Add(delta_stats.delta_relation_added);
     h_.delta_matches_added->Add(delta_stats.delta_matches_added);
+    h_.delta_bounded_refreshes->Add(delta_stats.bounded_delta_refreshes);
+    h_.delta_bounded_matches_added->Add(delta_stats.bounded_matches_added);
     h_.delta_fallback_not_simulation->Add(
         delta_stats.fallback_not_simulation);
     h_.delta_fallback_unmatched->Add(delta_stats.fallback_unmatched);
@@ -867,11 +892,15 @@ EngineStats QueryEngine::stats() const {
     out.shard.rounds = h_.shard_rounds->Value();
     out.shard.removals = h_.shard_removals->Value();
     out.shard.messages = h_.shard_messages->Value();
+    out.shard.frontier_msgs = h_.shard_frontier_msgs->Value();
     out.delta.delta_refreshes = h_.delta_refreshes->Value();
     out.delta.rematerialize_fallbacks = h_.delta_fallbacks->Value();
     out.delta.affected_nodes = h_.delta_affected_nodes->Value();
     out.delta.delta_relation_added = h_.delta_relation_added->Value();
     out.delta.delta_matches_added = h_.delta_matches_added->Value();
+    out.delta.bounded_delta_refreshes = h_.delta_bounded_refreshes->Value();
+    out.delta.bounded_matches_added =
+        h_.delta_bounded_matches_added->Value();
     out.delta.fallback_not_simulation =
         h_.delta_fallback_not_simulation->Value();
     out.delta.fallback_unmatched = h_.delta_fallback_unmatched->Value();

@@ -35,10 +35,11 @@
 /// Sharded execution (EngineOptions::sharding, shard/sharded_snapshot.h):
 /// with K > 1 shards the engine additionally keeps a `ShardedSnapshot` —
 /// per-shard CSR slices of the current frozen version — and a dedicated
-/// fan-out pool. The planner marks graph-walking plans over unit-bound
-/// patterns (kDirect / kPartialViews) for fan-out, and Execute runs them as
-/// per-shard fixpoint tasks with cross-shard merge rounds (shard/
-/// shard_sim.h); results are bit-identical to the unsharded path. Slice
+/// fan-out pool. The planner marks graph-walking plans (kDirect /
+/// kPartialViews) for fan-out, and Execute runs them as per-shard tasks
+/// with cross-shard merge rounds (shard/shard_sim.h): unit-bound patterns
+/// through the decrement exchange, bounded patterns through the BFS
+/// frontier hand-off; results are bit-identical to the unsharded path. Slice
 /// maintenance is per-shard at the *data* granularity, not the exclusive
 /// registry lock: an update batch rebuilds only the slices owning a
 /// touched endpoint (in parallel on the fan-out pool), shares the rest
@@ -352,8 +353,9 @@ class QueryEngine {
 
   /// kPartialViews execution: merge covering view pairs into per-node
   /// candidate seeds, then direct evaluation restricted to them — fanned
-  /// out per shard when `sharded` is non-null (unit-bound plans whose
-  /// sharded snapshot matches the registry version).
+  /// out per shard when `sharded` is non-null (plans whose sharded
+  /// snapshot matches the registry version; bounded seeds take the BFS
+  /// frontier hand-off engine).
   Result<MatchResult> ExecutePartial(const QueryPlan& plan,
                                      const GraphSnapshot& snap,
                                      const ShardedSnapshot* sharded,
@@ -419,6 +421,7 @@ class QueryEngine {
     obs::Counter* shard_rounds;
     obs::Counter* shard_removals;
     obs::Counter* shard_messages;
+    obs::Counter* shard_frontier_msgs;
     obs::Gauge* shard_fanout_width;  // SetMax
     // insert maintenance (EngineStats::delta)
     obs::Counter* delta_refreshes;
@@ -426,6 +429,8 @@ class QueryEngine {
     obs::Counter* delta_affected_nodes;
     obs::Counter* delta_relation_added;
     obs::Counter* delta_matches_added;
+    obs::Counter* delta_bounded_refreshes;
+    obs::Counter* delta_bounded_matches_added;
     obs::Counter* delta_fallback_not_simulation;
     obs::Counter* delta_fallback_unmatched;
     obs::Counter* delta_fallback_area_too_large;

@@ -57,6 +57,7 @@ bool ViewCache::Install(uint32_t v, ViewExtension ext,
   e.relation = std::move(relation);
   e.bytes = EntryBytes(exts_[v], e.relation);
   e.materialized = true;
+  IndexBoundedExtensionLocked(v);
   if (pin) ++e.pin_count;
   lru_.push_front(v);
   e.lru_pos = lru_.begin();
@@ -118,6 +119,19 @@ Status ViewCache::RefreshForUpdates(const GraphSnapshot* after_deletions,
                                     const InsertMaintenanceOptions& opts,
                                     InsertMaintenanceStats* delta_stats) {
   std::lock_guard<std::mutex> lk(meta_mu_);
+  // Deletions can only lengthen indexed distances: dirty the tracked
+  // sources inside the post-delete balls now, repair against the final
+  // snapshot once the sweep is done (the entries stay untouched meanwhile,
+  // so the per-view refreshes below never read through them).
+  if (!deleted.empty()) {
+    dindex_.InvalidateForDeletions(
+        after_deletions != nullptr ? *after_deletions : final_snap, deleted);
+  }
+  // Insertions can only shorten them: min-update every tracked entry whose
+  // shortest path improved through an inserted edge.
+  if (!inserted.empty()) {
+    stats_.distance_shortened += dindex_.ApplyInsertions(final_snap, inserted);
+  }
   for (uint32_t v = 0; v < entries_.size(); ++v) {
     Entry& e = entries_[v];
     if (!e.materialized) continue;
@@ -126,12 +140,10 @@ Status ViewCache::RefreshForUpdates(const GraphSnapshot* after_deletions,
     bool touched = false;
     bool deletion_skipped = false;
 
-    // A view the insert phase will re-materialize anyway (delta disabled,
-    // or a bounded pattern the delta never applies to) does so once,
-    // against the final snapshot — its deletion refresh would be wasted.
-    const bool insert_rematerializes =
-        !inserted.empty() &&
-        (!opts.enable_delta || !def.pattern.IsSimulationPattern());
+    // A view the insert phase will re-materialize anyway (delta disabled)
+    // does so once, against the final snapshot — its deletion refresh
+    // would be wasted. Bounded views now take the delta path too.
+    const bool insert_rematerializes = !inserted.empty() && !opts.enable_delta;
 
     if (!deleted.empty() && !insert_rematerializes) {
       bool affected = false;
@@ -154,9 +166,18 @@ Status ViewCache::RefreshForUpdates(const GraphSnapshot* after_deletions,
       }
     }
     if (!inserted.empty()) {
+      // Track whether this view's insert phase fell back to a full
+      // re-materialization: the bounded merge (which feeds the distance
+      // index in lockstep) never ran then, so the fresh extension's pairs
+      // are re-indexed wholesale below.
+      InsertMaintenanceStats view_stats;
       GPMV_RETURN_NOT_OK(RefreshViewExtensionInserted(
           def, final_snap, inserted, opts, &exts_[v], &e.relation,
-          delta_stats));
+          &view_stats, &dindex_));
+      if (delta_stats != nullptr) delta_stats->Merge(view_stats);
+      if (view_stats.rematerialize_fallbacks > 0) {
+        IndexBoundedExtensionLocked(v);
+      }
       touched = true;
     }
     if (touched) {
@@ -170,6 +191,10 @@ Status ViewCache::RefreshForUpdates(const GraphSnapshot* after_deletions,
       ++stats_.refreshes_skipped;
     }
   }
+  // On-demand repair: one forward BFS per dirty source against the final
+  // snapshot restores the exact-or-absent contract before the new graph
+  // version becomes queryable.
+  dindex_.RepairDirty(final_snap);
   EnforceBudgetLocked();
   return Status::OK();
 }
@@ -214,7 +239,22 @@ bool ViewCache::CheckConsistency(bool expect_unpinned) const {
 
 ViewCacheStats ViewCache::stats() const {
   std::lock_guard<std::mutex> lk(meta_mu_);
-  return stats_;
+  ViewCacheStats out = stats_;
+  out.distance_entries = dindex_.size();
+  out.distance_repairs = dindex_.repairs();
+  return out;
+}
+
+void ViewCache::IndexBoundedExtensionLocked(uint32_t v) {
+  if (views_.view(v).pattern.IsSimulationPattern()) return;
+  const ViewExtension& ext = exts_[v];
+  for (uint32_t e = 0; e < ext.num_view_edges(); ++e) {
+    const ViewEdgeExtension& vee = ext.edge(e);
+    for (size_t i = 0; i < vee.pairs.size(); ++i) {
+      dindex_.AddOrShorten(vee.pairs[i].first, vee.pairs[i].second,
+                           vee.distances[i]);
+    }
+  }
 }
 
 size_t ViewCache::EntryBytes(const ViewExtension& ext,

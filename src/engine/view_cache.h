@@ -59,6 +59,11 @@ struct ViewCacheStats {
   size_t materialized = 0;        ///< currently live extensions
   size_t registered = 0;          ///< view definitions in the registry
   size_t over_budget = 0;         ///< installs that left pinned bytes > budget
+
+  /// Distance-index I(V) health (see distance_index()):
+  size_t distance_entries = 0;    ///< tracked (v, v') pairs
+  size_t distance_repairs = 0;    ///< dirty sources repaired after deletions
+  size_t distance_shortened = 0;  ///< entries shortened by insert maintenance
 };
 
 /// Registry of view definitions + LRU-evicted materialized extensions.
@@ -107,13 +112,17 @@ class ViewCache {
   ///    constant-time prescreen skipping plain simulation views untouched
   ///    by every edge of `deleted`;
   ///  * insertions (against `final_snap`, the batch's final snapshot):
-  ///    localized delta-insert, re-materializing only on fallback. A view
-  ///    the insert phase would re-materialize anyway (bounded pattern, or
-  ///    delta disabled) skips its deletion refresh and re-materializes
-  ///    once against `final_snap`.
+  ///    localized delta-insert — plain views via DeltaSimulationInsert,
+  ///    bounded views via DeltaBoundedInsert + the bounded ball merge —
+  ///    re-materializing only on fallback. A view the insert phase would
+  ///    re-materialize anyway (delta disabled) skips its deletion refresh
+  ///    and re-materializes once against `final_snap`.
   ///
-  /// Byte accounting is rebuilt per entry; `delta_stats` (optional)
-  /// accumulates the insert-path counters.
+  /// The distance index rides along: deletions dirty the affected-ball
+  /// sources (repaired against `final_snap` at the end of the sweep),
+  /// insertions min-update tracked entries and absorb the bounded merges'
+  /// fresh pairs. Byte accounting is rebuilt per entry; `delta_stats`
+  /// (optional) accumulates the insert-path counters.
   Status RefreshForUpdates(const GraphSnapshot* after_deletions,
                            const GraphSnapshot& final_snap,
                            const std::vector<NodePair>& deleted,
@@ -131,6 +140,14 @@ class ViewCache {
 
   ViewCacheStats stats() const;
   size_t budget_bytes() const { return opts_.budget_bytes; }
+
+  /// [exclusive] The paper's distance index I(V) over every bounded pair
+  /// ever materialized, maintained incrementally by Install +
+  /// RefreshForUpdates (core/distance_index.h). Contract: a superset of
+  /// the live bounded extensions' pairs, each entry an exact shortest
+  /// nonempty distance in the current graph — eviction never prunes it
+  /// (extra exact entries are harmless to BMatchJoin's lenient check).
+  const DistanceIndex& distance_index() const { return dindex_; }
 
   /// [exclusive] Test/debug invariant check: bytes_cached equals the
   /// recomputed footprint of the materialized entries, the LRU list holds
@@ -156,10 +173,14 @@ class ViewCache {
   /// unlinked from lru_.
   void EvictLocked(uint32_t v);
   size_t EnforceBudgetLocked();
+  /// Feeds every (pair, distance) of bounded view `v`'s extension into the
+  /// distance index. Caller holds meta_mu_.
+  void IndexBoundedExtensionLocked(uint32_t v);
 
   ViewCacheOptions opts_;
   ViewSet views_;
   std::vector<ViewExtension> exts_;
+  DistanceIndex dindex_;
 
   mutable std::mutex meta_mu_;
   std::vector<Entry> entries_;

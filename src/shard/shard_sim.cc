@@ -453,4 +453,274 @@ Result<MatchResult> ShardedMatchSimulation(
   return result;
 }
 
+namespace {
+
+/// BFS hop budget certifying a nonempty path of length <= bound via an
+/// out-neighbor (mirrors bounded.cc).
+uint32_t BoundedInnerBound(uint32_t bound) {
+  return bound == kUnbounded ? kUnbounded : bound - 1;
+}
+
+/// Level-synchronized multi-source BFS over a ShardedSnapshot — the
+/// frontier hand-off that carries distance-bounded reachability across
+/// edge-cut boundaries. Every distance label is written only by the node's
+/// owner: during a level each shard expands the frontier nodes it owns
+/// through its slice's full rows, labels owned discoveries in place, and
+/// routes foreign discoveries to their owner's inbox; the level barrier
+/// applies inbox arrivals serially (deduplicated against the labels), so
+/// parallel phases never touch another shard's labels. The reached set and
+/// distances equal an unsharded BfsScratch::Run over the parent snapshot
+/// for any shard count/partitioning. Buffers are reused across Run calls.
+class ShardedBoundedBfs {
+ public:
+  ShardedBoundedBfs(const ShardedSnapshot& ss, ThreadPool* pool)
+      : ss_(ss),
+        pool_(pool),
+        dist_(ss.parent().num_nodes(), BfsScratch::kNotSeen),
+        frontier_(ss.num_shards()),
+        next_local_(ss.num_shards()),
+        outbox_(static_cast<size_t>(ss.num_shards()) * ss.num_shards()) {}
+
+  /// Multi-source BFS following `forward` (out-edges) or reverse (in-edges)
+  /// direction, stopping at distance `bound` (kUnbounded = no limit).
+  /// Counts parallel levels into stats->rounds and handed-off frontier
+  /// entries into stats->frontier_msgs.
+  void Run(const std::vector<NodeId>& sources, uint32_t bound, bool forward,
+           ShardSimStats* stats) {
+    const uint32_t k = ss_.num_shards();
+    for (NodeId v : touched_) dist_[v] = BfsScratch::kNotSeen;
+    touched_.clear();
+    for (auto& f : frontier_) f.clear();
+    for (NodeId v : sources) {
+      if (dist_[v] != BfsScratch::kNotSeen) continue;
+      dist_[v] = 0;
+      touched_.push_back(v);
+      frontier_[ss_.owner(v)].push_back(v);
+    }
+    size_t handed_off = 0;
+    for (uint32_t level = 0; level < bound; ++level) {
+      bool any = false;
+      for (const auto& f : frontier_) any = any || !f.empty();
+      if (!any) break;
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(k);
+      for (uint32_t s = 0; s < k; ++s) {
+        tasks.push_back([this, s, k, level, forward] {
+          const ShardSlice& slice = ss_.slice(s);
+          std::vector<NodeId>& next = next_local_[s];
+          next.clear();
+          for (NodeId v : frontier_[s]) {
+            const NodeSpan nbrs =
+                forward ? slice.out_neighbors(v) : slice.in_neighbors(v);
+            for (NodeId w : nbrs) {
+              const uint32_t o = ss_.owner(w);
+              if (o == s) {
+                if (dist_[w] == BfsScratch::kNotSeen) {
+                  dist_[w] = level + 1;
+                  next.push_back(w);
+                }
+              } else {
+                outbox_[static_cast<size_t>(s) * k + o].push_back(w);
+              }
+            }
+          }
+        });
+      }
+      ParallelInvoke(pool_, std::move(tasks));
+      if (stats != nullptr) ++stats->rounds;
+      // Barrier: owned discoveries become the next frontier; routed
+      // arrivals are applied serially by (conceptual) owner, deduplicated
+      // against the labels they own.
+      for (uint32_t t = 0; t < k; ++t) {
+        frontier_[t].swap(next_local_[t]);
+        touched_.insert(touched_.end(), frontier_[t].begin(),
+                        frontier_[t].end());
+        for (uint32_t s = 0; s < k; ++s) {
+          std::vector<NodeId>& out = outbox_[static_cast<size_t>(s) * k + t];
+          handed_off += out.size();
+          for (NodeId w : out) {
+            if (dist_[w] == BfsScratch::kNotSeen) {
+              dist_[w] = level + 1;
+              touched_.push_back(w);
+              frontier_[t].push_back(w);
+            }
+          }
+          out.clear();
+        }
+      }
+    }
+    if (stats != nullptr) stats->frontier_msgs += handed_off;
+  }
+
+  bool Reached(NodeId v) const { return dist_[v] != BfsScratch::kNotSeen; }
+
+ private:
+  const ShardedSnapshot& ss_;
+  ThreadPool* pool_;
+  std::vector<uint32_t> dist_;
+  std::vector<NodeId> touched_;
+  std::vector<std::vector<NodeId>> frontier_;    ///< per owner shard
+  std::vector<std::vector<NodeId>> next_local_;  ///< per shard, owned finds
+  std::vector<std::vector<NodeId>> outbox_;      ///< [origin * K + owner]
+};
+
+/// Sharded mirror of ComputeBoundedSimulationRelation: identical edge
+/// order and filter predicate, with the reverse bounded BFS replaced by
+/// the frontier hand-off and the per-candidate filter fanned out over
+/// owning shards — the fixpoint (and therefore the relation) is
+/// bit-identical to the unsharded computation.
+Status ShardedComputeBoundedRelation(const Pattern& qb,
+                                     const ShardedSnapshot& ss,
+                                     ThreadPool* pool,
+                                     const std::vector<std::vector<NodeId>>* seed,
+                                     std::vector<std::vector<NodeId>>* sim,
+                                     ShardSimStats* stats) {
+  const size_t np = qb.num_nodes();
+  const GraphSnapshot& g = ss.parent();
+  if (seed != nullptr) {
+    if (seed->size() != np) {
+      return Status::InvalidArgument("seed relation shape mismatch");
+    }
+    *sim = *seed;
+  } else {
+    sim->assign(np, {});
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(np);
+    for (uint32_t u = 0; u < np; ++u) {
+      tasks.push_back([&, u] { ComputeCandidateSet(qb, u, g, &(*sim)[u]); });
+    }
+    ParallelInvoke(pool, std::move(tasks));
+  }
+  for (uint32_t u = 0; u < np; ++u) {
+    if ((*sim)[u].empty()) {
+      sim->assign(np, {});
+      return Status::OK();
+    }
+  }
+
+  const uint32_t k = ss.num_shards();
+  ShardedBoundedBfs bfs(ss, pool);
+  // Survivor marks are bytes, not bits: shards of a hash partition own
+  // interleaved node ids, and byte stores from different threads never
+  // tear (a shared bitset word would).
+  std::vector<uint8_t> keep(g.num_nodes(), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+      const PatternEdge& pe = qb.edge(e);
+      auto& su = (*sim)[pe.src];
+      const auto& st = (*sim)[pe.dst];
+      // Which nodes reach sim(dst) by a nonempty path of length <= bound?
+      bfs.Run(st, BoundedInnerBound(pe.bound), /*forward=*/false, stats);
+      for (NodeId v : su) keep[v] = 0;
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(k);
+      for (uint32_t s = 0; s < k; ++s) {
+        tasks.push_back([&, s] {
+          const ShardSlice& slice = ss.slice(s);
+          for (NodeId v : su) {
+            if (!slice.Owns(v)) continue;
+            for (NodeId w : slice.out_neighbors(v)) {
+              if (bfs.Reached(w)) {
+                keep[v] = 1;
+                break;
+              }
+            }
+          }
+        });
+      }
+      ParallelInvoke(pool, std::move(tasks));
+      if (stats != nullptr) ++stats->rounds;
+      size_t kept = 0;
+      for (NodeId v : su) {
+        if (keep[v] != 0) su[kept++] = v;
+      }
+      if (kept != su.size()) {
+        if (stats != nullptr) stats->removals += su.size() - kept;
+        su.resize(kept);
+        changed = true;
+        if (su.empty()) {
+          sim->assign(np, {});
+          return Status::OK();
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MatchResult> ShardedMatchBoundedSimulation(
+    const Pattern& qb, const ShardedSnapshot& ss, ThreadPool* pool,
+    const std::vector<std::vector<NodeId>>* seed, ShardSimStats* stats) {
+  if (qb.num_nodes() == 0) return Status::InvalidArgument("empty pattern");
+  if (qb.IsSimulationPattern()) {
+    // Unit bounds: the decrement-exchange engine is strictly cheaper.
+    return ShardedMatchSimulation(qb, ss, pool, /*dual=*/false, seed, stats);
+  }
+  const uint32_t k = ss.num_shards();
+  if (stats != nullptr) stats->shards = k;
+  std::vector<std::vector<NodeId>> sim;
+  GPMV_RETURN_NOT_OK(
+      ShardedComputeBoundedRelation(qb, ss, pool, seed, &sim, stats));
+  MatchResult result = MatchResult::Empty(qb);
+  bool all_nonempty = !sim.empty();
+  for (const auto& su : sim) all_nonempty = all_nonempty && !su.empty();
+  if (!all_nonempty) return result;
+
+  const GraphSnapshot& g = ss.parent();
+  std::vector<DenseBitset> in_sim(qb.num_nodes());
+  for (uint32_t u = 0; u < qb.num_nodes(); ++u) {
+    in_sim[u].Reset(g.num_nodes());
+    for (NodeId v : sim[u]) in_sim[u].set(v);
+  }
+
+  // Per-shard extraction over owned sources: the same per-candidate
+  // forward bounded BFS as ExtractBoundedMatches, run on the parent
+  // snapshot (paths cross shard boundaries freely); shards partition the
+  // sources, so stitching + sorting reproduces the canonical order.
+  std::vector<std::vector<std::vector<NodePair>>> pairs(
+      k, std::vector<std::vector<NodePair>>(qb.num_edges()));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    tasks.push_back([&, s] {
+      const ShardSlice& slice = ss.slice(s);
+      BfsScratch scratch(g.num_nodes());
+      for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+        const PatternEdge& pe = qb.edge(e);
+        std::vector<NodePair>& out = pairs[s][e];
+        for (NodeId v : sim[pe.src]) {
+          if (!slice.Owns(v)) continue;
+          scratch.Run(g, g.out_neighbors(v), BoundedInnerBound(pe.bound),
+                      /*forward=*/true);
+          for (NodeId x : scratch.reached()) {
+            if (in_sim[pe.dst].test(x)) out.emplace_back(v, x);
+          }
+        }
+      }
+    });
+  }
+  ParallelInvoke(pool, std::move(tasks));
+
+  for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+    std::vector<NodePair>* se = result.mutable_edge_matches(e);
+    size_t total = 0;
+    for (uint32_t s = 0; s < k; ++s) total += pairs[s][e].size();
+    se->reserve(total);
+    for (uint32_t s = 0; s < k; ++s) {
+      se->insert(se->end(), pairs[s][e].begin(), pairs[s][e].end());
+    }
+    if (se->empty()) return MatchResult::Empty(qb);
+    if (!std::is_sorted(se->begin(), se->end())) {
+      std::sort(se->begin(), se->end());
+    }
+  }
+  result.set_matched(true);
+  result.DeriveNodeMatches(qb);
+  return result;
+}
+
 }  // namespace gpmv

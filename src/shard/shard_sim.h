@@ -68,6 +68,10 @@ struct ShardSimStats {
   /// (equals the cross-shard portion of the work an unsharded refinement
   /// would do locally).
   size_t messages = 0;
+  /// Frontier entries handed across shard boundaries by the bounded
+  /// evaluation's level-synchronized BFS (one entry per cross-shard edge
+  /// whose head was expanded) — the bounded analogue of `messages`.
+  size_t frontier_msgs = 0;
 
   /// Per-call detail for trace spans (obs/trace.h), NOT aggregated by
   /// Merge: wall time of each parallel phase (index 0 is the local-fixpoint
@@ -84,6 +88,7 @@ struct ShardSimStats {
     rounds += other.rounds;
     removals += other.removals;
     messages += other.messages;
+    frontier_msgs += other.frontier_msgs;
   }
 };
 
@@ -105,11 +110,33 @@ Status ShardedRefineSimulation(const Pattern& q, const ShardedSnapshot& ss,
 /// edge-match extraction stitched into one normalized MatchResult. For
 /// unit-bound patterns the result equals MatchBoundedSimulation /
 /// MatchDualSimulation on the parent snapshot; non-unit bounds are
-/// rejected (bounded BFS does not shard along edge-cuts — the engine falls
-/// back to the unsharded path).
+/// rejected here — they fan out through ShardedMatchBoundedSimulation
+/// below, whose BFS frontier hand-off carries distance-bounded
+/// reachability across edge-cuts.
 Result<MatchResult> ShardedMatchSimulation(
     const Pattern& q, const ShardedSnapshot& ss, ThreadPool* pool,
     bool dual = false, const std::vector<std::vector<NodeId>>* seed = nullptr,
+    ShardSimStats* stats = nullptr);
+
+/// Computes Qb(G) under *bounded* simulation by sharded fan-out. The
+/// decrement exchange of the unit-bound engine generalizes to a
+/// level-synchronized multi-source BFS with merge-round *frontier
+/// hand-off*: each level, every shard expands the frontier nodes it owns
+/// through its slice's full rows; discoveries it owns advance locally,
+/// discoveries owned elsewhere are routed to their owner at the level
+/// barrier (counted in ShardSimStats::frontier_msgs) and deduplicated
+/// against the owner's distance labels — so distance-bounded reachability
+/// crosses edge-cut boundaries exactly level by level. The relation
+/// fixpoint mirrors ComputeBoundedSimulationRelation edge for edge (same
+/// order, same filter), and per-shard forward-BFS extraction over owned
+/// sources stitches into the same canonical MatchResult: the output is
+/// bit-identical to MatchBoundedSimulation on the parent snapshot for
+/// every shard count and partitioning (shard_parity_test asserts this).
+/// Plain patterns delegate to ShardedMatchSimulation (non-dual), making
+/// this the engine's one sharded direct/partial entry point.
+Result<MatchResult> ShardedMatchBoundedSimulation(
+    const Pattern& qb, const ShardedSnapshot& ss, ThreadPool* pool,
+    const std::vector<std::vector<NodeId>>* seed = nullptr,
     ShardSimStats* stats = nullptr);
 
 }  // namespace gpmv

@@ -55,6 +55,36 @@ bool Contains(const std::vector<NodeId>& sorted, NodeId v) {
   return std::binary_search(sorted.begin(), sorted.end(), v);
 }
 
+/// Bound-weighted longest path of a DAG pattern: each edge contributes its
+/// hop bound, so the result limits how far (in graph hops) an addition
+/// chain can extend from an inserted edge. kUnbounded when any edge on a
+/// longest path carries a `*` bound.
+uint32_t BoundWeightedLongestPath(const Pattern& q) {
+  const size_t np = q.num_nodes();
+  std::vector<uint32_t> indeg(np, 0);
+  for (uint32_t e = 0; e < q.num_edges(); ++e) ++indeg[q.edge(e).dst];
+  std::vector<uint32_t> order;
+  order.reserve(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    if (indeg[u] == 0) order.push_back(u);
+  }
+  std::vector<uint64_t> depth(np, 0);
+  uint64_t longest = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t u = order[i];
+    for (uint32_t e : q.out_edges(u)) {
+      const PatternEdge& pe = q.edge(e);
+      const uint64_t step =
+          pe.bound == kUnbounded ? kUnbounded : depth[u] + pe.bound;
+      depth[pe.dst] = std::max(depth[pe.dst], step);
+      longest = std::max(longest, depth[pe.dst]);
+      if (--indeg[pe.dst] == 0) order.push_back(pe.dst);
+    }
+  }
+  return longest >= kUnbounded ? kUnbounded
+                               : static_cast<uint32_t>(longest);
+}
+
 /// Multi-source reverse BFS collecting every node that can reach an
 /// inserted-edge source within `depth_limit` hops — the affected area.
 /// Returns false (leaving `area` at the nodes visited so far) when more
@@ -205,6 +235,133 @@ Status DeltaSimulationInsert(const Pattern& q, const GraphSnapshot& g,
     for (uint32_t r = 0; r < space.size(u); ++r) {
       if (st.alive[u].test(r)) au.push_back(space.node(u, r));
     }
+    stats->relation_added += au.size();
+    if (au.empty()) continue;
+    std::vector<NodeId> merged;
+    merged.reserve((*rel)[u].size() + au.size());
+    std::merge((*rel)[u].begin(), (*rel)[u].end(), au.begin(), au.end(),
+               std::back_inserter(merged));
+    (*rel)[u] = std::move(merged);
+  }
+  stats->applied = true;
+  return Status::OK();
+}
+
+namespace {
+
+/// BFS hop budget certifying a nonempty path of length <= bound from v via
+/// one of its out-neighbors (mirrors bounded.cc).
+uint32_t InnerBound(uint32_t bound) {
+  return bound == kUnbounded ? kUnbounded : bound - 1;
+}
+
+}  // namespace
+
+Status DeltaBoundedInsert(const Pattern& qb, const GraphSnapshot& g,
+                          const std::vector<NodePair>& inserted,
+                          const DeltaInsertOptions& opts,
+                          std::vector<std::vector<NodeId>>* rel,
+                          std::vector<std::vector<NodeId>>* added,
+                          DeltaInsertStats* stats) {
+  if (qb.IsSimulationPattern()) {
+    return DeltaSimulationInsert(qb, g, inserted, opts, rel, added, stats);
+  }
+  const size_t np = qb.num_nodes();
+  const size_t ne = qb.num_edges();
+  if (np == 0) return Status::InvalidArgument("empty pattern");
+  if (rel->size() != np) {
+    return Status::InvalidArgument("cached relation shape mismatch");
+  }
+  *stats = DeltaInsertStats{};
+  added->assign(np, {});
+  if (inserted.empty()) {
+    stats->applied = true;
+    return Status::OK();
+  }
+  for (uint32_t u = 0; u < np; ++u) {
+    if ((*rel)[u].empty()) {
+      stats->fallback = DeltaInsertFallback::kUnmatchedRelation;
+      return Status::OK();
+    }
+  }
+
+  // Affected area: one addition-chain hop along pattern edge e covers up to
+  // fe(e) graph hops, so the reverse BFS depth is the bound-weighted longest
+  // pattern path — unbounded (cap-limited only) for cyclic patterns or `*`.
+  const uint32_t depth_limit =
+      qb.IsDag() ? BoundWeightedLongestPath(qb) : kUnbounded;
+  const size_t cap =
+      opts.max_area_fraction >= 1.0
+          ? g.num_nodes()
+          : static_cast<size_t>(opts.max_area_fraction *
+                                static_cast<double>(g.num_nodes()));
+  std::vector<NodeId> area;
+  if (!CollectAffectedArea(g, inserted, depth_limit, cap, &area)) {
+    stats->fallback = DeltaInsertFallback::kAreaTooLarge;
+    stats->affected_nodes = area.size();
+    return Status::OK();
+  }
+  stats->affected_nodes = area.size();
+
+  // Optimistic additions: area nodes satisfying a pattern node's search
+  // condition that are not cached members.
+  std::vector<std::vector<NodeId>> delta(np);
+  std::vector<DenseBitset> in_delta(np);
+  for (uint32_t u = 0; u < np; ++u) {
+    const PatternNode& pn = qb.node(u);
+    const LabelId lid =
+        pn.label.empty() ? kInvalidLabel : g.FindLabel(pn.label);
+    in_delta[u].Reset(g.num_nodes());
+    if (!pn.label.empty() && lid == kInvalidLabel) continue;
+    for (NodeId v : area) {
+      if (pn.MatchesData(g, v, lid) && !Contains((*rel)[u], v)) {
+        delta[u].push_back(v);
+        in_delta[u].set(v);
+      }
+    }
+    std::sort(delta[u].begin(), delta[u].end());
+    stats->candidates += delta[u].size();
+  }
+
+  // Re-verify fixpoint: a delta candidate v of u survives iff for every
+  // pattern edge (u, u', k) some node of rel(u') ∪ Δ(u') lies within a
+  // nonempty path of <= k hops from v. Cached members are permanent support
+  // (bounded simulation is monotone under insertions), so only Δ removals
+  // cascade; each check is a forward bounded BFS from out(v) — the bounded
+  // analogue of the successor-count cascade, priced by the (capped) area.
+  BfsScratch scratch(g.num_nodes());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t e = 0; e < ne; ++e) {
+      const PatternEdge& pe = qb.edge(e);
+      auto& du = delta[pe.src];
+      size_t kept = 0;
+      for (NodeId v : du) {
+        scratch.Run(g, g.out_neighbors(v), InnerBound(pe.bound),
+                    /*forward=*/true);
+        bool ok = false;
+        for (NodeId x : scratch.reached()) {
+          if (in_delta[pe.dst].test(x) || Contains((*rel)[pe.dst], x)) {
+            ok = true;
+            break;
+          }
+        }
+        if (ok) {
+          du[kept++] = v;
+        } else {
+          in_delta[pe.src].reset(v);
+          changed = true;
+        }
+      }
+      du.resize(kept);
+    }
+  }
+
+  // Merge the survivors (both sides sorted ascending).
+  for (uint32_t u = 0; u < np; ++u) {
+    std::vector<NodeId>& au = (*added)[u];
+    au = std::move(delta[u]);
     stats->relation_added += au.size();
     if (au.empty()) continue;
     std::vector<NodeId> merged;

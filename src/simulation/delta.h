@@ -94,6 +94,28 @@ Status DeltaSimulationInsert(const Pattern& q, const GraphSnapshot& g,
                              std::vector<std::vector<NodeId>>* added,
                              DeltaInsertStats* stats);
 
+/// Bounded-pattern counterpart of DeltaSimulationInsert: updates the cached
+/// maximum *bounded* simulation relation of `qb` under edge insertions.
+/// Bounded simulation is equally monotone under insertions (new edges only
+/// add paths, so every cached member keeps its witnesses), which gives the
+/// same add-then-re-verify shape — but an addition chain hop now covers up
+/// to fe(e) graph hops, so the affected area is a reverse BFS of the
+/// pattern's *bound-weighted* longest-path depth (unbounded around pattern
+/// cycles or `*` bounds, kept local only by the area cap), and re-verify
+/// checks each delta candidate with a forward bounded BFS per pattern edge
+/// (witness within fe(e) hops in rel(u') ∪ Δ(u')) instead of the rank
+/// cascade over direct successors. Plain simulation patterns delegate to
+/// DeltaSimulationInsert, making this a superset entry point. Fallback and
+/// stats semantics match DeltaSimulationInsert; equivalence against
+/// from-scratch ComputeBoundedSimulationRelation is property-tested in
+/// tests/bounded_delta_test.cc.
+Status DeltaBoundedInsert(const Pattern& qb, const GraphSnapshot& g,
+                          const std::vector<NodePair>& inserted,
+                          const DeltaInsertOptions& opts,
+                          std::vector<std::vector<NodeId>>* rel,
+                          std::vector<std::vector<NodeId>>* added,
+                          DeltaInsertStats* stats);
+
 }  // namespace gpmv
 
 #endif  // GPMV_SIMULATION_DELTA_H_

@@ -190,7 +190,7 @@ TEST(DeltaInsertTest, ForcedAreaFallbackStaysExact) {
   EXPECT_EQ(mv.insert_stats().rematerialize_fallbacks, inserts);
 }
 
-TEST(DeltaInsertTest, BoundedViewFallsBackAndStaysExact) {
+TEST(DeltaInsertTest, BoundedViewTakesDeltaPathAndStaysExact) {
   Graph g = testutil::ChainGraph({"A", "X", "B"});
   Pattern p;
   uint32_t a = p.AddNode("A"), b = p.AddNode("B");
@@ -198,12 +198,16 @@ TEST(DeltaInsertTest, BoundedViewFallsBackAndStaysExact) {
   MaintainedView mv(ViewDefinition{"v", std::move(p)});
   ASSERT_TRUE(mv.Attach(g).ok());
 
-  // New node pair within bound 2 only via the inserted edge.
+  // New node pair within bound 2 only via the inserted edge. The bounded
+  // delta path (DeltaBoundedInsert + ball merge) picks it up without
+  // re-materializing, distances included.
   NodeId y = g.AddNode("A");
   ASSERT_TRUE(g.AddEdge(y, 1).ok());  // y -> X -> B
   ASSERT_TRUE(mv.OnEdgeInserted(g, y, 1).ok());
-  EXPECT_EQ(mv.insert_stats().delta_refreshes, 0u);
-  EXPECT_GE(mv.insert_stats().rematerialize_fallbacks, 1u);
+  EXPECT_EQ(mv.insert_stats().delta_refreshes, 1u);
+  EXPECT_EQ(mv.insert_stats().bounded_delta_refreshes, 1u);
+  EXPECT_EQ(mv.insert_stats().rematerialize_fallbacks, 0u);
+  EXPECT_GT(mv.insert_stats().bounded_matches_added, 0u);
   auto fresh = ViewExtension::Materialize(mv.definition(), g);
   ASSERT_TRUE(fresh.ok());
   EXPECT_TRUE(SameExtension(mv.extension(), *fresh));

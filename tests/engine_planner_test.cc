@@ -135,5 +135,81 @@ TEST(PlannerTest, DirectCostGrowsWithBounds) {
   EXPECT_LE(c_bounded, c_star);
 }
 
+/// Dense bipartite-ish graph: 3 "A" + 3 "B" nodes, every A -> every B and
+/// every B -> every A (18 edges, avg out-degree 3) — makes the geometric
+/// ball term visible.
+Graph DenseABGraph() {
+  Graph g;
+  std::vector<NodeId> as, bs;
+  for (int i = 0; i < 3; ++i) as.push_back(g.AddNode("A"));
+  for (int i = 0; i < 3; ++i) bs.push_back(g.AddNode("B"));
+  for (NodeId a : as)
+    for (NodeId b : bs) (void)g.AddEdge(a, b);
+  for (NodeId b : bs)
+    for (NodeId a : as) (void)g.AddEdge(b, a);
+  return g;
+}
+
+TEST(PlannerTest, BoundedCostIsGeometricOnDenseGraphsAndClampedAtE) {
+  GraphStatistics gs = ComputeStatistics(DenseABGraph());
+  ASSERT_GT(gs.avg_out_degree, 1.0);
+  Pattern b1 = PatternBuilder().Node("A").Node("B").Edge("A", "B", 1).Build();
+  Pattern b2 = PatternBuilder().Node("A").Node("B").Edge("A", "B", 2).Build();
+  Pattern b3 = PatternBuilder().Node("A").Node("B").Edge("A", "B", 3).Build();
+  Pattern star =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", kUnbounded).Build();
+  double c1 = EstimateDirectCost(b1, gs, 8);
+  double c2 = EstimateDirectCost(b2, gs, 8);
+  double c3 = EstimateDirectCost(b3, gs, 8);
+  double c_star = EstimateDirectCost(star, gs, 8);
+  // Geometric, not linear: one extra hop more than doubles the edge term.
+  EXPECT_GT(c2, 2.0 * c1 - 6.0 /* node terms appear once in each */);
+  // The ball never exceeds the whole graph: depth 3 (ball 39 > |E| = 18)
+  // and `*` (capped at 8) both clamp to the same |E|-sized walk.
+  EXPECT_DOUBLE_EQ(c3, c_star);
+}
+
+TEST(PlannerTest, ShardFanoutMarksBoundedDirectPlans) {
+  Graph g = ChainABCGraph();
+  GraphStatistics gs = ComputeStatistics(g);
+  ViewSet views;
+  std::vector<ViewExtension> exts;
+  Pattern qb =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", 3).Build();
+  PlannerOptions opts;
+  opts.shard_fanout = true;
+  Result<QueryPlan> plan = PlanQuery(qb, views, exts, gs, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, PlanKind::kDirect);
+  // Bounded direct plans fan out now (frontier hand-off); before PR 7 the
+  // planner kept them global.
+  EXPECT_TRUE(plan->shard_fanout);
+}
+
+TEST(PlannerTest, DistanceIndexCoverageDiscountsBoundedViewCost) {
+  Graph g = ChainABCGraph();
+  GraphStatistics gs = ComputeStatistics(g);
+  ViewSet views;
+  views.Add("v_ab2",
+            PatternBuilder().Node("A").Node("B").Edge("A", "B", 2).Build());
+  std::vector<ViewExtension> exts(views.card());  // cold
+  Pattern qb =
+      PatternBuilder().Node("A").Node("B").Edge("A", "B", 2).Build();
+
+  PlannerOptions cold;
+  Result<QueryPlan> no_index = PlanQuery(qb, views, exts, gs, cold);
+  ASSERT_TRUE(no_index.ok());
+
+  PlannerOptions covered = cold;
+  covered.distance_index_entries = 10 * gs.num_nodes;  // full coverage
+  Result<QueryPlan> indexed = PlanQuery(qb, views, exts, gs, covered);
+  ASSERT_TRUE(indexed.ok());
+
+  // Tracked pairs re-verify through I(V) instead of ball walks: the view
+  // plan gets strictly cheaper, the direct estimate is untouched.
+  EXPECT_LT(indexed->est_view_cost, no_index->est_view_cost);
+  EXPECT_DOUBLE_EQ(indexed->est_direct_cost, no_index->est_direct_cost);
+}
+
 }  // namespace
 }  // namespace gpmv

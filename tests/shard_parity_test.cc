@@ -145,21 +145,99 @@ TEST(ShardParityTest, SeededEvaluationMatchesUnsharded) {
   }
 }
 
-TEST(ShardParityTest, BoundedPatternsAreRejected) {
-  Graph g = MakeGraph(7);
-  auto snap = g.Freeze();
+Pattern MakeBoundedPattern(uint64_t seed) {
   RandomPatternOptions po;
-  po.num_nodes = 3;
-  po.num_edges = 3;
+  po.num_nodes = 3 + seed % 2;
+  po.num_edges = po.num_nodes;
   po.label_pool = SyntheticLabels(4);
   po.max_bound = 3;
-  po.seed = 99;
-  Pattern qb = GenerateRandomPattern(po);
-  ASSERT_FALSE(qb.IsSimulationPattern());  // max_bound 3 with this seed
+  po.seed = seed * 17 + 99;
+  return GenerateRandomPattern(po);
+}
+
+/// The unit-bound entry still rejects bounded patterns (its decrement
+/// exchange has no distance semantics); they go through the bounded
+/// frontier hand-off entry instead.
+TEST(ShardParityTest, BoundedPatternsRouteThroughBoundedEntry) {
+  Graph g = MakeGraph(7);
+  auto snap = g.Freeze();
+  Pattern qb = MakeBoundedPattern(0);
+  ASSERT_FALSE(qb.IsSimulationPattern());
   ShardingOptions opts;
   opts.num_shards = 2;
   auto ss = ShardedSnapshot::Build(snap, opts);
   EXPECT_FALSE(ShardedMatchSimulation(qb, *ss, nullptr).ok());
+  Result<MatchResult> expect = MatchBoundedSimulation(qb, *snap);
+  ASSERT_TRUE(expect.ok());
+  Result<MatchResult> got = ShardedMatchBoundedSimulation(qb, *ss, nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got == *expect);
+}
+
+/// Bounded parity: for every shard count and partitioning, the
+/// frontier-hand-off evaluation is bit-identical to MatchBoundedSimulation
+/// on the parent snapshot — including patterns with `*` (unbounded) edges
+/// and unit-bound patterns routed through the same entry.
+TEST(ShardParityTest, BoundedMatchesUnshardedAcrossShardCountsAndModes) {
+  ThreadPoolOptions po;
+  po.num_threads = 3;
+  ThreadPool pool(po);
+  size_t frontier_msgs = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = MakeGraph(seed + 200);
+    auto snap = g.Freeze();
+    Pattern qb = seed % 3 == 0 ? MakePlainPattern(seed) : MakeBoundedPattern(seed);
+    Result<MatchResult> expect = MatchBoundedSimulation(qb, *snap);
+    ASSERT_TRUE(expect.ok());
+    for (uint32_t k : kShardCounts) {
+      for (auto partition : kPartitions) {
+        ShardingOptions opts;
+        opts.num_shards = k;
+        opts.partition = partition;
+        auto ss = ShardedSnapshot::Build(snap, opts);
+        ShardSimStats stats;
+        Result<MatchResult> got =
+            ShardedMatchBoundedSimulation(qb, *ss, &pool, nullptr, &stats);
+        ASSERT_TRUE(got.ok());
+        EXPECT_TRUE(*got == *expect) << "seed=" << seed << " K=" << k;
+        EXPECT_EQ(stats.shards, k);
+        if (k > 1) frontier_msgs += stats.frontier_msgs;
+      }
+    }
+  }
+  // Some bounded evaluation crossed a shard boundary level by level.
+  EXPECT_GT(frontier_msgs, 0u);
+}
+
+/// Bounded seeded parity (the engine's partial-views path): restricting
+/// candidates before the bounded fixpoint must shard identically too.
+TEST(ShardParityTest, BoundedSeededEvaluationMatchesUnsharded) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = MakeGraph(seed + 300);
+    auto snap = g.Freeze();
+    Pattern qb = MakeBoundedPattern(seed + 40);
+    std::vector<std::vector<NodeId>> seed_sets;
+    ASSERT_TRUE(ComputeCandidateSets(qb, *snap, &seed_sets).ok());
+    for (auto& su : seed_sets) {
+      std::vector<NodeId> kept;
+      for (size_t i = 0; i < su.size(); ++i) {
+        if (i % 3 != 2) kept.push_back(su[i]);
+      }
+      su = kept;
+    }
+    Result<MatchResult> expect =
+        MatchBoundedSimulation(qb, *snap, /*distances=*/nullptr, &seed_sets);
+    ASSERT_TRUE(expect.ok());
+    for (uint32_t k : kShardCounts) {
+      ShardingOptions opts;
+      opts.num_shards = k;
+      auto ss = ShardedSnapshot::Build(snap, opts);
+      Result<MatchResult> got = ShardedMatchBoundedSimulation(
+          qb, *ss, /*pool=*/nullptr, &seed_sets);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(*got == *expect) << "seed=" << seed << " K=" << k;
+    }
+  }
 }
 
 /// Engine-level parity: the sharded engine must answer exactly like the
@@ -172,6 +250,9 @@ TEST(ShardParityTest, EnginesAgreeAcrossPlansAndUpdates) {
 
     std::vector<Pattern> queries;
     for (uint64_t s = 1; s <= 6; ++s) queries.push_back(MakePlainPattern(s));
+    // Bounded queries fan out too now (frontier hand-off); parity must
+    // survive the same update rounds.
+    for (uint64_t s = 1; s <= 3; ++s) queries.push_back(MakeBoundedPattern(s));
 
     EngineOptions unsharded_opts;
     unsharded_opts.pool.num_threads = 1;

@@ -6,7 +6,10 @@ Checks every line of the given files against the committed schema
 src/obs/exporter.cc) plus the cross-line stream constraints: seq strictly
 increasing from 1 with no gaps, ts_ms non-decreasing, counters monotone,
 and each histogram's count equal to the sum of its (right-zero-padded)
-buckets. Exits non-zero listing every violation.
+buckets. The schema's `required_metrics` section additionally pins the
+metric names every engine registers up front (bounded-delta and sharding
+counters, distance-index gauges): each must appear in every snapshot
+line. Exits non-zero listing every violation.
 
 Usage: tools/check_metrics_schema.py metrics.jsonl [more.jsonl ...]
 """
@@ -48,6 +51,7 @@ def check_file(path, schema):
     line_spec = schema["line"]
     hist_spec = schema["histogram_value"]
     max_buckets = hist_spec["max_buckets"]
+    required_metrics = schema.get("required_metrics", {})
     prev_seq = 0
     prev_ts = -1.0
     prev_counters = {}
@@ -66,6 +70,15 @@ def check_file(path, schema):
             errors.append(f"{where}: not valid JSON: {err}")
             continue
         check_required(obj, line_spec, where, errors)
+        for family in ("counters", "gauges"):
+            present = obj.get(family)
+            if not isinstance(present, dict):
+                continue  # already reported by check_required
+            for name in required_metrics.get(family, []):
+                if name not in present:
+                    errors.append(
+                        f"{where}: required {family[:-1]} '{name}' missing"
+                    )
         seq = obj.get("seq")
         if isinstance(seq, int):
             if seq != prev_seq + 1:

@@ -740,9 +740,11 @@ int CmdServe(const std::vector<std::string>& args) {
       "results: hits=%zu misses=%zu stale=%zu bytes=%zu/%zu\n"
       "updates: batches=%zu +%zu -%zu refreshes=%zu skipped=%zu\n"
       "delta: refreshes=%zu fallbacks=%zu affected_nodes=%zu "
-      "relation_added=%zu matches_added=%zu\n"
+      "relation_added=%zu matches_added=%zu bounded_refreshes=%zu "
+      "bounded_matches=%zu\n"
+      "distance index: entries=%zu repairs=%zu shortened=%zu\n"
       "shards: queries=%zu fallbacks=%zu rounds=%zu messages=%zu "
-      "slices_rebuilt=%zu reused=%zu\n",
+      "frontier=%zu slices_rebuilt=%zu reused=%zu\n",
       s.queries, secs, secs > 0 ? static_cast<double>(s.queries) / secs : 0.0,
       failed, s.plans_match_join, s.plans_partial, s.plans_direct,
       s.warm_queries,
@@ -756,8 +758,12 @@ int CmdServe(const std::vector<std::string>& args) {
       s.cache.refreshes_skipped, s.delta.delta_refreshes,
       s.delta.rematerialize_fallbacks, s.delta.affected_nodes,
       s.delta.delta_relation_added, s.delta.delta_matches_added,
+      s.delta.bounded_delta_refreshes, s.delta.bounded_matches_added,
+      s.cache.distance_entries, s.cache.distance_repairs,
+      s.cache.distance_shortened,
       s.sharded_queries, s.shard_fallbacks,
-      s.shard.rounds, s.shard.messages, s.slices_rebuilt, s.slices_reused);
+      s.shard.rounds, s.shard.messages, s.shard.frontier_msgs,
+      s.slices_rebuilt, s.slices_reused);
   if (!stream_ops.empty()) {
     std::printf(
         "stream: ingested=%zu applied=%zu coalesced=%zu batches=%zu "

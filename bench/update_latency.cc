@@ -6,7 +6,8 @@
 /// behavior, `EngineOptions::maintenance.enable_delta = false`).
 ///
 ///   ./build/bench/update_latency [batches] [--min-speedup X]
-///       [--min-bounded-speedup X] [--json path]
+///       [--min-bounded-speedup X] [--appliers N] [--min-applier-ratio X]
+///       [--json path]
 ///
 /// Two view families run the full matrix: plain simulation views (the
 /// original delta path) and bounded views (DeltaBoundedInsert + the
@@ -23,6 +24,17 @@
 /// re-materialize) — the CI smoke runs both at 1.3, under the >=2x the
 /// delta delivers on insert-heavy streams (docs/BENCHMARKS.md). `--json`
 /// writes the machine-readable rows (bench_util.h JsonReport).
+///
+/// A final section measures multi-applier streamed ingestion: the same
+/// insert-only op stream pushed through a 1-applier and an N-applier
+/// ApplierPool (`--appliers N`, default 2) into otherwise identical
+/// engines, quiesced with FlushAndWait. Commits serialize at the MVCC
+/// chain head, so N appliers buy concurrent drain/coalesce/validate — not
+/// N-fold commit throughput; `--min-applier-ratio X` gates
+/// throughput(N)/throughput(1) as a *no-regression* bound (the CI smoke
+/// runs 0.9: the pool must not cost more than ~10% on a single producer).
+/// Both passes must answer the view queries identically — the bench
+/// doubles as a slice-routing equivalence check.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +49,7 @@
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
 #include "pattern/pattern_builder.h"
+#include "stream/applier_pool.h"
 #include "workload/graph_gen.h"
 #include "workload/pattern_gen.h"
 
@@ -309,24 +322,100 @@ bool RunMatrix(const Graph& base, const std::vector<Pattern>& views,
   return true;
 }
 
+/// One streamed-ingestion pass: pushes `ops` through a `num_appliers`-wide
+/// ApplierPool into a fresh engine with `views` warm, quiesces, and probes
+/// the final view answers (the caller compares passes for equality).
+struct ApplierPassResult {
+  double seconds = 0.0;  ///< push + FlushAndWait wall time
+  size_t ops = 0;
+  uint64_t watermark = 0;  ///< published applied_through_ts after quiesce
+  std::vector<MatchResult> view_answers;
+};
+
+ApplierPassResult RunApplierPass(const Graph& base,
+                                 const std::vector<Pattern>& views,
+                                 const std::vector<EdgeUpdate>& ops,
+                                 size_t num_appliers) {
+  EngineOptions opts;
+  opts.pool.num_threads = 1;
+  opts.result_cache.budget_bytes = 0;
+  QueryEngine engine(base, opts);
+  for (size_t i = 0; i < views.size(); ++i) {
+    Result<uint32_t> id =
+        engine.RegisterView("v" + std::to_string(i), views[i]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "register failed: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Status warm = engine.WarmViews();
+  if (!warm.ok()) {
+    std::fprintf(stderr, "warm failed: %s\n", warm.ToString().c_str());
+    std::exit(1);
+  }
+
+  ApplierPassResult out;
+  {
+    ApplierPoolOptions po;
+    po.num_appliers = num_appliers;
+    ApplierPool pool(&engine, po);
+    Stopwatch sw;
+    for (const EdgeUpdate& op : ops) {
+      if (pool.Push(op) == 0) {
+        std::fprintf(stderr, "applier pool rejected an op\n");
+        std::exit(1);
+      }
+    }
+    Status st = pool.FlushAndWait();
+    out.seconds = sw.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "applier pool failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  out.ops = ops.size();
+  out.watermark = engine.applied_through_ts();
+  for (const Pattern& vq : views) {
+    QueryResponse resp = engine.Query(vq);
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "probe query failed: %s\n",
+                   resp.status.ToString().c_str());
+      std::exit(1);
+    }
+    out.view_answers.push_back(std::move(resp.result));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   double min_speedup = 0.0;
   double min_bounded_speedup = 0.0;
+  double min_applier_ratio = 0.0;
+  double appliers_flag = 2.0;
   size_t positionals[1] = {120};  // batches per configuration
   if (!bench::TakeJsonFlag(&argc, argv, &json_path) ||
       !bench::TakeMinSpeedupFlag(&argc, argv, &min_speedup) ||
       !bench::TakeDoubleFlag(&argc, argv, "--min-bounded-speedup",
                              &min_bounded_speedup) ||
+      !bench::TakeDoubleFlag(&argc, argv, "--appliers", &appliers_flag) ||
+      !bench::TakeDoubleFlag(&argc, argv, "--min-applier-ratio",
+                             &min_applier_ratio) ||
       !bench::ParsePositionals(
           argc, argv,
           "update_latency [batches] [--min-speedup X] "
-          "[--min-bounded-speedup X] [--json path]",
+          "[--min-bounded-speedup X] [--appliers N] "
+          "[--min-applier-ratio X] [--json path]",
           positionals, 1)) {
     return 2;
   }
+  const size_t num_appliers = appliers_flag < 1.0
+                                  ? 1
+                                  : static_cast<size_t>(appliers_flag);
   if (positionals[0] == 0) {
     std::fprintf(stderr, "batches must be > 0\n");
     return 2;
@@ -373,6 +462,47 @@ int main(int argc, char** argv) {
               agg_speedup, bounded_speedup);
   report.Add("insert_aggregate", {{"speedup", agg_speedup}});
   report.Add("bounded_insert_aggregate", {{"speedup", bounded_speedup}});
+
+  // Multi-applier ingestion: identical insert-only op stream through a
+  // 1-applier and an N-applier pool; final view answers must agree.
+  std::vector<EdgeUpdate> pool_ops;
+  for (const std::vector<EdgeUpdate>& batch :
+       MakeStream(base, StreamKind::kInsert, num_batches, 16,
+                  stream_seed++)) {
+    pool_ops.insert(pool_ops.end(), batch.begin(), batch.end());
+  }
+  const ApplierPassResult one =
+      RunApplierPass(base, plain_views, pool_ops, 1);
+  const ApplierPassResult multi =
+      RunApplierPass(base, plain_views, pool_ops, num_appliers);
+  bool pool_equal = one.view_answers.size() == multi.view_answers.size() &&
+                    one.watermark == multi.watermark;
+  for (size_t i = 0; pool_equal && i < one.view_answers.size(); ++i) {
+    pool_equal = one.view_answers[i] == multi.view_answers[i];
+  }
+  if (!pool_equal) {
+    std::fprintf(stderr,
+                 "RESULT MISMATCH: %zu-applier pool disagrees with the "
+                 "1-applier pool on the same op stream\n",
+                 num_appliers);
+    return 1;
+  }
+  const double one_ups =
+      static_cast<double>(one.ops) / std::max(one.seconds, 1e-9);
+  const double multi_ups =
+      static_cast<double>(multi.ops) / std::max(multi.seconds, 1e-9);
+  const double applier_ratio = multi_ups / std::max(one_ups, 1e-9);
+  std::printf("applier pool: %zu ops, 1 applier %.0f ops/s, %zu appliers "
+              "%.0f ops/s (ratio %.2fx), watermark %llu\n",
+              pool_ops.size(), one_ups, num_appliers, multi_ups,
+              applier_ratio,
+              static_cast<unsigned long long>(multi.watermark));
+  report.Add("appliers_1", {{"updates_per_sec", one_ups},
+                            {"ops", static_cast<double>(one.ops)}});
+  report.Add("appliers_n", {{"updates_per_sec", multi_ups},
+                            {"ops", static_cast<double>(multi.ops)},
+                            {"appliers", static_cast<double>(num_appliers)},
+                            {"ratio", applier_ratio}});
   if (!report.WriteTo(json_path)) return 1;
 
   if (min_speedup > 0.0 && agg_speedup < min_speedup) {
@@ -384,6 +514,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: bounded insert speedup %.2fx below required %.2fx\n",
                  bounded_speedup, min_bounded_speedup);
+    return 1;
+  }
+  if (min_applier_ratio > 0.0 && applier_ratio < min_applier_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: %zu-applier throughput ratio %.2fx below required "
+                 "%.2fx\n",
+                 num_appliers, applier_ratio, min_applier_ratio);
     return 1;
   }
   return 0;

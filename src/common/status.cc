@@ -23,6 +23,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -32,6 +32,7 @@ class Status {
     kIOError,
     kNotSupported,
     kInternal,
+    kDeadlineExceeded,
   };
 
   /// Default-constructed status is OK.
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -150,8 +150,8 @@ Result<QueryPlan> PlanQuery(const Pattern& q, const ViewSet& views,
   GPMV_RETURN_NOT_OK(planned.status());
   QueryPlan plan = std::move(planned).value();
   const Pattern& mq = plan.minimized.pattern;
-  plan.shard_fanout = opts.shard_fanout && plan.kind != PlanKind::kMatchJoin &&
-                      mq.num_edges() > 0;
+  plan.shard_fanout = opts.shard_fanout && !opts.historical &&
+                      plan.kind != PlanKind::kMatchJoin && mq.num_edges() > 0;
   return plan;
 }
 
@@ -182,8 +182,9 @@ Result<QueryPlan> PlanQueryImpl(const Pattern& q, const ViewSet& views,
                                                       opts.bounded_cost_cap);
 
   // Degenerate queries (no edges, isolated nodes) and a disabled cost
-  // advantage always evaluate directly; so does an empty registry.
-  if (mq.num_edges() == 0 || !mq.HasNoIsolatedNode() ||
+  // advantage always evaluate directly; so do an empty registry and
+  // historical (AS OF) plans, whose views describe the wrong cut.
+  if (opts.historical || mq.num_edges() == 0 || !mq.HasNoIsolatedNode() ||
       opts.view_cost_advantage <= 0.0 || views.card() == 0) {
     plan.kind = PlanKind::kDirect;
     return plan;

@@ -67,6 +67,12 @@ struct PlannerOptions {
   /// exchange, bounded patterns through the BFS frontier hand-off
   /// (shard/shard_sim.h). kMatchJoin never touches G, so it stays global.
   bool shard_fanout = false;
+  /// Plan for a *historical* (`AS OF`) cut: the query still minimizes (the
+  /// quotient is state-independent), but containment/view plans and the
+  /// sharded fan-out are skipped — materialized extensions and shard
+  /// slices describe only the head, so a time-travel query always walks
+  /// its pinned snapshot directly (kDirect, no fan-out).
+  bool historical = false;
   /// Live (v, v') pairs tracked by the engine's distance index I(V)
   /// (ViewCacheStats::distance_entries; set by the engine per plan call).
   /// Bounded view edges re-verify tracked pairs through O(1) index lookups

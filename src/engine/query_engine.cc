@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <memory>
 #include <unordered_set>
@@ -53,11 +54,21 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
     : opts_(opts),
       graph_(std::move(g)),
       gstats_(ComputeStatistics(graph_)),
+      chain_(opts.mvcc),
       snapshot_(graph_.Freeze()),
       cache_(opts.cache),
       result_cache_(opts.result_cache),
       pool_(QueryPoolOptions(opts, &metrics_)) {
   InitMetrics();
+  // Seed the chain with the initial frozen state so AS OF before the first
+  // streamed op (watermark 0) pins the pre-stream graph.
+  SnapshotCut cut;
+  cut.version = snapshot_->version();
+  cut.slices = slice_clock_.Current();
+  cut.watermark = 0;
+  cut.max_applied_ts = 0;
+  cut.snapshot = snapshot_;
+  chain_.Publish(std::move(cut));
   if (opts_.sharding.num_shards > 1) {
     // Let the planner mark fan-out-eligible plans (it cannot see the
     // engine's sharded state otherwise).
@@ -143,7 +154,13 @@ void QueryEngine::InitMetrics() {
       m.FindOrCreateGauge("stream.publish_lag_ms_total");
   h_.stream_applied_through =
       m.FindOrCreateGauge("stream.applied_through_ts");
+  h_.stream_appliers = m.FindOrCreateGauge("stream.appliers");
+  h_.stream_appliers->Set(1.0);
   h_.stream_batch_size = m.FindOrCreateHistogram("stream.batch_size");
+  h_.mvcc_asof_queries = m.FindOrCreateCounter("mvcc.asof_queries");
+  h_.mvcc_asof_misses = m.FindOrCreateCounter("mvcc.asof_misses");
+  h_.mvcc_ryw_waits = m.FindOrCreateCounter("mvcc.ryw_waits");
+  h_.mvcc_ryw_timeouts = m.FindOrCreateCounter("mvcc.ryw_timeouts");
   h_.query_latency_us = m.FindOrCreateHistogram("query.latency_us");
   h_.query_plan_us = m.FindOrCreateHistogram("query.plan_us");
   h_.query_exec_us = m.FindOrCreateHistogram("query.exec_us");
@@ -195,6 +212,11 @@ void QueryEngine::InitMetrics() {
     const double rc_lookups = static_cast<double>(rs.hits + rs.misses);
     s->AddGauge("result_cache.hit_rate",
                 rc_lookups == 0.0 ? 0.0 : rs.hits / rc_lookups);
+    // MVCC chain state (its own mutex; never held while taking the gate).
+    s->AddGauge("mvcc.chain_depth", static_cast<double>(chain_.depth()));
+    s->AddGauge("mvcc.pinned_cuts", static_cast<double>(chain_.pinned_cuts()));
+    s->AddGauge("mvcc.gc_collected",
+                static_cast<double>(chain_.gc_collected()));
     const ThreadPoolStats ps = pool_.stats();
     s->AddGauge("pool.submitted", static_cast<double>(ps.submitted));
     s->AddGauge("pool.executed", static_cast<double>(ps.executed));
@@ -243,22 +265,56 @@ Status QueryEngine::WarmViews() {
   return Status::OK();
 }
 
-QueryResponse QueryEngine::Query(const Pattern& q) { return Execute(q); }
+QueryResponse QueryEngine::Query(const Pattern& q, const QueryOptions& qopts) {
+  return Execute(q, qopts);
+}
 
-Result<std::future<QueryResponse>> QueryEngine::Submit(Pattern q) {
+Result<std::future<QueryResponse>> QueryEngine::Submit(Pattern q,
+                                                       QueryOptions qopts) {
   // The stopwatch rides into the task by value: when a worker picks the
   // task up, its elapsed time *is* the queue wait.
   Stopwatch queued;
   auto task = std::make_shared<std::packaged_task<QueryResponse()>>(
-      [this, query = std::move(q), queued] {
-        return Execute(query, queued.ElapsedMillis());
+      [this, query = std::move(q), qopts, queued] {
+        return Execute(query, qopts, queued.ElapsedMillis());
       });
   std::future<QueryResponse> fut = task->get_future();
   GPMV_RETURN_NOT_OK(pool_.Submit([task] { (*task)(); }));
   return fut;
 }
 
-QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
+Status QueryEngine::WaitForWatermark(uint64_t ts, double timeout_ms) {
+  if (applied_through_ts() >= ts) return Status::OK();
+  std::unique_lock<std::mutex> lk(watermark_mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(timeout_ms * 1000.0));
+  const bool covered = watermark_cv_.wait_until(
+      lk, deadline, [&] { return applied_through_ts() >= ts; });
+  if (covered) return Status::OK();
+  return Status::DeadlineExceeded(
+      "read-your-writes wait: watermark " +
+      std::to_string(applied_through_ts()) + " never reached ts " +
+      std::to_string(ts));
+}
+
+QueryResponse QueryEngine::Execute(const Pattern& q, const QueryOptions& qopts,
+                                   double queue_wait_ms) {
+  // Read-your-writes floor: block (bounded) until the published cut covers
+  // the caller's last submitted op, before any lock is taken.
+  if (qopts.min_applied_ts != 0 &&
+      applied_through_ts() < qopts.min_applied_ts) {
+    if (opts_.obs.enabled) h_.mvcc_ryw_waits->Add(1);
+    Status wait = WaitForWatermark(qopts.min_applied_ts, qopts.ryw_timeout_ms);
+    if (!wait.ok()) {
+      if (opts_.obs.enabled) h_.mvcc_ryw_timeouts->Add(1);
+      QueryResponse resp;
+      resp.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+      resp.status = wait;
+      return resp;
+    }
+  }
+  if (qopts.as_of_ts != 0) return ExecuteAsOf(q, qopts, queue_wait_ms);
   RecordWorkload(q);
   QueryResponse resp;
   resp.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
@@ -482,6 +538,96 @@ QueryResponse QueryEngine::Execute(const Pattern& q, double queue_wait_ms) {
   return resp;
 }
 
+QueryResponse QueryEngine::ExecuteAsOf(const Pattern& q,
+                                       const QueryOptions& qopts,
+                                       double queue_wait_ms) {
+  (void)queue_wait_ms;
+  RecordWorkload(q);
+  QueryResponse resp;
+  resp.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  resp.as_of = true;
+  Stopwatch total_sw;
+
+  // Pin the newest retained prefix-consistent cut at or before as_of_ts;
+  // the pin keeps GC away until this query returns.
+  Result<SnapshotRef> pinned = chain_.PinAsOf(qopts.as_of_ts);
+  if (!pinned.ok()) {
+    if (opts_.obs.enabled) {
+      auto group = metrics_.Group();
+      h_.queries->Add(1);
+      h_.queries_failed->Add(1);
+      h_.mvcc_asof_queries->Add(1);
+      h_.mvcc_asof_misses->Add(1);
+    }
+    resp.status = pinned.status();
+    return resp;
+  }
+  SnapshotRef ref = std::move(pinned).value();
+  const SnapshotCut& cut = ref.cut();
+  resp.snapshot_version = cut.version;
+  resp.applied_through_ts = cut.watermark;
+
+  // Plan in historical mode under the shared lock (the planner reads the
+  // view registry and statistics); the plan is always kDirect, so nothing
+  // else below needs the registry — evaluation runs lock-free against the
+  // pinned immutable cut.
+  Stopwatch sw;
+  Result<QueryPlan> planned = [&]() {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    PlannerOptions popts = opts_.planner;
+    popts.historical = true;
+    const std::vector<uint8_t> live = cache_.MaterializedSnapshot();
+    return PlanQuery(q, cache_.views(), cache_.extensions(), gstats_, popts,
+                     &live);
+  }();
+  if (!planned.ok()) {
+    resp.status = planned.status();
+  } else {
+    QueryPlan plan = std::move(planned).value();
+    resp.plan = plan.kind;
+    resp.plan_ms = sw.ElapsedMillis();
+    sw.Restart();
+    // Memoize under the historical cut's version, in an AS OF-segregated
+    // key: the memo's version-compare invalidation would otherwise let a
+    // historical probe stale-drop the head's entry (and vice versa).
+    std::string rc_key;
+    if (result_cache_.enabled()) {
+      rc_key = PatternToText(plan.minimized.pattern) + "\n#asof";
+      MatchResult cached;
+      if (result_cache_.Lookup(rc_key, cut.version, &cached)) {
+        resp.result_cached = true;
+        resp.result = ExpandMinimized(plan.minimized, q, std::move(cached));
+      }
+    }
+    if (!resp.result_cached) {
+      Result<MatchResult> r =
+          MatchBoundedSimulation(plan.minimized.pattern, *cut.snapshot);
+      if (r.ok()) {
+        if (result_cache_.enabled()) {
+          result_cache_.Insert(rc_key, cut.version, *r);
+        }
+        resp.result = ExpandMinimized(plan.minimized, q, std::move(r).value());
+      } else {
+        resp.status = r.status();
+      }
+    }
+    resp.exec_ms = sw.ElapsedMillis();
+  }
+  ref.Release();
+
+  if (opts_.obs.enabled) {
+    auto group = metrics_.Group();
+    h_.queries->Add(1);
+    h_.mvcc_asof_queries->Add(1);
+    if (!resp.status.ok()) h_.queries_failed->Add(1);
+    h_.plans_direct->Add(1);
+    h_.query_plan_us->Record(ToMicros(resp.plan_ms));
+    h_.query_exec_us->Record(ToMicros(resp.exec_ms));
+    h_.query_latency_us->Record(ToMicros(total_sw.ElapsedMillis()));
+  }
+  return resp;
+}
+
 void QueryEngine::FinishTrace(obs::Trace* trace, QueryResponse* resp) {
   obs::TraceSpan* root = trace->root();
   root->Attr("plan", std::string(PlanKindName(resp->plan)));
@@ -613,7 +759,66 @@ Status QueryEngine::ApplyUpdates(const std::vector<EdgeUpdate>& batch) {
 
 Status QueryEngine::ApplyStreamBatch(const std::vector<EdgeUpdate>& batch,
                                      uint64_t through_ts) {
-  return ApplyUpdatesInternal(batch, through_ts);
+  return ApplyUpdatesInternal(batch, through_ts, /*slice=*/0);
+}
+
+Status QueryEngine::ApplyStreamBatchSlice(const std::vector<EdgeUpdate>& batch,
+                                          uint64_t through_ts, size_t slice) {
+  if (slice >= slice_clock_.num_slices()) {
+    return Status::InvalidArgument(
+        "stream slice " + std::to_string(slice) +
+        " out of range; call ConfigureStreamSlices first");
+  }
+  return ApplyUpdatesInternal(batch, through_ts, slice);
+}
+
+void QueryEngine::ConfigureStreamSlices(size_t num_slices) {
+  const size_t n = std::max<size_t>(1, num_slices);
+  slice_clock_.Reset(n);
+  if (opts_.obs.enabled) h_.stream_appliers->Set(static_cast<double>(n));
+}
+
+uint64_t QueryEngine::PublishCut() {
+  // Caller holds mu_ at least shared, so snapshot_ is stable. Derive the
+  // watermark as the min over slice clocks and advance the atomic
+  // monotonically (CAS loop: concurrent heartbeats under the shared lock
+  // may race here; max semantics make every interleaving correct).
+  const VersionVector vv = slice_clock_.Current();
+  const uint64_t min_wm = vv.MinSlice();
+  uint64_t prev = applied_through_ts_.load(std::memory_order_relaxed);
+  bool advanced = false;
+  while (min_wm > prev) {
+    if (applied_through_ts_.compare_exchange_weak(prev, min_wm,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed)) {
+      advanced = true;
+      break;
+    }
+  }
+  const uint64_t wm = std::max(min_wm, prev);
+  SnapshotCut cut;
+  cut.version = snapshot_->version();
+  cut.slices = vv;
+  cut.watermark = wm;
+  cut.max_applied_ts = vv.MaxSlice();
+  cut.snapshot = snapshot_;
+  chain_.Publish(std::move(cut));
+  if (advanced) {
+    // Empty-critical-section handshake: a waiter that sampled the old
+    // watermark is guaranteed to be inside wait() before the notify.
+    { std::lock_guard<std::mutex> wlk(watermark_mu_); }
+    watermark_cv_.notify_all();
+  }
+  return wm;
+}
+
+void QueryEngine::AdvanceStreamSlice(size_t slice, uint64_t ts) {
+  if (slice >= slice_clock_.num_slices()) return;
+  slice_clock_.Advance(slice, ts);
+  // Republish the head's watermark against the (unchanged) snapshot; the
+  // chain resolves races with a concurrent real commit by version.
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  PublishCut();
 }
 
 void QueryEngine::MergeStreamStats(const StreamStats& delta) {
@@ -653,7 +858,7 @@ void QueryEngine::MergeStreamStats(const StreamStats& delta) {
 }
 
 Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
-                                         uint64_t through_ts) {
+                                         uint64_t through_ts, size_t slice) {
   size_t inserted_count = 0;
   size_t deleted_count = 0;
   InsertMaintenanceStats delta_stats;
@@ -730,17 +935,20 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
                   static_cast<double>(graph_.num_nodes());
     stats_dirty_ = true;
     if (through_ts != 0) {
-      // Streamed batch: stamp the published snapshot's applied-through
-      // watermark — only now, after the whole batch (including extension
-      // maintenance above) succeeded, so a failed batch never advances the
-      // watermark past ops its caller will report as dropped. max()
-      // because a manual ApplyUpdates interleaved between stream batches
-      // must not regress it (the applier's timestamps are monotone).
-      uint64_t prev = applied_through_ts_.load(std::memory_order_relaxed);
-      if (through_ts > prev) {
-        applied_through_ts_.store(through_ts, std::memory_order_release);
-      }
+      // Streamed batch: advance this slice's clock — only now, after the
+      // whole batch (including extension maintenance above) succeeded, so
+      // a failed batch never advances the watermark past ops its caller
+      // will report as dropped. The *global* watermark is re-derived in
+      // PublishCut as the min over slice clocks: with one slice this is
+      // exactly the old single-atomic behavior, with N appliers a lagging
+      // slice holds it back instead of letting a faster one publish a
+      // hole. Monotone per slice, and never regressed by a manual
+      // ApplyUpdates interleaved between stream batches.
+      slice_clock_.Advance(slice, through_ts);
     }
+    // Every commit (streamed or not) appends a cut to the snapshot chain;
+    // heartbeat republish races resolve by version inside the chain.
+    PublishCut();
   }
   if (shard_pool_ != nullptr) RefreshSharded();
   if (opts_.obs.enabled) {
@@ -922,6 +1130,11 @@ EngineStats QueryEngine::stats() const {
     out.stream.publish_lag_ms_total = h_.stream_publish_lag_total->Value();
     out.stream.applied_through_ts =
         static_cast<uint64_t>(h_.stream_applied_through->Value());
+    out.mvcc_asof_queries = h_.mvcc_asof_queries->Value();
+    out.mvcc_asof_misses = h_.mvcc_asof_misses->Value();
+    out.mvcc_ryw_waits = h_.mvcc_ryw_waits->Value();
+    out.mvcc_ryw_timeouts = h_.mvcc_ryw_timeouts->Value();
+    out.stream_appliers = static_cast<size_t>(h_.stream_appliers->Value());
     // 40-bucket registry histogram -> the struct's 12 buckets: identical
     // power-of-two boundaries below the fold, everything >= the last
     // stream bucket folds into it (MergeStreamStats only records
@@ -938,6 +1151,9 @@ EngineStats QueryEngine::stats() const {
   out.cache = cache_.stats();
   out.pool = pool_.stats();
   out.result_cache = result_cache_.stats();
+  out.mvcc_chain_depth = chain_.depth();
+  out.mvcc_pinned_cuts = chain_.pinned_cuts();
+  out.mvcc_gc_collected = chain_.gc_collected();
   return out;
 }
 

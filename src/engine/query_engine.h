@@ -32,6 +32,25 @@
 /// race where an update batch lands between computing a cold extension and
 /// installing it; the install is discarded and recomputed.
 ///
+/// MVCC snapshot chain (graph/mvcc.h): commits no longer overwrite a single
+/// published-snapshot slot — every commit appends an immutable `SnapshotCut`
+/// (frozen graph + per-slice version vector + min-derived watermark) to a
+/// retained `SnapshotChain`. Head queries read the chain head (the
+/// `snapshot_` shared_ptr *is* the head cut's graph; copying it under the
+/// shared lock is the implicit head pin); `AS OF ts` queries pin the newest
+/// retained prefix-consistent cut with watermark <= ts via `SnapshotRef`
+/// and evaluate it entirely *outside* the registry lock (historical cuts
+/// are immutable). A pinned old cut survives GC until its last pin drops;
+/// unpinned cuts age out of the retained window on publish. Streamed
+/// commits are slice-aware: N concurrent `StreamApplier`s (stream/
+/// applier_pool.h) commit disjoint slice sets independently — each slice's
+/// clock advances monotonically at its chain-head commit, and the global
+/// `applied_through_ts` derives from the *minimum* over slice clocks, so a
+/// lagging applier can never publish a watermark hole. Read-your-writes:
+/// `QueryOptions::min_applied_ts` blocks the query (bounded by
+/// `ryw_timeout_ms`) until the published watermark covers the caller's last
+/// submitted op.
+///
 /// Sharded execution (EngineOptions::sharding, shard/sharded_snapshot.h):
 /// with K > 1 shards the engine additionally keeps a `ShardedSnapshot` —
 /// per-shard CSR slices of the current frozen version — and a dedicated
@@ -49,16 +68,17 @@
 /// token makes any mid-rebuild query fall back to the (already current)
 /// global snapshot instead of mixing versions. Rebuild phases of racing
 /// batches are serialized on one rebuild mutex and coalesce through a
-/// pending-endpoint hand-off; publishing concurrent phases for disjoint
-/// shard sets would need per-slice version chains to keep the published
-/// assembly a consistent cut, and is left to the async-streaming roadmap
-/// item.
+/// pending-endpoint hand-off; each rebuilt slice is stamped with the
+/// parent version it was built against, so the published assembly is a
+/// per-slice version vector whose consistency the parity suite checks
+/// against the chain head.
 
 #ifndef GPMV_ENGINE_QUERY_ENGINE_H_
 #define GPMV_ENGINE_QUERY_ENGINE_H_
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -76,6 +96,7 @@
 #include "engine/result_cache.h"
 #include "engine/view_cache.h"
 #include "graph/graph.h"
+#include "graph/mvcc.h"
 #include "graph/snapshot.h"
 #include "graph/statistics.h"
 #include "obs/metrics.h"
@@ -141,6 +162,27 @@ struct EngineOptions {
   ResultCacheOptions result_cache;
   /// Observability: tracing, slow-query log, metrics kill switch.
   ObsOptions obs;
+  /// Snapshot-chain retention (graph/mvcc.h): how many historical cuts
+  /// stay pinnable for `AS OF` behind the head.
+  SnapshotChainOptions mvcc;
+};
+
+/// Per-query consistency knobs; default-constructed = "read the head".
+struct QueryOptions {
+  /// Read-your-writes: block until the published watermark covers this
+  /// stream timestamp (0 = no wait). A client that pushed an op with ts T
+  /// passes T here and is guaranteed to read a state containing it.
+  uint64_t min_applied_ts = 0;
+  /// Upper bound on the read-your-writes wait; exceeding it fails the
+  /// query with kDeadlineExceeded instead of blocking forever behind a
+  /// stalled applier.
+  double ryw_timeout_ms = 2000.0;
+  /// Time-travel: answer against the newest retained prefix-consistent cut
+  /// whose watermark is <= as_of_ts (0 = head). Historical queries plan
+  /// direct (views and the sharded fan-out reflect only the head), read
+  /// the pinned immutable cut outside the registry lock, and memoize under
+  /// the historical cut's version.
+  uint64_t as_of_ts = 0;
 };
 
 /// Outcome of one query.
@@ -152,6 +194,7 @@ struct QueryResponse {
   bool warm = false;    ///< view plan with every needed extension cached
   bool sharded = false;  ///< executed as a per-shard fan-out
   bool result_cached = false;  ///< answered from the full-result cache
+  bool as_of = false;  ///< answered against a pinned historical cut
   /// Version of the frozen snapshot the query read end-to-end. Monotone
   /// across queries (the concurrency stress suite asserts it): updates only
   /// ever advance the published snapshot.
@@ -215,6 +258,16 @@ struct EngineStats {
   size_t edges_deleted = 0;
   size_t slices_rebuilt = 0;  ///< shard slices re-frozen by update batches
   size_t slices_reused = 0;   ///< slices shared across an update unchanged
+  /// MVCC snapshot chain (graph/mvcc.h): retained depth / live pins are
+  /// instantaneous, the rest are lifetime counters.
+  size_t mvcc_chain_depth = 0;
+  size_t mvcc_pinned_cuts = 0;
+  size_t mvcc_gc_collected = 0;
+  size_t mvcc_asof_queries = 0;   ///< AS OF queries answered from a pinned cut
+  size_t mvcc_asof_misses = 0;    ///< AS OF targets outside the retained window
+  size_t mvcc_ryw_waits = 0;      ///< queries that blocked on min_applied_ts
+  size_t mvcc_ryw_timeouts = 0;   ///< read-your-writes waits that timed out
+  size_t stream_appliers = 0;     ///< configured stream slices (applier pool width)
 };
 
 /// See file comment.
@@ -238,7 +291,9 @@ class QueryEngine {
   /// number of threads concurrently, and concurrently with Submit,
   /// ApplyUpdates, RegisterView and WarmViews: the query holds the registry
   /// lock in shared mode and reads one frozen snapshot version end-to-end.
-  QueryResponse Query(const Pattern& q);
+  /// `qopts` adds per-query consistency: a read-your-writes floor
+  /// (min_applied_ts) and/or a historical cut (as_of_ts).
+  QueryResponse Query(const Pattern& q, const QueryOptions& qopts = {});
 
   /// Answers `q` on the worker pool; blocks only when the task queue is
   /// full (backpressure) and fails only once the pool is shut down. Safe
@@ -246,7 +301,8 @@ class QueryEngine {
   /// query observes the graph version current when its *execution* starts,
   /// not when it was submitted — updates applied while it sat queued are
   /// visible to it.
-  Result<std::future<QueryResponse>> Submit(Pattern q);
+  Result<std::future<QueryResponse>> Submit(Pattern q,
+                                            QueryOptions qopts = {});
 
   /// Applies an edge insert/delete batch to the graph, then routes every
   /// materialized extension through incremental maintenance in two phases:
@@ -278,9 +334,60 @@ class QueryEngine {
   /// snapshot is stamped as applied-through `through_ts` (monotone; see
   /// QueryResponse::applied_through_ts). The batch must already be
   /// coalesced to at most one op per edge (UpdateStream::Coalesce) for the
-  /// engine's batch set-semantics to coincide with stream order.
+  /// engine's batch set-semantics to coincide with stream order. Commits
+  /// as stream slice 0 — the single-applier form of ApplyStreamBatchSlice.
   Status ApplyStreamBatch(const std::vector<EdgeUpdate>& batch,
                           uint64_t through_ts);
+
+  /// Slice-aware streaming commit, called by each applier of an
+  /// ApplierPool: identical apply path, but the watermark bookkeeping is
+  /// per-slice — `slice`'s clock advances to `through_ts` (monotone; slice
+  /// commits serialize at the chain head), and the *global*
+  /// applied_through_ts derives from the minimum over all slice clocks, so
+  /// a lagging applier can never publish a hole: the watermark waits at
+  /// its oldest unapplied op.
+  Status ApplyStreamBatchSlice(const std::vector<EdgeUpdate>& batch,
+                               uint64_t through_ts, size_t slice);
+
+  /// Declares the stream slice topology (ApplierPool startup): resets the
+  /// slice clock to `num_slices` zeroed slices. Only valid while no
+  /// streamed ops are in flight; the published watermark itself never
+  /// regresses.
+  void ConfigureStreamSlices(size_t num_slices);
+
+  /// Heartbeat: record that slice `slice` can never again receive an op
+  /// with ts <= `ts` (its router proved the queue empty past that point),
+  /// without applying a batch. Advances the slice clock, possibly the
+  /// min-derived watermark, and republishes the chain head's watermark —
+  /// this is what keeps an *idle* slice from pinning the global watermark
+  /// at its last commit forever.
+  void AdvanceStreamSlice(size_t slice, uint64_t ts);
+
+  /// Per-slice applied-through clock snapshot (tests assert monotonicity
+  /// per component and min-derivation of the watermark).
+  VersionVector stream_slice_versions() const {
+    return slice_clock_.Current();
+  }
+
+  /// Blocks until applied_through_ts() >= ts (the read-your-writes wait).
+  /// kDeadlineExceeded after `timeout_ms`.
+  Status WaitForWatermark(uint64_t ts, double timeout_ms);
+
+  /// Pins the chain head (RAII; see graph/mvcc.h). Mostly for tests — head
+  /// queries pin implicitly by copying the snapshot shared_ptr.
+  SnapshotRef PinSnapshot() { return chain_.PinHead(); }
+
+  /// Pins the newest retained prefix-consistent cut with watermark <= ts —
+  /// the `AS OF` target. NotFound when the retained window no longer
+  /// covers ts.
+  Result<SnapshotRef> PinSnapshotAsOf(uint64_t ts) {
+    return chain_.PinAsOf(ts);
+  }
+
+  /// Retained chain depth / live pin count / lifetime GC total.
+  size_t mvcc_chain_depth() const { return chain_.depth(); }
+  size_t mvcc_pinned_cuts() const { return chain_.pinned_cuts(); }
+  uint64_t mvcc_gc_collected() const { return chain_.gc_collected(); }
 
   /// Folds one applier-built StreamStats delta into the stream.* metrics
   /// while holding the registry's snapshot gate shared — one merge per
@@ -336,12 +443,27 @@ class QueryEngine {
   /// `queue_wait_ms >= 0` is the Submit-to-execution delay of a pooled
   /// query (recorded as query.queue_wait_us + a queue.wait span); direct
   /// Query() calls pass -1 (no queue involved).
-  QueryResponse Execute(const Pattern& q, double queue_wait_ms = -1.0);
+  QueryResponse Execute(const Pattern& q, const QueryOptions& qopts = {},
+                        double queue_wait_ms = -1.0);
 
-  /// Shared body of ApplyUpdates / ApplyStreamBatch; `through_ts != 0`
-  /// advances the applied-through watermark with the published snapshot.
+  /// Time-travel execution: pins the AS OF cut, plans in historical mode
+  /// (direct only — views/shards reflect the head), evaluates the pinned
+  /// immutable snapshot *outside* the registry lock, and memoizes under
+  /// the cut's version with an AS OF-segregated cache key (so historical
+  /// probes never stale-drop the head's memo entry).
+  QueryResponse ExecuteAsOf(const Pattern& q, const QueryOptions& qopts,
+                            double queue_wait_ms);
+
+  /// Shared body of ApplyUpdates / ApplyStreamBatch(Slice); `through_ts !=
+  /// 0` advances `slice`'s clock and re-derives the min watermark with the
+  /// published snapshot; every commit appends a SnapshotCut to the chain.
   Status ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
-                              uint64_t through_ts);
+                              uint64_t through_ts, size_t slice = 0);
+
+  /// Appends the current (snapshot_, slice clock) state as a SnapshotCut;
+  /// caller holds the registry lock at least shared. Returns the new
+  /// watermark. Notifies read-your-writes waiters when it advanced.
+  uint64_t PublishCut();
 
   /// Pins every view in `needed`, materializing cold ones (may drop and
   /// reacquire `lk` around installs). Pinned ids accumulate in `pinned`
@@ -449,7 +571,14 @@ class QueryEngine {
     obs::Gauge* stream_publish_lag_max;    // SetMax (ms)
     obs::Gauge* stream_publish_lag_total;  // Add (ms)
     obs::Gauge* stream_applied_through;    // SetMax (stream ts)
+    obs::Gauge* stream_appliers;           // Set (configured slice count)
     obs::Histogram* stream_batch_size;
+    // MVCC chain (graph/mvcc.h); chain depth / pins / GC total surface as
+    // collector gauges read straight off the chain.
+    obs::Counter* mvcc_asof_queries;
+    obs::Counter* mvcc_asof_misses;
+    obs::Counter* mvcc_ryw_waits;
+    obs::Counter* mvcc_ryw_timeouts;
     // latency histograms (microseconds)
     obs::Histogram* query_latency_us;
     obs::Histogram* query_plan_us;
@@ -476,12 +605,23 @@ class QueryEngine {
   mutable GraphStatistics gstats_;
   mutable std::atomic<bool> stats_dirty_{false};
   uint64_t graph_version_ = 0;
-  /// Streamed-op watermark of the published snapshot. Written inside the
-  /// exclusive registry section (right after the snapshot publishes, so a
-  /// shared-lock reader always sees a (snapshot, watermark) pair at least
-  /// as fresh as any earlier batch); atomic so FlushAndWait-style pollers
-  /// can read it without the registry lock.
+  /// Streamed-op watermark of the published snapshot: the *minimum* over
+  /// the per-slice clocks (slice_clock_), re-derived at every slice commit
+  /// and heartbeat — a lagging applier holds it back instead of letting a
+  /// faster slice publish a hole. Monotone; atomic so FlushAndWait-style
+  /// pollers can read it without the registry lock. Advancing it notifies
+  /// watermark_cv_ (read-your-writes waiters).
   std::atomic<uint64_t> applied_through_ts_{0};
+  /// Per-slice applied-through clocks; see graph/mvcc.h. One slice until
+  /// an ApplierPool calls ConfigureStreamSlices.
+  SliceClock slice_clock_;
+  /// Retained chain of committed cuts; every ApplyUpdatesInternal commit
+  /// appends, heartbeats republish the head watermark, AS OF queries pin.
+  SnapshotChain chain_;
+  /// Read-your-writes wait channel: waiters block here until the watermark
+  /// atomic covers their floor.
+  std::mutex watermark_mu_;
+  std::condition_variable watermark_cv_;
   /// The frozen CSR snapshot of `graph_` at `graph_version_`, shared by
   /// every in-flight query (reads happen under the shared lock; the update
   /// path re-freezes — incrementally, thanks to the graph's dirty-row

@@ -41,6 +41,7 @@ std::shared_ptr<const ShardSlice> ShardSlice::Build(
   auto slice = std::make_shared<ShardSlice>();
   const uint32_t k = std::max<uint32_t>(1, opts.num_shards);
   slice->shard_ = shard;
+  slice->built_version_ = parent.version();
   slice->num_shards_ = k;
   slice->partition_ = opts.partition;
 
@@ -147,6 +148,14 @@ std::shared_ptr<const ShardedSnapshot> ShardedSnapshot::Rebuild(
   }
   ParallelInvoke(pool, std::move(tasks));
   return out;
+}
+
+VersionVector ShardedSnapshot::slice_versions() const {
+  VersionVector vv(slices_.size());
+  for (size_t s = 0; s < slices_.size(); ++s) {
+    vv.set_slice(s, slices_[s]->built_version());
+  }
+  return vv;
 }
 
 uint32_t ShardedSnapshot::owner(NodeId v) const {

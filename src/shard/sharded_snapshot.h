@@ -27,7 +27,14 @@
 /// the shards owning a touched endpoint (every copy of an edge (u, v)
 /// lives in the slices of owner(u) and owner(v)) and shares the remaining
 /// slices with the previous `ShardedSnapshot` — the sharded analogue of
-/// `GraphSnapshot::Rebuild`'s dirty-row re-freeze.
+/// `GraphSnapshot::Rebuild`'s dirty-row re-freeze. Each slice additionally
+/// carries the parent version it was (re)built against (`slice_version`),
+/// so the assembly is itself a version vector: reused slices keep their
+/// older build stamp while the consistency token (`version()`) still names
+/// the one frozen parent every slice describes — a reused slice's rows are
+/// bit-identical under both versions, which is exactly what makes the
+/// sharing sound, and what the parity suite checks against the MVCC chain
+/// head (graph/mvcc.h).
 ///
 /// Partitioning: `kRange` cuts node ids into K contiguous intervals
 /// balanced by degree sum (good locality, contiguous candidate-rank
@@ -42,6 +49,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/mvcc.h"  // VersionVector
 #include "graph/snapshot.h"
 #include "simulation/match_result.h"  // NodePair
 
@@ -75,6 +83,12 @@ class ShardSlice {
       const std::vector<NodeId>& range_bounds, uint32_t shard);
 
   uint32_t shard() const { return shard_; }
+
+  /// Parent snapshot version this slice was (re)built against. A slice
+  /// reused across `ShardedSnapshot::Rebuild` keeps its original stamp —
+  /// valid because reuse implies its owned rows are unchanged between the
+  /// two versions.
+  uint64_t built_version() const { return built_version_; }
 
   /// Owned nodes, exposed as local indices 0..num_owned()-1 in ascending
   /// global node id order.
@@ -129,6 +143,7 @@ class ShardSlice {
 
  private:
   uint32_t shard_ = 0;
+  uint64_t built_version_ = 0;
   uint32_t num_shards_ = 1;
   ShardingOptions::Partition partition_ = ShardingOptions::Partition::kRange;
   NodeId node_begin_ = 0;  ///< kRange only
@@ -173,6 +188,14 @@ class ShardedSnapshot {
     return static_cast<uint32_t>(slices_.size());
   }
   const ShardSlice& slice(uint32_t s) const { return *slices_[s]; }
+  /// Build stamp of slice `s` (<= version(); strictly older for slices
+  /// Rebuild shared from a previous assembly).
+  uint64_t slice_version(uint32_t s) const {
+    return slices_[s]->built_version();
+  }
+  /// All build stamps as a per-slice version vector; the parity suite
+  /// checks max(slice_versions) == version() against the MVCC chain head.
+  VersionVector slice_versions() const;
   const std::shared_ptr<const ShardSlice>& slice_ptr(uint32_t s) const {
     return slices_[s];
   }

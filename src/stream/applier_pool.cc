@@ -1,0 +1,123 @@
+#include "stream/applier_pool.h"
+
+#include <utility>
+
+namespace gpmv {
+
+namespace {
+
+/// 64-bit finalizer (splitmix64): decorrelates the packed (u, v) key from
+/// node-id locality so slices load-balance on real graphs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t ApplierPool::SliceOf(NodeId u, NodeId v, size_t k) {
+  if (k <= 1) return 0;
+  const uint64_t key =
+      (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+  return static_cast<size_t>(Mix64(key) % k);
+}
+
+ApplierPool::ApplierPool(QueryEngine* engine, ApplierPoolOptions opts)
+    : engine_(engine), opts_(opts) {
+  if (opts_.num_appliers == 0) opts_.num_appliers = 1;
+  const size_t k = opts_.num_appliers;
+  engine_->ConfigureStreamSlices(k);
+  last_routed_.assign(k, 0);
+  routed_count_.assign(k, 0);
+  streams_.reserve(k);
+  appliers_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    streams_.push_back(std::make_unique<UpdateStream>(opts_.stream));
+  }
+  for (size_t i = 0; i < k; ++i) {
+    StreamApplierOptions ao = opts_.applier;
+    ao.slice = i;
+    ao.use_slice_commit = true;
+    ao.on_batch_handled = [this] { RefreshWatermark(); };
+    appliers_.push_back(
+        std::make_unique<StreamApplier>(engine_, streams_[i].get(), ao));
+  }
+}
+
+ApplierPool::~ApplierPool() { (void)Stop(); }
+
+uint64_t ApplierPool::Push(EdgeUpdate op) {
+  const size_t k = streams_.size();
+  const size_t slice = SliceOf(op.u, op.v, k);
+  // Ticket assignment and enqueue are atomic under the pool mutex: each
+  // slice stream must see a strictly increasing ts subsequence, so two
+  // producers racing ops onto one slice cannot enqueue out of ticket
+  // order. The slice queue's backpressure therefore blocks *all*
+  // producers (the pool-wide cost of global ticket density).
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopped_) return 0;
+  const uint64_t ts = streams_[slice]->PushWithTs(op, next_ts_);
+  if (ts == 0) return 0;  // closed underneath (Stop raced)
+  next_ts_ = ts + 1;
+  last_routed_[slice] = ts;
+  ++routed_count_[slice];
+  return ts;
+}
+
+void ApplierPool::RefreshWatermark() {
+  // Under the pool mutex no routing is concurrent, so "applier i consumed
+  // through everything ever routed to slice i" proves slice i quiet
+  // through the global last-assigned ts: no op <= that ts can still be
+  // headed its way. Quiet slices heartbeat forward; a slice with a
+  // pending op keeps its clock (and the min-derived watermark) put.
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t global = next_ts_ - 1;
+  if (global == 0) return;
+  for (size_t i = 0; i < appliers_.size(); ++i) {
+    if (last_routed_[i] == global) continue;  // its own commit advances it
+    if (appliers_[i]->consumed_through_ts() >= last_routed_[i]) {
+      engine_->AdvanceStreamSlice(i, global);
+    }
+  }
+}
+
+Status ApplierPool::FlushAndWait() {
+  Status out;
+  for (auto& a : appliers_) {
+    Status st = a->FlushAndWait();
+    if (out.ok() && !st.ok()) out = st;
+  }
+  // All per-slice queues drained: every slice is quiet through the global
+  // ts, so the published watermark catches up to it here.
+  RefreshWatermark();
+  return out;
+}
+
+Status ApplierPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return Status::OK();
+    stopped_ = true;
+  }
+  Status out;
+  for (auto& s : streams_) s->Close();
+  for (auto& a : appliers_) {
+    Status st = a->Stop();
+    if (out.ok() && !st.ok()) out = st;
+  }
+  return out;
+}
+
+uint64_t ApplierPool::last_assigned_ts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_ts_ - 1;
+}
+
+uint64_t ApplierPool::ops_routed(size_t i) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return routed_count_[i];
+}
+
+}  // namespace gpmv

@@ -1,0 +1,124 @@
+/// \file applier_pool.h
+/// \brief N concurrent stream appliers over disjoint slice sets: the
+/// multi-applier front half of the MVCC snapshot chain (graph/mvcc.h,
+/// QueryEngine::ApplyStreamBatchSlice).
+///
+/// Topology: one pool owns K = `num_appliers` (UpdateStream, StreamApplier)
+/// pairs — slice i's applier drains slice i's stream and commits through
+/// the engine's slice-aware path. Ops route by edge:
+/// `SliceOf(u, v) = hash(u, v) % K`, so *every op on one edge lands in one
+/// slice* — per-edge last-op-wins coalescing and per-slice FIFO order then
+/// reproduce sequential semantics exactly, while ops on different edges
+/// commute across slices (the stream's ordering contract already only
+/// promises per-edge order). Appliers drain, coalesce and validate
+/// concurrently; their commits serialize only at the engine's chain head.
+///
+/// Timestamps: one *global* dense ticket source spans all K streams —
+/// Push assigns ts and enqueues under the pool mutex, so each slice stream
+/// sees a strictly increasing subsequence and the union is gap-free. That
+/// global density is what makes the min-over-slices watermark meaningful:
+/// once the ticket source passed T, no op with ts <= T can appear anywhere.
+///
+/// Watermark liveness (the stalled/idle-slice problem): the engine derives
+/// applied_through_ts as the minimum over slice clocks, so a slice that
+/// simply never receives ops would pin the watermark forever. After every
+/// handled batch the pool refreshes: any slice whose applier has consumed
+/// everything ever routed to it is *provably quiet* through the global
+/// last-assigned ts (routing holds the pool mutex, so no older op can
+/// still be headed its way) and its clock heartbeats forward
+/// (QueryEngine::AdvanceStreamSlice). A slice with a pending op keeps its
+/// clock — and therefore the global watermark — exactly at its last
+/// applied ts: a lagging applier can never publish a hole.
+///
+/// Quiesce/teardown mirror the single-applier contract: FlushAndWait
+/// flushes every applier then refreshes the watermark to the global ts;
+/// Stop closes all streams, joins all threads, returns the first sticky
+/// failure.
+
+#ifndef GPMV_STREAM_APPLIER_POOL_H_
+#define GPMV_STREAM_APPLIER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query_engine.h"
+#include "stream/stream_applier.h"
+#include "stream/update_stream.h"
+
+namespace gpmv {
+
+struct ApplierPoolOptions {
+  /// Concurrent appliers / stream slices (clamped to >= 1).
+  size_t num_appliers = 2;
+  /// Per-applier micro-batching knobs (slice / use_slice_commit /
+  /// on_batch_handled are overwritten by the pool).
+  StreamApplierOptions applier;
+  /// Per-slice queue sizing.
+  UpdateStreamOptions stream;
+};
+
+/// See file comment.
+class ApplierPool {
+ public:
+  /// Configures the engine's slice topology and starts all K applier
+  /// threads. `engine` must outlive this object (or its Stop()).
+  ApplierPool(QueryEngine* engine, ApplierPoolOptions opts = {});
+  ~ApplierPool();
+
+  ApplierPool(const ApplierPool&) = delete;
+  ApplierPool& operator=(const ApplierPool&) = delete;
+
+  /// Routes `op` to its edge's slice with the next global timestamp.
+  /// Blocks while that slice's queue is at capacity (backpressure holds
+  /// the pool mutex, serializing producers — per-slice FIFO of the global
+  /// ticket order is the point). Returns the assigned ts, 0 once stopped.
+  uint64_t Push(EdgeUpdate op);
+
+  /// Blocks until every op pushed before the call is applied-and-published
+  /// or discarded by a sticky failure, then heartbeats every quiet slice
+  /// so the published watermark reaches the global last-assigned ts.
+  /// Returns the first applier's sticky failure (OK while all healthy).
+  Status FlushAndWait();
+
+  /// Closes every stream, drains remainders, joins all applier threads.
+  /// Idempotent; returns the first sticky failure.
+  Status Stop();
+
+  size_t num_appliers() const { return appliers_.size(); }
+  /// Last globally assigned stream timestamp (0 before the first op).
+  uint64_t last_assigned_ts() const;
+  /// Total ops routed to slice `i` so far.
+  uint64_t ops_routed(size_t i) const;
+
+  /// The routing function, exposed for tests and oracles: every op on edge
+  /// (u, v) maps to the same slice, so per-slice FIFO preserves per-edge
+  /// order.
+  static size_t SliceOf(NodeId u, NodeId v, size_t k);
+
+ private:
+  /// Heartbeat pass (see file comment): advances the clock of every slice
+  /// that has consumed everything ever routed to it.
+  void RefreshWatermark();
+
+  QueryEngine* engine_;
+  ApplierPoolOptions opts_;
+
+  mutable std::mutex mu_;  ///< routing: ticket source + per-slice tails
+  uint64_t next_ts_ = 1;
+  std::vector<uint64_t> last_routed_;  ///< last ts routed to each slice
+  std::vector<uint64_t> routed_count_;
+  bool stopped_ = false;
+
+  /// Slice i's queue and its applier; appliers after streams so applier
+  /// threads (which touch the streams) are joined first on destruction.
+  std::vector<std::unique_ptr<UpdateStream>> streams_;
+  std::vector<std::unique_ptr<StreamApplier>> appliers_;
+};
+
+}  // namespace gpmv
+
+#endif  // GPMV_STREAM_APPLIER_POOL_H_

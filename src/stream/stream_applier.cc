@@ -40,7 +40,10 @@ void StreamApplier::ApplierLoop() {
     double apply_ms = 0.0;
     if (healthy) {
       Stopwatch sw;
-      st = engine_->ApplyStreamBatch(d.batch, d.through_ts);
+      st = opts_.use_slice_commit
+               ? engine_->ApplyStreamBatchSlice(d.batch, d.through_ts,
+                                                opts_.slice)
+               : engine_->ApplyStreamBatch(d.batch, d.through_ts);
       apply_ms = sw.ElapsedMillis();
     }
     if (healthy && st.ok()) {
@@ -65,6 +68,7 @@ void StreamApplier::ApplierLoop() {
       consumed_ts_ = std::max(consumed_ts_, d.through_ts);
     }
     consumed_cv_.notify_all();
+    if (opts_.on_batch_handled) opts_.on_batch_handled();
 
     if (healthy && st.ok() && opts_.max_lag_ms > 0.0) {
       // AIMD-flavored cap steering: a slow apply halves the next drain so

@@ -38,6 +38,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -55,6 +56,16 @@ struct StreamApplierOptions {
   /// cap, a faster one doubles it back (never above max_batch, never below
   /// 1). 0 disables adaptation (the cap stays at max_batch).
   double max_lag_ms = 20.0;
+  /// Stream slice this applier commits (ApplierPool mode): batches go
+  /// through QueryEngine::ApplyStreamBatchSlice(batch, ts, slice), so the
+  /// engine's watermark derives from the min over all slices rather than
+  /// this applier's own through_ts. Requires ConfigureStreamSlices.
+  size_t slice = 0;
+  bool use_slice_commit = false;
+  /// Invoked after every handled micro-batch (applied or discarded), from
+  /// the applier thread, outside any applier lock — the ApplierPool hooks
+  /// its watermark refresh (idle-slice heartbeats) here.
+  std::function<void()> on_batch_handled;
 };
 
 /// See file comment.

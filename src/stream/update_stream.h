@@ -82,6 +82,14 @@ class UpdateStream {
   /// was closed.
   uint64_t Push(EdgeUpdate op);
 
+  /// Enqueues `op` with an *externally assigned* timestamp — the
+  /// ApplierPool's routing path, where one global ticket source spans K
+  /// per-slice streams and each stream sees a strictly increasing
+  /// subsequence of it. `ts` must exceed every timestamp this stream has
+  /// seen (InvalidArgument-by-0 otherwise); blocks at capacity like Push,
+  /// returns `ts` on success and 0 when closed or out of order.
+  uint64_t PushWithTs(EdgeUpdate op, uint64_t ts);
+
   /// Non-blocking Push: fails (returns 0) when the queue is full or the
   /// stream is closed; `*full` distinguishes the two when non-null.
   uint64_t TryPush(EdgeUpdate op, bool* full = nullptr);

@@ -22,6 +22,7 @@
 #include "engine/query_engine.h"
 #include "pattern/pattern_builder.h"
 #include "simulation/bounded.h"
+#include "stream/applier_pool.h"
 #include "stream/stream_applier.h"
 #include "stream/update_stream.h"
 #include "test_util.h"
@@ -356,6 +357,135 @@ TEST(EngineConcurrencyTest, StreamingIngestionRacesQueries) {
     EXPECT_EQ(s.stream.ops_dropped, 0u);
     EXPECT_EQ(s.stream.applied_through_ts, kProducers * kOpsPerProducer);
     EXPECT_EQ(engine.applied_through_ts(), kProducers * kOpsPerProducer);
+    CheckAccounting(s.cache);
+    EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
+  }
+}
+
+TEST(EngineConcurrencyTest, MultiApplierStreamingRacesQueries) {
+  // The StreamingIngestionRacesQueries structure ported to the applier
+  // pool: producers push through ApplierPool (3 appliers / stream slices),
+  // so commits from different slices race at the MVCC chain head while
+  // queries pin cuts. On top of the per-thread monotonicity checks, every
+  // reader asserts the never-torn-cut invariant: a published watermark W
+  // is a promise that *every* slice clock has passed W, so a slice version
+  // below an earlier-read watermark would mean a torn (hole-y) cut was
+  // published. The third slice typically receives no ops (both UPD edges
+  // may hash elsewhere), which is the point — the pool's heartbeats must
+  // still carry the watermark to the global total at quiesce.
+  StressFixture f = MakeStressFixture();
+  const NodeId n = static_cast<NodeId>(f.graph.num_nodes());
+
+  for (uint64_t seed : testutil::StressSeeds({7, 8})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EngineOptions opts;
+    opts.pool.num_threads = 4;
+    QueryEngine engine(f.graph, opts);
+    RegisterCoveringViews(&engine, f);
+
+    constexpr size_t kAppliers = 3;
+    ApplierPoolOptions po;
+    po.num_appliers = kAppliers;
+    po.applier.max_batch = 16;
+    ApplierPool pool(&engine, po);
+
+    constexpr size_t kProducers = 2;
+    constexpr size_t kOpsPerProducer = 61;  // odd toggle count: ends inserted
+    constexpr size_t kQueryThreads = 2;
+    testutil::PhaseBarrier barrier(kProducers + kQueryThreads + 2);
+    std::atomic<bool> producers_done{false};
+    std::vector<std::thread> threads;
+
+    for (size_t p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        // Each producer owns one UPD edge; the pool routes each edge to
+        // one fixed slice, so per-edge order survives the pool too.
+        const NodeId u = static_cast<NodeId>(n - 4 + 2 * p);
+        const NodeId v = static_cast<NodeId>(n - 4 + 2 * p + 1);
+        barrier.Arrive();
+        for (size_t i = 0; i < kOpsPerProducer; ++i) {
+          EXPECT_NE(pool.Push(i % 2 == 0 ? EdgeUpdate::Insert(u, v)
+                                         : EdgeUpdate::Delete(u, v)),
+                    0u);
+        }
+      });
+    }
+    for (size_t q = 0; q < kQueryThreads; ++q) {
+      threads.emplace_back([&, q] {
+        Rng rng(seed * 100 + q);
+        uint64_t last_version = 0;
+        uint64_t last_watermark = 0;
+        VersionVector last_slices(kAppliers);
+        barrier.Arrive();
+        while (!producers_done.load(std::memory_order_acquire)) {
+          const size_t pid = rng.NextBounded(f.patterns.size());
+          QueryResponse resp = engine.Query(f.patterns[pid]);
+          EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+          if (!resp.status.ok()) break;
+          resp.result.Normalize();
+          EXPECT_TRUE(resp.result == f.expected[pid])
+              << "query diverged while racing the applier pool";
+          EXPECT_GE(resp.snapshot_version, last_version);
+          EXPECT_GE(resp.applied_through_ts, last_watermark);
+          last_version = resp.snapshot_version;
+          last_watermark = resp.applied_through_ts;
+
+          // Never-torn cut: read the watermark FIRST, the slice clocks
+          // second. Clocks only advance, so every slice must already be at
+          // or past the earlier-read watermark — and each slice must be
+          // monotone across this reader's observations.
+          const uint64_t w = engine.applied_through_ts();
+          const VersionVector vv = engine.stream_slice_versions();
+          ASSERT_EQ(vv.num_slices(), kAppliers);
+          for (size_t s = 0; s < kAppliers; ++s) {
+            EXPECT_GE(vv.slice(s), w)
+                << "slice " << s << " behind published watermark " << w
+                << " — torn cut " << vv.ToString();
+            EXPECT_GE(vv.slice(s), last_slices.slice(s));
+          }
+          last_slices = vv;
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      barrier.Arrive();
+      while (!producers_done.load(std::memory_order_acquire)) {
+        EngineStats s = engine.stats();
+        EXPECT_EQ(s.stream_appliers, kAppliers);
+        EXPECT_EQ(s.stream.ops_ingested, s.stream.ops_applied +
+                                             s.stream.ops_coalesced +
+                                             s.stream.ops_dropped);
+        size_t hist = 0;
+        for (size_t b = 0; b < kStreamBatchBuckets; ++b) {
+          hist += s.stream.batch_size_hist[b];
+        }
+        EXPECT_EQ(hist, s.stream.batches_applied);
+        EXPECT_LE(s.stream.applied_through_ts,
+                  kProducers * kOpsPerProducer);
+        std::this_thread::yield();
+      }
+    });
+
+    barrier.Arrive();
+    for (size_t p = 0; p < kProducers; ++p) threads[p].join();
+    ASSERT_TRUE(pool.FlushAndWait().ok());
+    producers_done.store(true, std::memory_order_release);
+    for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+    ASSERT_TRUE(pool.Stop().ok());
+    // Both producer edges end inserted; the watermark reaches the global
+    // total even though at least one of the three slices carried few or no
+    // ops (heartbeats, not luck).
+    EXPECT_EQ(engine.num_graph_edges(), f.graph.num_edges() + 2);
+    EngineStats s = engine.stats();
+    EXPECT_EQ(s.stream.ops_ingested, kProducers * kOpsPerProducer);
+    EXPECT_EQ(s.stream.ops_dropped, 0u);
+    EXPECT_EQ(engine.applied_through_ts(), kProducers * kOpsPerProducer);
+    uint64_t routed = 0;
+    for (size_t i = 0; i < pool.num_appliers(); ++i) {
+      routed += pool.ops_routed(i);
+    }
+    EXPECT_EQ(routed, kProducers * kOpsPerProducer);
     CheckAccounting(s.cache);
     EXPECT_TRUE(engine.CheckCacheConsistency(/*expect_unpinned=*/true));
   }

@@ -193,6 +193,39 @@ TEST(ShardedSnapshotTest, RebuildSharesUntouchedSlicesAndMatchesFullBuild) {
   EXPECT_NE(rebuilt->slice_ptr(2), before->slice_ptr(2));
 }
 
+TEST(ShardedSnapshotTest, SliceVersionStampsFormAVersionVector) {
+  Graph g = MakeGraph(23);
+  ShardingOptions opts;
+  opts.num_shards = 4;
+  auto before = ShardedSnapshot::Build(g.Freeze(), opts);
+  const uint64_t v0 = before->version();
+  // A full build stamps every slice with the parent version.
+  for (uint32_t s = 0; s < before->num_shards(); ++s) {
+    EXPECT_EQ(before->slice_version(s), v0);
+  }
+  EXPECT_EQ(before->slice_versions().MinSlice(), v0);
+  EXPECT_EQ(before->slice_versions().MaxSlice(), v0);
+
+  const NodeId u = before->slice(1).owned_node(0);
+  const NodeId v = before->slice(2).owned_node(0);
+  ASSERT_TRUE(g.AddEdgeIfAbsent(u, v) || g.RemoveEdge(u, v).ok());
+  auto parent = g.Freeze();
+  auto rebuilt = ShardedSnapshot::Rebuild(
+      parent, *before, before->AffectedShards({NodePair{u, v}}));
+
+  // Reused slices keep their older stamp, rebuilt ones carry the new
+  // parent version: the assembly is a version vector whose max is the
+  // assembly version (the shape queries and the MVCC layer rely on).
+  const VersionVector vv = rebuilt->slice_versions();
+  EXPECT_EQ(vv.num_slices(), rebuilt->num_shards());
+  EXPECT_EQ(vv.slice(0), v0);
+  EXPECT_EQ(vv.slice(3), v0);
+  EXPECT_EQ(vv.slice(1), parent->version());
+  EXPECT_EQ(vv.slice(2), parent->version());
+  EXPECT_EQ(vv.MaxSlice(), rebuilt->version());
+  EXPECT_TRUE(before->slice_versions().CoveredBy(vv));
+}
+
 TEST(ShardedSnapshotTest, RangeBoundsAreStableAcrossRebuilds) {
   Graph g = MakeGraph(29);
   ShardingOptions opts;

@@ -14,6 +14,7 @@
 ///                  [--advise K] [--updates <file>] [--no-delta]
 ///                  [--shards K] [--hash-shards]
 ///                  [--stream <file>] [--stream-rate N] [--max-lag-ms M]
+///                  [--appliers N] [--as-of T]
 ///                  [--metrics-out <file>] [--metrics-interval-ms N]
 ///                  [--prom-out <file>] [--trace] [--no-metrics]
 ///                  [--slow-query-ms M] [--slow-query-log <file>]
@@ -41,7 +42,19 @@
 /// slower than M halves the next micro-batch). The run quiesces with
 /// FlushAndWait before the final report and prints the stream counters
 /// (ingested/coalesced ops, micro-batches, queue depth, publish lag,
-/// applied-through watermark).
+/// applied-through watermark). `--appliers N` (with `--stream`) ingests
+/// through an ApplierPool instead: N concurrent appliers over N disjoint
+/// edge-hash slices (stream/applier_pool.h), commits serializing only at
+/// the MVCC chain head; the quiesce line then reports per-slice routing.
+///
+/// Time travel: `--as-of T` runs every query `AS OF` stream timestamp T —
+/// each pins the newest retained prefix-consistent cut with watermark <= T
+/// from the engine's MVCC snapshot chain (graph/mvcc.h) and evaluates
+/// directly on that frozen graph (views/shards reflect only the head, so
+/// historical plans never fan out). A query can override per-query with an
+/// `@asof<ts>` name suffix in the query file (`view q3@asof17`); suffixed
+/// names win over the global flag. AS OF misses (T predates the retained
+/// window) report as FAIL/NotFound per query, not a serve error.
 ///
 /// Observability (src/obs/): `--metrics-out <file>` starts a background
 /// exporter emitting one JSON-lines registry snapshot every
@@ -75,6 +88,7 @@
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
 #include "obs/exporter.h"
+#include "stream/applier_pool.h"
 #include "stream/stream_applier.h"
 #include "stream/update_stream.h"
 #include "core/containment.h"
@@ -112,6 +126,7 @@ int Usage() {
       "                 [--shards K] [--hash-shards]\n"
       "                 [--stream <file>] [--stream-rate N] "
       "[--max-lag-ms M]\n"
+      "                 [--appliers N] [--as-of T]\n"
       "                 [--metrics-out <file>] [--metrics-interval-ms N]\n"
       "                 [--prom-out <file>] [--trace] [--no-metrics]\n"
       "                 [--slow-query-ms M] [--slow-query-log <file>]\n");
@@ -160,7 +175,8 @@ bool ValidateServeFlags(const std::vector<std::string>& args) {
       "--views",       "--threads",     "--cache-mb",
       "--result-cache-mb", "--advise",  "--updates",
       "--shards",      "--stream",      "--stream-rate",
-      "--max-lag-ms",  "--metrics-out", "--metrics-interval-ms",
+      "--max-lag-ms",  "--appliers",    "--as-of",
+      "--metrics-out", "--metrics-interval-ms",
       "--prom-out",    "--slow-query-ms", "--slow-query-log"};
   for (size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -489,6 +505,20 @@ Result<std::vector<EdgeUpdate>> ReadUpdatesFile(const std::string& path) {
   return updates;
 }
 
+/// Optional `@asof<ts>` suffix of a query name ("q3@asof17" -> 17); 0 when
+/// absent or malformed (names with literal '@asof' but no digits fall back
+/// to the global --as-of).
+uint64_t ParseAsOfSuffix(const std::string& name) {
+  const size_t pos = name.rfind("@asof");
+  if (pos == std::string::npos) return 0;
+  const std::string digits = name.substr(pos + 5);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
 int CmdServe(const std::vector<std::string>& args) {
   if (args.size() < 2 || !ValidateServeFlags(args)) return Usage();
   Graph g;
@@ -586,10 +616,16 @@ int CmdServe(const std::vector<std::string>& args) {
 
   std::vector<EdgeUpdate> stream_ops;
   const std::string stream_path = FlagValue(args, "--stream");
-  size_t stream_rate = 0, max_lag_ms = 0;
+  size_t stream_rate = 0, max_lag_ms = 0, appliers = 0, as_of = 0;
   if (!NumericFlag(args, "--stream-rate", 0, &stream_rate) ||
-      !NumericFlag(args, "--max-lag-ms", 20, &max_lag_ms)) {
+      !NumericFlag(args, "--max-lag-ms", 20, &max_lag_ms) ||
+      !NumericFlag(args, "--appliers", 1, &appliers) ||
+      !NumericFlag(args, "--as-of", 0, &as_of)) {
     return Usage();
+  }
+  if (appliers > 1 && stream_path.empty()) {
+    std::fprintf(stderr, "error: --appliers requires --stream\n");
+    return 1;
   }
   if (!stream_path.empty()) {
     if (!updates_path.empty()) {
@@ -621,13 +657,23 @@ int CmdServe(const std::vector<std::string>& args) {
   // below submits; the applier drains micro-batches in the background.
   std::unique_ptr<UpdateStream> stream;
   std::unique_ptr<StreamApplier> applier;
+  std::unique_ptr<ApplierPool> pool;
   std::thread producer;
   if (!stream_ops.empty()) {
-    stream = std::make_unique<UpdateStream>();
     StreamApplierOptions ao;
     ao.max_lag_ms = static_cast<double>(max_lag_ms);
-    applier = std::make_unique<StreamApplier>(&engine, stream.get(), ao);
-    producer = std::thread([&stream, &stream_ops, stream_rate] {
+    if (appliers > 1) {
+      // Multi-applier ingestion: N appliers over N edge-hash slices, all
+      // fed through the pool's global ticket source.
+      ApplierPoolOptions po;
+      po.num_appliers = appliers;
+      po.applier = ao;
+      pool = std::make_unique<ApplierPool>(&engine, po);
+    } else {
+      stream = std::make_unique<UpdateStream>();
+      applier = std::make_unique<StreamApplier>(&engine, stream.get(), ao);
+    }
+    producer = std::thread([&stream, &pool, &stream_ops, stream_rate] {
       using clock = std::chrono::steady_clock;
       const clock::time_point start = clock::now();
       for (size_t i = 0; i < stream_ops.size(); ++i) {
@@ -638,7 +684,9 @@ int CmdServe(const std::vector<std::string>& args) {
               start + std::chrono::microseconds(1000000 * i / stream_rate);
           std::this_thread::sleep_until(due);
         }
-        if (stream->Push(stream_ops[i]) == 0) return;  // stream closed
+        const uint64_t ts = pool ? pool->Push(stream_ops[i])
+                                 : stream->Push(stream_ops[i]);
+        if (ts == 0) return;  // stream closed / pool stopped
       }
     });
   }
@@ -647,7 +695,12 @@ int CmdServe(const std::vector<std::string>& args) {
   // producer — destroying a joinable std::thread terminates the process.
   auto abandon_stream = [&] {
     if (producer.joinable()) {
-      stream->Close();  // wakes a Push blocked on backpressure
+      // Wakes a Push blocked on backpressure.
+      if (pool) {
+        (void)pool->Stop();
+      } else {
+        stream->Close();
+      }
       producer.join();
     }
   };
@@ -677,8 +730,11 @@ int CmdServe(const std::vector<std::string>& args) {
         return 1;
       }
     }
+    QueryOptions qopts;
+    qopts.as_of_ts = ParseAsOfSuffix(queries.view(i).name);
+    if (qopts.as_of_ts == 0) qopts.as_of_ts = as_of;
     Result<std::future<QueryResponse>> fut =
-        engine.Submit(queries.view(i).pattern);
+        engine.Submit(queries.view(i).pattern, qopts);
     if (!fut.ok()) {
       std::fprintf(stderr, "submit: %s\n", fut.status().ToString().c_str());
       abandon_stream();
@@ -692,11 +748,19 @@ int CmdServe(const std::vector<std::string>& args) {
     // the bounded-staleness contract; the watermark line below says how
     // far reads could lag).
     producer.join();
-    Status st = applier->FlushAndWait();
+    Status st = pool ? pool->FlushAndWait() : applier->FlushAndWait();
     std::printf("-- stream quiesced: %zu ops through ts %llu: %s\n",
                 stream_ops.size(),
                 static_cast<unsigned long long>(engine.applied_through_ts()),
                 st.ok() ? "ok" : st.ToString().c_str());
+    if (pool) {
+      std::printf("-- appliers: %zu slices, routed", pool->num_appliers());
+      for (size_t i = 0; i < pool->num_appliers(); ++i) {
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(pool->ops_routed(i)));
+      }
+      std::printf("\n");
+    }
     if (!st.ok()) return 1;
   }
   size_t failed = 0;
@@ -711,6 +775,10 @@ int CmdServe(const std::vector<std::string>& args) {
                 resp.status.ok() ? resp.result.TotalMatches() : 0,
                 resp.warm ? "warm" : "cold", resp.plan_ms, resp.exec_ms,
                 resp.views_used.size());
+    if (resp.as_of) {
+      std::printf(" asof@%llu",
+                  static_cast<unsigned long long>(resp.applied_through_ts));
+    }
     if (trace) {
       std::printf(" trace_id=%llu",
                   static_cast<unsigned long long>(resp.trace_id));
@@ -744,7 +812,9 @@ int CmdServe(const std::vector<std::string>& args) {
       "bounded_matches=%zu\n"
       "distance index: entries=%zu repairs=%zu shortened=%zu\n"
       "shards: queries=%zu fallbacks=%zu rounds=%zu messages=%zu "
-      "frontier=%zu slices_rebuilt=%zu reused=%zu\n",
+      "frontier=%zu slices_rebuilt=%zu reused=%zu\n"
+      "mvcc: chain_depth=%zu pinned=%zu gc=%zu asof=%zu asof_miss=%zu "
+      "ryw_waits=%zu ryw_timeouts=%zu appliers=%zu\n",
       s.queries, secs, secs > 0 ? static_cast<double>(s.queries) / secs : 0.0,
       failed, s.plans_match_join, s.plans_partial, s.plans_direct,
       s.warm_queries,
@@ -763,7 +833,10 @@ int CmdServe(const std::vector<std::string>& args) {
       s.cache.distance_shortened,
       s.sharded_queries, s.shard_fallbacks,
       s.shard.rounds, s.shard.messages, s.shard.frontier_msgs,
-      s.slices_rebuilt, s.slices_reused);
+      s.slices_rebuilt, s.slices_reused,
+      s.mvcc_chain_depth, s.mvcc_pinned_cuts, s.mvcc_gc_collected,
+      s.mvcc_asof_queries, s.mvcc_asof_misses, s.mvcc_ryw_waits,
+      s.mvcc_ryw_timeouts, s.stream_appliers);
   if (!stream_ops.empty()) {
     std::printf(
         "stream: ingested=%zu applied=%zu coalesced=%zu batches=%zu "

@@ -775,6 +775,15 @@ Status QueryEngine::ApplyStreamBatchSlice(const std::vector<EdgeUpdate>& batch,
 void QueryEngine::ConfigureStreamSlices(size_t num_slices) {
   const size_t n = std::max<size_t>(1, num_slices);
   slice_clock_.Reset(n);
+  // Seed every fresh slice clock from the already-published watermark:
+  // applied_through_ts_ never regresses, so zeroed clocks on an engine
+  // with prior streamed history would leave the stale watermark standing
+  // while a new ApplierPool hands out tickets from 1 — min_applied_ts
+  // waits for those tickets would be satisfied by history instead of by
+  // the ops they name. Seeding keeps min-over-slices == published
+  // watermark, and the pool resumes its ticket source from the same value.
+  const uint64_t wm = applied_through_ts();
+  for (size_t i = 0; wm > 0 && i < n; ++i) slice_clock_.Advance(i, wm);
   if (opts_.obs.enabled) h_.stream_appliers->Set(static_cast<double>(n));
 }
 

@@ -350,9 +350,12 @@ class QueryEngine {
                                uint64_t through_ts, size_t slice);
 
   /// Declares the stream slice topology (ApplierPool startup): resets the
-  /// slice clock to `num_slices` zeroed slices. Only valid while no
-  /// streamed ops are in flight; the published watermark itself never
-  /// regresses.
+  /// slice clock to `num_slices` slices, each seeded to the currently
+  /// published watermark — so min-over-slices stays equal to it, and a new
+  /// pool's ticket source (which resumes from the watermark) can't have
+  /// its read-your-writes waits satisfied by stale history. Only valid
+  /// while no streamed ops are in flight; the published watermark itself
+  /// never regresses.
   void ConfigureStreamSlices(size_t num_slices);
 
   /// Heartbeat: record that slice `slice` can never again receive an op

@@ -29,6 +29,13 @@ ApplierPool::ApplierPool(QueryEngine* engine, ApplierPoolOptions opts)
   if (opts_.num_appliers == 0) opts_.num_appliers = 1;
   const size_t k = opts_.num_appliers;
   engine_->ConfigureStreamSlices(k);
+  // Continue the engine's ticket sequence rather than restarting at 1: on
+  // an engine with prior streamed history the published watermark never
+  // regresses, so fresh tickets below it would make min_applied_ts waits
+  // trivially (and wrongly) satisfied before the new ops are applied.
+  // ConfigureStreamSlices seeded every slice clock to this same value.
+  next_ts_ = engine_->applied_through_ts() + 1;
+  route_mu_ = std::make_unique<std::mutex[]>(k);
   last_routed_.assign(k, 0);
   routed_count_.assign(k, 0);
   streams_.reserve(k);
@@ -51,31 +58,55 @@ ApplierPool::~ApplierPool() { (void)Stop(); }
 uint64_t ApplierPool::Push(EdgeUpdate op) {
   const size_t k = streams_.size();
   const size_t slice = SliceOf(op.u, op.v, k);
-  // Ticket assignment and enqueue are atomic under the pool mutex: each
-  // slice stream must see a strictly increasing ts subsequence, so two
-  // producers racing ops onto one slice cannot enqueue out of ticket
-  // order. The slice queue's backpressure therefore blocks *all*
-  // producers (the pool-wide cost of global ticket density).
-  std::lock_guard<std::mutex> lk(mu_);
-  if (stopped_) return 0;
-  const uint64_t ts = streams_[slice]->PushWithTs(op, next_ts_);
-  if (ts == 0) return 0;  // closed underneath (Stop raced)
-  next_ts_ = ts + 1;
-  last_routed_[slice] = ts;
-  ++routed_count_[slice];
+  // The slice's routing mutex covers ticket assignment *through* enqueue,
+  // so two producers racing ops onto one slice cannot enqueue out of
+  // ticket order (each slice stream must see a strictly increasing ts
+  // subsequence). The pool mutex itself is only held for the non-blocking
+  // ticket grab — never across the enqueue — so the applier threads'
+  // RefreshWatermark can always acquire it: backpressure on a full slice
+  // queue must never wedge the consumer whose drain relieves it.
+  std::lock_guard<std::mutex> slk(route_mu_[slice]);
+  uint64_t ts, prev_tail;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return 0;
+    ts = next_ts_++;
+    prev_tail = last_routed_[slice];
+    last_routed_[slice] = ts;
+    ++routed_count_[slice];
+  }
+  if (streams_[slice]->PushWithTs(op, ts) == 0) {
+    // Closed underneath (Stop raced): the op was never accepted, so
+    // un-route it — we still hold the slice mutex, so nobody else has
+    // touched this slice's tail. The global ticket is burned (next_ts_
+    // may have moved on), which is fine post-Stop: a gap can only make
+    // the watermark conservative, never let it cover a dropped op.
+    std::lock_guard<std::mutex> lk(mu_);
+    last_routed_[slice] = prev_tail;
+    --routed_count_[slice];
+    return 0;
+  }
   return ts;
 }
 
 void ApplierPool::RefreshWatermark() {
-  // Under the pool mutex no routing is concurrent, so "applier i consumed
-  // through everything ever routed to slice i" proves slice i quiet
-  // through the global last-assigned ts: no op <= that ts can still be
-  // headed its way. Quiet slices heartbeat forward; a slice with a
-  // pending op keeps its clock (and the min-derived watermark) put.
+  // Ticket assignment bumps last_routed_ under the pool mutex *before*
+  // the op is enqueued (the enqueue runs outside mu_, serialized per
+  // slice by route_mu_), so "applier i consumed through everything ever
+  // routed to slice i" still proves slice i quiet through the global
+  // last-assigned ts: a mid-flight op would have bumped last_routed_[i]
+  // past anything its applier can have consumed. Quiet slices heartbeat
+  // forward; a slice with a pending (or mid-flight) op keeps its clock
+  // (and the min-derived watermark) put.
   std::lock_guard<std::mutex> lk(mu_);
   const uint64_t global = next_ts_ - 1;
   if (global == 0) return;
   for (size_t i = 0; i < appliers_.size(); ++i) {
+    // A sticky-failed applier keeps consuming (discarding) ops so
+    // producers never block on a dead consumer, but nothing it consumed
+    // was applied: its slice clock must stay at the last successful
+    // apply, pinning the published watermark there — never heartbeat it.
+    if (!appliers_[i]->status().ok()) continue;
     if (last_routed_[i] == global) continue;  // its own commit advances it
     if (appliers_[i]->consumed_through_ts() >= last_routed_[i]) {
       engine_->AdvanceStreamSlice(i, global);
@@ -89,8 +120,10 @@ Status ApplierPool::FlushAndWait() {
     Status st = a->FlushAndWait();
     if (out.ok() && !st.ok()) out = st;
   }
-  // All per-slice queues drained: every slice is quiet through the global
-  // ts, so the published watermark catches up to it here.
+  // All per-slice queues drained: every *healthy* slice is quiet through
+  // the global ts, so the published watermark catches up to it here — or,
+  // when an applier is sticky-failed, stays pinned at its last successful
+  // apply (its ops were discarded, not applied).
   RefreshWatermark();
   return out;
 }

@@ -13,22 +13,36 @@
 /// promises per-edge order). Appliers drain, coalesce and validate
 /// concurrently; their commits serialize only at the engine's chain head.
 ///
-/// Timestamps: one *global* dense ticket source spans all K streams —
-/// Push assigns ts and enqueues under the pool mutex, so each slice stream
-/// sees a strictly increasing subsequence and the union is gap-free. That
-/// global density is what makes the min-over-slices watermark meaningful:
-/// once the ticket source passed T, no op with ts <= T can appear anywhere.
+/// Timestamps: one *global* ticket source spans all K streams — Push grabs
+/// a ticket under the pool mutex, then enqueues under a *per-slice* routing
+/// mutex, so each slice stream sees a strictly increasing subsequence. The
+/// pool mutex is never held across the (blocking, backpressured) enqueue:
+/// the applier threads refresh the watermark under it after every batch, so
+/// a producer parked on a full slice queue holding it would deadlock the
+/// very drain that frees the queue. Ticket density is what makes the
+/// min-over-slices watermark meaningful: once the ticket source passed T,
+/// no op with ts <= T can appear anywhere (a ticket burned by a raced Stop
+/// leaves a gap, but only post-stop, where it merely keeps the watermark
+/// conservative). On an engine with prior streamed history the ticket
+/// source resumes from the published watermark instead of 1, matching the
+/// slice-clock seeding in QueryEngine::ConfigureStreamSlices — stale
+/// watermarks must not satisfy read-your-writes waits for new tickets.
 ///
 /// Watermark liveness (the stalled/idle-slice problem): the engine derives
 /// applied_through_ts as the minimum over slice clocks, so a slice that
 /// simply never receives ops would pin the watermark forever. After every
 /// handled batch the pool refreshes: any slice whose applier has consumed
 /// everything ever routed to it is *provably quiet* through the global
-/// last-assigned ts (routing holds the pool mutex, so no older op can
-/// still be headed its way) and its clock heartbeats forward
+/// last-assigned ts (tickets bump the slice's routed tail under the pool
+/// mutex before the op is enqueued, so a mid-flight op is already visible
+/// in that tail) and its clock heartbeats forward
 /// (QueryEngine::AdvanceStreamSlice). A slice with a pending op keeps its
 /// clock — and therefore the global watermark — exactly at its last
-/// applied ts: a lagging applier can never publish a hole.
+/// applied ts: a lagging applier can never publish a hole. A sticky-failed
+/// applier is never heartbeated: it discards (rather than applies) what it
+/// consumes, so its slice clock pins the watermark at its last successful
+/// apply — FlushAndWait then returns the sticky error with the watermark
+/// still short of the global ts.
 ///
 /// Quiesce/teardown mirror the single-applier contract: FlushAndWait
 /// flushes every applier then refreshes the watermark to the global ts;
@@ -74,8 +88,10 @@ class ApplierPool {
 
   /// Routes `op` to its edge's slice with the next global timestamp.
   /// Blocks while that slice's queue is at capacity (backpressure holds
-  /// the pool mutex, serializing producers — per-slice FIFO of the global
-  /// ticket order is the point). Returns the assigned ts, 0 once stopped.
+  /// only that slice's routing mutex — producers for other slices and the
+  /// appliers' watermark refresh keep running; per-slice FIFO of the
+  /// global ticket order is preserved). Returns the assigned ts, 0 once
+  /// stopped.
   uint64_t Push(EdgeUpdate op);
 
   /// Blocks until every op pushed before the call is applied-and-published
@@ -89,7 +105,9 @@ class ApplierPool {
   Status Stop();
 
   size_t num_appliers() const { return appliers_.size(); }
-  /// Last globally assigned stream timestamp (0 before the first op).
+  /// Last globally assigned stream timestamp. Before the first Push this
+  /// is the engine watermark the ticket source resumed from (0 on a
+  /// fresh engine).
   uint64_t last_assigned_ts() const;
   /// Total ops routed to slice `i` so far.
   uint64_t ops_routed(size_t i) const;
@@ -108,7 +126,11 @@ class ApplierPool {
   ApplierPoolOptions opts_;
 
   mutable std::mutex mu_;  ///< routing: ticket source + per-slice tails
-  uint64_t next_ts_ = 1;
+  /// Per-slice enqueue sequencing (see Push): acquired *before* mu_ and
+  /// held across the blocking enqueue, which mu_ never is. Lock order:
+  /// route_mu_[s] -> mu_; RefreshWatermark takes only mu_.
+  std::unique_ptr<std::mutex[]> route_mu_;
+  uint64_t next_ts_ = 1;  ///< re-seeded from the engine watermark + 1
   std::vector<uint64_t> last_routed_;  ///< last ts routed to each slice
   std::vector<uint64_t> routed_count_;
   bool stopped_ = false;

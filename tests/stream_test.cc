@@ -3,7 +3,10 @@
 /// semantics (timestamps, backpressure, close, last-op-wins coalescing) and
 /// StreamApplier behavior against a live engine (micro-batching, the
 /// FlushAndWait quiesce contract, applied-through watermarks on query
-/// responses, sticky failure handling, stream stats plumbing).
+/// responses, sticky failure handling, stream stats plumbing), plus
+/// ApplierPool routing/watermark regressions (backpressure vs. the
+/// watermark-refresh lock, failed-slice watermark pinning, ticket
+/// resumption on an engine with prior streamed history).
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "stream/applier_pool.h"
 #include "stream/stream_applier.h"
 #include "stream/update_stream.h"
 #include "test_util.h"
@@ -313,6 +317,128 @@ TEST(StreamApplierTest, DestructorStopsCleanlyWithPendingOps) {
   EXPECT_TRUE(stream.closed());
   EXPECT_EQ(engine.stats().stream.ops_ingested, 16u);
   EXPECT_EQ(engine.num_graph_edges(), 3u);  // 16 toggles end on delete
+}
+
+// ---------------------------------------------------------------------------
+// ApplierPool routing/watermark regressions
+// ---------------------------------------------------------------------------
+
+TEST(ApplierPoolTest, BackpressureNeverWedgesWatermarkRefresh) {
+  ApplierFixture f;
+  QueryEngine engine(f.graph, f.opts);
+  ApplierPoolOptions po;
+  po.num_appliers = 2;
+  po.stream.queue_capacity = 1;  // every second push hits backpressure
+  po.applier.max_batch = 1;      // a watermark refresh after every op
+  ApplierPool pool(&engine, po);
+
+  // Two producers, each toggling its own edge, against single-op queues.
+  // Regression: Push used to hold the pool mutex across the blocking
+  // enqueue, deadlocking against the applier thread's RefreshWatermark
+  // (which needs that mutex before the applier can drain again) as soon
+  // as a slice queue filled.
+  constexpr uint64_t kOpsPerProducer = 128;  // even: toggles end on delete
+  auto produce = [&pool](NodeId u, NodeId v) {
+    for (uint64_t i = 0; i < kOpsPerProducer; ++i) {
+      EdgeUpdate op = (i % 2 == 0) ? EdgeUpdate::Insert(u, v)
+                                   : EdgeUpdate::Delete(u, v);
+      EXPECT_NE(pool.Push(op), 0u);
+    }
+  };
+  std::thread t1([&produce] { produce(0, 2); });
+  std::thread t2([&produce] { produce(1, 3); });
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(pool.FlushAndWait().ok());
+  EXPECT_EQ(pool.last_assigned_ts(), 2 * kOpsPerProducer);
+  EXPECT_EQ(engine.applied_through_ts(), 2 * kOpsPerProducer);
+  EXPECT_EQ(engine.num_graph_edges(), 3u);  // both edges toggled away
+  EXPECT_EQ(engine.stats().stream.ops_ingested, 2 * kOpsPerProducer);
+  ASSERT_TRUE(pool.Stop().ok());
+}
+
+TEST(ApplierPoolTest, StickyFailedApplierPinsWatermark) {
+  ApplierFixture f;
+  QueryEngine engine(f.graph, f.opts);
+  ApplierPoolOptions po;
+  po.num_appliers = 2;
+  ApplierPool pool(&engine, po);
+
+  // Node 99 does not exist: the op's micro-batch fails validation up
+  // front and leaves its slice's applier sticky-failed.
+  const size_t bad_slice = ApplierPool::SliceOf(0, 99, 2);
+  ASSERT_EQ(pool.Push(EdgeUpdate::Insert(0, 99)), 1u);
+  EXPECT_FALSE(pool.FlushAndWait().ok());
+
+  // A valid op routed to the *other* slice still applies. (Any new edge
+  // over the chain's 4 nodes will do, as long as it hashes elsewhere.)
+  const std::vector<std::pair<NodeId, NodeId>> candidates = {
+      {0, 2}, {0, 3}, {1, 3}, {2, 0}, {3, 0}, {3, 1},
+      {1, 0}, {2, 1}, {3, 2}};
+  EdgeUpdate good = EdgeUpdate::Insert(0, 2);
+  bool found = false;
+  for (const auto& [u, v] : candidates) {
+    if (ApplierPool::SliceOf(u, v, 2) != bad_slice) {
+      good = EdgeUpdate::Insert(u, v);
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  ASSERT_EQ(pool.Push(good), 2u);
+  EXPECT_FALSE(pool.FlushAndWait().ok());  // sticky error still surfaces
+  EXPECT_EQ(engine.num_graph_edges(), 4u);  // healthy slice applied it
+
+  // Regression: the failed applier keeps *consuming* (discarding) ops, so
+  // the pool's heartbeat used to advance its slice clock — publishing a
+  // watermark that covered the dropped op. The watermark must pin at the
+  // failed slice's last successful apply instead (here: ts 0).
+  EXPECT_EQ(engine.applied_through_ts(), 0u);
+  EXPECT_EQ(engine.stream_slice_versions().MinSlice(), 0u);
+
+  // So a read-your-writes wait on the dropped ticket times out rather
+  // than acking a hole.
+  EXPECT_EQ(engine.WaitForWatermark(1, 20.0).code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_FALSE(pool.Stop().ok());
+}
+
+TEST(ApplierPoolTest, PoolOnEngineWithHistoryResumesTickets) {
+  ApplierFixture f;
+  QueryEngine engine(f.graph, f.opts);
+  uint64_t history_ts = 0;
+  {
+    ApplierPoolOptions po;
+    po.num_appliers = 2;
+    ApplierPool pool(&engine, po);
+    ASSERT_NE(pool.Push(EdgeUpdate::Insert(0, 2)), 0u);
+    ASSERT_NE(pool.Push(EdgeUpdate::Delete(0, 2)), 0u);
+    ASSERT_NE(pool.Push(EdgeUpdate::Insert(0, 2)), 0u);
+    ASSERT_TRUE(pool.FlushAndWait().ok());
+    history_ts = pool.last_assigned_ts();
+    EXPECT_EQ(history_ts, 3u);
+    EXPECT_EQ(engine.applied_through_ts(), history_ts);
+    ASSERT_TRUE(pool.Stop().ok());
+  }
+
+  // A second pool (different width) on the same engine: the published
+  // watermark must survive the reconfigure with the fresh slice clocks
+  // seeded to it, and tickets must resume *above* it. Regression: tickets
+  // used to restart at 1, so a min_applied_ts wait on a fresh ticket was
+  // instantly satisfied by the stale watermark before the op applied.
+  ApplierPoolOptions po2;
+  po2.num_appliers = 3;
+  ApplierPool pool2(&engine, po2);
+  EXPECT_EQ(engine.applied_through_ts(), history_ts);
+  EXPECT_EQ(engine.stream_slice_versions().MinSlice(), history_ts);
+
+  const uint64_t ts = pool2.Push(EdgeUpdate::Insert(0, 3));
+  EXPECT_EQ(ts, history_ts + 1);
+  ASSERT_TRUE(pool2.FlushAndWait().ok());
+  EXPECT_EQ(engine.applied_through_ts(), history_ts + 1);
+  EXPECT_EQ(engine.num_graph_edges(), 5u);  // chain + 0->2 + 0->3
+  ASSERT_TRUE(pool2.Stop().ok());
 }
 
 TEST(StreamApplierTest, BatchBucketPartitionsPowersOfTwo) {

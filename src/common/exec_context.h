@@ -1,0 +1,76 @@
+/// \file exec_context.h
+/// \brief Per-thread execution context for cooperative cancellation:
+/// a query deadline (QueryOptions::deadline_ms) plus the engine's fault
+/// injector, installed RAII-style for the duration of one Execute call.
+///
+/// Why thread-local instead of parameter plumbing: the cancellation
+/// checkpoints live deep inside the simulation fixpoints
+/// (simulation/refinement.cc, simulation/bounded.cc) and the sharded
+/// merge-round barriers (shard/shard_sim.cc), several layers below any
+/// signature that could reasonably carry a deadline. All of those loops run
+/// on the thread that called Execute — ParallelInvoke runs fan-out *tasks*
+/// on pool workers, but every round barrier and every unsharded fixpoint
+/// executes in the caller — so a thread-local installed at Execute entry is
+/// visible at exactly the checkpoints that need it, with zero signature
+/// churn and zero cost for code paths that never look.
+///
+/// Contract for checkpoints: expiry is advisory — a loop that observes
+/// `DeadlineExpired()` abandons work *early* and unwinds; the caller that
+/// installed the Scope (QueryEngine::Execute) re-checks at the end and
+/// converts any expiry into a clean kDeadlineExceeded response, never
+/// publishing or memoizing a partial result. Nested scopes restore the
+/// outer context on destruction.
+
+#ifndef GPMV_COMMON_EXEC_CONTEXT_H_
+#define GPMV_COMMON_EXEC_CONTEXT_H_
+
+#include <chrono>
+
+#include "common/status.h"
+
+namespace gpmv {
+
+class FaultInjector;
+
+namespace exec {
+
+/// RAII install/restore of the calling thread's execution context.
+/// `deadline_ms <= 0` installs "no deadline"; `fault` may be null.
+class Scope {
+ public:
+  explicit Scope(double deadline_ms, FaultInjector* fault = nullptr);
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool prev_active_;
+  std::chrono::steady_clock::time_point prev_deadline_;
+  FaultInjector* prev_fault_;
+};
+
+/// True when the current thread has a deadline installed.
+bool DeadlineActive();
+
+/// True when the installed deadline has passed (false with none
+/// installed). One steady_clock read; loops call it every ~1k iterations,
+/// not per element.
+bool DeadlineExpired();
+
+/// OK, or kDeadlineExceeded when the installed deadline has passed.
+Status CheckDeadline();
+
+/// Milliseconds until the installed deadline (clamped at 0); a huge value
+/// with none installed. Bounds secondary waits (read-your-writes) so a
+/// deadlined query never sleeps past its budget.
+double DeadlineRemainingMs();
+
+/// The fault injector installed for this thread (null outside a Scope or
+/// when the engine has none wired).
+FaultInjector* CurrentFault();
+
+}  // namespace exec
+}  // namespace gpmv
+
+#endif  // GPMV_COMMON_EXEC_CONTEXT_H_

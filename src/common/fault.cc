@@ -1,0 +1,144 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace gpmv {
+
+namespace {
+
+/// FNV-1a over the point name: decorrelates per-point RNG streams from the
+/// shared injector seed.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& point, FaultPointSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PointState& ps = points_[point];
+  if (!ps.armed) armed_points_.fetch_add(1, std::memory_order_release);
+  ps.spec = std::move(spec);
+  ps.rng = Rng(seed_ ^ HashName(point));
+  ps.hits = 0;
+  ps.fired = 0;
+  ps.armed = true;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, ps] : points_) {
+    if (ps.armed) {
+      ps.armed = false;
+      armed_points_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t at = entry.find('@');
+    const size_t pct = entry.find('%');
+    FaultPointSpec ps;
+    std::string name;
+    if (at != std::string::npos) {
+      name = entry.substr(0, at);
+      // `name@N[+N...]`: explicit 1-based hit indices.
+      size_t p = at + 1;
+      while (p < entry.size()) {
+        char* parsed_end = nullptr;
+        const unsigned long long n =
+            std::strtoull(entry.c_str() + p, &parsed_end, 10);
+        if (parsed_end == entry.c_str() + p || n == 0) {
+          return Status::InvalidArgument("bad fault schedule: " + entry);
+        }
+        ps.fire_on.push_back(static_cast<uint64_t>(n));
+        p = static_cast<size_t>(parsed_end - entry.c_str());
+        if (p < entry.size()) {
+          if (entry[p] != '+') {
+            return Status::InvalidArgument("bad fault schedule: " + entry);
+          }
+          ++p;
+        }
+      }
+      if (ps.fire_on.empty()) {
+        return Status::InvalidArgument("bad fault schedule: " + entry);
+      }
+    } else if (pct != std::string::npos) {
+      name = entry.substr(0, pct);
+      char* parsed_end = nullptr;
+      const double p = std::strtod(entry.c_str() + pct + 1, &parsed_end);
+      if (parsed_end != entry.c_str() + entry.size() || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("bad fault probability: " + entry);
+      }
+      ps.probability = p;
+    } else {
+      return Status::InvalidArgument(
+          "fault spec entry needs @N or %P: " + entry);
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("fault spec entry missing name: " + entry);
+    }
+    Arm(name, std::move(ps));
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  if (armed_points_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return false;
+  PointState& ps = it->second;
+  const uint64_t hit = ++ps.hits;
+  if (ps.spec.limit != 0 && ps.fired >= ps.spec.limit) return false;
+  bool fire = false;
+  for (uint64_t n : ps.spec.fire_on) {
+    if (n == hit) {
+      fire = true;
+      break;
+    }
+  }
+  if (!fire && ps.spec.probability > 0.0) {
+    fire = ps.rng.NextBool(ps.spec.probability);
+  }
+  if (fire) {
+    ++ps.fired;
+    total_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::fired(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace gpmv

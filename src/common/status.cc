@@ -25,6 +25,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

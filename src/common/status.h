@@ -33,6 +33,7 @@ class Status {
     kNotSupported,
     kInternal,
     kDeadlineExceeded,
+    kResourceExhausted,
   };
 
   /// Default-constructed status is OK.
@@ -65,6 +66,11 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// Backpressure: a bounded resource (task queue, quarantined stream
+  /// slice) refused new work. Retryable once the resource drains/revives.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

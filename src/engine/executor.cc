@@ -7,6 +7,8 @@ namespace gpmv {
 
 ThreadPool::ThreadPool(ThreadPoolOptions opts)
     : queue_capacity_(std::max<size_t>(1, opts.queue_capacity)),
+      shed_when_saturated_(opts.shed_when_saturated),
+      fault_(opts.fault),
       obs_(opts.obs) {
   size_t n = opts.num_threads;
   if (n == 0) {
@@ -24,6 +26,17 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 Status ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lk(mu_);
+    if (GPMV_FAULT_POINT(fault_, "executor.task")) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted("injected fault: executor.task");
+    }
+    if (shed_when_saturated_ && !shutdown_ &&
+        queue_.size() >= queue_capacity_) {
+      // Admission control: reject now rather than park the caller behind a
+      // saturated queue — the caller sheds (or degrades inline) instead.
+      ++stats_.rejected;
+      return Status::ResourceExhausted("task queue saturated");
+    }
     not_full_.wait(lk,
                    [this] { return shutdown_ || queue_.size() < queue_capacity_; });
     if (shutdown_) {

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -41,6 +42,17 @@ struct ThreadPoolOptions {
   size_t num_threads = 0;
   /// Maximum queued (not yet running) tasks before Submit blocks.
   size_t queue_capacity = 1024;
+  /// Admission control: with true, a Submit that finds the queue at
+  /// capacity fast-fails with kResourceExhausted (counted in
+  /// ThreadPoolStats::rejected) instead of blocking — overload shedding
+  /// for latency-sensitive callers. ParallelInvoke degrades rejected
+  /// fan-out tasks to inline execution, so shedding the fan-out pool only
+  /// costs parallelism, never correctness.
+  bool shed_when_saturated = false;
+  /// Fault injection (common/fault.h): the `executor.task` point rejects a
+  /// submission with kResourceExhausted as if the queue were saturated.
+  /// Null disables.
+  FaultInjector* fault = nullptr;
   /// Metric hooks (all-null by default: zero overhead).
   ThreadPoolObs obs;
 };
@@ -51,7 +63,8 @@ struct ThreadPoolStats {
   size_t executed = 0;  ///< tasks dequeued and run; counted before the task
                         ///< body starts, so any result derived from a task
                         ///< (e.g. a future it completes) observes the count
-  size_t rejected = 0;         ///< Submit calls refused (after shutdown)
+  size_t rejected = 0;  ///< Submit calls refused (shutdown, shedding, or an
+                        ///< injected executor.task fault)
   size_t max_queue_depth = 0;  ///< high-water mark of the queue
 };
 
@@ -64,8 +77,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task`; blocks while the queue is full. Fails with
-  /// InvalidArgument after Shutdown. Tasks must not throw.
+  /// Enqueues `task`; blocks while the queue is full (or, with
+  /// shed_when_saturated, fast-fails with kResourceExhausted instead).
+  /// Fails with InvalidArgument after Shutdown. Tasks must not throw.
   Status Submit(std::function<void()> task);
 
   /// Stops accepting tasks, drains the queue, joins all workers.
@@ -95,6 +109,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   size_t num_threads_ = 0;
   size_t queue_capacity_;
+  bool shed_when_saturated_ = false;
+  FaultInjector* fault_ = nullptr;
   bool shutdown_ = false;
   ThreadPoolStats stats_;
   ThreadPoolObs obs_;

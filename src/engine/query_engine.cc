@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/exec_context.h"
 #include "common/stopwatch.h"
 #include "core/maintenance.h"
 #include "core/match_join.h"
@@ -37,6 +38,7 @@ std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
 ThreadPoolOptions QueryPoolOptions(const EngineOptions& opts,
                                    obs::MetricsRegistry* metrics) {
   ThreadPoolOptions po = opts.pool;
+  po.fault = opts.fault;
   if (opts.obs.enabled) {
     po.obs.queue_wait_us = metrics->FindOrCreateHistogram("exec.queue_wait_us");
     po.obs.run_us = metrics->FindOrCreateHistogram("exec.run_us");
@@ -74,6 +76,7 @@ QueryEngine::QueryEngine(Graph g, EngineOptions opts)
     // engine's sharded state otherwise).
     opts_.planner.shard_fanout = true;
     ThreadPoolOptions po;
+    po.fault = opts_.fault;
     po.num_threads = opts_.shard_pool_threads != 0
                          ? opts_.shard_pool_threads
                          : opts_.sharding.num_shards;
@@ -145,6 +148,10 @@ void QueryEngine::InitMetrics() {
   h_.stream_batches_applied = m.FindOrCreateCounter("stream.batches_applied");
   h_.stream_apply_failures = m.FindOrCreateCounter("stream.apply_failures");
   h_.stream_flushes = m.FindOrCreateCounter("stream.flushes");
+  h_.stream_retries = m.FindOrCreateCounter("stream.retries");
+  h_.stream_quarantines = m.FindOrCreateCounter("stream.quarantines");
+  h_.stream_revives = m.FindOrCreateCounter("stream.revives");
+  h_.stream_redo_depth = m.FindOrCreateGauge("stream.redo_depth");
   h_.stream_queue_depth = m.FindOrCreateGauge("stream.queue_depth");
   h_.stream_queue_depth_max = m.FindOrCreateGauge("stream.queue_depth_max");
   h_.stream_max_batch_size = m.FindOrCreateGauge("stream.max_batch_size");
@@ -161,6 +168,9 @@ void QueryEngine::InitMetrics() {
   h_.mvcc_asof_misses = m.FindOrCreateCounter("mvcc.asof_misses");
   h_.mvcc_ryw_waits = m.FindOrCreateCounter("mvcc.ryw_waits");
   h_.mvcc_ryw_timeouts = m.FindOrCreateCounter("mvcc.ryw_timeouts");
+  h_.deadline_exceeded = m.FindOrCreateCounter("engine.deadline_exceeded");
+  h_.shed_queries = m.FindOrCreateCounter("engine.shed_queries");
+  h_.degraded_queries = m.FindOrCreateCounter("engine.degraded_queries");
   h_.query_latency_us = m.FindOrCreateHistogram("query.latency_us");
   h_.query_plan_us = m.FindOrCreateHistogram("query.plan_us");
   h_.query_exec_us = m.FindOrCreateHistogram("query.exec_us");
@@ -279,7 +289,17 @@ Result<std::future<QueryResponse>> QueryEngine::Submit(Pattern q,
         return Execute(query, qopts, queued.ElapsedMillis());
       });
   std::future<QueryResponse> fut = task->get_future();
-  GPMV_RETURN_NOT_OK(pool_.Submit([task] { (*task)(); }));
+  Status st = pool_.Submit([task] { (*task)(); });
+  if (!st.ok()) {
+    // Admission control (ThreadPoolOptions::shed_when_saturated) surfaces
+    // as kResourceExhausted: the query was shed, not executed — count it
+    // so overload is visible even though no QueryResponse exists for it.
+    if (opts_.obs.enabled &&
+        st.code() == Status::Code::kResourceExhausted) {
+      h_.shed_queries->Add(1);
+    }
+    return st;
+  }
   return fut;
 }
 
@@ -300,18 +320,58 @@ Status QueryEngine::WaitForWatermark(uint64_t ts, double timeout_ms) {
 
 QueryResponse QueryEngine::Execute(const Pattern& q, const QueryOptions& qopts,
                                    double queue_wait_ms) {
+  // Thread-local execution context for this query: the deadline the
+  // cooperative checkpoints (here, the fixpoints, the shard merge rounds)
+  // test, and the fault injector. Works without plumbing because the
+  // unsharded fixpoints run on this thread and the sharded path's merge-
+  // round barriers serialize back onto it.
+  exec::Scope exec_scope(qopts.deadline_ms, opts_.fault);
+  bool degraded = false;
   // Read-your-writes floor: block (bounded) until the published cut covers
   // the caller's last submitted op, before any lock is taken.
   if (qopts.min_applied_ts != 0 &&
       applied_through_ts() < qopts.min_applied_ts) {
-    if (opts_.obs.enabled) h_.mvcc_ryw_waits->Add(1);
-    Status wait = WaitForWatermark(qopts.min_applied_ts, qopts.ryw_timeout_ms);
-    if (!wait.ok()) {
-      if (opts_.obs.enabled) h_.mvcc_ryw_timeouts->Add(1);
-      QueryResponse resp;
-      resp.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
-      resp.status = wait;
-      return resp;
+    if (quarantined_slices() > 0 && opts_.degraded_serving) {
+      // Degraded serving: a quarantined slice pins the watermark, so the
+      // floor may simply never be reached — answer from the newest
+      // published cut now, explicitly marked, instead of burning the
+      // timeout against a watermark that will not move. (A healthy-but-
+      // slow applier does not trigger this: the wait below still covers
+      // the ordinary lag case.)
+      degraded = true;
+      if (opts_.obs.enabled) h_.degraded_queries->Add(1);
+    } else {
+      if (opts_.obs.enabled) h_.mvcc_ryw_waits->Add(1);
+      // The wait honors whichever bound is tighter: the RYW timeout or
+      // the query deadline.
+      double timeout_ms = qopts.ryw_timeout_ms;
+      bool deadline_bound = false;
+      if (exec::DeadlineActive()) {
+        const double remaining = exec::DeadlineRemainingMs();
+        if (remaining < timeout_ms) {
+          timeout_ms = remaining;
+          deadline_bound = true;
+        }
+      }
+      Status wait = WaitForWatermark(qopts.min_applied_ts, timeout_ms);
+      if (!wait.ok()) {
+        if (opts_.obs.enabled) {
+          if (deadline_bound) {
+            h_.deadline_exceeded->Add(1);
+          } else {
+            h_.mvcc_ryw_timeouts->Add(1);
+          }
+        }
+        QueryResponse resp;
+        resp.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+        resp.status = deadline_bound
+                          ? Status::DeadlineExceeded("query deadline exceeded "
+                                                     "during read-your-writes "
+                                                     "wait")
+                          : wait;
+        resp.degraded = quarantined_slices() > 0;
+        return resp;
+      }
     }
   }
   if (qopts.as_of_ts != 0) return ExecuteAsOf(q, qopts, queue_wait_ms);
@@ -389,12 +449,18 @@ QueryResponse QueryEngine::Execute(const Pattern& q, const QueryOptions& qopts,
 
       std::vector<uint32_t> pinned;
       bool warm = true;
-      Status st = Status::OK();
-      if (!resp.result_cached) {
+      // Cooperative deadline checkpoints: post-plan (nothing pinned yet),
+      // post-pin (the unconditional unwind below releases the pins), and
+      // the post-fixpoint conversion — a deadline failure is always clean:
+      // pins released, nothing partial memoized, caches undisturbed. A
+      // memo hit above still serves (the cached answer is complete).
+      Status st = exec::CheckDeadline();
+      if (st.ok() && !resp.result_cached) {
         obs::SpanScope pin_span(tr, "view_cache.pin");
         st = PinOrMaterialize(plan.views_needed, lk, &pinned, &warm);
         pin_span.Attr("views", static_cast<uint64_t>(pinned.size()));
         pin_span.AttrBool("warm", warm);
+        if (st.ok()) st = exec::CheckDeadline();
       }
       if (resp.result_cached) {
         // Served from the memo above; nothing to pin or evaluate.
@@ -446,6 +512,27 @@ QueryResponse QueryEngine::Execute(const Pattern& q, const QueryOptions& qopts,
                                                      &shard_stats)
                      : MatchBoundedSimulation(plan.minimized.pattern, snap);
         }();
+        if (!r.ok() && resp.sharded &&
+            r.status().code() != Status::Code::kDeadlineExceeded) {
+          // Failure-domain failover: a merge round that died (e.g. the
+          // `shard.merge_round` fault point) retries unsharded on the
+          // global snapshot this query already holds — same answer,
+          // smaller blast radius. A deadline failure propagates instead:
+          // re-running an expired query would only overshoot further.
+          shard_fallback = true;
+          resp.sharded = false;
+          if (plan.kind == PlanKind::kPartialViews) {
+            r = ExecutePartial(plan, snap, nullptr, &shard_stats);
+          } else {
+            r = MatchBoundedSimulation(plan.minimized.pattern, snap);
+          }
+        }
+        if (r.ok()) {
+          // The fixpoints exit early on advisory expiry; whatever they
+          // returned is then incomplete — convert it here, at the edge.
+          Status dl = exec::CheckDeadline();
+          if (!dl.ok()) r = dl;
+        }
         if (plan.kind == PlanKind::kMatchJoin) {
           fix_span.Attr("iterations",
                         static_cast<uint64_t>(join_stats.fixpoint_iterations));
@@ -490,6 +577,10 @@ QueryResponse QueryEngine::Execute(const Pattern& q, const QueryOptions& qopts,
       resp.exec_ms = sw.ElapsedMillis();
     }
   }
+  // Degraded marker: set whenever a quarantine was active at read time —
+  // both when the RYW wait was skipped above and for plain head reads,
+  // whose answer may be missing the quarantined slice's retained ops.
+  resp.degraded = degraded || quarantined_slices() > 0;
 
   if (opts_.obs.enabled) {
     // The counter tail updates as one group under the snapshot gate
@@ -498,6 +589,9 @@ QueryResponse QueryEngine::Execute(const Pattern& q, const QueryOptions& qopts,
     auto group = metrics_.Group();
     h_.queries->Add(1);
     if (!resp.status.ok()) h_.queries_failed->Add(1);
+    if (resp.status.code() == Status::Code::kDeadlineExceeded) {
+      h_.deadline_exceeded->Add(1);
+    }
     if (resp.warm) h_.queries_warm->Add(1);
     if (resp.sharded) {
       h_.queries_sharded->Add(1);
@@ -600,8 +694,16 @@ QueryResponse QueryEngine::ExecuteAsOf(const Pattern& q,
       }
     }
     if (!resp.result_cached) {
-      Result<MatchResult> r =
-          MatchBoundedSimulation(plan.minimized.pattern, *cut.snapshot);
+      Result<MatchResult> r = [&]() -> Result<MatchResult> {
+        GPMV_RETURN_NOT_OK(exec::CheckDeadline());
+        return MatchBoundedSimulation(plan.minimized.pattern, *cut.snapshot);
+      }();
+      if (r.ok()) {
+        // Same edge conversion as Execute: an advisory mid-fixpoint expiry
+        // means the result is incomplete — fail clean, memoize nothing.
+        Status dl = exec::CheckDeadline();
+        if (!dl.ok()) r = dl;
+      }
       if (r.ok()) {
         if (result_cache_.enabled()) {
           result_cache_.Insert(rc_key, cut.version, *r);
@@ -620,6 +722,9 @@ QueryResponse QueryEngine::ExecuteAsOf(const Pattern& q,
     h_.queries->Add(1);
     h_.mvcc_asof_queries->Add(1);
     if (!resp.status.ok()) h_.queries_failed->Add(1);
+    if (resp.status.code() == Status::Code::kDeadlineExceeded) {
+      h_.deadline_exceeded->Add(1);
+    }
     h_.plans_direct->Add(1);
     h_.query_plan_us->Record(ToMicros(resp.plan_ms));
     h_.query_exec_us->Record(ToMicros(resp.exec_ms));
@@ -821,6 +926,15 @@ uint64_t QueryEngine::PublishCut() {
   return wm;
 }
 
+void QueryEngine::SetSliceQuarantined(size_t slice, bool quarantined) {
+  (void)slice;  // the count is what serving decisions need
+  if (quarantined) {
+    quarantined_slices_.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    quarantined_slices_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
 void QueryEngine::AdvanceStreamSlice(size_t slice, uint64_t ts) {
   if (slice >= slice_clock_.num_slices()) return;
   slice_clock_.Advance(slice, ts);
@@ -844,6 +958,9 @@ void QueryEngine::MergeStreamStats(const StreamStats& delta) {
   h_.stream_ops_dropped->Add(delta.ops_dropped);
   h_.stream_batches_applied->Add(delta.batches_applied);
   h_.stream_apply_failures->Add(delta.apply_failures);
+  h_.stream_retries->Add(delta.retries);
+  h_.stream_quarantines->Add(delta.quarantines);
+  h_.stream_revives->Add(delta.revives);
   h_.stream_flushes->Add(delta.flushes);
   h_.stream_queue_depth_max->SetMax(
       static_cast<double>(delta.max_queue_depth));
@@ -868,6 +985,12 @@ void QueryEngine::MergeStreamStats(const StreamStats& delta) {
 
 Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
                                          uint64_t through_ts, size_t slice) {
+  // `stream.apply` fault point: fail a streamed commit *before* any
+  // mutation or lock — the batch is untouched, so the applier's in-place
+  // retry (stream_applier.h) is sound by construction.
+  if (through_ts != 0 && GPMV_FAULT_POINT(opts_.fault, "stream.apply")) {
+    return FaultInjector::InjectedFault("stream.apply");
+  }
   size_t inserted_count = 0;
   size_t deleted_count = 0;
   InsertMaintenanceStats delta_stats;
@@ -914,6 +1037,12 @@ Status QueryEngine::ApplyUpdatesInternal(const std::vector<EdgeUpdate>& batch,
       }
     }
     ++graph_version_;
+    // `snapshot.refreeze` fault point: losing the incremental-freeze fast
+    // path degrades this freeze to a full row rebuild — identical snapshot,
+    // just slower — so refreeze faults can never corrupt what queries read.
+    if (GPMV_FAULT_POINT(opts_.fault, "snapshot.refreeze")) {
+      graph_.InvalidateIncrementalFreeze();
+    }
     // Re-freeze (incrementally — the graph tracked which adjacency rows the
     // batch touched) and publish the new snapshot version to queries before
     // refreshing cached extensions from it.
@@ -1130,6 +1259,9 @@ EngineStats QueryEngine::stats() const {
     out.stream.ops_dropped = h_.stream_ops_dropped->Value();
     out.stream.batches_applied = h_.stream_batches_applied->Value();
     out.stream.apply_failures = h_.stream_apply_failures->Value();
+    out.stream.retries = h_.stream_retries->Value();
+    out.stream.quarantines = h_.stream_quarantines->Value();
+    out.stream.revives = h_.stream_revives->Value();
     out.stream.flushes = h_.stream_flushes->Value();
     out.stream.max_queue_depth =
         static_cast<size_t>(h_.stream_queue_depth_max->Value());
@@ -1143,6 +1275,9 @@ EngineStats QueryEngine::stats() const {
     out.mvcc_asof_misses = h_.mvcc_asof_misses->Value();
     out.mvcc_ryw_waits = h_.mvcc_ryw_waits->Value();
     out.mvcc_ryw_timeouts = h_.mvcc_ryw_timeouts->Value();
+    out.deadline_exceeded = h_.deadline_exceeded->Value();
+    out.shed_queries = h_.shed_queries->Value();
+    out.degraded_queries = h_.degraded_queries->Value();
     out.stream_appliers = static_cast<size_t>(h_.stream_appliers->Value());
     // 40-bucket registry histogram -> the struct's 12 buckets: identical
     // power-of-two boundaries below the fold, everything >= the last

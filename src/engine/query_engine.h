@@ -88,6 +88,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "core/maintenance.h"
 #include "core/match_join.h"
@@ -165,6 +166,18 @@ struct EngineOptions {
   /// Snapshot-chain retention (graph/mvcc.h): how many historical cuts
   /// stay pinnable for `AS OF` behind the head.
   SnapshotChainOptions mvcc;
+  /// Fault injector threaded through every failure domain (common/fault.h):
+  /// streamed applies (`stream.apply`), incremental re-freeze
+  /// (`snapshot.refreeze`), shard merge rounds (`shard.merge_round`) and —
+  /// propagated into both pools — task admission (`executor.task`). Not
+  /// owned; nullptr (the default) compiles the checks down to a null test.
+  FaultInjector* fault = nullptr;
+  /// Degraded-mode serving (docs/ROBUSTNESS.md): while any stream slice is
+  /// quarantined, a read-your-writes floor that the pinned watermark cannot
+  /// reach is answered from the newest published cut immediately — marked
+  /// `QueryResponse::degraded` — instead of riding out ryw_timeout_ms
+  /// against a watermark that will not move. False restores strict waits.
+  bool degraded_serving = true;
 };
 
 /// Per-query consistency knobs; default-constructed = "read the head".
@@ -183,6 +196,13 @@ struct QueryOptions {
   /// the pinned immutable cut outside the registry lock, and memoize under
   /// the historical cut's version.
   uint64_t as_of_ts = 0;
+  /// Query deadline (0 = none): cooperative cancellation checkpoints in the
+  /// read-your-writes wait, the planner hand-off, the fixpoint loops and
+  /// the shard merge rounds fail the query with a *clean* kDeadlineExceeded
+  /// — pins unwound, nothing partial memoized, caches undisturbed. The
+  /// expiry is advisory inside the loops; Execute converts it at the edge,
+  /// so a result returned OK is always complete.
+  double deadline_ms = 0.0;
 };
 
 /// Outcome of one query.
@@ -195,6 +215,10 @@ struct QueryResponse {
   bool sharded = false;  ///< executed as a per-shard fan-out
   bool result_cached = false;  ///< answered from the full-result cache
   bool as_of = false;  ///< answered against a pinned historical cut
+  /// A stream slice was quarantined when this query read: the answer comes
+  /// from the newest published cut, which may permanently miss the
+  /// quarantined slice's retained ops (EngineOptions::degraded_serving).
+  bool degraded = false;
   /// Version of the frozen snapshot the query read end-to-end. Monotone
   /// across queries (the concurrency stress suite asserts it): updates only
   /// ever advance the published snapshot.
@@ -268,6 +292,10 @@ struct EngineStats {
   size_t mvcc_ryw_waits = 0;      ///< queries that blocked on min_applied_ts
   size_t mvcc_ryw_timeouts = 0;   ///< read-your-writes waits that timed out
   size_t stream_appliers = 0;     ///< configured stream slices (applier pool width)
+  /// Failure-domain counters (docs/ROBUSTNESS.md).
+  size_t deadline_exceeded = 0;  ///< queries failed by their deadline_ms
+  size_t shed_queries = 0;       ///< Submits fast-failed by admission control
+  size_t degraded_queries = 0;   ///< RYW floors served degraded past a quarantine
 };
 
 /// See file comment.
@@ -391,6 +419,19 @@ class QueryEngine {
   size_t mvcc_chain_depth() const { return chain_.depth(); }
   size_t mvcc_pinned_cuts() const { return chain_.pinned_cuts(); }
   uint64_t mvcc_gc_collected() const { return chain_.gc_collected(); }
+
+  /// Quarantine signal from a stream applier (stream/stream_applier.h):
+  /// while any slice is flagged, queries report `degraded` and — with
+  /// EngineOptions::degraded_serving — unreachable read-your-writes floors
+  /// are served from the head cut instead of waiting out their timeout.
+  /// Callers keep transitions balanced (flag on quarantine, clear on revive
+  /// or on the quarantined applier's teardown).
+  void SetSliceQuarantined(size_t slice, bool quarantined);
+
+  /// Stream slices currently quarantined (0 = healthy). Lock-free.
+  size_t quarantined_slices() const {
+    return quarantined_slices_.load(std::memory_order_acquire);
+  }
 
   /// Folds one applier-built StreamStats delta into the stream.* metrics
   /// while holding the registry's snapshot gate shared — one merge per
@@ -576,12 +617,21 @@ class QueryEngine {
     obs::Gauge* stream_applied_through;    // SetMax (stream ts)
     obs::Gauge* stream_appliers;           // Set (configured slice count)
     obs::Histogram* stream_batch_size;
+    // retry / quarantine / revive (stream/stream_applier.h)
+    obs::Counter* stream_retries;
+    obs::Counter* stream_quarantines;
+    obs::Counter* stream_revives;
+    obs::Gauge* stream_redo_depth;         // Set (live redo-log depth)
     // MVCC chain (graph/mvcc.h); chain depth / pins / GC total surface as
     // collector gauges read straight off the chain.
     obs::Counter* mvcc_asof_queries;
     obs::Counter* mvcc_asof_misses;
     obs::Counter* mvcc_ryw_waits;
     obs::Counter* mvcc_ryw_timeouts;
+    // failure domains (docs/ROBUSTNESS.md)
+    obs::Counter* deadline_exceeded;
+    obs::Counter* shed_queries;
+    obs::Counter* degraded_queries;
     // latency histograms (microseconds)
     obs::Histogram* query_latency_us;
     obs::Histogram* query_plan_us;
@@ -615,6 +665,9 @@ class QueryEngine {
   /// pollers can read it without the registry lock. Advancing it notifies
   /// watermark_cv_ (read-your-writes waiters).
   std::atomic<uint64_t> applied_through_ts_{0};
+  /// Stream slices currently quarantined (SetSliceQuarantined): queries
+  /// read it lock-free to decide degraded serving / the degraded marker.
+  std::atomic<size_t> quarantined_slices_{0};
   /// Per-slice applied-through clocks; see graph/mvcc.h. One slice until
   /// an ApplierPool calls ConfigureStreamSlices.
   SliceClock slice_clock_;

@@ -104,6 +104,14 @@ class Graph {
   /// the engine freezes under its exclusive registry lock).
   std::shared_ptr<const GraphSnapshot> Freeze();
 
+  /// Degrades the next Freeze() after a mutation to a full row rebuild by
+  /// poisoning the dirty-row set, as if it had overflowed kMaxDirtyRows.
+  /// The produced snapshot is identical — only slower to build — and the
+  /// cached current snapshot is untouched, so this never changes what
+  /// queries read. The `snapshot.refreeze` fault point (common/fault.h)
+  /// uses it to model losing the incremental-freeze fast path.
+  void InvalidateIncrementalFreeze() { dirty_overflow_ = true; }
+
   /// Monotone counter bumped by every mutation; a cached snapshot is
   /// current iff its version() equals this.
   uint64_t version() const { return version_; }

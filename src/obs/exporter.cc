@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "common/fault.h"
+
 namespace gpmv {
 namespace obs {
 
@@ -179,7 +181,11 @@ void PrintSummaryTable(std::FILE* out, const MetricsSnapshot& snap) {
 }
 
 MetricsExporter::MetricsExporter(MetricsRegistry* registry, Options opts)
-    : registry_(registry), opts_(std::move(opts)) {
+    : registry_(registry),
+      opts_(std::move(opts)),
+      // Registered in the ctor so the pinned metric appears (as 0) in every
+      // snapshot, including the very first — the schema checker requires it.
+      failures_counter_(registry->FindOrCreateCounter("obs.export_failures")) {
   if (opts_.interval_ms == 0) opts_.interval_ms = 1000;
   file_ = std::fopen(opts_.path.c_str(), "w");
   if (file_ == nullptr) {
@@ -213,6 +219,10 @@ size_t MetricsExporter::snapshots_written() const {
   return seq_;
 }
 
+size_t MetricsExporter::export_failures() const {
+  return static_cast<size_t>(failures_counter_->Value());
+}
+
 void MetricsExporter::Loop() {
   std::unique_lock<std::mutex> lk(mu_);
   while (!stop_) {
@@ -240,9 +250,28 @@ void MetricsExporter::Emit() {
     seq = ++seq_;
   }
   const std::string line = SnapshotToJsonLine(snap, seq, ts_ms);
-  std::fputs(line.c_str(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  // A failed write (injected via the `exporter.write` fault point or a real
+  // I/O error) drops this sample only: counters are cumulative, so the next
+  // interval's snapshot subsumes it. The failure is counted in the pinned
+  // obs.export_failures metric — which rides along in that next snapshot —
+  // and logged once per exporter rather than once per interval, so a dead
+  // disk doesn't flood stderr.
+  bool failed = GPMV_FAULT_POINT(opts_.fault, "exporter.write");
+  if (!failed) {
+    failed = std::fputs(line.c_str(), file_) < 0 ||
+             std::fputc('\n', file_) == EOF || std::fflush(file_) != 0;
+  }
+  if (failed) {
+    failures_counter_->Add(1);
+    if (!failure_logged_) {
+      failure_logged_ = true;
+      std::fprintf(stderr,
+                   "metrics exporter: write to %s failed; will keep retrying "
+                   "each interval (logged once)\n",
+                   opts_.path.c_str());
+    }
+    std::clearerr(file_);  // a later interval may succeed (e.g. disk freed)
+  }
 }
 
 }  // namespace obs

@@ -31,6 +31,9 @@
 #include "obs/metrics.h"
 
 namespace gpmv {
+
+class FaultInjector;
+
 namespace obs {
 
 /// One snapshot as a schema-conformant JSON line (no trailing newline).
@@ -54,6 +57,10 @@ class MetricsExporter {
   struct Options {
     std::string path;          ///< JSON-lines output file (truncated)
     size_t interval_ms = 1000;  ///< emission period
+    /// Optional injector consulted at the `exporter.write` fault point
+    /// (common/fault.h); an injected fault behaves exactly like a real
+    /// write error.
+    FaultInjector* fault = nullptr;
   };
 
   MetricsExporter(MetricsRegistry* registry, Options opts);
@@ -67,12 +74,21 @@ class MetricsExporter {
   bool ok() const { return file_ != nullptr; }
   size_t snapshots_written() const;
 
+  /// Snapshots that failed to reach the output file (also exported as the
+  /// pinned `obs.export_failures` counter). A failed write is dropped —
+  /// the next interval emits a fresh snapshot (counters are cumulative, so
+  /// nothing is lost but one sample) — and logged to stderr only once per
+  /// exporter, not once per interval.
+  size_t export_failures() const;
+
  private:
   void Loop();
   void Emit();
 
   MetricsRegistry* registry_;
   Options opts_;
+  Counter* failures_counter_;  ///< obs.export_failures, registered eagerly
+  bool failure_logged_ = false;  ///< emitter thread + Stop only
   std::FILE* file_ = nullptr;
   std::chrono::steady_clock::time_point start_;
   std::thread thread_;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/bitset.h"
+#include "common/exec_context.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "engine/executor.h"     // ParallelInvoke
 #include "simulation/bounded.h"  // ComputeCandidateSet
@@ -70,6 +72,12 @@ class ShardSim {
   /// Sorted sim sets from the owner-merged relation.
   void CollectSim(std::vector<std::vector<NodeId>>* sim) const;
 
+  /// Why Run returned false: OK for the ordinary all-empty result, or the
+  /// abort that fired at a merge-round barrier (deadline checkpoint or the
+  /// `shard.merge_round` fault point). Callers must propagate a non-OK
+  /// status instead of reporting an empty relation.
+  const Status& run_status() const { return run_status_; }
+
  private:
   void InitShard(uint32_t s);
   void ProcessInbox(uint32_t s, const std::vector<Decrement>& inbox);
@@ -85,7 +93,22 @@ class ShardSim {
   const bool dual_;
   std::vector<ShardState> states_;
   std::vector<DenseBitset> final_alive_;  ///< u -> rank, after Run
+  Status run_status_;
 };
+
+/// Barrier-point abort check shared by the sharded engines: the round
+/// barriers are the natural cooperative-cancellation checkpoints (the
+/// parallel phase between two barriers is bounded work), and the
+/// `shard.merge_round` fault point models a round that dies mid-exchange.
+/// The caller abandons the partial fixpoint — per-shard state is private
+/// and dropped wholesale, so an aborted round can never leak into results.
+Status MergeRoundAbortCheck() {
+  GPMV_RETURN_NOT_OK(exec::CheckDeadline());
+  if (GPMV_FAULT_POINT(exec::CurrentFault(), "shard.merge_round")) {
+    return FaultInjector::InjectedFault("shard.merge_round");
+  }
+  return Status::OK();
+}
 
 void ShardSim::RemoveLocal(ShardState& st, uint32_t u, uint32_t rank) {
   if (!st.alive[u].test(rank)) return;
@@ -251,6 +274,11 @@ bool ShardSim::Run(ThreadPool* pool, ShardSimStats* stats) {
 
   std::vector<std::vector<Decrement>> inbox(k);
   for (;;) {
+    // Each round barrier is a cancellation checkpoint: the deadline and the
+    // `shard.merge_round` fault point are only consulted here, where no
+    // shard task is in flight and the partial state can be dropped whole.
+    run_status_ = MergeRoundAbortCheck();
+    if (!run_status_.ok()) return false;
     // Barrier: settle the emptiness accounting and route every shard's
     // outgoing decrements to their destination inboxes.
     for (uint32_t s = 0; s < k; ++s) {
@@ -401,7 +429,10 @@ Status ShardedRefineSimulation(const Pattern& q, const ShardedSnapshot& ss,
     if (space.size(u) == 0) return Status::OK();  // all-empty result
   }
   ShardSim engine(q, ss, space, dual);
-  if (!engine.Run(pool, stats)) return Status::OK();
+  if (!engine.Run(pool, stats)) {
+    GPMV_RETURN_NOT_OK(engine.run_status());
+    return Status::OK();  // ordinary all-empty result
+  }
   engine.CollectSim(sim);
   return Status::OK();
 }
@@ -422,7 +453,10 @@ Result<MatchResult> ShardedMatchSimulation(
     if (space.size(u) == 0) return result;
   }
   ShardSim engine(q, ss, space, dual);
-  if (!engine.Run(pool, stats)) return result;
+  if (!engine.Run(pool, stats)) {
+    GPMV_RETURN_NOT_OK(engine.run_status());
+    return result;  // ordinary all-empty result
+  }
 
   // Stitch per-shard owned-source matches; shards partition the sources,
   // so concatenation is duplicate-free and Normalize() canonicalizes the
@@ -608,6 +642,9 @@ Status ShardedComputeBoundedRelation(const Pattern& qb,
   while (changed) {
     changed = false;
     for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+      // Per-edge pass = one merge round here: BFS + fan-out filter between
+      // two serial points, same checkpoint granularity as ShardSim::Run.
+      GPMV_RETURN_NOT_OK(MergeRoundAbortCheck());
       const PatternEdge& pe = qb.edge(e);
       auto& su = (*sim)[pe.src];
       const auto& st = (*sim)[pe.dst];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitset.h"
+#include "common/exec_context.h"
 #include "graph/traversal.h"
 
 namespace gpmv {
@@ -94,6 +95,10 @@ Status ComputeBoundedSimulationRelation(
   while (changed) {
     changed = false;
     for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+      // One BFS + filter pass per pattern edge is the unit of work here, so
+      // a per-edge deadline checkpoint bounds overrun to a single pass.
+      // Partial *sim is abandoned on error, never returned.
+      GPMV_RETURN_NOT_OK(exec::CheckDeadline());
       const PatternEdge& pe = qb.edge(e);
       auto& su = (*sim)[pe.src];
       const auto& st = (*sim)[pe.dst];
@@ -153,6 +158,10 @@ Result<MatchResult> ExtractBoundedMatches(
 
   BfsScratch scratch(g.num_nodes());
   for (uint32_t e = 0; e < qb.num_edges(); ++e) {
+    // Extraction runs one BFS per candidate — the most expensive tail of a
+    // bounded query — so it honors the deadline at the same per-edge grain
+    // as the fixpoint above.
+    GPMV_RETURN_NOT_OK(exec::CheckDeadline());
     const PatternEdge& pe = qb.edge(e);
     auto* se = result.mutable_edge_matches(e);
     std::vector<uint32_t>* de =

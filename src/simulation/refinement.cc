@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/bitset.h"
+#include "common/exec_context.h"
 #include "simulation/bounded.h"  // ComputeCandidateSets
 
 namespace gpmv {
@@ -98,8 +99,17 @@ Status RefineSimulation(const Pattern& q, const GraphSnapshot& g,
     }
   }
 
-  // Propagate removals to the fixpoint.
+  // Propagate removals to the fixpoint. The deadline checkpoint is amortized
+  // over a stride of worklist pops: one steady_clock read per ~1k removals
+  // keeps the overhead invisible while bounding how long an expired query
+  // can keep refining. Partial state is simply abandoned — the caller never
+  // sees *sim on error.
+  constexpr size_t kDeadlineStride = 1024;
+  size_t pops = 0;
   while (!st.removals.empty()) {
+    if (++pops % kDeadlineStride == 0) {
+      GPMV_RETURN_NOT_OK(exec::CheckDeadline());
+    }
     auto [u2, r2] = st.removals.front();
     st.removals.pop_front();
     if (st.alive_count[u2] == 0) return Status::OK();

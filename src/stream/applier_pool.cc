@@ -89,6 +89,48 @@ uint64_t ApplierPool::Push(EdgeUpdate op) {
   return ts;
 }
 
+Status ApplierPool::PushWithDeadline(EdgeUpdate op, double timeout_ms,
+                                     uint64_t* ts_out) {
+  const size_t k = streams_.size();
+  const size_t slice = SliceOf(op.u, op.v, k);
+  // Quarantine fast path, checked before any ticket is assigned: the
+  // slice's consumer is parked, so a full queue can only time out — tell
+  // the producer *why* (retryable after ReviveSlice) instead of burning
+  // its deadline. Checked again implicitly by the timeout below for the
+  // quarantined-after-we-looked race.
+  if (appliers_[slice]->quarantined()) {
+    return Status::ResourceExhausted("stream slice " + std::to_string(slice) +
+                                     " quarantined");
+  }
+  std::lock_guard<std::mutex> slk(route_mu_[slice]);
+  uint64_t ts, prev_tail;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) {
+      return Status::Internal("applier pool stopped");
+    }
+    ts = next_ts_++;
+    prev_tail = last_routed_[slice];
+    last_routed_[slice] = ts;
+    ++routed_count_[slice];
+  }
+  bool timed_out = false;
+  if (streams_[slice]->PushWithTs(op, ts, timeout_ms, &timed_out) == 0) {
+    // Not accepted (closed or timed out): un-route exactly like the
+    // blocking path — the burned ticket keeps the watermark conservative.
+    std::lock_guard<std::mutex> lk(mu_);
+    last_routed_[slice] = prev_tail;
+    --routed_count_[slice];
+    if (timed_out) {
+      return Status::DeadlineExceeded("stream slice " + std::to_string(slice) +
+                                      " push timed out (backpressure)");
+    }
+    return Status::Internal("applier pool stopped");
+  }
+  if (ts_out != nullptr) *ts_out = ts;
+  return Status::OK();
+}
+
 void ApplierPool::RefreshWatermark() {
   // Ticket assignment bumps last_routed_ under the pool mutex *before*
   // the op is enqueued (the enqueue runs outside mu_, serialized per
@@ -102,10 +144,11 @@ void ApplierPool::RefreshWatermark() {
   const uint64_t global = next_ts_ - 1;
   if (global == 0) return;
   for (size_t i = 0; i < appliers_.size(); ++i) {
-    // A sticky-failed applier keeps consuming (discarding) ops so
-    // producers never block on a dead consumer, but nothing it consumed
-    // was applied: its slice clock must stay at the last successful
-    // apply, pinning the published watermark there — never heartbeat it.
+    // A quarantined applier retains (rather than applies) its failed
+    // batch: its slice clock must stay at the last successful apply,
+    // pinning the published watermark there — never heartbeat it. After
+    // a successful ReviveSlice the status is OK again and the next
+    // refresh lets the slice catch back up.
     if (!appliers_[i]->status().ok()) continue;
     if (last_routed_[i] == global) continue;  // its own commit advances it
     if (appliers_[i]->consumed_through_ts() >= last_routed_[i]) {
@@ -122,10 +165,27 @@ Status ApplierPool::FlushAndWait() {
   }
   // All per-slice queues drained: every *healthy* slice is quiet through
   // the global ts, so the published watermark catches up to it here — or,
-  // when an applier is sticky-failed, stays pinned at its last successful
-  // apply (its ops were discarded, not applied).
+  // when an applier is quarantined, stays pinned at its last successful
+  // apply (its ops are retained in the redo log, not applied).
   RefreshWatermark();
   return out;
+}
+
+Status ApplierPool::ReviveSlice(size_t i) {
+  if (i >= appliers_.size()) {
+    return Status::InvalidArgument("no such stream slice");
+  }
+  Status st = appliers_[i]->Revive();
+  // On success the slice clock advanced through the replayed commits; the
+  // refresh heartbeats it the rest of the way (it is quiet now — its queue
+  // was empty behind the quarantine, or the parked applier resumes and the
+  // per-batch refresh takes over).
+  RefreshWatermark();
+  return st;
+}
+
+bool ApplierPool::slice_quarantined(size_t i) const {
+  return i < appliers_.size() && appliers_[i]->quarantined();
 }
 
 Status ApplierPool::Stop() {

@@ -38,16 +38,23 @@
 /// in that tail) and its clock heartbeats forward
 /// (QueryEngine::AdvanceStreamSlice). A slice with a pending op keeps its
 /// clock — and therefore the global watermark — exactly at its last
-/// applied ts: a lagging applier can never publish a hole. A sticky-failed
-/// applier is never heartbeated: it discards (rather than applies) what it
-/// consumes, so its slice clock pins the watermark at its last successful
-/// apply — FlushAndWait then returns the sticky error with the watermark
-/// still short of the global ts.
+/// applied ts: a lagging applier can never publish a hole. A *quarantined*
+/// applier (retries exhausted — see stream_applier.h) is never heartbeated:
+/// its failed batch is retained in the redo log, not applied, so its slice
+/// clock pins the watermark at its last successful apply — FlushAndWait
+/// then returns the quarantine status (kResourceExhausted) with the
+/// watermark still short of the global ts, and producers routing to that
+/// slice feel queue backpressure (Push blocks; PushWithDeadline fast-fails
+/// kResourceExhausted). ReviveSlice replays the slice's redo log and, on
+/// success, lets the next refresh heartbeat the slice clock back up to the
+/// global ts — the watermark reintegrates without holes because nothing
+/// was ever skipped.
 ///
 /// Quiesce/teardown mirror the single-applier contract: FlushAndWait
 /// flushes every applier then refreshes the watermark to the global ts;
 /// Stop closes all streams, joins all threads, returns the first sticky
-/// failure.
+/// failure (a quarantined slice's retained ops are discarded by its
+/// applier's Stop as explicit ops_dropped — the only drop path).
 
 #ifndef GPMV_STREAM_APPLIER_POOL_H_
 #define GPMV_STREAM_APPLIER_POOL_H_
@@ -94,11 +101,28 @@ class ApplierPool {
   /// stopped.
   uint64_t Push(EdgeUpdate op);
 
+  /// Deadline-bounded Push. Fast-fails kResourceExhausted (assigning no
+  /// ticket) when the target slice is quarantined — its consumer is parked,
+  /// so waiting on its full queue would only time out anyway — and returns
+  /// kDeadlineExceeded when the slice queue stays full past `timeout_ms`.
+  /// On success stores the assigned ts through `*ts` (when non-null).
+  Status PushWithDeadline(EdgeUpdate op, double timeout_ms,
+                          uint64_t* ts = nullptr);
+
   /// Blocks until every op pushed before the call is applied-and-published
-  /// or discarded by a sticky failure, then heartbeats every quiet slice
-  /// so the published watermark reaches the global last-assigned ts.
-  /// Returns the first applier's sticky failure (OK while all healthy).
+  /// or retained behind a quarantine, then heartbeats every quiet slice so
+  /// the published watermark reaches the global last-assigned ts. Returns
+  /// the first applier's quarantine status (OK while all healthy).
   Status FlushAndWait();
+
+  /// Replays slice `i`'s quarantined redo log from the calling thread
+  /// (StreamApplier::Revive) and refreshes the watermark so the healed
+  /// slice clock catches back up. OK and a no-op on a healthy slice.
+  Status ReviveSlice(size_t i);
+
+  /// True while slice `i`'s applier is quarantined (redo retained, thread
+  /// parked). Non-blocking.
+  bool slice_quarantined(size_t i) const;
 
   /// Closes every stream, drains remainders, joins all applier threads.
   /// Idempotent; returns the first sticky failure.

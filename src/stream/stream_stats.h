@@ -40,9 +40,13 @@ struct StreamStats {
   size_t ops_ingested = 0;   ///< ops the applier popped off the queue
   size_t ops_applied = 0;    ///< ops forwarded to ApplyStreamBatch (post-coalesce)
   size_t ops_coalesced = 0;  ///< ops eliminated by per-edge last-op-wins
-  size_t ops_dropped = 0;    ///< ops discarded after a sticky apply failure
+  size_t ops_dropped = 0;  ///< ops discarded by Stop() on a quarantined
+                           ///< slice (quarantine itself retains, never drops)
   size_t batches_applied = 0;   ///< micro-batches pushed through the engine
   size_t apply_failures = 0;    ///< ApplyStreamBatch calls that failed
+  size_t retries = 0;      ///< failed-batch re-apply attempts (post-backoff)
+  size_t quarantines = 0;  ///< slices that exhausted retries (redo retained)
+  size_t revives = 0;      ///< successful ReviveSlice redo replays
   size_t flushes = 0;           ///< FlushAndWait quiesce calls served
   size_t max_queue_depth = 0;   ///< enqueue-side high-water mark
   size_t max_batch_size = 0;    ///< largest micro-batch applied
@@ -80,6 +84,9 @@ struct StreamStats {
     ops_dropped += o.ops_dropped;
     batches_applied += o.batches_applied;
     apply_failures += o.apply_failures;
+    retries += o.retries;
+    quarantines += o.quarantines;
+    revives += o.revives;
     flushes += o.flushes;
     max_queue_depth = std::max(max_queue_depth, o.max_queue_depth);
     max_batch_size = std::max(max_batch_size, o.max_batch_size);

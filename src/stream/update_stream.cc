@@ -24,11 +24,53 @@ uint64_t UpdateStream::Push(EdgeUpdate op) {
   return ts;
 }
 
+uint64_t UpdateStream::Push(EdgeUpdate op, double timeout_ms,
+                            bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool ok = not_full_.wait_for(
+      lk, std::chrono::duration<double, std::milli>(timeout_ms),
+      [this] { return closed_ || queue_.size() < opts_.queue_capacity; });
+  if (!ok) {
+    if (timed_out != nullptr) *timed_out = true;
+    return 0;
+  }
+  if (closed_) return 0;
+  const uint64_t ts = next_ts_++;
+  queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});
+  ++ops_accepted_;
+  max_depth_ = std::max(max_depth_, queue_.size());
+  lk.unlock();
+  not_empty_.notify_one();
+  return ts;
+}
+
 uint64_t UpdateStream::PushWithTs(EdgeUpdate op, uint64_t ts) {
   std::unique_lock<std::mutex> lk(mu_);
   not_full_.wait(lk, [this] {
     return closed_ || queue_.size() < opts_.queue_capacity;
   });
+  if (closed_ || ts < next_ts_) return 0;
+  next_ts_ = ts + 1;
+  queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});
+  ++ops_accepted_;
+  max_depth_ = std::max(max_depth_, queue_.size());
+  lk.unlock();
+  not_empty_.notify_one();
+  return ts;
+}
+
+uint64_t UpdateStream::PushWithTs(EdgeUpdate op, uint64_t ts,
+                                  double timeout_ms, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool ok = not_full_.wait_for(
+      lk, std::chrono::duration<double, std::milli>(timeout_ms),
+      [this] { return closed_ || queue_.size() < opts_.queue_capacity; });
+  if (!ok) {
+    if (timed_out != nullptr) *timed_out = true;
+    return 0;
+  }
   if (closed_ || ts < next_ts_) return 0;
   next_ts_ = ts + 1;
   queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});

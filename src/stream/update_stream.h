@@ -82,6 +82,13 @@ class UpdateStream {
   /// was closed.
   uint64_t Push(EdgeUpdate op);
 
+  /// Deadline-bounded Push: waits at most `timeout_ms` for queue space.
+  /// Returns 0 on close *or* timeout; `*timed_out` (when non-null)
+  /// distinguishes the two. The escape hatch for producers backpressured
+  /// by a consumer that stopped draining (a quarantined slice applier) —
+  /// they surface kDeadlineExceeded instead of blocking forever.
+  uint64_t Push(EdgeUpdate op, double timeout_ms, bool* timed_out);
+
   /// Enqueues `op` with an *externally assigned* timestamp — the
   /// ApplierPool's routing path, where one global ticket source spans K
   /// per-slice streams and each stream sees a strictly increasing
@@ -89,6 +96,12 @@ class UpdateStream {
   /// seen (InvalidArgument-by-0 otherwise); blocks at capacity like Push,
   /// returns `ts` on success and 0 when closed or out of order.
   uint64_t PushWithTs(EdgeUpdate op, uint64_t ts);
+
+  /// Deadline-bounded PushWithTs (see the deadline-bounded Push): returns
+  /// 0 on close, out-of-order ts, or timeout; `*timed_out` flags the
+  /// timeout case.
+  uint64_t PushWithTs(EdgeUpdate op, uint64_t ts, double timeout_ms,
+                      bool* timed_out);
 
   /// Non-blocking Push: fails (returns 0) when the queue is full or the
   /// stream is closed; `*full` distinguishes the two when non-null.

@@ -1,0 +1,294 @@
+/// \file chaos_test.cc
+/// \brief The fault-schedule equivalence oracle (the chaos CI job runs this
+/// suite under TSan via `ctest -L chaos`): seeded fault schedules injected
+/// at the registered fault points (common/fault.h) must never change what
+/// the engine finally answers. For every schedule the faulted, streamed
+/// engine — after retries, quarantines, revivals, dropped refreeze fast
+/// paths and sharded-merge failovers — must end *bit-identical* to a
+/// fault-free batch oracle AND a fault-free per-op oracle: final Q(G) for
+/// every probe, the maintained view extensions their plans read, the edge
+/// count, and the stream accounting (zero silently dropped ops).
+///
+/// Two fault profiles sweep the failure domains:
+///  * apply    — `stream.apply` fire-on-Nth schedules (including a
+///               consecutive run long enough to exhaust max_attempts and
+///               quarantine an applier) plus background `snapshot.refreeze`
+///               noise; recovery = Disarm + ReviveSlice, replaying the redo
+///               log. Exercises retry, quarantine, revival, watermark
+///               reintegration.
+///  * degrade  — `snapshot.refreeze` at probability 1.0 (every streamed
+///               commit loses the incremental-freeze fast path) and
+///               `shard.merge_round` on a sharded engine (every fan-out
+///               aborts mid-merge and fails over to the unsharded path).
+///               These points degrade, never error — no recovery step, the
+///               answers must simply not notice.
+///
+/// The matrix is 25 base seeds x K ∈ {1, 4} appliers x both profiles =
+/// 100 fault schedules. Seeds come from testutil::StressSeeds — reproduce a
+/// CI failure with GPMV_STRESS_SEED=<logged seed> (docs/TESTING.md), which
+/// pins the run to that base seed's 4 schedules.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/random.h"
+#include "engine/query_engine.h"
+#include "stream/applier_pool.h"
+#include "stream/update_stream.h"
+#include "test_util.h"
+#include "workload/graph_gen.h"
+#include "workload/pattern_gen.h"
+
+namespace gpmv {
+namespace {
+
+#if !GPMV_FAULT_INJECTION
+TEST(ChaosEquivalenceTest, SkippedWithoutFaultInjection) {
+  GTEST_SKIP() << "built with GPMV_FAULT_INJECTION=OFF";
+}
+#else
+
+struct ChaosFixture {
+  Graph graph;
+  std::vector<Pattern> probes;
+  ViewSet views;
+};
+
+/// Small enough that 100 engine instances stay cheap, rich enough that the
+/// plans read maintained view extensions (probe 0 has covering views).
+ChaosFixture MakeFixture(uint64_t seed) {
+  ChaosFixture f;
+  RandomGraphOptions go;
+  go.num_nodes = 160;
+  go.num_edges = 480;
+  go.num_labels = 5;
+  go.seed = 8600 + seed;
+  f.graph = GenerateRandomGraph(go);
+
+  for (uint64_t i = 1; i <= 2; ++i) {
+    RandomPatternOptions po;
+    po.num_nodes = 3;
+    po.num_edges = 3;
+    po.label_pool = SyntheticLabels(5);
+    po.seed = 60 * seed + i;
+    f.probes.push_back(GenerateRandomPattern(po));
+  }
+  CoveringViewOptions co;
+  co.edges_per_view = 2;
+  co.num_distractors = 0;
+  co.seed = 700 + seed;
+  ViewSet cover = GenerateCoveringViews(f.probes[0], co);
+  for (const ViewDefinition& def : cover.views()) {
+    f.views.Add(ViewDefinition{def.name + "_c", def.pattern});
+  }
+  return f;
+}
+
+/// Random op stream with hot-pair churn (duplicates + contradicting ops on
+/// the same edge), same shape as the stream-equivalence suites.
+std::vector<EdgeUpdate> MakeOps(const Graph& g, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(g.num_nodes());
+  const NodeId hot = std::max<NodeId>(4, n / 100);
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const bool hot_pair = rng.NextBounded(4) == 0;
+    const NodeId span = hot_pair ? hot : n;
+    NodeId u = static_cast<NodeId>(rng.NextBounded(span));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(span));
+    if (u == v) v = (v + 1) % span;
+    ops.push_back(rng.NextBounded(2) == 0 ? EdgeUpdate::Insert(u, v)
+                                          : EdgeUpdate::Delete(u, v));
+  }
+  return ops;
+}
+
+std::unique_ptr<QueryEngine> MakeEngine(const ChaosFixture& f, uint32_t shards,
+                                        FaultInjector* fault) {
+  EngineOptions opts;
+  opts.pool.num_threads = 2;
+  opts.maintenance.enable_delta = true;
+  opts.sharding.num_shards = shards;
+  opts.result_cache.budget_bytes = 0;  // compare evaluations, not memo hits
+  opts.fault = fault;
+  auto engine = std::make_unique<QueryEngine>(f.graph, opts);
+  for (const ViewDefinition& def : f.views.views()) {
+    EXPECT_TRUE(engine->RegisterView(def.name, def.pattern).ok());
+  }
+  EXPECT_TRUE(engine->WarmViews().ok());
+  return engine;
+}
+
+/// Probe + view-pattern answers, normalized (view patterns double as an
+/// extension probe: their plans read the cached extension bit-for-bit).
+std::vector<MatchResult> Answers(QueryEngine* engine, const ChaosFixture& f) {
+  std::vector<MatchResult> out;
+  for (const Pattern& q : f.probes) {
+    QueryResponse resp = engine->Query(q);
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    out.push_back(std::move(resp.result));
+  }
+  for (const ViewDefinition& def : f.views.views()) {
+    QueryResponse resp = engine->Query(def.pattern);
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    resp.result.Normalize();
+    out.push_back(std::move(resp.result));
+  }
+  return out;
+}
+
+enum class Profile { kApply, kDegrade };
+
+void ArmProfile(FaultInjector* fault, Profile profile, uint64_t seed) {
+  if (profile == Profile::kApply) {
+    // A consecutive run of max_attempts failures quarantines whichever
+    // batch lands on it (deterministically with K=1; with K=4 the hits
+    // interleave across appliers, which is the point — any split must
+    // still recover), plus two isolated hits that in-place retries absorb.
+    const uint64_t f0 = 2 + seed % 4;
+    FaultPointSpec apply;
+    apply.fire_on = {f0, f0 + 1, f0 + 2, f0 + 8, f0 + 12};
+    fault->Arm("stream.apply", apply);
+    FaultPointSpec refreeze;
+    refreeze.probability = 0.25;
+    fault->Arm("snapshot.refreeze", refreeze);
+  } else {
+    FaultPointSpec refreeze;
+    refreeze.probability = 1.0;  // every commit loses the fast path
+    fault->Arm("snapshot.refreeze", refreeze);
+    FaultPointSpec merge;
+    merge.probability = 1.0;  // every fan-out aborts at its first barrier
+    fault->Arm("shard.merge_round", merge);
+  }
+}
+
+TEST(ChaosEquivalenceTest, NoFaultScheduleChangesFinalAnswers) {
+  size_t schedules = 0;
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= 25; ++s) seeds.push_back(s);
+  for (uint64_t seed : testutil::StressSeeds(seeds)) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ChaosFixture f = MakeFixture(seed);
+    const std::vector<EdgeUpdate> ops = MakeOps(f.graph, 96, 5000 + seed);
+
+    // Fault-free oracles, computed once per base seed.
+    std::unique_ptr<QueryEngine> batched = MakeEngine(f, 1, nullptr);
+    ASSERT_TRUE(batched->ApplyUpdates(UpdateStream::Coalesce(ops)).ok());
+    const std::vector<MatchResult> oracle = Answers(batched.get(), f);
+    const size_t final_edges = batched->num_graph_edges();
+    std::unique_ptr<QueryEngine> per_op = MakeEngine(f, 1, nullptr);
+    for (const EdgeUpdate& op : ops) {
+      ASSERT_TRUE(per_op->ApplyUpdates({op}).ok());
+    }
+    const std::vector<MatchResult> per_op_oracle = Answers(per_op.get(), f);
+
+    for (Profile profile : {Profile::kApply, Profile::kDegrade}) {
+      for (size_t k : {size_t{1}, size_t{4}}) {
+        SCOPED_TRACE(std::string("profile=") +
+                     (profile == Profile::kApply ? "apply" : "degrade") +
+                     " appliers=" + std::to_string(k));
+        FaultInjector fault(9000 + seed * 13 + k);
+        ArmProfile(&fault, profile, seed);
+        // The degrade profile runs sharded so shard.merge_round has a
+        // barrier to abort; the apply profile stays unsharded.
+        const uint32_t shards = profile == Profile::kDegrade ? 4 : 1;
+        std::unique_ptr<QueryEngine> engine = MakeEngine(f, shards, &fault);
+
+        ApplierPoolOptions po;
+        po.num_appliers = k;
+        po.applier.max_batch = 8;  // many micro-batches => many fault hits
+        // Fast retries so a quarantined schedule doesn't stall the suite.
+        po.applier.retry.max_attempts = 3;
+        po.applier.retry.backoff_base_ms = 0.2;
+        po.applier.retry.backoff_max_ms = 1.0;
+        // A quarantined slice stops draining; its queue must hold the whole
+        // remainder so producers never block on a parked consumer.
+        po.stream.queue_capacity = ops.size() + 16;
+        ApplierPool pool(engine.get(), po);
+        for (const EdgeUpdate& op : ops) ASSERT_NE(pool.Push(op), 0u);
+
+        // First quiesce: OK, or the quarantine status of an exhausted
+        // slice. Nothing may be dropped either way.
+        const Status flushed = pool.FlushAndWait();
+        bool any_quarantined = false;
+        for (size_t i = 0; i < pool.num_appliers(); ++i) {
+          any_quarantined |= pool.slice_quarantined(i);
+        }
+        EXPECT_EQ(!flushed.ok(), any_quarantined) << flushed.ToString();
+        if (profile == Profile::kApply && k == 1) {
+          // Single applier => the fire-on hits are strictly sequential, so
+          // the consecutive run of max_attempts failures always exhausts a
+          // batch: this leg of the matrix pins quarantine+revive coverage.
+          EXPECT_TRUE(any_quarantined);
+        }
+        if (any_quarantined) {
+          ASSERT_EQ(flushed.code(), Status::Code::kResourceExhausted);
+          // Degraded serving: the engine keeps answering (from the head)
+          // and says so while ops are retained behind the quarantine.
+          QueryResponse during = engine->Query(f.probes[0]);
+          EXPECT_TRUE(during.status.ok()) << during.status.ToString();
+          EXPECT_TRUE(during.degraded);
+        }
+
+        // Recovery: stop injecting apply failures (the degradation points
+        // stay armed — they must never need recovery), replay every redo
+        // log, and quiesce for real.
+        fault.Disarm("stream.apply");
+        for (size_t i = 0; i < pool.num_appliers(); ++i) {
+          if (pool.slice_quarantined(i)) {
+            ASSERT_TRUE(pool.ReviveSlice(i).ok()) << "slice " << i;
+          }
+        }
+        ASSERT_TRUE(pool.FlushAndWait().ok());
+        EXPECT_EQ(pool.last_assigned_ts(), ops.size());
+        EXPECT_EQ(engine->applied_through_ts(), ops.size());
+        EXPECT_EQ(engine->num_graph_edges(), final_edges);
+
+        const std::vector<MatchResult> got = Answers(engine.get(), f);
+        ASSERT_EQ(got.size(), oracle.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_TRUE(got[i] == oracle[i])
+              << "faulted run diverged from batch oracle on answer " << i;
+          EXPECT_TRUE(got[i] == per_op_oracle[i])
+              << "faulted run diverged from per-op oracle on answer " << i;
+        }
+
+        // Zero silent drops: every op accounted for, none discarded.
+        EngineStats s = engine->stats();
+        EXPECT_EQ(s.stream.ops_ingested, ops.size());
+        EXPECT_EQ(s.stream.ops_dropped, 0u);
+        EXPECT_EQ(s.stream.ops_ingested,
+                  s.stream.ops_applied + s.stream.ops_coalesced);
+        if (profile == Profile::kApply) {
+          EXPECT_GT(fault.fired("stream.apply"), 0u);
+          EXPECT_EQ(s.stream.apply_failures, fault.fired("stream.apply"));
+          EXPECT_EQ(s.stream.quarantines > 0, any_quarantined);
+          EXPECT_EQ(s.stream.revives > 0, any_quarantined);
+        } else {
+          EXPECT_GT(fault.fired("snapshot.refreeze"), 0u);
+          EXPECT_EQ(s.stream.quarantines, 0u);
+        }
+
+        ASSERT_TRUE(pool.Stop().ok());
+        EXPECT_TRUE(engine->CheckCacheConsistency(/*expect_unpinned=*/true));
+        ++schedules;
+      }
+    }
+  }
+  // 100 by default; a GPMV_STRESS_SEED replay pins one base seed (4).
+  if (std::getenv("GPMV_STRESS_SEED") == nullptr) {
+    EXPECT_GE(schedules, 100u);
+  }
+}
+
+#endif  // GPMV_FAULT_INJECTION
+
+}  // namespace
+}  // namespace gpmv

@@ -44,7 +44,10 @@ TEST(ThreadPoolTest, BoundedQueueAppliesBackpressureNotLoss) {
 }
 
 TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
-  ThreadPool pool(ThreadPoolOptions{1, 4, {}});
+  ThreadPoolOptions opts;
+  opts.num_threads = 1;
+  opts.queue_capacity = 4;
+  ThreadPool pool(opts);
   pool.Shutdown();
   Status st = pool.Submit([] {});
   EXPECT_FALSE(st.ok());
@@ -53,7 +56,10 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
 }
 
 TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
-  ThreadPool pool(ThreadPoolOptions{0, 16, {}});
+  ThreadPoolOptions opts;
+  opts.num_threads = 0;
+  opts.queue_capacity = 16;
+  ThreadPool pool(opts);
   EXPECT_GE(pool.num_threads(), 1u);
   std::atomic<int> counter{0};
   ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());

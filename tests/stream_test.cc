@@ -240,29 +240,77 @@ TEST(StreamApplierTest, ContradictingOpsFollowStreamOrderNotSetSemantics) {
   ASSERT_TRUE(applier.Stop().ok());
 }
 
-TEST(StreamApplierTest, StickyFailureDropsLaterOpsAndSurfacesInFlush) {
+TEST(StreamApplierTest, QuarantineRetainsOpsUntilStopSettlesThemAsDrops) {
   ApplierFixture f;
   QueryEngine engine(f.graph, f.opts);
   UpdateStream stream;
   StreamApplier applier(&engine, &stream);
 
-  // Node 99 does not exist: the micro-batch fails validation up front.
+  // Node 99 does not exist: the micro-batch fails validation up front —
+  // a deterministic failure, so the applier quarantines without burning
+  // backoff retries, and producers see kResourceExhausted backpressure.
   stream.Push(EdgeUpdate::Insert(0, 99));
   Status st = applier.FlushAndWait();
   EXPECT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(st.code(), Status::Code::kResourceExhausted);
+  EXPECT_TRUE(applier.quarantined());
+  EXPECT_EQ(applier.redo_depth(), 1u);
 
-  // Later (valid) ops are discarded, not applied — and flush still returns.
+  // Later (valid) ops are *retained* behind the quarantine — not applied,
+  // but not silently dropped either — and flush still returns.
   stream.Push(EdgeUpdate::Insert(0, 2));
-  EXPECT_FALSE(applier.FlushAndWait().ok());
+  EXPECT_EQ(applier.FlushAndWait().code(), Status::Code::kResourceExhausted);
   EXPECT_EQ(engine.num_graph_edges(), 3u);  // chain untouched
 
   EngineStats s = engine.stats();
-  EXPECT_EQ(s.stream.ops_dropped, 2u);
+  // Deferred accounting: the quarantined batch's ops count only when the
+  // redo entry resolves, so no snapshot ever shows a silent drop.
+  EXPECT_EQ(s.stream.ops_dropped, 0u);
   EXPECT_EQ(s.stream.ops_applied, 0u);
   EXPECT_EQ(s.stream.apply_failures, 1u);
+  EXPECT_EQ(s.stream.quarantines, 1u);
   EXPECT_EQ(s.stream.applied_through_ts, 0u);
+  EXPECT_EQ(engine.quarantined_slices(), 1u);
+
+  // Only Stop() on a quarantined applier gives up the retained ops —
+  // settled as *explicit* drops, keeping the accounting identity intact.
   EXPECT_FALSE(applier.Stop().ok());
+  s = engine.stats();
+  EXPECT_EQ(s.stream.ops_dropped, 2u);
+  EXPECT_EQ(s.stream.ops_ingested,
+            s.stream.ops_applied + s.stream.ops_coalesced +
+                s.stream.ops_dropped);
+  EXPECT_EQ(engine.quarantined_slices(), 0u);  // teardown balances the flag
+}
+
+TEST(StreamApplierTest, TransientFaultRetriesInPlaceAndSucceeds) {
+  ApplierFixture f;
+  FaultInjector fault(71);
+  FaultPointSpec spec;
+  spec.fire_on = {1};  // only the first commit attempt fails
+  fault.Arm("stream.apply", spec);
+  f.opts.fault = &fault;
+  QueryEngine engine(f.graph, f.opts);
+  UpdateStream stream;
+  StreamApplierOptions ao;
+  ao.retry.max_attempts = 3;
+  ao.retry.backoff_base_ms = 0.1;
+  ao.retry.backoff_max_ms = 0.5;
+  StreamApplier applier(&engine, &stream, ao);
+
+  stream.Push(EdgeUpdate::Insert(0, 2));
+  ASSERT_TRUE(applier.FlushAndWait().ok());
+  EXPECT_FALSE(applier.quarantined());
+  EXPECT_EQ(engine.num_graph_edges(), 4u);
+  EXPECT_EQ(engine.applied_through_ts(), 1u);
+
+  EngineStats s = engine.stats();
+  EXPECT_EQ(s.stream.apply_failures, 1u);
+  EXPECT_GE(s.stream.retries, 1u);
+  EXPECT_EQ(s.stream.quarantines, 0u);
+  EXPECT_EQ(s.stream.ops_dropped, 0u);
+  EXPECT_EQ(fault.fired("stream.apply"), 1u);
+  ASSERT_TRUE(applier.Stop().ok());
 }
 
 TEST(StreamApplierTest, StatsInvariantsHoldAfterBurst) {
@@ -358,7 +406,7 @@ TEST(ApplierPoolTest, BackpressureNeverWedgesWatermarkRefresh) {
   ASSERT_TRUE(pool.Stop().ok());
 }
 
-TEST(ApplierPoolTest, StickyFailedApplierPinsWatermark) {
+TEST(ApplierPoolTest, QuarantinedApplierPinsWatermark) {
   ApplierFixture f;
   QueryEngine engine(f.graph, f.opts);
   ApplierPoolOptions po;
@@ -366,10 +414,12 @@ TEST(ApplierPoolTest, StickyFailedApplierPinsWatermark) {
   ApplierPool pool(&engine, po);
 
   // Node 99 does not exist: the op's micro-batch fails validation up
-  // front and leaves its slice's applier sticky-failed.
+  // front and leaves its slice's applier quarantined.
   const size_t bad_slice = ApplierPool::SliceOf(0, 99, 2);
   ASSERT_EQ(pool.Push(EdgeUpdate::Insert(0, 99)), 1u);
-  EXPECT_FALSE(pool.FlushAndWait().ok());
+  Status flush = pool.FlushAndWait();
+  EXPECT_EQ(flush.code(), Status::Code::kResourceExhausted);
+  EXPECT_TRUE(pool.slice_quarantined(bad_slice));
 
   // A valid op routed to the *other* slice still applies. (Any new edge
   // over the chain's 4 nodes will do, as long as it hashes elsewhere.)
@@ -387,21 +437,128 @@ TEST(ApplierPoolTest, StickyFailedApplierPinsWatermark) {
   }
   ASSERT_TRUE(found);
   ASSERT_EQ(pool.Push(good), 2u);
-  EXPECT_FALSE(pool.FlushAndWait().ok());  // sticky error still surfaces
+  EXPECT_FALSE(pool.FlushAndWait().ok());  // quarantine still surfaces
   EXPECT_EQ(engine.num_graph_edges(), 4u);  // healthy slice applied it
 
-  // Regression: the failed applier keeps *consuming* (discarding) ops, so
-  // the pool's heartbeat used to advance its slice clock — publishing a
-  // watermark that covered the dropped op. The watermark must pin at the
-  // failed slice's last successful apply instead (here: ts 0).
+  // Regression: a failed applier that kept *consuming* (discarding) ops
+  // would let the pool's heartbeat advance its slice clock — publishing a
+  // watermark covering an op that never applied. The quarantined slice is
+  // never heartbeated, so the watermark pins at its last successful apply
+  // (here: ts 0) while the retained op waits in the redo log.
   EXPECT_EQ(engine.applied_through_ts(), 0u);
   EXPECT_EQ(engine.stream_slice_versions().MinSlice(), 0u);
 
-  // So a read-your-writes wait on the dropped ticket times out rather
+  // So a read-your-writes wait on the retained ticket times out rather
   // than acking a hole.
   EXPECT_EQ(engine.WaitForWatermark(1, 20.0).code(),
             Status::Code::kDeadlineExceeded);
   EXPECT_FALSE(pool.Stop().ok());
+}
+
+TEST(ApplierPoolTest, ReviveReplaysRedoLogAndUnpinsWatermark) {
+  ApplierFixture f;
+  FaultInjector fault(72);
+  FaultPointSpec spec;
+  spec.fire_on = {1};  // exactly the first streamed commit fails
+  fault.Arm("stream.apply", spec);
+  f.opts.fault = &fault;
+  QueryEngine engine(f.graph, f.opts);
+  ApplierPoolOptions po;
+  po.num_appliers = 1;
+  po.applier.retry.max_attempts = 1;  // no in-place retry: straight to redo
+  ApplierPool pool(&engine, po);
+
+  ASSERT_EQ(pool.Push(EdgeUpdate::Insert(0, 2)), 1u);
+  EXPECT_EQ(pool.FlushAndWait().code(), Status::Code::kResourceExhausted);
+  ASSERT_TRUE(pool.slice_quarantined(0));
+  EXPECT_EQ(engine.applied_through_ts(), 0u);  // watermark pinned
+  EXPECT_EQ(engine.quarantined_slices(), 1u);
+
+  // While quarantined, responses carry the degraded marker.
+  Pattern q = ChainPattern({"A", "B"});
+  QueryResponse during = engine.Query(q);
+  ASSERT_TRUE(during.status.ok());
+  EXPECT_TRUE(during.degraded);
+
+  // The schedule only fired on hit 1, so revival replays the redo log
+  // cleanly, reintegrates the slice clock, and the watermark catches up.
+  ASSERT_TRUE(pool.ReviveSlice(0).ok());
+  EXPECT_FALSE(pool.slice_quarantined(0));
+  EXPECT_EQ(engine.quarantined_slices(), 0u);
+  ASSERT_TRUE(pool.FlushAndWait().ok());
+  EXPECT_EQ(engine.applied_through_ts(), 1u);
+  EXPECT_EQ(engine.num_graph_edges(), 4u);
+
+  // Read-your-writes on the replayed ticket now succeeds.
+  QueryOptions qo;
+  qo.min_applied_ts = 1;
+  QueryResponse after = engine.Query(q, qo);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.degraded);
+  EXPECT_GE(after.applied_through_ts, 1u);
+
+  EngineStats s = engine.stats();
+  EXPECT_EQ(s.stream.quarantines, 1u);
+  EXPECT_EQ(s.stream.revives, 1u);
+  EXPECT_EQ(s.stream.ops_dropped, 0u);
+  EXPECT_EQ(s.stream.ops_ingested,
+            s.stream.ops_applied + s.stream.ops_coalesced);
+  ASSERT_TRUE(pool.Stop().ok());  // healthy again: clean stop
+}
+
+TEST(ApplierPoolTest, PushWithDeadlineFastFailsOnQuarantinedSlice) {
+  ApplierFixture f;
+  QueryEngine engine(f.graph, f.opts);
+  ApplierPoolOptions po;
+  po.num_appliers = 1;
+  ApplierPool pool(&engine, po);
+
+  ASSERT_EQ(pool.Push(EdgeUpdate::Insert(0, 99)), 1u);  // validation fails
+  EXPECT_FALSE(pool.FlushAndWait().ok());
+  ASSERT_TRUE(pool.slice_quarantined(0));
+
+  // Producers get explicit backpressure instead of feeding a parked slice.
+  uint64_t ts = 0;
+  Status st = pool.PushWithDeadline(EdgeUpdate::Insert(0, 2), 50.0, &ts);
+  EXPECT_EQ(st.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(ts, 0u);
+  EXPECT_FALSE(pool.Stop().ok());
+}
+
+TEST(ApplierPoolTest, PushWithDeadlineTimesOutUnderBackpressure) {
+  ApplierFixture f;
+  FaultInjector fault(73);
+  FaultPointSpec spec;
+  spec.probability = 1.0;  // every commit attempt fails: applier stays busy
+  fault.Arm("stream.apply", spec);
+  f.opts.fault = &fault;
+  QueryEngine engine(f.graph, f.opts);
+  ApplierPoolOptions po;
+  po.num_appliers = 1;
+  po.stream.queue_capacity = 1;
+  po.applier.retry.max_attempts = 1000;  // keeps retrying for the whole test
+  po.applier.retry.backoff_base_ms = 20.0;
+  po.applier.retry.backoff_max_ms = 50.0;
+  ApplierPool pool(&engine, po);
+
+  // First op drains immediately and wedges the applier in its retry loop;
+  // the second fills the single-slot queue.
+  ASSERT_NE(pool.Push(EdgeUpdate::Insert(0, 2)), 0u);
+  ASSERT_NE(pool.Push(EdgeUpdate::Insert(1, 3)), 0u);
+
+  // The third would block indefinitely in Push; with a deadline it fails
+  // cleanly instead, and its ticket is returned (no watermark hole).
+  uint64_t ts = 0;
+  Status st = pool.PushWithDeadline(EdgeUpdate::Insert(2, 0), 30.0, &ts);
+  EXPECT_EQ(st.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(ts, 0u);
+
+  EXPECT_FALSE(pool.Stop().ok());  // retries exhausted by shutdown
+  // Whatever was accepted is accounted — nothing silently vanishes.
+  EngineStats s = engine.stats();
+  EXPECT_EQ(s.stream.ops_ingested,
+            s.stream.ops_applied + s.stream.ops_coalesced +
+                s.stream.ops_dropped);
 }
 
 TEST(ApplierPoolTest, PoolOnEngineWithHistoryResumesTickets) {

@@ -85,6 +85,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "engine/query_engine.h"
 #include "obs/exporter.h"
@@ -129,7 +130,8 @@ int Usage() {
       "                 [--appliers N] [--as-of T]\n"
       "                 [--metrics-out <file>] [--metrics-interval-ms N]\n"
       "                 [--prom-out <file>] [--trace] [--no-metrics]\n"
-      "                 [--slow-query-ms M] [--slow-query-log <file>]\n");
+      "                 [--slow-query-ms M] [--slow-query-log <file>]\n"
+      "                 [--fault-spec <points>]\n");
   return 2;
 }
 
@@ -177,7 +179,8 @@ bool ValidateServeFlags(const std::vector<std::string>& args) {
       "--shards",      "--stream",      "--stream-rate",
       "--max-lag-ms",  "--appliers",    "--as-of",
       "--metrics-out", "--metrics-interval-ms",
-      "--prom-out",    "--slow-query-ms", "--slow-query-log"};
+      "--prom-out",    "--slow-query-ms", "--slow-query-log",
+      "--fault-spec"};
   for (size_t i = 2; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--warm" || a == "--hash-shards" || a == "--no-delta" ||
@@ -573,6 +576,23 @@ int CmdServe(const std::vector<std::string>& args) {
     };
   }
 
+  // Manual chaos runs: `--fault-spec "stream.apply@3;exporter.write%0.5"`
+  // arms the named fault points (grammar in common/fault.h; the catalog is
+  // docs/ROBUSTNESS.md) for the whole serve run — engine apply/query paths
+  // and the metrics exporter alike. Declared before the engine so every
+  // consumer outlives nothing.
+  FaultInjector fault;
+  const std::string fault_spec = FlagValue(args, "--fault-spec");
+  if (!fault_spec.empty()) {
+    Status st = fault.ArmFromSpec(fault_spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: --fault-spec: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    opts.fault = &fault;
+  }
+
   QueryEngine engine(std::move(g), opts);
 
   // The exporter starts before warmup so its first snapshots cover view
@@ -582,6 +602,7 @@ int CmdServe(const std::vector<std::string>& args) {
     obs::MetricsExporter::Options eo;
     eo.path = metrics_out;
     eo.interval_ms = metrics_interval_ms;
+    eo.fault = opts.fault;
     exporter = std::make_unique<obs::MetricsExporter>(engine.metrics(), eo);
     if (!exporter->ok()) return 1;
   }
@@ -839,18 +860,31 @@ int CmdServe(const std::vector<std::string>& args) {
       s.mvcc_ryw_timeouts, s.stream_appliers);
   if (!stream_ops.empty()) {
     std::printf(
-        "stream: ingested=%zu applied=%zu coalesced=%zu batches=%zu "
-        "max_batch=%zu queue_max=%zu publish_lag avg %.2fms max %.2fms "
-        "applied_through=%llu\n",
+        "stream: ingested=%zu applied=%zu coalesced=%zu dropped=%zu "
+        "batches=%zu max_batch=%zu queue_max=%zu publish_lag avg %.2fms "
+        "max %.2fms applied_through=%llu\n"
+        "stream faults: failures=%zu retries=%zu quarantines=%zu "
+        "revives=%zu\n",
         s.stream.ops_ingested, s.stream.ops_applied, s.stream.ops_coalesced,
-        s.stream.batches_applied, s.stream.max_batch_size,
-        s.stream.max_queue_depth,
+        s.stream.ops_dropped, s.stream.batches_applied,
+        s.stream.max_batch_size, s.stream.max_queue_depth,
         s.stream.batches_applied == 0
             ? 0.0
             : s.stream.publish_lag_ms_total /
                   static_cast<double>(s.stream.batches_applied),
         s.stream.publish_lag_ms_max,
-        static_cast<unsigned long long>(s.stream.applied_through_ts));
+        static_cast<unsigned long long>(s.stream.applied_through_ts),
+        s.stream.apply_failures, s.stream.retries, s.stream.quarantines,
+        s.stream.revives);
+  }
+  if (!fault_spec.empty()) {
+    std::printf("-- fault injection: %llu fire(s) from spec '%s'; "
+                "deadline_exceeded=%zu shed=%zu degraded=%zu "
+                "export_failures=%zu\n",
+                static_cast<unsigned long long>(fault.total_fired()),
+                fault_spec.c_str(), s.deadline_exceeded, s.shed_queries,
+                s.degraded_queries,
+                exporter ? exporter->export_failures() : 0);
   }
 
   if (slow_query_ms > 0) {

@@ -25,6 +25,9 @@
 ///                       barrier (exercises the unsharded failover)
 ///   executor.task     — reject a pool submission with kResourceExhausted
 ///   exporter.write    — fail one metrics-snapshot write
+///   net.accept        — drop a just-accepted client connection
+///   net.read          — fail a socket read (abrupt connection close)
+///   net.write         — fail a socket flush write (abrupt close)
 ///
 /// Cost when disabled: building with -DGPMV_FAULT_INJECTION=OFF compiles
 /// every GPMV_FAULT_POINT to the constant `false` — no call, no branch on

@@ -1,0 +1,44 @@
+/// \file parse_num.h
+/// \brief Checked parsing of unsigned decimal integers for everything that
+/// consumes user-controlled numeric text (CLI arguments, query-name
+/// suffixes, protocol fields rendered as text).
+///
+/// Why not std::stoull / strtoull: stoull *throws* std::invalid_argument on
+/// garbage (an uncaught abort when used on argv) and both silently accept
+/// things a CLI should reject — leading whitespace, a '+' sign, "0x" hex —
+/// while strtoull additionally wraps negative input ("-1" parses as 2^64-1)
+/// and saturates overflow behind errno. ParseUnsigned accepts exactly the
+/// strings made of decimal digits whose value fits the caller's bound, and
+/// reports everything else as `false` instead of aborting.
+
+#ifndef GPMV_COMMON_PARSE_NUM_H_
+#define GPMV_COMMON_PARSE_NUM_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gpmv {
+
+/// Parses `text` as a non-negative decimal integer into `*out`. Rejects —
+/// returning false with `*out` untouched — empty strings, any non-digit
+/// character (signs, whitespace, hex, trailing junk), and values above
+/// `max`.
+inline bool ParseUnsigned(
+    const std::string& text, uint64_t* out,
+    uint64_t max = std::numeric_limits<uint64_t>::max()) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(ch - '0');
+    if (v > (max - digit) / 10) return false;  // v * 10 + digit > max
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace gpmv
+
+#endif  // GPMV_COMMON_PARSE_NUM_H_

@@ -181,6 +181,26 @@ void QueryEngine::InitMetrics() {
   h_.update_insert_phase_us =
       m.FindOrCreateHistogram("update.insert_phase_us");
 
+  // net.* (src/net/server.h) is registered up front like everything else
+  // so the names are present — and schema-pinnable — in every exporter
+  // artifact, socket-served or file-driven; the server resolves the same
+  // handles by name at Start.
+  for (const char* name :
+       {"net.connections_accepted", "net.connections_closed",
+        "net.frames_received", "net.frames_sent", "net.queries",
+        "net.updates", "net.protocol_errors", "net.errors_sent",
+        "net.backpressure_parks", "net.backpressure_deadline",
+        "net.bytes_read", "net.bytes_written", "net.flushes"}) {
+    m.FindOrCreateCounter(name);
+  }
+  m.FindOrCreateGauge("net.open_connections");
+  m.FindOrCreateHistogram("net.request_us");
+  m.FindOrCreateHistogram("net.flush_bytes");
+  // The file exporter's constructor also registers this, but a socket-only
+  // run has no exporter — pre-register so stats frames served over the
+  // wire validate against the same required_metrics pins.
+  m.FindOrCreateCounter("obs.export_failures");
+
   // Component-owned stats (each guarded by its component's own lock)
   // surface as derived gauges in every snapshot. Running inside the gate
   // puts them in the same consistent cut as the raw metrics; none of the

@@ -1,0 +1,296 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace gpmv {
+namespace net {
+
+namespace {
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian reads off a payload; each advances *pos.
+bool GetU8(const std::vector<uint8_t>& b, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > b.size()) return false;
+  *v = b[*pos];
+  *pos += 1;
+  return true;
+}
+
+bool GetU32(const std::vector<uint8_t>& b, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > b.size()) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) out |= static_cast<uint32_t>(b[*pos + i]) << (8 * i);
+  *v = out;
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::vector<uint8_t>& b, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > b.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(b[*pos + i]) << (8 * i);
+  *v = out;
+  *pos += 8;
+  return true;
+}
+
+bool ValidKind(uint8_t k) {
+  return k >= static_cast<uint8_t>(FrameKind::kQuery) &&
+         k <= static_cast<uint8_t>(FrameKind::kError);
+}
+
+bool ValidStatusCode(uint8_t s) {
+  return s <= static_cast<uint8_t>(Status::Code::kResourceExhausted);
+}
+
+}  // namespace
+
+bool IsRequestKind(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kQuery:
+    case FrameKind::kUpdate:
+    case FrameKind::kStats:
+    case FrameKind::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsResponseKind(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kQueryResult:
+    case FrameKind::kUpdateAck:
+    case FrameKind::kStatsResult:
+    case FrameKind::kOk:
+    case FrameKind::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void EncodeFrame(FrameKind kind, Status::Code status, uint64_t request_id,
+                 const uint8_t* payload, size_t payload_len,
+                 std::string* out) {
+  GPMV_DCHECK(payload_len <= kMaxPayloadBytes);
+  out->reserve(out->size() + kFrameHeaderBytes + payload_len);
+  PutU32(static_cast<uint32_t>(payload_len), out);
+  out->push_back(static_cast<char>(kind));
+  out->push_back(static_cast<char>(status));
+  PutU16(0, out);  // reserved
+  PutU64(request_id, out);
+  out->append(reinterpret_cast<const char*>(payload), payload_len);
+}
+
+void EncodeFrame(FrameKind kind, Status::Code status, uint64_t request_id,
+                 const std::string& payload, std::string* out) {
+  EncodeFrame(kind, status, request_id,
+              reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+              out);
+}
+
+void FrameParser::Feed(const uint8_t* data, size_t len) {
+  if (!error_.ok()) return;  // latched: the connection is being torn down
+  // Compact the consumed prefix before it dominates the buffer; amortized
+  // O(1) per byte.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+  Parse();
+}
+
+void FrameParser::Parse() {
+  while (error_.ok()) {
+    const size_t avail = buf_.size() - consumed_;
+    if (avail < kFrameHeaderBytes) return;
+    const uint8_t* h = buf_.data() + consumed_;
+    uint32_t payload_len = 0;
+    std::memcpy(&payload_len, h, 4);  // wire is LE; so are our targets
+    const uint8_t kind = h[4];
+    const uint8_t status = h[5];
+    const uint16_t reserved = static_cast<uint16_t>(h[6] | (h[7] << 8));
+    if (payload_len > kMaxPayloadBytes) {
+      error_ = Status::Corruption("frame declares " +
+                                  std::to_string(payload_len) +
+                                  " payload bytes (max " +
+                                  std::to_string(kMaxPayloadBytes) + ")");
+      return;
+    }
+    if (!ValidKind(kind) || reserved != 0 || !ValidStatusCode(status)) {
+      error_ = Status::Corruption("malformed frame header (kind " +
+                                  std::to_string(kind) + ", reserved " +
+                                  std::to_string(reserved) + ")");
+      return;
+    }
+    const FrameKind fk = static_cast<FrameKind>(kind);
+    if (require_requests_ ? !IsRequestKind(fk) : !IsResponseKind(fk)) {
+      error_ = Status::Corruption(
+          std::string("unexpected ") +
+          (require_requests_ ? "response" : "request") +
+          " frame kind " + std::to_string(kind));
+      return;
+    }
+    if (avail < kFrameHeaderBytes + payload_len) return;  // incomplete
+    Frame f;
+    f.kind = fk;
+    f.status = static_cast<Status::Code>(status);
+    std::memcpy(&f.request_id, h + 8, 8);
+    f.payload.assign(h + kFrameHeaderBytes,
+                     h + kFrameHeaderBytes + payload_len);
+    consumed_ += kFrameHeaderBytes + payload_len;
+    frames_.push_back(std::move(f));
+  }
+}
+
+bool FrameParser::Next(Frame* out) {
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop_front();
+  return true;
+}
+
+// ---------------------------------------------------------------- payloads
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  std::string out;
+  PutU64(req.min_applied_ts, &out);
+  PutU64(req.as_of_ts, &out);
+  out.append(req.pattern_text);
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryRequest(const std::vector<uint8_t>& payload) {
+  QueryRequest req;
+  size_t pos = 0;
+  if (!GetU64(payload, &pos, &req.min_applied_ts) ||
+      !GetU64(payload, &pos, &req.as_of_ts)) {
+    return Status::InvalidArgument("query payload shorter than its header");
+  }
+  req.pattern_text.assign(payload.begin() + static_cast<ptrdiff_t>(pos),
+                          payload.end());
+  if (req.pattern_text.empty()) {
+    return Status::InvalidArgument("query payload carries no pattern text");
+  }
+  return req;
+}
+
+std::string EncodeUpdateRequest(const EdgeUpdate& op) {
+  std::string out;
+  out.push_back(op.kind == EdgeUpdate::Kind::kInsert ? 0 : 1);
+  PutU32(op.u, &out);
+  PutU32(op.v, &out);
+  return out;
+}
+
+Result<EdgeUpdate> DecodeUpdateRequest(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  uint8_t kind = 0;
+  uint32_t u = 0, v = 0;
+  if (!GetU8(payload, &pos, &kind) || !GetU32(payload, &pos, &u) ||
+      !GetU32(payload, &pos, &v) || pos != payload.size()) {
+    return Status::InvalidArgument("update payload is not 9 bytes");
+  }
+  if (kind > 1) {
+    return Status::InvalidArgument("update op kind must be 0 or 1");
+  }
+  return kind == 0 ? EdgeUpdate::Insert(u, v) : EdgeUpdate::Delete(u, v);
+}
+
+std::string EncodeQueryResult(const QueryResponse& resp) {
+  std::string out;
+  out.push_back(resp.result.matched() ? 1 : 0);
+  out.push_back(static_cast<char>(resp.plan));
+  PutU64(resp.snapshot_version, &out);
+  PutU64(resp.applied_through_ts, &out);
+  const size_t num_edges = resp.result.num_pattern_edges();
+  PutU32(static_cast<uint32_t>(num_edges), &out);
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    const std::vector<NodePair>& pairs = resp.result.edge_matches(e);
+    PutU32(static_cast<uint32_t>(pairs.size()), &out);
+    for (const NodePair& p : pairs) {
+      PutU32(p.first, &out);
+      PutU32(p.second, &out);
+    }
+  }
+  return out;
+}
+
+Result<QueryResultFrame> DecodeQueryResult(
+    const std::vector<uint8_t>& payload) {
+  QueryResultFrame out;
+  size_t pos = 0;
+  uint8_t matched = 0, plan = 0;
+  uint32_t num_edges = 0;
+  if (!GetU8(payload, &pos, &matched) || !GetU8(payload, &pos, &plan) ||
+      !GetU64(payload, &pos, &out.snapshot_version) ||
+      !GetU64(payload, &pos, &out.applied_through_ts) ||
+      !GetU32(payload, &pos, &num_edges)) {
+    return Status::InvalidArgument("query result payload truncated");
+  }
+  // Each declared edge costs at least 4 bytes; reject counts the remaining
+  // payload cannot possibly carry before reserving for them.
+  if (num_edges > (payload.size() - pos) / 4 + 1) {
+    return Status::InvalidArgument("query result declares too many edges");
+  }
+  out.matched = matched != 0;
+  out.plan = plan;
+  out.edge_matches.resize(num_edges);
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    uint32_t count = 0;
+    if (!GetU32(payload, &pos, &count)) {
+      return Status::InvalidArgument("query result payload truncated");
+    }
+    if (count > (payload.size() - pos) / 8) {
+      return Status::InvalidArgument("query result declares too many pairs");
+    }
+    out.edge_matches[e].reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t u = 0, v = 0;
+      if (!GetU32(payload, &pos, &u) || !GetU32(payload, &pos, &v)) {
+        return Status::InvalidArgument("query result payload truncated");
+      }
+      out.edge_matches[e].emplace_back(u, v);
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("query result payload has trailing bytes");
+  }
+  return out;
+}
+
+std::string EncodeUpdateAck(uint64_t ts) {
+  std::string out;
+  PutU64(ts, &out);
+  return out;
+}
+
+Result<uint64_t> DecodeUpdateAck(const std::vector<uint8_t>& payload) {
+  size_t pos = 0;
+  uint64_t ts = 0;
+  if (!GetU64(payload, &pos, &ts) || pos != payload.size()) {
+    return Status::InvalidArgument("update ack payload is not 8 bytes");
+  }
+  return ts;
+}
+
+}  // namespace net
+}  // namespace gpmv

@@ -1,0 +1,184 @@
+/// \file protocol.h
+/// \brief The length-prefixed binary wire protocol of the net serving front
+/// end (net/server.h): frame layout, request/response payload codecs, and an
+/// incremental, allocation-bounded `FrameParser` for the read path.
+///
+/// Frame layout (all integers little-endian, no padding on the wire):
+///
+///     offset  size  field
+///     0       4     payload_len   bytes following the 16-byte header
+///     4       1     kind          FrameKind
+///     5       1     status        Status::Code (responses; 0 on requests)
+///     6       2     reserved      must be 0
+///     8       8     request_id    client-chosen; echoed on the response
+///     16      payload_len bytes of kind-specific payload
+///
+/// Request kinds (client -> server):
+///   kQuery     — `min_applied_ts` (u64) + `as_of_ts` (u64) + pattern text
+///                (pattern_io.h format). The server raises the effective
+///                read-your-writes floor to max(min_applied_ts, highest
+///                update ts this connection has submitted).
+///   kUpdate    — op kind (u8: 0 insert, 1 delete) + u (u32) + v (u32).
+///   kStats     — empty payload; answered with one kStatsResult.
+///   kShutdown  — empty payload; server acks with kOk, drains in-flight
+///                work, flushes every connection and exits Run().
+///
+/// Response kinds (server -> client):
+///   kQueryResult — matched (u8) + plan (u8) + snapshot_version (u64) +
+///                  applied_through_ts (u64) + num_edges (u32), then per
+///                  pattern edge: pair_count (u32) + pair_count x
+///                  (u (u32), v (u32)). The match sets are serialized in
+///                  normalized (sorted, deduplicated) order, so two
+///                  results are bit-identical iff MatchResult::operator==
+///                  holds — the loadgen equivalence check compares the raw
+///                  payload bytes.
+///   kUpdateAck   — assigned stream ts (u64).
+///   kStatsResult — one exporter-schema JSON line (obs/exporter.h), seq
+///                  assigned from a server-global monotone counter.
+///   kOk          — empty payload (shutdown ack).
+///   kError       — Status code in the header `status` byte + UTF-8 message
+///                  payload. Sent for malformed payloads, failed queries,
+///                  and per-connection backpressure (kDeadlineExceeded when
+///                  an update could not be admitted within the server's
+///                  push timeout, kResourceExhausted when its stream slice
+///                  is quarantined or the executor sheds the query).
+///
+/// Framing errors (declared length above kMaxPayloadBytes, unknown kind,
+/// nonzero reserved bytes) are not recoverable — the parser latches an
+/// error state and the server closes the connection after best-effort
+/// sending one kError frame. Everything else (unparseable pattern text,
+/// short payloads) is a per-request kError; the connection lives on.
+///
+/// All codecs are pure functions of byte buffers so the protocol-robustness
+/// suite (tests/net_test.cc) fuzzes them without sockets.
+
+#ifndef GPMV_NET_PROTOCOL_H_
+#define GPMV_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query_engine.h"
+#include "simulation/match_result.h"
+
+namespace gpmv {
+namespace net {
+
+/// Frame type tags (the wire `kind` byte). Values are part of the protocol.
+enum class FrameKind : uint8_t {
+  kQuery = 1,
+  kUpdate = 2,
+  kStats = 3,
+  kShutdown = 4,
+  kQueryResult = 5,
+  kUpdateAck = 6,
+  kStatsResult = 7,
+  kOk = 8,
+  kError = 9,
+};
+
+/// True for kinds a client may send (the server rejects response kinds on
+/// its read path as protocol errors, and vice versa in the loadgen).
+bool IsRequestKind(FrameKind kind);
+bool IsResponseKind(FrameKind kind);
+
+/// Fixed header size preceding every payload.
+constexpr size_t kFrameHeaderBytes = 16;
+
+/// Hard cap on a declared payload length; a header above it is a framing
+/// error (protects the server from a 4 GiB allocation off 4 garbage bytes).
+constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameKind kind = FrameKind::kError;
+  Status::Code status = Status::Code::kOk;  ///< header status byte
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes a frame (header + payload) onto `out` (appended).
+void EncodeFrame(FrameKind kind, Status::Code status, uint64_t request_id,
+                 const uint8_t* payload, size_t payload_len,
+                 std::string* out);
+void EncodeFrame(FrameKind kind, Status::Code status, uint64_t request_id,
+                 const std::string& payload, std::string* out);
+
+/// Incremental frame decoder: Feed() bytes as they arrive, Next() pops
+/// complete frames. A framing error (oversized length, unknown kind,
+/// nonzero reserved) latches: ok() turns false, error() describes it, and
+/// further Feed()s are ignored. Payload-level validation is *not* done
+/// here — a complete frame with garbage payload is surfaced to the caller,
+/// whose typed decoder returns a per-request error.
+class FrameParser {
+ public:
+  /// `require_requests`: accept only request kinds (the server side);
+  /// false accepts only response kinds (the client side).
+  explicit FrameParser(bool require_requests = true)
+      : require_requests_(require_requests) {}
+
+  /// Consumes `len` bytes; cheap append + in-place scan.
+  void Feed(const uint8_t* data, size_t len);
+
+  /// Pops the next complete frame into `*out`; false when none is buffered
+  /// (or the parser is in the error state).
+  bool Next(Frame* out);
+
+  bool ok() const { return error_.ok(); }
+  const Status& error() const { return error_; }
+
+  /// Bytes buffered but not yet parsed into a frame (tests).
+  size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  void Parse();
+
+  bool require_requests_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  ///< prefix of buf_ already parsed away
+  std::deque<Frame> frames_;
+  Status error_;
+};
+
+// ---------------------------------------------------------------- payloads
+
+/// kQuery request payload.
+struct QueryRequest {
+  uint64_t min_applied_ts = 0;  ///< explicit read-your-writes floor
+  uint64_t as_of_ts = 0;        ///< 0 = head
+  std::string pattern_text;     ///< pattern_io.h format
+};
+
+std::string EncodeQueryRequest(const QueryRequest& req);
+Result<QueryRequest> DecodeQueryRequest(const std::vector<uint8_t>& payload);
+
+/// kUpdate request payload.
+std::string EncodeUpdateRequest(const EdgeUpdate& op);
+Result<EdgeUpdate> DecodeUpdateRequest(const std::vector<uint8_t>& payload);
+
+/// kQueryResult response payload (see file comment for the layout).
+struct QueryResultFrame {
+  bool matched = false;
+  uint8_t plan = 0;  ///< PlanKind as ordinal
+  uint64_t snapshot_version = 0;
+  uint64_t applied_through_ts = 0;
+  /// Per pattern edge, the normalized match pairs.
+  std::vector<std::vector<NodePair>> edge_matches;
+};
+
+std::string EncodeQueryResult(const QueryResponse& resp);
+Result<QueryResultFrame> DecodeQueryResult(
+    const std::vector<uint8_t>& payload);
+
+/// kUpdateAck payload.
+std::string EncodeUpdateAck(uint64_t ts);
+Result<uint64_t> DecodeUpdateAck(const std::vector<uint8_t>& payload);
+
+}  // namespace net
+}  // namespace gpmv
+
+#endif  // GPMV_NET_PROTOCOL_H_

@@ -135,8 +135,17 @@ Result<Pattern> PatternFromText(const std::string& text) {
     auto fail = [&](const std::string& msg) {
       return Status::Corruption("line " + std::to_string(lineno) + ": " + msg);
     };
-    size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
+    // A '#' opens a comment only at line start or after whitespace: node
+    // names may legitimately contain '#' (the workload generator emits
+    // "L8#0"), and truncating mid-token silently corrupted every
+    // PatternToText round trip of such a pattern.
+    for (size_t hash = line.find('#'); hash != std::string::npos;
+         hash = line.find('#', hash + 1)) {
+      if (hash == 0 || line[hash - 1] == ' ' || line[hash - 1] == '\t') {
+        line.resize(hash);
+        break;
+      }
+    }
     std::vector<std::string> tok = SplitWs(line);
     if (tok.empty()) continue;
 

@@ -1,7 +1,9 @@
 /// \file pattern_io.h
 /// \brief Plain-text serialization of patterns and view sets.
 ///
-/// Pattern format (one record per line, '#' starts a comment):
+/// Pattern format (one record per line; '#' starts a comment at line start
+/// or after whitespace — a '#' inside a token belongs to the token, so
+/// names like "L8#0" round-trip):
 ///
 ///     node <name> [label=<label>] [where <attr><op><value> [&& ...]]
 ///     edge <src> <dst> [bound=<k>|*]

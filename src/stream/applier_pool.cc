@@ -115,20 +115,63 @@ Status ApplierPool::PushWithDeadline(EdgeUpdate op, double timeout_ms,
     ++routed_count_[slice];
   }
   bool timed_out = false;
-  if (streams_[slice]->PushWithTs(op, ts, timeout_ms, &timed_out) == 0) {
-    // Not accepted (closed or timed out): un-route exactly like the
-    // blocking path — the burned ticket keeps the watermark conservative.
+  PushError err = PushError::kNone;
+  if (streams_[slice]->PushWithTs(op, ts, timeout_ms, &timed_out, &err) == 0) {
+    // Not accepted: un-route exactly like the blocking path — the burned
+    // ticket keeps the watermark conservative.
     std::lock_guard<std::mutex> lk(mu_);
     last_routed_[slice] = prev_tail;
     --routed_count_[slice];
-    if (timed_out) {
-      return Status::DeadlineExceeded("stream slice " + std::to_string(slice) +
-                                      " push timed out (backpressure)");
+    switch (err) {
+      case PushError::kTimeout:
+        return Status::DeadlineExceeded("stream slice " +
+                                        std::to_string(slice) +
+                                        " push timed out (backpressure)");
+      case PushError::kStaleTicket:
+        // Unreachable while route_mu_ serializes this slice's producers;
+        // report it honestly if that invariant ever breaks.
+        return Status::Internal("stream slice " + std::to_string(slice) +
+                                " rejected a stale ticket");
+      default:
+        return Status::Internal("applier pool stopped");
     }
-    return Status::Internal("applier pool stopped");
   }
   if (ts_out != nullptr) *ts_out = ts;
   return Status::OK();
+}
+
+ApplierPool::TryPushResult ApplierPool::TryPush(EdgeUpdate op,
+                                                uint64_t* ts_out) {
+  const size_t k = streams_.size();
+  const size_t slice = SliceOf(op.u, op.v, k);
+  // Quarantine fast path, like PushWithDeadline: the consumer is parked,
+  // so admitting into (or even probing) its queue is pointless.
+  if (appliers_[slice]->quarantined()) return TryPushResult::kQuarantined;
+  std::lock_guard<std::mutex> slk(route_mu_[slice]);
+  // Depth probe before the ticket grab. route_mu_ serializes this slice's
+  // producers and the consumer only shrinks the queue, so "space now"
+  // still holds at the enqueue below — TryPushWithTs cannot would-block.
+  if (streams_[slice]->depth() >= streams_[slice]->capacity()) {
+    return TryPushResult::kWouldBlock;
+  }
+  uint64_t ts, prev_tail;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return TryPushResult::kStopped;
+    ts = next_ts_++;
+    prev_tail = last_routed_[slice];
+    last_routed_[slice] = ts;
+    ++routed_count_[slice];
+  }
+  if (streams_[slice]->TryPushWithTs(op, ts) == 0) {
+    // Closed underneath (Stop raced): un-route like Push.
+    std::lock_guard<std::mutex> lk(mu_);
+    last_routed_[slice] = prev_tail;
+    --routed_count_[slice];
+    return TryPushResult::kStopped;
+  }
+  if (ts_out != nullptr) *ts_out = ts;
+  return TryPushResult::kOk;
 }
 
 void ApplierPool::RefreshWatermark() {

@@ -109,6 +109,22 @@ class ApplierPool {
   Status PushWithDeadline(EdgeUpdate op, double timeout_ms,
                           uint64_t* ts = nullptr);
 
+  /// Outcome of the non-blocking TryPush admission path.
+  enum class TryPushResult {
+    kOk = 0,       ///< accepted; `*ts_out` holds the assigned ts
+    kWouldBlock,   ///< slice queue at capacity; no ticket was assigned
+    kQuarantined,  ///< slice applier quarantined; retry after ReviveSlice
+    kStopped,      ///< pool stopped
+  };
+
+  /// Non-blocking Push — the net server's admission path, which must never
+  /// block its event-loop thread. The target slice's queue depth is probed
+  /// under the slice routing mutex *before* a ticket is assigned, so a
+  /// kWouldBlock outcome burns nothing: the caller parks the op and retries
+  /// it later without marching the global ticket source (and with it every
+  /// watermark target) forward on each attempt.
+  TryPushResult TryPush(EdgeUpdate op, uint64_t* ts_out = nullptr);
+
   /// Blocks until every op pushed before the call is applied-and-published
   /// or retained behind a quarantine, then heartbeats every quiet slice so
   /// the published watermark reaches the global last-assigned ts. Returns

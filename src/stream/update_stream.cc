@@ -45,12 +45,36 @@ uint64_t UpdateStream::Push(EdgeUpdate op, double timeout_ms,
   return ts;
 }
 
-uint64_t UpdateStream::PushWithTs(EdgeUpdate op, uint64_t ts) {
+uint64_t UpdateStream::PushWithTs(EdgeUpdate op, uint64_t ts,
+                                  PushError* err) {
+  if (err != nullptr) *err = PushError::kNone;
   std::unique_lock<std::mutex> lk(mu_);
+  // Validate the ticket before waiting for space: a stale ticket will be
+  // rejected no matter how long we wait, so parking the producer on a full
+  // queue first would stall it (potentially unboundedly, behind a
+  // quarantined consumer) only to refuse the op anyway.
+  if (closed_) {
+    if (err != nullptr) *err = PushError::kClosed;
+    return 0;
+  }
+  if (ts < next_ts_) {
+    if (err != nullptr) *err = PushError::kStaleTicket;
+    return 0;
+  }
   not_full_.wait(lk, [this] {
     return closed_ || queue_.size() < opts_.queue_capacity;
   });
-  if (closed_ || ts < next_ts_) return 0;
+  if (closed_) {
+    if (err != nullptr) *err = PushError::kClosed;
+    return 0;
+  }
+  if (ts < next_ts_) {
+    // Another producer slipped a higher ticket in while we waited — only
+    // possible for callers that don't serialize per-stream, but report it
+    // faithfully rather than folding it into kClosed.
+    if (err != nullptr) *err = PushError::kStaleTicket;
+    return 0;
+  }
   next_ts_ = ts + 1;
   queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});
   ++ops_accepted_;
@@ -61,17 +85,37 @@ uint64_t UpdateStream::PushWithTs(EdgeUpdate op, uint64_t ts) {
 }
 
 uint64_t UpdateStream::PushWithTs(EdgeUpdate op, uint64_t ts,
-                                  double timeout_ms, bool* timed_out) {
+                                  double timeout_ms, bool* timed_out,
+                                  PushError* err) {
   if (timed_out != nullptr) *timed_out = false;
+  if (err != nullptr) *err = PushError::kNone;
   std::unique_lock<std::mutex> lk(mu_);
+  // Stale-ticket / closed fast paths before burning any of the deadline
+  // (see the blocking overload).
+  if (closed_) {
+    if (err != nullptr) *err = PushError::kClosed;
+    return 0;
+  }
+  if (ts < next_ts_) {
+    if (err != nullptr) *err = PushError::kStaleTicket;
+    return 0;
+  }
   const bool ok = not_full_.wait_for(
       lk, std::chrono::duration<double, std::milli>(timeout_ms),
       [this] { return closed_ || queue_.size() < opts_.queue_capacity; });
   if (!ok) {
     if (timed_out != nullptr) *timed_out = true;
+    if (err != nullptr) *err = PushError::kTimeout;
     return 0;
   }
-  if (closed_ || ts < next_ts_) return 0;
+  if (closed_) {
+    if (err != nullptr) *err = PushError::kClosed;
+    return 0;
+  }
+  if (ts < next_ts_) {
+    if (err != nullptr) *err = PushError::kStaleTicket;
+    return 0;
+  }
   next_ts_ = ts + 1;
   queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});
   ++ops_accepted_;
@@ -90,6 +134,31 @@ uint64_t UpdateStream::TryPush(EdgeUpdate op, bool* full) {
     return 0;
   }
   const uint64_t ts = next_ts_++;
+  queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});
+  ++ops_accepted_;
+  max_depth_ = std::max(max_depth_, queue_.size());
+  lk.unlock();
+  not_empty_.notify_one();
+  return ts;
+}
+
+uint64_t UpdateStream::TryPushWithTs(EdgeUpdate op, uint64_t ts,
+                                     PushError* err) {
+  if (err != nullptr) *err = PushError::kNone;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) {
+    if (err != nullptr) *err = PushError::kClosed;
+    return 0;
+  }
+  if (ts < next_ts_) {
+    if (err != nullptr) *err = PushError::kStaleTicket;
+    return 0;
+  }
+  if (queue_.size() >= opts_.queue_capacity) {
+    if (err != nullptr) *err = PushError::kWouldBlock;
+    return 0;
+  }
+  next_ts_ = ts + 1;
   queue_.push_back(Element{op, ts, std::chrono::steady_clock::now()});
   ++ops_accepted_;
   max_depth_ = std::max(max_depth_, queue_.size());

@@ -59,6 +59,17 @@ struct TimestampedUpdate {
   uint64_t ts = 0;
 };
 
+/// Why a Push/PushWithTs/TryPush returned 0. The blocking overloads can
+/// only report kClosed/kStaleTicket; the deadline overloads add kTimeout;
+/// the Try overloads add kWouldBlock.
+enum class PushError {
+  kNone = 0,      ///< accepted
+  kClosed,        ///< stream was closed
+  kStaleTicket,   ///< PushWithTs ts not above every ts this stream has seen
+  kTimeout,       ///< deadline elapsed while the queue stayed full
+  kWouldBlock,    ///< TryPush with the queue at capacity
+};
+
 /// Result of one Drain call; `batch` is already coalesced (at most one op
 /// per edge, each edge's last-enqueued op).
 struct StreamDrainResult {
@@ -93,19 +104,32 @@ class UpdateStream {
   /// ApplierPool's routing path, where one global ticket source spans K
   /// per-slice streams and each stream sees a strictly increasing
   /// subsequence of it. `ts` must exceed every timestamp this stream has
-  /// seen (InvalidArgument-by-0 otherwise); blocks at capacity like Push,
-  /// returns `ts` on success and 0 when closed or out of order.
-  uint64_t PushWithTs(EdgeUpdate op, uint64_t ts);
+  /// seen; returns `ts` on success and 0 when closed or out of order, with
+  /// `*err` (when non-null) naming the reason. Ticket order is validated
+  /// *before* waiting for queue space — a stale ticket is rejected
+  /// immediately rather than parking the producer on a full queue only to
+  /// be refused once space frees up. Blocks at capacity like Push.
+  uint64_t PushWithTs(EdgeUpdate op, uint64_t ts, PushError* err = nullptr);
 
   /// Deadline-bounded PushWithTs (see the deadline-bounded Push): returns
-  /// 0 on close, out-of-order ts, or timeout; `*timed_out` flags the
-  /// timeout case.
+  /// 0 on close, out-of-order ts, or timeout. `*err` (when non-null)
+  /// distinguishes all three (kClosed / kStaleTicket / kTimeout);
+  /// `*timed_out` is kept for callers that only care about the timeout
+  /// bit. Like the blocking overload, a stale ticket fails fast without
+  /// consuming any of the deadline.
   uint64_t PushWithTs(EdgeUpdate op, uint64_t ts, double timeout_ms,
-                      bool* timed_out);
+                      bool* timed_out, PushError* err = nullptr);
 
   /// Non-blocking Push: fails (returns 0) when the queue is full or the
   /// stream is closed; `*full` distinguishes the two when non-null.
   uint64_t TryPush(EdgeUpdate op, bool* full = nullptr);
+
+  /// Non-blocking PushWithTs: never waits for queue space. Returns `ts`
+  /// on success, else 0 with `*err` set to kClosed, kStaleTicket, or
+  /// kWouldBlock. The net server's admission path — it parks the op
+  /// per-connection instead of blocking its event loop.
+  uint64_t TryPushWithTs(EdgeUpdate op, uint64_t ts,
+                         PushError* err = nullptr);
 
   /// Stops accepting ops (Push returns 0 from now on) and wakes a blocked
   /// Drain so the consumer can finish the remainder. Idempotent.
@@ -124,6 +148,9 @@ class UpdateStream {
   uint64_t last_assigned_ts() const;
 
   size_t depth() const;
+
+  /// Configured queue capacity (constant after construction).
+  size_t capacity() const { return opts_.queue_capacity; }
 
   /// Enqueue-side counters: ops accepted so far and the depth high-water
   /// mark (the applier folds these into its per-batch deltas).

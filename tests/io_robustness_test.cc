@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
+#include "common/parse_num.h"
 #include "common/random.h"
 #include "core/view_io.h"
 #include "graph/graph_io.h"
@@ -107,6 +109,35 @@ TEST(IoRobustnessTest, RoundTripSurvivesRepeatedCycles) {
   Result<Pattern> pback = PatternFromText(ptext);
   ASSERT_TRUE(pback.ok());
   EXPECT_EQ(PatternToText(*pback), ptext);
+}
+
+TEST(IoRobustnessTest, ParseUnsignedRejectsEverythingButPlainDigits) {
+  // Regression: the CLI fed user-typed numerics straight into std::stoull,
+  // which *aborts the process* on garbage ("gen random abc 7" died with an
+  // uncaught std::invalid_argument) and silently accepts "+7", " 7", "0x7"
+  // and negative wraparound. ParseUnsigned is the checked replacement every
+  // subcommand now routes through.
+  uint64_t v = 999;
+  EXPECT_TRUE(ParseUnsigned("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUnsigned("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+
+  v = 999;
+  EXPECT_FALSE(ParseUnsigned("", &v));
+  EXPECT_FALSE(ParseUnsigned("abc", &v));
+  EXPECT_FALSE(ParseUnsigned("12abc", &v));
+  EXPECT_FALSE(ParseUnsigned("+7", &v));   // stoull would take these three
+  EXPECT_FALSE(ParseUnsigned("-1", &v));
+  EXPECT_FALSE(ParseUnsigned(" 7", &v));
+  EXPECT_FALSE(ParseUnsigned("0x10", &v));
+  EXPECT_FALSE(ParseUnsigned("18446744073709551616", &v));  // UINT64_MAX+1
+  EXPECT_FALSE(ParseUnsigned("99999999999999999999999", &v));
+  EXPECT_EQ(v, 999u);  // failures never touch the output
+
+  // The cap parameter bounds narrower destinations (size_t flags).
+  EXPECT_TRUE(ParseUnsigned("65535", &v, 65535));
+  EXPECT_FALSE(ParseUnsigned("65536", &v, 65535));
 }
 
 }  // namespace

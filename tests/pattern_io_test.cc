@@ -79,6 +79,36 @@ TEST(PatternIoTest, RejectsMalformedInput) {
   EXPECT_FALSE(PatternFromText("node A wat\n").ok());              // keyword
 }
 
+TEST(PatternIoTest, HashInsideNodeNameRoundTrips) {
+  // Regression: '#' used to start a comment anywhere in a line, so a node
+  // named "L8#0" (the workload generator's naming scheme) serialized fine
+  // but re-parsed as "L8" — every PatternToText round trip of a generated
+  // pattern silently corrupted, which surfaced as bogus per-request errors
+  // in the net front end (patterns travel as text on the wire).
+  Pattern p = PatternBuilder()
+                  .Node("L8#0", "L8")
+                  .Node("L3#1", "L3")
+                  .Edge("L8#0", "L3#1")
+                  .Build();
+  const std::string text = PatternToText(p);
+  Result<Pattern> back = PatternFromText(text);
+  ASSERT_TRUE(back.ok()) << text << "\n" << back.status().ToString();
+  EXPECT_TRUE(SamePattern(p, *back));
+  EXPECT_EQ(back->node(0).name, "L8#0");
+  EXPECT_EQ(back->node(1).name, "L3#1");
+
+  // Real comments still work: at line start and after whitespace.
+  Result<Pattern> c = PatternFromText(
+      "# leading comment\n"
+      "node A#x label=A # trailing comment\n"
+      "node B#y\n"
+      "edge A#x B#y # another\n");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->num_nodes(), 2u);
+  EXPECT_EQ(c->node(0).name, "A#x");
+  EXPECT_EQ(c->num_edges(), 1u);
+}
+
 TEST(PatternIoTest, FileRoundTrip) {
   Pattern p = MakeFig4().qs;
   const std::string path = ::testing::TempDir() + "/gpmv_pattern.txt";

@@ -143,6 +143,87 @@ TEST(UpdateStreamTest, DrainBlocksUntilPushArrives) {
   EXPECT_TRUE(drained.load());
 }
 
+TEST(UpdateStreamTest, StaleTicketRejectedWithoutBlockingOnFullQueue) {
+  // Regression: PushWithTs used to wait for queue space BEFORE validating
+  // ticket order, so a stale ticket against a full queue blocked forever
+  // (nobody draining -> deadlock; the suite timeout caught nothing because
+  // the process just hung). Order is validated first now: a stale ticket
+  // on a full queue returns immediately.
+  UpdateStreamOptions opts;
+  opts.queue_capacity = 1;
+  UpdateStream stream(opts);
+  EXPECT_EQ(stream.capacity(), 1u);
+  ASSERT_EQ(stream.PushWithTs(EdgeUpdate::Insert(0, 1), 10), 10u);
+  ASSERT_EQ(stream.depth(), 1u);  // full
+
+  PushError err = PushError::kNone;
+  EXPECT_EQ(stream.PushWithTs(EdgeUpdate::Insert(1, 2), 10, &err), 0u);
+  EXPECT_EQ(err, PushError::kStaleTicket);
+  EXPECT_EQ(stream.PushWithTs(EdgeUpdate::Insert(1, 2), 5, &err), 0u);
+  EXPECT_EQ(err, PushError::kStaleTicket);
+  // The queued op and the stream's ts high-water mark are untouched.
+  EXPECT_EQ(stream.depth(), 1u);
+  EXPECT_EQ(stream.last_assigned_ts(), 10u);
+}
+
+TEST(UpdateStreamTest, DeadlinePushWithTsDistinguishesFailureReasons) {
+  // Regression: the deadline overload returned 0 with *timed_out == false
+  // for both kClosed and kStaleTicket, so callers could not tell a dead
+  // stream from a retryable ordering race. PushError now names the reason.
+  UpdateStreamOptions opts;
+  opts.queue_capacity = 1;
+  UpdateStream stream(opts);
+  ASSERT_EQ(stream.PushWithTs(EdgeUpdate::Insert(0, 1), 7), 7u);
+
+  bool timed_out = false;
+  PushError err = PushError::kNone;
+  // Full queue, fresh ticket: genuine timeout.
+  EXPECT_EQ(stream.PushWithTs(EdgeUpdate::Insert(1, 2), 8, 20.0, &timed_out,
+                              &err),
+            0u);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(err, PushError::kTimeout);
+
+  // Stale ticket: rejected before any wait, *timed_out stays false.
+  timed_out = false;
+  EXPECT_EQ(stream.PushWithTs(EdgeUpdate::Insert(1, 2), 7, 1000.0,
+                              &timed_out, &err),
+            0u);
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(err, PushError::kStaleTicket);
+
+  stream.Close();
+  timed_out = false;
+  EXPECT_EQ(stream.PushWithTs(EdgeUpdate::Insert(1, 2), 8, 1000.0,
+                              &timed_out, &err),
+            0u);
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(err, PushError::kClosed);
+}
+
+TEST(UpdateStreamTest, TryPushWithTsReportsEveryReason) {
+  UpdateStreamOptions opts;
+  opts.queue_capacity = 1;
+  UpdateStream stream(opts);
+
+  PushError err = PushError::kNone;
+  EXPECT_EQ(stream.TryPushWithTs(EdgeUpdate::Insert(0, 1), 3, &err), 3u);
+  EXPECT_EQ(err, PushError::kNone);
+
+  // Queue full, fresh ticket: kWouldBlock — the net server's parked-op
+  // path keys off this to pause reads instead of blocking the loop.
+  EXPECT_EQ(stream.TryPushWithTs(EdgeUpdate::Insert(1, 2), 4, &err), 0u);
+  EXPECT_EQ(err, PushError::kWouldBlock);
+
+  // Stale beats full: order violations are permanent, report them first.
+  EXPECT_EQ(stream.TryPushWithTs(EdgeUpdate::Insert(1, 2), 3, &err), 0u);
+  EXPECT_EQ(err, PushError::kStaleTicket);
+
+  stream.Close();
+  EXPECT_EQ(stream.TryPushWithTs(EdgeUpdate::Insert(1, 2), 9, &err), 0u);
+  EXPECT_EQ(err, PushError::kClosed);
+}
+
 // ---------------------------------------------------------------------------
 // StreamApplier against a live engine
 // ---------------------------------------------------------------------------

@@ -11,6 +11,10 @@ metric names every engine registers up front (bounded-delta and sharding
 counters, distance-index gauges): each must appear in every snapshot
 line. Exits non-zero listing every violation.
 
+kStatsResult frames served over the socket front end carry the same
+exporter JSON-line shape (with a server-global seq), so the CI net smoke
+job pipes a capture of those straight through this checker.
+
 Usage: tools/check_metrics_schema.py metrics.jsonl [more.jsonl ...]
 """
 
@@ -70,7 +74,7 @@ def check_file(path, schema):
             errors.append(f"{where}: not valid JSON: {err}")
             continue
         check_required(obj, line_spec, where, errors)
-        for family in ("counters", "gauges"):
+        for family in ("counters", "gauges", "histograms"):
             present = obj.get(family)
             if not isinstance(present, dict):
                 continue  # already reported by check_required

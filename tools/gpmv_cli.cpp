@@ -18,6 +18,7 @@
 ///                  [--metrics-out <file>] [--metrics-interval-ms N]
 ///                  [--prom-out <file>] [--trace] [--no-metrics]
 ///                  [--slow-query-ms M] [--slow-query-log <file>]
+///   gpmv_cli serve <graph> --port N [--appliers N] [...same tuning flags]
 ///
 /// Graphs use the graph_io.h text format; patterns pattern_io.h; view sets
 /// view_io.h. `serve` runs a query file (view-set format: `view <name>`
@@ -68,11 +69,25 @@
 /// bench overhead-gate baseline) and conflicts with the flags above.
 /// When metrics are on, serve ends with the registry summary table.
 ///
+/// Network serving: `serve <graph> --port N` binds a TCP socket instead of
+/// running a query file — the `<queries>` positional is dropped and clients
+/// speak the length-prefixed binary protocol (net/protocol.h) against the
+/// epoll server (net/server.h): query/update/stats frames multiplexed onto
+/// the engine's worker pool and an ApplierPool of `--appliers` ingest
+/// slices. `--updates`/`--stream` are file-driven and therefore mutually
+/// exclusive with `--port`; everything else (views, warm, shards, metrics,
+/// fault spec) composes. Port 0 binds an ephemeral port; the bound port is
+/// printed as `listening on port N` (stdout, flushed) — the loadgen and CI
+/// smoke wait for that line. The server exits cleanly on a kShutdown frame
+/// (bench/net_loadgen --shutdown), SIGINT, or SIGTERM.
+///
 /// `stats --json <path>` additionally dumps the graph statistics plus a
 /// fresh engine metrics-registry snapshot through bench_util.h's
 /// JsonReport (same shape as the bench artifacts).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,7 +101,9 @@
 
 #include "bench_util.h"
 #include "common/fault.h"
+#include "common/parse_num.h"
 #include "common/stopwatch.h"
+#include "net/server.h"
 #include "engine/query_engine.h"
 #include "obs/exporter.h"
 #include "stream/applier_pool.h"
@@ -131,7 +148,10 @@ int Usage() {
       "                 [--metrics-out <file>] [--metrics-interval-ms N]\n"
       "                 [--prom-out <file>] [--trace] [--no-metrics]\n"
       "                 [--slow-query-ms M] [--slow-query-log <file>]\n"
-      "                 [--fault-spec <points>]\n");
+      "                 [--fault-spec <points>]\n"
+      "  gpmv_cli serve <graph> --port N   # socket serving: no <queries>\n"
+      "                 [--appliers N] [... same tuning flags; --updates/\n"
+      "                 --stream are file-driven and excluded]\n");
   return 2;
 }
 
@@ -151,8 +171,9 @@ std::string FlagValue(const std::vector<std::string>& args, const char* flag,
   return def;
 }
 
-/// Numeric `--flag <value>`; false (with a message) on a malformed value.
-/// Digits only — strtoull would silently wrap a leading minus.
+/// Numeric `--flag <value>`; false (with a message) on a malformed or
+/// overflowing value (common/parse_num.h — strtoull would silently wrap a
+/// leading minus and saturate overflow).
 bool NumericFlag(const std::vector<std::string>& args, const char* flag,
                  size_t def, size_t* out) {
   std::string v = FlagValue(args, flag);
@@ -160,28 +181,32 @@ bool NumericFlag(const std::vector<std::string>& args, const char* flag,
     *out = def;
     return true;
   }
-  if (v.find_first_not_of("0123456789") != std::string::npos) {
+  uint64_t parsed = 0;
+  if (!ParseUnsigned(v, &parsed, std::numeric_limits<size_t>::max())) {
     std::fprintf(stderr, "error: %s expects a non-negative number, got '%s'\n",
                  flag, v.c_str());
     return false;
   }
-  *out = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  *out = static_cast<size_t>(parsed);
   return true;
 }
 
-/// Validates serve's flag tail: only known flags, and every value-taking
-/// flag actually has a value (a trailing `--updates` would otherwise be
-/// silently treated as absent).
-bool ValidateServeFlags(const std::vector<std::string>& args) {
+/// Validates serve's flag tail starting at `flags_start` (2 with a
+/// <queries> positional, 1 in --port mode): only known flags, and every
+/// value-taking flag actually has a value (a trailing `--updates` would
+/// otherwise be silently treated as absent).
+bool ValidateServeFlags(const std::vector<std::string>& args,
+                        size_t flags_start) {
   static const char* kValueFlags[] = {
       "--views",       "--threads",     "--cache-mb",
       "--result-cache-mb", "--advise",  "--updates",
       "--shards",      "--stream",      "--stream-rate",
       "--max-lag-ms",  "--appliers",    "--as-of",
+      "--port",
       "--metrics-out", "--metrics-interval-ms",
       "--prom-out",    "--slow-query-ms", "--slow-query-log",
       "--fault-spec"};
-  for (size_t i = 2; i < args.size(); ++i) {
+  for (size_t i = flags_start; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--warm" || a == "--hash-shards" || a == "--no-delta" ||
         a == "--trace" || a == "--no-metrics") {
@@ -221,8 +246,18 @@ bool Load(Result<T> r, const char* what, T* out) {
 int CmdGen(const std::vector<std::string>& args) {
   if (args.size() < 4) return Usage();
   const std::string& kind = args[0];
-  size_t n = std::stoull(args[1]);
-  uint64_t seed = std::stoull(args[2]);
+  // Checked parse: raw std::stoull here aborted the whole process on
+  // `gen random abc ...` (uncaught std::invalid_argument).
+  uint64_t n64 = 0, seed = 0;
+  if (!ParseUnsigned(args[1], &n64, std::numeric_limits<size_t>::max()) ||
+      !ParseUnsigned(args[2], &seed)) {
+    std::fprintf(stderr,
+                 "error: <n> and <seed> must be non-negative numbers, got "
+                 "'%s' '%s'\n",
+                 args[1].c_str(), args[2].c_str());
+    return Usage();
+  }
+  const size_t n = static_cast<size_t>(n64);
   Graph g;
   if (kind == "amazon") {
     g = GenerateAmazonLike(n, seed);
@@ -514,20 +549,49 @@ Result<std::vector<EdgeUpdate>> ReadUpdatesFile(const std::string& path) {
 uint64_t ParseAsOfSuffix(const std::string& name) {
   const size_t pos = name.rfind("@asof");
   if (pos == std::string::npos) return 0;
-  const std::string digits = name.substr(pos + 5);
-  if (digits.empty() ||
-      digits.find_first_not_of("0123456789") != std::string::npos) {
-    return 0;
-  }
-  return std::strtoull(digits.c_str(), nullptr, 10);
+  uint64_t ts = 0;
+  if (!ParseUnsigned(name.substr(pos + 5), &ts)) return 0;
+  return ts;
+}
+
+/// SIGINT/SIGTERM during `serve --port` request a clean server wind-down
+/// (drain + flush + close) instead of killing the process mid-write.
+/// Server::RequestStop is an atomic store plus an eventfd write — both
+/// async-signal-safe.
+std::atomic<net::Server*> g_signal_server{nullptr};
+
+void HandleServeSignal(int /*signum*/) {
+  net::Server* s = g_signal_server.load(std::memory_order_acquire);
+  if (s != nullptr) s->RequestStop();
 }
 
 int CmdServe(const std::vector<std::string>& args) {
-  if (args.size() < 2 || !ValidateServeFlags(args)) return Usage();
+  // In `--port` mode there is no <queries> positional (clients send queries
+  // over the socket), so the flag tail starts right after <graph>.
+  const bool has_queries = args.size() >= 2 && args[1].rfind("--", 0) != 0;
+  if (args.empty() || !ValidateServeFlags(args, has_queries ? 2 : 1)) {
+    return Usage();
+  }
+  size_t port = 0;
+  if (!NumericFlag(args, "--port", 0, &port)) return Usage();
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --port expects a TCP port (<= 65535)\n");
+    return 1;
+  }
+  if (port == 0 && !has_queries) return Usage();
+  if (port > 0 && has_queries) {
+    std::fprintf(stderr,
+                 "error: --port serves queries over the socket; drop the "
+                 "<queries> positional\n");
+    return 1;
+  }
+
   Graph g;
   ViewSet queries;
   if (!Load(ReadGraphFile(args[0]), "graph", &g)) return 1;
-  if (!Load(ReadViewSetFile(args[1]), "queries", &queries)) return 1;
+  if (has_queries && !Load(ReadViewSetFile(args[1]), "queries", &queries)) {
+    return 1;
+  }
 
   EngineOptions opts;
   size_t threads = 0, cache_mb = 0, result_cache_mb = 0, advise = 0,
@@ -540,6 +604,11 @@ int CmdServe(const std::vector<std::string>& args) {
     return Usage();
   }
   opts.pool.num_threads = threads;
+  if (port > 0) {
+    // The event loop must never block on a saturated worker pool — shed
+    // admission fast-fails the submit and the client gets an error frame.
+    opts.pool.shed_when_saturated = true;
+  }
   opts.cache.budget_bytes = cache_mb << 20;
   opts.result_cache.budget_bytes = result_cache_mb << 20;
   opts.maintenance.enable_delta = !HasFlag(args, "--no-delta");
@@ -644,8 +713,14 @@ int CmdServe(const std::vector<std::string>& args) {
       !NumericFlag(args, "--as-of", 0, &as_of)) {
     return Usage();
   }
-  if (appliers > 1 && stream_path.empty()) {
-    std::fprintf(stderr, "error: --appliers requires --stream\n");
+  if (appliers > 1 && stream_path.empty() && port == 0) {
+    std::fprintf(stderr, "error: --appliers requires --stream or --port\n");
+    return 1;
+  }
+  if (port > 0 && (!updates_path.empty() || !stream_path.empty())) {
+    std::fprintf(stderr,
+                 "error: --updates/--stream are file-driven and mutually "
+                 "exclusive with --port (clients send update frames)\n");
     return 1;
   }
   if (!stream_path.empty()) {
@@ -656,6 +731,75 @@ int CmdServe(const std::vector<std::string>& args) {
     }
     Result<std::vector<EdgeUpdate>> up = ReadUpdatesFile(stream_path);
     if (!Load(std::move(up), "stream", &stream_ops)) return 1;
+  }
+
+  if (port > 0) {
+    // Socket serving: the epoll server multiplexes client connections onto
+    // the engine (queries) and an ApplierPool (updates, admission-
+    // controlled per connection).
+    StreamApplierOptions ao;
+    ao.max_lag_ms = static_cast<double>(max_lag_ms);
+    ApplierPoolOptions po;
+    po.num_appliers = appliers == 0 ? 1 : appliers;
+    po.applier = ao;
+    ApplierPool net_pool(&engine, po);
+
+    net::ServerOptions so;
+    so.port = static_cast<uint16_t>(port);
+    so.fault = opts.fault;
+    net::Server server(&engine, &net_pool, so);
+    Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving %zu nodes / %zu edges, %zu views, %zu workers, "
+                "%zu ingest slices\n",
+                engine.num_graph_nodes(), engine.num_graph_edges(),
+                engine.num_views(), engine.num_worker_threads(),
+                net_pool.num_appliers());
+    // The loadgen and the CI smoke job wait for this exact line (flushed —
+    // they read through a pipe) before connecting.
+    std::printf("listening on port %u\n", server.port());
+    std::fflush(stdout);
+    g_signal_server.store(&server, std::memory_order_release);
+    std::signal(SIGINT, HandleServeSignal);
+    std::signal(SIGTERM, HandleServeSignal);
+    server.Run();
+    g_signal_server.store(nullptr, std::memory_order_release);
+    Status flush_st = net_pool.FlushAndWait();
+    (void)net_pool.Stop();
+
+    EngineStats s = engine.stats();
+    std::printf("-- net serve done: conns=%llu queries=%zu shed=%zu "
+                "applied_through=%llu flush=%s\n",
+                static_cast<unsigned long long>(
+                    server.connections_accepted()),
+                s.queries, s.shed_queries,
+                static_cast<unsigned long long>(engine.applied_through_ts()),
+                flush_st.ok() ? "ok" : flush_st.ToString().c_str());
+    if (!fault_spec.empty()) {
+      std::printf("-- fault injection: %llu fire(s) from spec '%s'\n",
+                  static_cast<unsigned long long>(fault.total_fired()),
+                  fault_spec.c_str());
+    }
+    if (exporter) {
+      exporter->Stop();
+      std::printf("-- metrics: %zu snapshot(s) written to %s\n",
+                  exporter->snapshots_written(), metrics_out.c_str());
+    }
+    if (!prom_out.empty()) {
+      if (!obs::WritePrometheusText(engine.metrics()->TakeSnapshot(),
+                                    prom_out)) {
+        return 1;
+      }
+      std::printf("-- prometheus snapshot written to %s\n", prom_out.c_str());
+    }
+    if (opts.obs.enabled) {
+      std::printf("\n");
+      obs::PrintSummaryTable(stdout, engine.metrics()->TakeSnapshot());
+    }
+    return flush_st.ok() ? 0 : 1;
   }
 
   std::printf("serving %zu queries on %zu nodes / %zu edges, %zu views, "
